@@ -1,0 +1,298 @@
+// Command hestress runs adversarial stress over the checked, poisoned
+// memory substrate: every dereference is generation-validated, so an unsafe
+// reclamation by any scheme surfaces as a detected fault instead of silent
+// corruption — the Go analogue of running the C++ original under ASAN.
+//
+// Usage:
+//
+//	hestress -struct list -scheme HE -threads 8 -dur 5s
+//	hestress -struct all -scheme all -dur 1s
+//
+// Structures: list, map, queue, stack, bst, all. Schemes: HE, HE-minmax,
+// HP, EBR, URCU, RC, NONE, all. Exit status 1 if any fault was detected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bst"
+	"repro/internal/hashmap"
+	"repro/internal/list"
+	"repro/internal/queue"
+	"repro/internal/skiplist"
+	"repro/internal/stack"
+	"repro/internal/wfqueue"
+)
+
+type stressTarget struct {
+	name string
+	run  func(s bench.Scheme, threads int, dur time.Duration) (faults int64, ops int64)
+	// rcUnsafe marks structures with interior cells that deletion freezes
+	// forever (list-shaped traversals): Valois-style reference counting is
+	// unsound for true reclamation there (paper §1 on [28]) and is skipped.
+	rcUnsafe bool
+}
+
+func main() {
+	var (
+		structs = flag.String("struct", "all", "list|map|queue|stack|bst|wfq|skiplist|all")
+		schemes = flag.String("scheme", "all", "HE|HE-minmax|HP|EBR|URCU|RC|NONE|all")
+		threads = flag.Int("threads", 8, "concurrent workers")
+		dur     = flag.Duration("dur", time.Second, "stress duration per combination")
+	)
+	flag.Parse()
+
+	roster := map[string]bench.Scheme{}
+	for _, s := range bench.AllSchemes() {
+		roster[s.Name] = s
+	}
+	var picked []bench.Scheme
+	if *schemes == "all" {
+		picked = bench.AllSchemes()
+	} else {
+		for _, name := range strings.Split(*schemes, ",") {
+			s, ok := roster[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown scheme %q\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, s)
+		}
+	}
+
+	targets := []stressTarget{
+		{"list", stressList, true},
+		{"map", stressMap, true},
+		{"queue", stressQueue, false},
+		{"stack", stressStack, false},
+		{"bst", stressBST, true},
+		{"wfq", stressWFQueue, false},
+		{"skiplist", stressSkipList, true},
+	}
+	if *structs != "all" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*structs, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var filtered []stressTarget
+		for _, t := range targets {
+			if want[t.name] {
+				filtered = append(filtered, t)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "no structures matched %q\n", *structs)
+			os.Exit(2)
+		}
+		targets = filtered
+	}
+
+	failed := false
+	for _, t := range targets {
+		for _, s := range picked {
+			if t.rcUnsafe && s.Name == "RC" {
+				fmt.Printf("%-6s %-10s %10s  skipped: Valois RC is re-usage-only on frozen-cell structures (paper [28])\n", t.name, s.Name, "-")
+				continue
+			}
+			faults, ops := t.run(s, *threads, *dur)
+			status := "OK"
+			if faults > 0 {
+				status = "FAULTS DETECTED"
+				failed = true
+			}
+			fmt.Printf("%-6s %-10s %10d ops  %3d faults  %s\n", t.name, s.Name, ops, faults, status)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// guard converts a memory-fault panic (the checked arena's reaction to a
+// use-after-free or double free) into a counted failure and stops the run,
+// so one bad scheme/structure combination doesn't abort the whole sweep.
+func guard(panics *atomic.Int64, stop *atomic.Bool) {
+	if r := recover(); r != nil {
+		fmt.Fprintf(os.Stderr, "  detected violation: %v\n", r)
+		panics.Add(1)
+		stop.Store(true)
+	}
+}
+
+// churnSet drives a bench.Set with the paper's update workload and constant
+// lookups under a checked arena.
+func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration) (int64, int64) {
+	const keyRange = 256
+	setup := s.Domain().Register()
+	for k := uint64(0); k < keyRange; k++ {
+		s.Insert(setup, k, k)
+	}
+	s.Domain().Unregister(setup)
+
+	var stop atomic.Bool
+	var panics atomic.Int64
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			defer guard(&panics, &stop)
+			tid := s.Domain().Register()
+			defer s.Domain().Unregister(tid)
+			rng := bench.NewSplitMix64(seed)
+			var local int64
+			defer func() { ops.Add(local) }()
+			for !stop.Load() {
+				k := rng.Intn(keyRange)
+				if rng.Intn(100) < 30 {
+					if s.Remove(tid, k) {
+						s.Insert(tid, k, k)
+					}
+				} else {
+					s.Contains(tid, k)
+				}
+				local++
+			}
+		}(uint64(w) + 1)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return faultsOf() + panics.Load(), ops.Load()
+}
+
+func stressList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	l := list.New(list.DomainFactory(s.Make), list.WithChecked(true), list.WithMaxThreads(threads+2))
+	faults, ops := churnSet(l, func() int64 { return l.Arena().Stats().Faults }, threads, dur)
+	l.Drain()
+	return faults, ops
+}
+
+func stressMap(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	m := hashmap.New(list.DomainFactory(s.Make), hashmap.WithChecked(true),
+		hashmap.WithMaxThreads(threads+2), hashmap.WithBuckets(32))
+	faults, ops := churnSet(m, func() int64 { return m.Arena().Stats().Faults }, threads, dur)
+	m.Drain()
+	return faults, ops
+}
+
+func stressBST(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	t := bst.New(bst.DomainFactory(s.Make), bst.WithChecked(true), bst.WithMaxThreads(threads+2))
+	faults, ops := churnSet(t, func() int64 { return t.Arena().Stats().Faults }, threads, dur)
+	t.Drain()
+	return faults, ops
+}
+
+func stressQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	q := queue.New(queue.DomainFactory(s.Make), queue.WithChecked(true), queue.WithMaxThreads(threads+2))
+	var stop atomic.Bool
+	var panics atomic.Int64
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(producer bool) {
+			defer wg.Done()
+			defer guard(&panics, &stop)
+			tid := q.Domain().Register()
+			defer q.Domain().Unregister(tid)
+			var local int64
+			defer func() { ops.Add(local) }()
+			for !stop.Load() {
+				if producer {
+					q.Enqueue(tid, uint64(local))
+				} else {
+					q.Dequeue(tid)
+				}
+				local++
+			}
+		}(w%2 == 0)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	faults := q.Arena().Stats().Faults + panics.Load()
+	q.Drain()
+	return faults, ops.Load()
+}
+
+func stressStack(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	st := stack.New(stack.DomainFactory(s.Make), stack.WithChecked(true), stack.WithMaxThreads(threads+2))
+	var stop atomic.Bool
+	var panics atomic.Int64
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer guard(&panics, &stop)
+			tid := st.Domain().Register()
+			defer st.Domain().Unregister(tid)
+			var local int64
+			defer func() { ops.Add(local) }()
+			for !stop.Load() {
+				if (int64(w)+local)%2 == 0 {
+					st.Push(tid, uint64(local))
+				} else {
+					st.Pop(tid)
+				}
+				local++
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	faults := st.Arena().Stats().Faults + panics.Load()
+	st.Drain()
+	return faults, ops.Load()
+}
+
+func stressWFQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	q := wfqueue.New(wfqueue.DomainFactory(s.Make), wfqueue.WithChecked(true), wfqueue.WithMaxThreads(threads+2))
+	var stop atomic.Bool
+	var panics atomic.Int64
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(producer bool) {
+			defer wg.Done()
+			defer guard(&panics, &stop)
+			tid := q.Register()
+			defer q.Unregister(tid)
+			var local int64
+			defer func() { ops.Add(local) }()
+			for !stop.Load() {
+				if producer {
+					q.Enqueue(tid, uint64(local))
+				} else {
+					q.Dequeue(tid)
+				}
+				local++
+			}
+		}(w%2 == 0)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	faults := q.NodeArena().Stats().Faults + q.DescArena().Stats().Faults + panics.Load()
+	q.Drain()
+	return faults, ops.Load()
+}
+
+func stressSkipList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
+	sl := skiplist.New(skiplist.DomainFactory(s.Make), skiplist.WithChecked(true), skiplist.WithMaxThreads(threads+2))
+	faults, ops := churnSet(sl, func() int64 { return sl.Arena().Stats().Faults }, threads, dur)
+	sl.Drain()
+	return faults, ops
+}

@@ -1,0 +1,61 @@
+// Command hetrace prints the paper's schematic figures as deterministic,
+// machine-checked traces executed against the real implementations:
+//
+//	hetrace -scenario fig2      Figure 2: era timeline of removing B and C
+//	hetrace -scenario fig56     Figures 5/6: epochs vs hazard eras
+//	hetrace -scenario families  Figure 1: the three reclamation families
+//	hetrace -scenario all
+//
+// A non-zero exit status means a replay diverged from the paper — i.e. the
+// implementation is wrong.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+import "repro/internal/trace"
+
+func main() {
+	scenario := flag.String("scenario", "all", "fig2|fig56|families|all")
+	flag.Parse()
+
+	ok := true
+	show := func(lines []string, err error) {
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "DIVERGENCE: %v\n", err)
+			ok = false
+		}
+		fmt.Println()
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig2":
+			show(trace.RunFig2())
+		case "fig56":
+			show(trace.RenderFig56(), nil)
+			show(trace.RunFig56HE())
+		case "families":
+			show(trace.RenderFamilies(), nil)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *scenario == "all" {
+		run("families")
+		run("fig2")
+		run("fig56")
+	} else {
+		run(*scenario)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

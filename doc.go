@@ -1,0 +1,43 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Pedro Ramalhete and Andreia Correia,
+//	"Brief Announcement: Hazard Eras — Non-Blocking Memory Reclamation",
+//	SPAA 2017.
+//
+// Hazard Eras (HE) is a safe-memory-reclamation scheme for lock-free data
+// structures that combines the low reader-side synchronization of
+// epoch-based reclamation with the non-blocking progress and bounded memory
+// of Hazard Pointers, by publishing *eras* (values of a global clock that
+// bracket each object's lifetime) instead of pointers, and republishing only
+// when the clock has changed.
+//
+// Layout (see DESIGN.md for the full inventory and experiment index):
+//
+//	internal/core     Hazard Eras itself (paper Algorithms 1-3, §3.4 options)
+//	internal/hp       Hazard Pointers baseline
+//	internal/ebr      epoch-based reclamation baseline
+//	internal/urcu     Grace-Version Userspace-RCU baseline
+//	internal/rc       reference-counting baseline
+//	internal/leak     no-reclamation control
+//	internal/ibr      2GE interval-based reclamation (the HE follow-on)
+//	internal/reclaim  the shared Domain interface + instrumentation
+//	internal/mem      simulated manual memory: slab arenas, packed refs with
+//	                  generation tags, use-after-free detection
+//	internal/list     Maged-Harris list (the paper's benchmark structure)
+//	internal/hashmap  Michael lock-free hash table
+//	internal/queue    Michael-Scott queue
+//	internal/stack    Treiber stack
+//	internal/bst      external PATRICIA tree (deep traversals, §3.4)
+//	internal/wfqueue  Kogan-Petrank wait-free queue with full SMR (§3.2/[26])
+//	internal/skiplist concurrent skip list with protected range scans
+//	internal/bench    harness regenerating Table 1, Figure 4, Eq. 1, ablations
+//	internal/trace    machine-checked replays of Figures 1, 2, 5/6
+//	cmd/hebench       regenerate every table/figure
+//	cmd/hetrace       print the checked schematic replays
+//	cmd/hestress      adversarial stress with use-after-free detection
+//	examples/...      quickstart, stalled reader, concurrent cache,
+//	                  pipeline, wait-free queue, skip-list range scans
+//
+// The benchmarks in bench_test.go mirror cmd/hebench as go-test benchmarks:
+// one Benchmark per paper table/figure.
+package repro

@@ -1,0 +1,64 @@
+// Stalled reader: the paper's Appendix-A contrast, live.
+//
+// Run with: go run ./examples/stalledreader
+//
+// One reader parks inside a read-side critical section (the paper's
+// "sleepy" reader D) while a writer churns remove+reinsert updates. Under
+// epoch-based reclamation nothing can ever be freed again and the limbo
+// list grows with every update; under Hazard Eras only the nodes that were
+// alive when the reader stalled stay pinned — everything born later is
+// reclaimed, keeping memory bounded (Equation 1).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/list"
+)
+
+const (
+	listSize = 100
+	churnOps = 50_000
+)
+
+func churnWithStalledReader(s bench.Scheme) (pending, freed int64) {
+	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(4))
+	dom := l.Domain()
+
+	setup := dom.Register()
+	for k := uint64(0); k < listSize; k++ {
+		l.Insert(setup, k, k)
+	}
+	dom.Unregister(setup)
+
+	// The sleepy reader: pinned mid-operation, never finishes.
+	release := make(chan struct{})
+	bench.StalledReader(l, release)
+	defer close(release)
+
+	writer := dom.Register()
+	defer dom.Unregister(writer)
+	rng := bench.NewSplitMix64(7)
+	for i := 0; i < churnOps; i++ {
+		k := rng.Intn(listSize)
+		if l.Remove(writer, k) {
+			l.Insert(writer, k, k)
+		}
+	}
+	st := dom.Stats()
+	return st.Pending, st.Freed
+}
+
+func main() {
+	fmt.Printf("list of %d nodes, %d churn updates, one reader asleep mid-traversal\n\n", listSize, churnOps)
+	fmt.Printf("%-8s %18s %12s\n", "scheme", "unreclaimed nodes", "nodes freed")
+	for _, s := range []bench.Scheme{bench.HE(), bench.HP(), bench.EBR()} {
+		pending, freed := churnWithStalledReader(s)
+		fmt.Printf("%-8s %18d %12d\n", s.Name, pending, freed)
+	}
+	fmt.Println("\nEBR frees nothing: the sleepy reader pins its epoch forever and the")
+	fmt.Println("limbo list grows with churn (unbounded). HE and HP keep reclaiming;")
+	fmt.Println("HE's pending set is bounded by the nodes alive when the reader stalled.")
+	fmt.Println("(URCU is worse still: its synchronize_rcu would BLOCK the writer forever.)")
+}

@@ -1,0 +1,72 @@
+// Package atomicx provides the low-level atomic building blocks shared by
+// every memory-reclamation scheme in this repository: cache-line padded
+// atomic cells, striped counters, and bounded exponential backoff.
+//
+// The Hazard Eras paper (§3) is explicit that its algorithm needs nothing
+// beyond the C11/C++11 atomics API with sequentially consistent ordering.
+// Go's sync/atomic package provides exactly that (all Go atomics are
+// sequentially consistent), so this package only adds layout control —
+// padding to avoid false sharing between per-thread slots, which the paper's
+// two-dimensional he[thread][index] array relies on for performance.
+package atomicx
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size in bytes of a CPU cache line. 64 bytes
+// is correct for all x86-64 and nearly all ARM64 parts; being wrong merely
+// costs performance, never correctness.
+const CacheLineSize = 64
+
+// PaddedUint64 is an atomic uint64 that occupies an entire cache line, so
+// that adjacent per-thread slots (hazard-era entries, epoch announcements,
+// reader versions) never false-share.
+type PaddedUint64 struct {
+	v atomic.Uint64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically loads the value (sequentially consistent).
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically stores v (sequentially consistent).
+func (p *PaddedUint64) Store(v uint64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS operation.
+func (p *PaddedUint64) CompareAndSwap(old, new uint64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// PaddedInt64 is the signed counterpart of PaddedUint64.
+type PaddedInt64 struct {
+	v atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically loads the value.
+func (p *PaddedInt64) Load() int64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *PaddedInt64) Store(v int64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedInt64) Add(delta int64) int64 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the CAS operation.
+func (p *PaddedInt64) CompareAndSwap(old, new int64) bool {
+	return p.v.CompareAndSwap(old, new)
+}
+
+// PaddedBool is a cache-line padded atomic boolean.
+type PaddedBool struct {
+	v atomic.Bool
+	_ [CacheLineSize - 4]byte // atomic.Bool is a uint32 internally
+}
+
+// Load atomically loads the value.
+func (p *PaddedBool) Load() bool { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *PaddedBool) Store(v bool) { p.v.Store(v) }

@@ -1,0 +1,198 @@
+package atomicx
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestPaddedUint64Size(t *testing.T) {
+	if s := unsafe.Sizeof(PaddedUint64{}); s != CacheLineSize {
+		t.Fatalf("PaddedUint64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(PaddedInt64{}); s != CacheLineSize {
+		t.Fatalf("PaddedInt64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(PaddedBool{}); s != CacheLineSize {
+		t.Fatalf("PaddedBool size = %d, want %d", s, CacheLineSize)
+	}
+}
+
+func TestPaddedUint64Basics(t *testing.T) {
+	var p PaddedUint64
+	if p.Load() != 0 {
+		t.Fatal("zero value must load 0")
+	}
+	p.Store(42)
+	if p.Load() != 42 {
+		t.Fatalf("got %d, want 42", p.Load())
+	}
+	if got := p.Add(8); got != 50 {
+		t.Fatalf("Add returned %d, want 50", got)
+	}
+	if !p.CompareAndSwap(50, 60) {
+		t.Fatal("CAS(50,60) should succeed")
+	}
+	if p.CompareAndSwap(50, 70) {
+		t.Fatal("CAS(50,70) should fail")
+	}
+	if p.Load() != 60 {
+		t.Fatalf("got %d, want 60", p.Load())
+	}
+}
+
+func TestPaddedInt64Basics(t *testing.T) {
+	var p PaddedInt64
+	p.Store(-5)
+	if got := p.Add(3); got != -2 {
+		t.Fatalf("Add returned %d, want -2", got)
+	}
+	if !p.CompareAndSwap(-2, 7) {
+		t.Fatal("CAS should succeed")
+	}
+	if p.Load() != 7 {
+		t.Fatalf("got %d, want 7", p.Load())
+	}
+}
+
+func TestPaddedBool(t *testing.T) {
+	var p PaddedBool
+	if p.Load() {
+		t.Fatal("zero value must be false")
+	}
+	p.Store(true)
+	if !p.Load() {
+		t.Fatal("expected true")
+	}
+}
+
+func TestPaddedUint64ConcurrentAdd(t *testing.T) {
+	var p PaddedUint64
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Load() != workers*perWorker {
+		t.Fatalf("got %d, want %d", p.Load(), workers*perWorker)
+	}
+}
+
+func TestStripedCounterSum(t *testing.T) {
+	c := NewStripedCounter(4)
+	c.Inc(0)
+	c.Add(1, 10)
+	c.Add(3, -2)
+	if got := c.Sum(); got != 9 {
+		t.Fatalf("Sum = %d, want 9", got)
+	}
+	c.Reset()
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after Reset = %d, want 0", got)
+	}
+}
+
+func TestStripedCounterZeroThreadsClamped(t *testing.T) {
+	c := NewStripedCounter(0)
+	if c.Stripes() != 1 {
+		t.Fatalf("Stripes = %d, want 1", c.Stripes())
+	}
+	c.Inc(0) // must not panic
+}
+
+func TestStripedCounterConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 2000
+	c := NewStripedCounter(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != workers*perWorker {
+		t.Fatalf("Sum = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHighWaterMarkMonotone(t *testing.T) {
+	var h HighWaterMark
+	h.Observe(5)
+	h.Observe(3)
+	if h.Max() != 5 {
+		t.Fatalf("Max = %d, want 5", h.Max())
+	}
+	h.Observe(9)
+	if h.Max() != 9 {
+		t.Fatalf("Max = %d, want 9", h.Max())
+	}
+	h.Reset()
+	if h.Max() != 0 {
+		t.Fatalf("Max after Reset = %d, want 0", h.Max())
+	}
+}
+
+func TestHighWaterMarkConcurrentIsMax(t *testing.T) {
+	var h HighWaterMark
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(tid*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64((workers-1)*1000 + 999)
+	if h.Max() != want {
+		t.Fatalf("Max = %d, want %d", h.Max(), want)
+	}
+}
+
+// Property: the high-water mark of any observation sequence equals the
+// maximum non-negative sample (negative samples never lower it below 0).
+func TestHighWaterMarkQuick(t *testing.T) {
+	prop := func(samples []int64) bool {
+		var h HighWaterMark
+		var want int64
+		for _, s := range samples {
+			h.Observe(s)
+			if s > want {
+				want = s
+			}
+		}
+		return h.Max() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 10; i++ {
+		b.Retry()
+	}
+	if b.Attempts() != 10 {
+		t.Fatalf("Attempts = %d, want 10", b.Attempts())
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts after Reset = %d, want 0", b.Attempts())
+	}
+}

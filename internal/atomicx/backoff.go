@@ -1,0 +1,44 @@
+package atomicx
+
+import "runtime"
+
+// Backoff implements bounded exponential backoff for CAS retry loops.
+// The zero value is ready to use. Unlike a spin-wait, it yields to the Go
+// scheduler once the spin budget is exceeded, which matters on machines
+// where threads are oversubscribed onto few cores (the regime in which the
+// paper shows URCU collapsing and HP/HE surviving).
+type Backoff struct {
+	attempts int
+}
+
+// maxSpinShift caps the spin budget at 1<<maxSpinShift iterations.
+const maxSpinShift = 6
+
+// Retry burns a short, exponentially growing spin budget, then yields.
+func (b *Backoff) Retry() {
+	shift := b.attempts
+	if shift > maxSpinShift {
+		shift = maxSpinShift
+	}
+	b.attempts++
+	if b.attempts > maxSpinShift {
+		runtime.Gosched()
+		return
+	}
+	for i := 0; i < 1<<shift; i++ {
+		spinHint()
+	}
+}
+
+// Reset restores the initial (smallest) backoff.
+func (b *Backoff) Reset() { b.attempts = 0 }
+
+// Attempts reports the number of Retry calls since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempts }
+
+//go:noinline
+func spinHint() {
+	// A non-inlinable empty function is the portable stand-in for a PAUSE
+	// instruction: it forces a call/return pair, giving hyperthread siblings
+	// a window, without any architecture-specific assembly.
+}

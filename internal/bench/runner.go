@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicx"
+	"repro/internal/reclaim"
+)
+
+// Set is the structure interface the harness drives — satisfied by
+// list.List, hashmap.Map and bst.Tree.
+type Set interface {
+	Insert(tid int, key, val uint64) bool
+	Remove(tid int, key uint64) bool
+	Contains(tid int, key uint64) bool
+	Domain() reclaim.Domain
+}
+
+// Result is the outcome of one benchmark cell.
+type Result struct {
+	Scheme   string
+	Workload Workload
+	Ops      int64
+	Elapsed  time.Duration
+	// MopsPerSec is total throughput in million operations per second.
+	MopsPerSec float64
+	// Domain is the reclamation accounting at the end of the run
+	// (PeakPending is the Equation-1 subject).
+	Domain reclaim.Stats
+}
+
+// opsPerDeadlineCheck bounds how often workers consult the stop flag.
+const opsPerDeadlineCheck = 64
+
+// RunSet executes the paper's §4 procedure on s for the given workload and
+// duration. The structure must already be pre-filled (use Prefill). An
+// optional stalledReaders count parks that many extra registered readers
+// mid-protection for the whole run (the Appendix-A scenario).
+func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
+	dom := s.Domain()
+	ops := atomicx.NewStripedCounter(w.Threads)
+	var stop atomic.Bool
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+
+	for t := 0; t < w.Threads; t++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(worker int) {
+			defer done.Done()
+			tid := dom.Register()
+			defer dom.Unregister(tid)
+			rng := NewSplitMix64(seed + uint64(worker)*0x9E37)
+			ready.Done()
+			<-start
+			var local int64
+			for !stop.Load() {
+				for i := 0; i < opsPerDeadlineCheck; i++ {
+					key := rng.Intn(w.Size)
+					if w.UpdatePercent > 0 && rng.Intn(100) < uint64(w.UpdatePercent) {
+						// Paper: remove; if successful, re-insert the same
+						// item, keeping the size at Size minus ongoing
+						// removals.
+						if s.Remove(tid, key) {
+							s.Insert(tid, key, key)
+						}
+					} else {
+						s.Contains(tid, key)
+					}
+					local++
+				}
+			}
+			ops.Add(tid, local)
+		}(t)
+	}
+
+	ready.Wait()
+	began := time.Now()
+	close(start)
+	time.Sleep(dur)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(began)
+
+	total := ops.Sum()
+	return Result{
+		Scheme:     dom.Name(),
+		Workload:   w,
+		Ops:        total,
+		Elapsed:    elapsed,
+		MopsPerSec: float64(total) / elapsed.Seconds() / 1e6,
+		Domain:     dom.Stats(),
+	}
+}
+
+// Prefill inserts keys 0..size-1 (the paper pre-fills the list with its
+// full key range before measuring). Keys go in descending order so each
+// insert lands at the head of a sorted list: O(n) total instead of O(n^2).
+func Prefill(s Set, size uint64) {
+	dom := s.Domain()
+	tid := dom.Register()
+	for k := size; k > 0; k-- {
+		s.Insert(tid, k-1, k-1)
+	}
+	dom.Unregister(tid)
+}
+
+// Pinnable is implemented by structures that can park a reader inside a
+// read-side critical section (list.List).
+type Pinnable interface {
+	Set
+	Pin(tid int)
+	Unpin(tid int)
+}
+
+// StalledReader parks one registered reader mid-operation until release is
+// closed — the paper's "sleepy reader" (Appendix A): for HE it holds a
+// published era, for HP a published pointer, for EBR an active epoch
+// announcement, for URCU a read lock. It returns once the reader is parked.
+func StalledReader(s Pinnable, release <-chan struct{}) {
+	dom := s.Domain()
+	parked := make(chan struct{})
+	go func() {
+		tid := dom.Register()
+		s.Pin(tid)
+		close(parked)
+		<-release
+		s.Unpin(tid)
+		dom.Unregister(tid)
+	}()
+	<-parked
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hp"
+	"repro/internal/ibr"
+	"repro/internal/leak"
+	"repro/internal/rc"
+	"repro/internal/reclaim"
+	"repro/internal/urcu"
+)
+
+// Factory constructs a reclamation domain over an allocator; it matches
+// list.DomainFactory / queue.DomainFactory / bst.DomainFactory.
+type Factory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+
+// Scheme pairs a display name with its domain factory.
+type Scheme struct {
+	Name string
+	Make Factory
+}
+
+// HE returns the Hazard Eras scheme (paper Algorithms 1-3).
+func HE() Scheme {
+	return Scheme{"HE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return core.New(a, c)
+	}}
+}
+
+// HEk returns Hazard Eras with the §3.4 k-advance option.
+func HEk(k int) Scheme {
+	name := "HE-k" + itoa(k)
+	return Scheme{name, func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return core.New(a, c, core.WithAdvanceEvery(k))
+	}}
+}
+
+// HEMinMax returns Hazard Eras with the §3.4 min/max-publication option.
+func HEMinMax() Scheme {
+	return Scheme{"HE-minmax", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return core.New(a, c, core.WithMinMax(true))
+	}}
+}
+
+// HP returns the Hazard Pointers baseline.
+func HP() Scheme {
+	return Scheme{"HP", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return hp.New(a, c)
+	}}
+}
+
+// HPr returns Hazard Pointers with a custom scan threshold (R factor).
+func HPr(r int) Scheme {
+	return Scheme{"HP-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return hp.New(a, c, hp.WithScanThreshold(r))
+	}}
+}
+
+// EBR returns the epoch-based baseline.
+func EBR() Scheme {
+	return Scheme{"EBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return ebr.New(a, c)
+	}}
+}
+
+// URCU returns the Grace-Version URCU baseline.
+func URCU() Scheme {
+	return Scheme{"URCU", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return urcu.New(a, c)
+	}}
+}
+
+// IBR returns 2GE interval-based reclamation (Wen et al. 2018), the
+// follow-on scheme Hazard Eras inspired.
+func IBR() Scheme {
+	return Scheme{"IBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return ibr.New(a, c)
+	}}
+}
+
+// RC returns the reference-counting baseline.
+func RC() Scheme {
+	return Scheme{"RC", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return rc.New(a, c)
+	}}
+}
+
+// Leak returns the no-reclamation control.
+func Leak() Scheme {
+	return Scheme{"NONE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return leak.New(a, c)
+	}}
+}
+
+// Figure4Schemes are the three schemes the paper's Figure 4 compares.
+func Figure4Schemes() []Scheme { return []Scheme{HP(), HE(), URCU()} }
+
+// AllSchemes is the full roster for the extended comparisons.
+func AllSchemes() []Scheme {
+	return []Scheme{HP(), HE(), HEMinMax(), IBR(), EBR(), URCU(), RC(), Leak()}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,56 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the Hazard Eras paper's evaluation (§4, Table 1, Figure 4,
+// Equation 1, the Appendix-A stalled-reader behaviour) plus the §3.4
+// ablations. See DESIGN.md for the experiment index.
+//
+// The microbenchmark procedure is the paper's, verbatim: "A list is filled
+// with N items; we randomly select doing either a lookup or an update,
+// whose probability depends on the percentage of updates for this
+// particular workload; for a lookup, we randomly select one item of the N
+// and call contains(item); for an update, we randomly select one item of
+// the N and call remove(item), and if the removal is successful, we
+// re-insert the same item with a call to add(item)".
+package bench
+
+// SplitMix64 is the per-worker PRNG: one 64-bit state word, three shifts
+// and two multiplies per draw — cheap enough that random-key generation
+// does not perturb the synchronization costs being measured, and seedable
+// so runs are reproducible.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 seeds the generator (a zero seed is remapped so the stream
+// is never degenerate).
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (s *SplitMix64) Intn(n uint64) uint64 {
+	return s.Next() % n
+}
+
+// Workload describes one cell of the paper's parameter grid.
+type Workload struct {
+	// Size is the number of items the structure is pre-filled with; keys
+	// are drawn uniformly from [0, Size), as in the paper.
+	Size uint64
+	// UpdatePercent is the probability (0..100) that an operation is an
+	// update (remove + re-insert) rather than a lookup.
+	UpdatePercent int
+	// Threads is the number of concurrent workers.
+	Threads int
+}

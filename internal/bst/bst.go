@@ -1,0 +1,309 @@
+// Package bst implements an external (leaf-oriented) PATRICIA binary tree
+// whose lookups protect every node on the root-to-leaf path — the workload
+// the Hazard Eras paper's §3.4 uses to motivate the min/max-era
+// optimization: "when doing traversals on binary trees ... protecting all
+// the nodes from the root to the leaf" makes the number of hazard pointers
+// large and HP "reduce[s] throughput considerably", while HE can publish
+// only the lowest and highest era.
+//
+// Concurrency model: readers (Contains/Get) are lock-free and fully
+// protected through the reclamation domain; writers (Insert/Remove) are
+// serialized by a mutex and retire replaced nodes through the domain. This
+// is the classic RCU-style single-writer/multi-reader tree (as used for
+// kernel trees) and it deliberately isolates what the §3.4 ablation is
+// about: *reader-side* protection cost on deep paths. A fully non-blocking
+// writer protocol (Ellen et al. 2010) would change writer scalability but
+// not the reader-side protection traffic being measured; DESIGN.md records
+// the substitution.
+//
+// Reader validation protocol per descent step (same anchor-re-validation
+// argument as the Michael-Scott queue): protect the child read from
+// parent.Child[b], then re-check that the edge which led to parent is
+// unchanged; any unlink of parent in the window forces a restart from the
+// root.
+package bst
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// MaxDepth bounds a root-to-leaf path: 64 key bits plus the root edge.
+const MaxDepth = 65
+
+// Slots is the protection-slot count a domain needs for tree traversals.
+const Slots = MaxDepth + 1
+
+// Node kinds.
+const (
+	kindInternal = 0
+	kindLeaf     = 1
+)
+
+// Node is a tree cell: a leaf carries Key/Val; an internal routes on bit
+// index Bit (LSB-first) and always has two non-nil children.
+type Node struct {
+	Kind  uint64
+	Bit   uint64 // internal: the key bit this node routes on
+	Key   uint64 // leaf: full key
+	Val   uint64 // leaf: value
+	Child [2]atomic.Uint64
+}
+
+// PoisonNode smashes a freed node for use-after-free visibility.
+func PoisonNode(n *Node) {
+	n.Key = 0xDEADDEADDEADDEAD
+	n.Kind = 0xDEAD
+	bad := uint64(mem.MakeRef(mem.MaxIndex, 0))
+	n.Child[0].Store(bad)
+	n.Child[1].Store(bad)
+}
+
+// Tree is the concurrent PATRICIA set.
+type Tree struct {
+	arena *mem.Arena[Node]
+	dom   reclaim.Domain
+	root  atomic.Uint64
+	mu    sync.Mutex // serializes writers only; readers never take it
+}
+
+// Option configures a Tree.
+type Option func(*config)
+
+type config struct {
+	checked bool
+	threads int
+	ins     *reclaim.Instrument
+}
+
+// WithChecked enables the checked (generation-validated, poisoned) arena.
+func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
+
+// WithMaxThreads sets the domain's thread capacity (default 64).
+func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithInstrument attaches reader-side op counting to the domain.
+func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// DomainFactory mirrors list.DomainFactory.
+type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+
+// New builds an empty tree reclaimed through mk's domain. The domain is
+// configured with Slots protection indices — one per path level — which is
+// precisely the configuration §3.4 calls impractically expensive for HP.
+func New(mk DomainFactory, opts ...Option) *Tree {
+	c := config{threads: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	var arenaOpts []mem.Option[Node]
+	if c.checked {
+		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+	}
+	arena := mem.NewArena[Node](arenaOpts...)
+	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
+	return &Tree{arena: arena, dom: dom}
+}
+
+// Domain exposes the reclamation domain.
+func (t *Tree) Domain() reclaim.Domain { return t.dom }
+
+// Arena exposes the node arena.
+func (t *Tree) Arena() *mem.Arena[Node] { return t.arena }
+
+func bit(key uint64, i uint64) int { return int(key >> i & 1) }
+
+// Contains reports membership of key.
+func (t *Tree) Contains(tid int, key uint64) bool {
+	_, ok := t.Get(tid, key)
+	return ok
+}
+
+// Get returns the value stored under key. Lock-free; protects the whole
+// root-to-leaf path, one slot per level.
+func (t *Tree) Get(tid int, key uint64) (uint64, bool) {
+	arena, dom := t.arena, t.dom
+	dom.BeginOp(tid)
+	defer dom.EndOp(tid)
+retry:
+	for {
+		edge := &t.root
+		slot := 0
+		cur := dom.Protect(tid, slot, edge)
+		if cur.IsNil() {
+			return 0, false
+		}
+		for {
+			n := arena.Get(cur)
+			if n.Kind == kindLeaf {
+				if n.Key == key {
+					return n.Val, true
+				}
+				return 0, false
+			}
+			childEdge := &n.Child[bit(key, n.Bit)]
+			slot++
+			child := dom.Protect(tid, slot, childEdge)
+			// Anchor re-validation: if cur was unlinked, the edge that led
+			// to it changed and the protection on child may be stale.
+			if edge.Load() != uint64(cur) {
+				continue retry
+			}
+			edge = childEdge
+			cur = child
+		}
+	}
+}
+
+// Insert adds key->val; false if already present. Writer-serialized.
+func (t *Tree) Insert(tid int, key, val uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if mem.Ref(t.root.Load()).IsNil() {
+		leaf := t.newLeaf(key, val)
+		t.root.Store(uint64(leaf))
+		return true
+	}
+	// Phase 1: descend to the nearest leaf to find the first differing bit.
+	ref := mem.Ref(t.root.Load())
+	for {
+		n := t.arena.Get(ref)
+		if n.Kind == kindLeaf {
+			if n.Key == key {
+				return false
+			}
+			break
+		}
+		ref = mem.Ref(n.Child[bit(key, n.Bit)].Load())
+	}
+	diff := uint64(bits.TrailingZeros64(t.arena.Get(ref).Key ^ key))
+
+	// Phase 2: descend again to the edge where the new internal belongs —
+	// the first edge whose target is a leaf or routes on a bit above diff.
+	edge := &t.root
+	for {
+		cur := mem.Ref(edge.Load())
+		n := t.arena.Get(cur)
+		if n.Kind == kindLeaf || n.Bit > diff {
+			leaf := t.newLeaf(key, val)
+			inner, in := t.arena.Alloc()
+			in.Kind = kindInternal
+			in.Bit = diff
+			in.Child[bit(key, diff)].Store(uint64(leaf))
+			in.Child[1-bit(key, diff)].Store(uint64(cur))
+			t.dom.OnAlloc(inner)
+			edge.Store(uint64(inner))
+			return true
+		}
+		edge = &n.Child[bit(key, n.Bit)]
+	}
+}
+
+func (t *Tree) newLeaf(key, val uint64) mem.Ref {
+	ref, n := t.arena.Alloc()
+	n.Kind = kindLeaf
+	n.Key, n.Val = key, val
+	t.dom.OnAlloc(ref)
+	return ref
+}
+
+// Remove deletes key; false if absent. Writer-serialized. The removed leaf
+// and its parent internal node are retired through the domain — these are
+// the retirements that exercise HP's O(threads x Slots) scan versus
+// HE-minmax's O(threads x 2).
+func (t *Tree) Remove(tid int, key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	rootRef := mem.Ref(t.root.Load())
+	if rootRef.IsNil() {
+		return false
+	}
+	var gpEdge *atomic.Uint64
+	edge := &t.root
+	cur := rootRef
+	var parent mem.Ref
+	for {
+		n := t.arena.Get(cur)
+		if n.Kind == kindLeaf {
+			if n.Key != key {
+				return false
+			}
+			break
+		}
+		gpEdge = edge
+		parent = cur
+		edge = &n.Child[bit(key, n.Bit)]
+		cur = mem.Ref(edge.Load())
+	}
+	if parent.IsNil() {
+		// The leaf is the root.
+		t.root.Store(0)
+		t.dom.Retire(tid, cur)
+		return true
+	}
+	pn := t.arena.Get(parent)
+	b := bit(key, pn.Bit)
+	sibling := pn.Child[1-b].Load()
+	gpEdge.Store(sibling) // unlink parent (and with it the leaf)
+	t.dom.Retire(tid, parent)
+	t.dom.Retire(tid, cur)
+	return true
+}
+
+// Len counts leaves; quiescent use only.
+func (t *Tree) Len() int {
+	return t.countLeaves(mem.Ref(t.root.Load()))
+}
+
+func (t *Tree) countLeaves(ref mem.Ref) int {
+	if ref.IsNil() {
+		return 0
+	}
+	n := t.arena.Get(ref)
+	if n.Kind == kindLeaf {
+		return 1
+	}
+	return t.countLeaves(mem.Ref(n.Child[0].Load())) + t.countLeaves(mem.Ref(n.Child[1].Load()))
+}
+
+// Depth returns the maximum root-to-leaf path length; quiescent use only.
+func (t *Tree) Depth() int {
+	return t.depth(mem.Ref(t.root.Load()))
+}
+
+func (t *Tree) depth(ref mem.Ref) int {
+	if ref.IsNil() {
+		return 0
+	}
+	n := t.arena.Get(ref)
+	if n.Kind == kindLeaf {
+		return 1
+	}
+	l, r := t.depth(mem.Ref(n.Child[0].Load())), t.depth(mem.Ref(n.Child[1].Load()))
+	return 1 + max(l, r)
+}
+
+// Drain tears the tree down at quiescence.
+func (t *Tree) Drain() {
+	t.drain(mem.Ref(t.root.Load()))
+	t.root.Store(0)
+	t.dom.Drain()
+}
+
+func (t *Tree) drain(ref mem.Ref) {
+	if ref.IsNil() {
+		return
+	}
+	n := t.arena.Get(ref)
+	if n.Kind == kindInternal {
+		t.drain(mem.Ref(n.Child[0].Load()))
+		t.drain(mem.Ref(n.Child[1].Load()))
+	}
+	t.arena.Free(ref)
+}

@@ -1,0 +1,323 @@
+// Package core implements Hazard Eras, the memory-reclamation algorithm of
+//
+//	P. Ramalhete and A. Correia, "Brief Announcement: Hazard Eras —
+//	Non-Blocking Memory Reclamation", SPAA 2017.
+//
+// Hazard Eras combines the low reader-side synchronization of epoch-based
+// schemes with the non-blocking progress of Hazard Pointers. Object lifetime
+// is tracked against a global monotonic clock (eraClock): an object records
+// the era of its birth (newEra) before becoming shared and the era of its
+// death (delEra) when retired. Instead of publishing the pointer it is about
+// to dereference (as HP does), a reader publishes the *era* it observed —
+// and, crucially, republishes only when the era has changed, turning HP's
+// per-node seq-cst store into a usually-taken fast path of two seq-cst loads
+// (Algorithm 2 of the paper).
+//
+// This package also implements the two §3.4 extensions:
+//
+//   - k-advance: the eraClock is advanced only every k-th Retire, trading
+//     reclamation latency (k× more pending objects) for fewer reader-side
+//     era republications.
+//   - min/max publication: a reader using many protection indices (deep
+//     tree traversals) publishes only the minimum and maximum of its eras,
+//     making the published footprint O(1) instead of O(depth).
+//
+// Progress (paper §3.2): Protect is lock-free (its loop only retries when
+// the eraClock advanced, i.e. another thread made progress); Clear and
+// Retire are wait-free bounded; Era is wait-free population oblivious.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// noneEra is the paper's NONE: the value published when a slot protects
+// nothing. The eraClock starts at 1, so 0 never names a real era.
+const noneEra = 0
+
+// Option configures the Hazard Eras domain.
+type Option func(*Eras)
+
+// WithAdvanceEvery sets k-advance (§3.4): the eraClock is advanced only on
+// every k-th call to Retire by each thread. k=1 is the paper's Algorithm 3.
+func WithAdvanceEvery(k int) Option {
+	return func(d *Eras) {
+		if k > 1 {
+			d.advanceEvery = uint64(k)
+		}
+	}
+}
+
+// WithMinMax enables the §3.4 min/max optimization: only the lowest and
+// highest currently-held eras are published per thread, regardless of how
+// many protection indices the data structure uses.
+func WithMinMax(on bool) Option {
+	return func(d *Eras) { d.minMax = on }
+}
+
+// perThread is the thread-local (owner-only) reader state. held mirrors the
+// published eras so the fast path can compare without an atomic load of its
+// own slot — the paper notes prevEra "is relaxed and can even be replaced
+// with a stack variable".
+type perThread struct {
+	held        []uint64 // era held per protection index (0 = none)
+	retireCount uint64   // Retire calls, for k-advance
+	// curMin/curMax track the published min/max in min/max mode. curMin may
+	// lag (a slot holding the old minimum can be overwritten by a larger
+	// era without raising curMin) — publishing a lower-than-necessary
+	// minimum is conservative: it can only pin more, never less.
+	curMin, curMax uint64
+	_              [atomicx.CacheLineSize - 48]byte
+}
+
+// Eras is the Hazard Eras domain (the paper's HazardEras<T> class).
+type Eras struct {
+	reclaim.Base
+
+	eraClock atomicx.PaddedUint64
+
+	// he is the paper's he[MAX_THREADS][MAX_HES] flattened; each cell is
+	// cache-line padded. In min/max mode only cells 0 (min) and 1 (max) of
+	// each thread row are published.
+	he []atomicx.PaddedUint64
+
+	local []perThread
+
+	advanceEvery uint64
+	minMax       bool
+}
+
+var _ reclaim.Domain = (*Eras)(nil)
+
+// New constructs a Hazard Eras domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Eras {
+	d := &Eras{advanceEvery: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	cfg = cfg.Defaulted()
+	if d.minMax && cfg.Slots < 2 {
+		// Min/max mode publishes a [min, max] pair, so it needs two cells
+		// per thread even when the structure asked for a single protection
+		// index; the extra slot is simply never indexed.
+		cfg.Slots = 2
+	}
+	d.Base = reclaim.NewBase(alloc, cfg)
+	d.he = make([]atomicx.PaddedUint64, cfg.MaxThreads*cfg.Slots)
+	d.local = make([]perThread, cfg.MaxThreads)
+	for i := range d.local {
+		d.local[i].held = make([]uint64, cfg.Slots)
+	}
+	d.eraClock.Store(1) // paper: eraClock = {1}
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Eras) Name() string {
+	if d.minMax {
+		return "HE-minmax"
+	}
+	return "HE"
+}
+
+// Era returns the current value of the global era clock (the paper's
+// getEra()). Its value is what OnAlloc stamps into a new object's BirthEra.
+func (d *Eras) Era() uint64 { return d.eraClock.Load() }
+
+// OnAlloc stamps the birth era of a freshly allocated, not-yet-shared
+// object. The paper requires this before the object is inserted into the
+// data structure ("which can be easily done in the constructor of T").
+func (d *Eras) OnAlloc(ref mem.Ref) {
+	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+}
+
+// BeginOp implements reclaim.Domain; pointer-based schemes need no
+// per-operation entry protocol.
+func (d *Eras) BeginOp(tid int) {}
+
+// EndOp clears all protection indices (the paper's clear()).
+func (d *Eras) EndOp(tid int) { d.Clear(tid) }
+
+// Clear resets every hazard era of tid to NONE. Wait-free bounded.
+func (d *Eras) Clear(tid int) {
+	lt := &d.local[tid]
+	if d.minMax {
+		if lt.curMin != noneEra {
+			d.he[tid*d.Cfg.Slots+0].Store(noneEra)
+			if d.Cfg.Slots > 1 {
+				d.he[tid*d.Cfg.Slots+1].Store(noneEra)
+			}
+			lt.curMin, lt.curMax = noneEra, noneEra
+		}
+	} else {
+		for i := 0; i < d.Cfg.Slots; i++ {
+			if lt.held[i] != noneEra {
+				d.he[tid*d.Cfg.Slots+i].Store(noneEra)
+			}
+		}
+	}
+	for i := range lt.held {
+		lt.held[i] = noneEra
+	}
+}
+
+// Protect is the paper's get_protected() (Algorithm 2). It loads *src and
+// publishes the era that was current when the reference was read, looping
+// until the eraClock is observed unchanged across the read. On the fast
+// path (era unchanged since this index's last publication) it issues two
+// seq-cst loads and no store — the mechanism behind the paper's headline
+// throughput gain over Hazard Pointers.
+func (d *Eras) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	lt := &d.local[tid]
+	prevEra := lt.held[index]
+	ins := d.Ins
+	ins.Visit(tid)
+	for {
+		ptr := mem.Ref(src.Load())
+		ins.Load(tid)
+		era := d.eraClock.Load()
+		ins.Load(tid)
+		if era == prevEra {
+			return ptr
+		}
+		d.publish(tid, index, era, lt)
+		prevEra = era
+	}
+}
+
+// publish records era in the thread-local slot and pushes the published
+// view: the slot itself in standard mode, or the maintained min/max pair in
+// min/max mode. The min/max update is O(1): the era clock is monotone, so a
+// fresh era can only raise the max (or seed both); the minimum only ever
+// moves down to a newly observed smaller value, and a slot overwrite that
+// removes the old minimum simply leaves curMin conservatively low until
+// Clear.
+func (d *Eras) publish(tid, index int, era uint64, lt *perThread) {
+	lt.held[index] = era
+	base := tid * d.Cfg.Slots
+	if !d.minMax {
+		d.he[base+index].Store(era)
+		d.Ins.Store(tid)
+		return
+	}
+	if lt.curMin == noneEra {
+		lt.curMin, lt.curMax = era, era
+		d.he[base+0].Store(era)
+		d.Ins.Store(tid)
+		if d.Cfg.Slots > 1 {
+			d.he[base+1].Store(era)
+			d.Ins.Store(tid)
+		}
+		return
+	}
+	if era < lt.curMin {
+		lt.curMin = era
+		d.he[base+0].Store(era)
+		d.Ins.Store(tid)
+	}
+	if era > lt.curMax {
+		lt.curMax = era
+		if d.Cfg.Slots > 1 {
+			d.he[base+1].Store(era)
+			d.Ins.Store(tid)
+		}
+	}
+}
+
+// Retire is the paper's retire() (Algorithm 3): stamp delEra, append to the
+// calling thread's retired list, advance the eraClock (every k-th call
+// under k-advance) if no other thread already advanced it, then scan the
+// retired list freeing every object whose lifetime no eras-in-use overlap.
+// Wait-free bounded: no retries, and the retired list is bounded by
+// Equation 1 of the paper.
+func (d *Eras) Retire(tid int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	currEra := d.eraClock.Load()
+	d.Alloc.Header(ref).RetireEra = currEra
+	d.PushRetired(tid, ref)
+
+	lt := &d.local[tid]
+	lt.retireCount++
+	if lt.retireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+		// Benign race, exactly as the paper's line 51: two threads may both
+		// advance, which only makes eras pass faster.
+		d.eraClock.Add(1)
+	}
+	d.scan(tid)
+}
+
+// Scan runs one reclamation pass over tid's retired list, freeing every
+// object not protected by any published era. Retire calls it implicitly; it
+// is exported for harness teardown and tests.
+func (d *Eras) Scan(tid int) { d.scan(tid) }
+
+// scan frees every retired object not protected by any published era.
+func (d *Eras) scan(tid int) {
+	d.NoteScan()
+	rlist := d.Retired(tid)
+	keep := rlist[:0]
+	for _, obj := range rlist {
+		if d.protected(obj) {
+			keep = append(keep, obj)
+		} else {
+			d.FreeRetired(obj)
+		}
+	}
+	d.SetRetired(tid, keep)
+}
+
+// protected reports whether any thread has published an era within
+// [BirthEra, RetireEra] of obj — the paper's lines 57-63, or the §3.4
+// min/max condition when that mode is active.
+func (d *Eras) protected(obj mem.Ref) bool {
+	h := d.Alloc.Header(obj)
+	birth, retire := h.BirthEra, h.RetireEra
+	slots := d.Cfg.Slots
+	if d.minMax {
+		for t := 0; t < d.Cfg.MaxThreads; t++ {
+			lo := d.he[t*slots+0].Load()
+			if lo == noneEra {
+				continue
+			}
+			hi := lo
+			if h := d.he[t*slots+1].Load(); h != noneEra {
+				hi = h
+			}
+			// §3.4: the object is protected when its birth or retire era
+			// falls inside [lo,hi], or its lifetime encloses the range.
+			if (lo <= birth && birth <= hi) ||
+				(lo <= retire && retire <= hi) ||
+				(birth <= lo && retire >= hi) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < d.Cfg.MaxThreads*slots; i++ {
+		era := d.he[i].Load()
+		if era == noneEra || era < birth || era > retire {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Drain implements reclaim.Domain (the paper's destructor).
+func (d *Eras) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Eras) Stats() reclaim.Stats {
+	s := d.BaseStats()
+	s.EraClock = d.eraClock.Load()
+	return s
+}
+
+// SetEraClock force-sets the global clock. It exists solely for the
+// Appendix-B overflow test and the deterministic figure scenarios; never
+// call it while readers are active.
+func (d *Eras) SetEraClock(v uint64) { d.eraClock.Store(v) }

@@ -1,0 +1,133 @@
+// Package ebr implements classic epoch-based reclamation (K. Fraser,
+// "Practical lock-freedom", 2004) — the quiescence-based baseline the
+// Hazard Eras paper contrasts itself with in §1, §5 and Appendix A.
+//
+// Readers announce the global epoch on entering an operation and mark
+// themselves quiescent on exit. A retired object is stamped with the epoch
+// of its retirement and may be freed once the global epoch has advanced two
+// steps past that stamp — which can only happen after every thread active at
+// the retirement epoch has passed through a quiescent state.
+//
+// The defining weakness the paper exploits (Fig. 5): a single stalled reader
+// pins the global epoch forever, so the limbo lists grow without bound —
+// reclamation is *blocking* even though readers are wait-free population
+// oblivious. The stalled-reader experiments in this repository demonstrate
+// exactly that behaviour against HE's bounded pending set.
+package ebr
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// Reader announcement encoding: epoch<<1 | activeBit. A quiescent thread
+// publishes 0.
+const activeBit = 1
+
+// gracePeriods is the number of epoch advances after which a retired object
+// is provably unreachable (the classic 2-epoch rule: retirement epoch e is
+// safe at global epoch >= e+2).
+const gracePeriods = 2
+
+// Domain is the epoch-based reclamation domain.
+type Domain struct {
+	reclaim.Base
+
+	globalEpoch atomicx.PaddedUint64
+	// announce[tid] holds epoch<<1|1 while tid is inside an operation.
+	announce []atomicx.PaddedUint64
+}
+
+var _ reclaim.Domain = (*Domain)(nil)
+
+// New constructs an EBR domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d.globalEpoch.Store(gracePeriods) // start high enough that epoch-0 math never underflows
+	d.announce = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads)
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Domain) Name() string { return "EBR" }
+
+// OnAlloc implements reclaim.Domain; EBR needs no birth stamp.
+func (d *Domain) OnAlloc(ref mem.Ref) {}
+
+// BeginOp announces the current global epoch and marks tid active. This is
+// the only reader-side synchronization: one load and one store per
+// *operation* (not per node), the "minor" synchronization row of Table 1.
+func (d *Domain) BeginOp(tid int) {
+	e := d.globalEpoch.Load()
+	d.announce[tid].Store(e<<1 | activeBit)
+}
+
+// EndOp marks tid quiescent.
+func (d *Domain) EndOp(tid int) {
+	d.announce[tid].Store(0)
+}
+
+// Protect under EBR is a plain load: the epoch announcement already protects
+// everything reachable during the operation.
+func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	d.Ins.Visit(tid)
+	d.Ins.Load(tid)
+	return mem.Ref(src.Load())
+}
+
+// Retire stamps the object with the current epoch, tries to advance the
+// epoch, and frees whatever has aged past the grace period. The attempt to
+// advance fails — and the limbo list therefore only grows — whenever any
+// thread is still active in an older epoch. That wait is what makes EBR
+// blocking for reclaimers.
+func (d *Domain) Retire(tid int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	e := d.globalEpoch.Load()
+	d.Alloc.Header(ref).RetireEra = e
+	d.PushRetired(tid, ref)
+	d.tryAdvance(e)
+	d.scan(tid)
+}
+
+// tryAdvance bumps the global epoch iff every active thread has announced
+// the current epoch.
+func (d *Domain) tryAdvance(observed uint64) {
+	for i := range d.announce {
+		a := d.announce[i].Load()
+		if a&activeBit != 0 && a>>1 != observed {
+			return // a straggler pins the epoch
+		}
+	}
+	// CAS so concurrent retirers advance at most once per observation.
+	d.globalEpoch.CompareAndSwap(observed, observed+1)
+}
+
+// scan frees every retired object that has aged at least gracePeriods
+// epochs.
+func (d *Domain) scan(tid int) {
+	d.NoteScan()
+	e := d.globalEpoch.Load()
+	rlist := d.Retired(tid)
+	keep := rlist[:0]
+	for _, obj := range rlist {
+		if d.Alloc.Header(obj).RetireEra+gracePeriods <= e {
+			d.FreeRetired(obj)
+		} else {
+			keep = append(keep, obj)
+		}
+	}
+	d.SetRetired(tid, keep)
+}
+
+// Drain implements reclaim.Domain.
+func (d *Domain) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Domain) Stats() reclaim.Stats {
+	s := d.BaseStats()
+	s.EraClock = d.globalEpoch.Load()
+	return s
+}

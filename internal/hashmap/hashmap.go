@@ -1,0 +1,138 @@
+// Package hashmap implements the lock-free hash table of M. M. Michael,
+// "High performance dynamic lock-free hash tables and list-based sets"
+// (SPAA 2002) — the second structure of the paper this repository's list
+// package implements, and the natural scale-out workload for a reclamation
+// scheme: a fixed array of bucket heads, each the root of a Harris-Michael
+// list.
+//
+// All buckets share one arena and one reclamation domain, so reclamation
+// pressure aggregates across buckets exactly as it would in C++ where all
+// nodes come from the same allocator.
+package hashmap
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/list"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// bucket pads each head cell to its own cache line: bucket heads are the
+// hottest CAS targets in the structure.
+type bucket struct {
+	head atomic.Uint64
+	_    [atomicx.CacheLineSize - 8]byte
+}
+
+// Map is a fixed-capacity lock-free hash map from uint64 keys to uint64
+// values.
+type Map struct {
+	ops     list.Ops
+	buckets []bucket
+	mask    uint64
+}
+
+// Option configures a Map.
+type Option func(*config)
+
+type config struct {
+	checked bool
+	threads int
+	buckets int
+	ins     *reclaim.Instrument
+}
+
+// WithChecked enables the checked (generation-validated, poisoned) arena.
+func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
+
+// WithMaxThreads sets the domain's thread capacity (default 64).
+func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithBuckets sets the bucket count, rounded up to a power of two
+// (default 1024).
+func WithBuckets(n int) Option { return func(c *config) { c.buckets = n } }
+
+// WithInstrument attaches reader-side op counting to the domain.
+func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// New builds an empty map whose nodes are reclaimed through the domain
+// produced by mk.
+func New(mk list.DomainFactory, opts ...Option) *Map {
+	c := config{threads: 64, buckets: 1024}
+	for _, o := range opts {
+		o(&c)
+	}
+	n := 1
+	for n < c.buckets {
+		n <<= 1
+	}
+	var arenaOpts []mem.Option[list.Node]
+	if c.checked {
+		arenaOpts = append(arenaOpts, mem.Checked[list.Node](true), mem.WithPoison[list.Node](list.PoisonNode))
+	}
+	arena := mem.NewArena[list.Node](arenaOpts...)
+	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: list.Slots, Instrument: c.ins})
+	return &Map{
+		ops:     list.Ops{Arena: arena, Dom: dom},
+		buckets: make([]bucket, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// hash is Fibonacci hashing: multiplicative spreading of the key bits so
+// that dense benchmark key ranges do not collide into adjacent buckets.
+func (m *Map) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+func (m *Map) bucketFor(key uint64) *atomic.Uint64 {
+	return &m.buckets[m.hash(key)].head
+}
+
+// Domain exposes the reclamation domain.
+func (m *Map) Domain() reclaim.Domain { return m.ops.Dom }
+
+// Arena exposes the node arena.
+func (m *Map) Arena() *mem.Arena[list.Node] { return m.ops.Arena }
+
+// Buckets reports the bucket count.
+func (m *Map) Buckets() int { return len(m.buckets) }
+
+// Insert adds key->val; false if already present.
+func (m *Map) Insert(tid int, key, val uint64) bool {
+	return m.ops.Insert(m.bucketFor(key), tid, key, val)
+}
+
+// Remove deletes key; false if absent.
+func (m *Map) Remove(tid int, key uint64) bool {
+	return m.ops.Remove(m.bucketFor(key), tid, key)
+}
+
+// Contains reports membership of key.
+func (m *Map) Contains(tid int, key uint64) bool {
+	return m.ops.Contains(m.bucketFor(key), tid, key)
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(tid int, key uint64) (uint64, bool) {
+	return m.ops.Get(m.bucketFor(key), tid, key)
+}
+
+// Len counts elements across all buckets; quiescent use only.
+func (m *Map) Len() int {
+	n := 0
+	for i := range m.buckets {
+		n += m.ops.Len(&m.buckets[i].head)
+	}
+	return n
+}
+
+// Drain tears the map down, freeing all linked nodes and pending retirees.
+func (m *Map) Drain() {
+	for i := range m.buckets {
+		m.ops.DrainList(&m.buckets[i].head)
+	}
+	m.ops.Dom.Drain()
+}

@@ -1,0 +1,158 @@
+// Package hp implements Hazard Pointers (M. M. Michael, "Hazard Pointers:
+// Safe Memory Reclamation for Lock-Free Objects", IEEE TPDS 2004) — the
+// baseline the Hazard Eras paper measures itself against and whose API it
+// adopts.
+//
+// Following the paper's evaluation methodology ("For Hazard Pointers we made
+// our own implementation, sharing as much code as possible with the Hazard
+// Eras implementation, using also a two-dimensional array to store the
+// hazard pointers, and thread-local lists to store the retired nodes", §4),
+// this implementation shares the reclaim.Base machinery, the padded
+// two-dimensional slot array layout and the retired-list handling with
+// internal/core, so throughput differences isolate the algorithms.
+//
+// Reader-side cost per protected node: one seq-cst load of the source, one
+// seq-cst store publishing the hazard pointer, and one seq-cst load to
+// validate — the "2 load() + 1 store()" row of the paper's Table 1.
+package hp
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// nonePtr marks an empty hazard-pointer slot (mem.NilRef encodes as 0).
+const nonePtr = 0
+
+// Option configures the Hazard Pointers domain.
+type Option func(*Pointers)
+
+// WithScanThreshold sets the R factor: the retired list is scanned once its
+// length reaches r. r=1 (the default) scans on every Retire, matching both
+// the paper's memory-bound analysis ("when the R factor is set to the lowest
+// setting of 1 ...", §3.1) and Hazard Eras' scan-per-retire, so the two
+// schemes do comparable reclamation work per retire.
+func WithScanThreshold(r int) Option {
+	return func(d *Pointers) {
+		if r > 0 {
+			d.threshold = r
+		}
+	}
+}
+
+// Pointers is the Hazard Pointers domain.
+type Pointers struct {
+	reclaim.Base
+
+	// hp is hp[MAX_THREADS][MAX_HPS] flattened, each cell padded.
+	hp []atomicx.PaddedUint64
+
+	threshold int
+}
+
+var _ reclaim.Domain = (*Pointers)(nil)
+
+// New constructs a Hazard Pointers domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Pointers {
+	d := &Pointers{
+		Base:      reclaim.NewBase(alloc, cfg),
+		threshold: 1,
+	}
+	d.hp = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads*d.Cfg.Slots)
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Pointers) Name() string { return "HP" }
+
+// OnAlloc implements reclaim.Domain; HP needs no birth stamp.
+func (d *Pointers) OnAlloc(ref mem.Ref) {}
+
+// BeginOp implements reclaim.Domain; no per-operation entry protocol.
+func (d *Pointers) BeginOp(tid int) {}
+
+// EndOp clears all hazard pointers of tid.
+func (d *Pointers) EndOp(tid int) { d.Clear(tid) }
+
+// Clear resets every hazard pointer of tid.
+func (d *Pointers) Clear(tid int) {
+	base := tid * d.Cfg.Slots
+	for i := 0; i < d.Cfg.Slots; i++ {
+		if d.hp[base+i].Load() != nonePtr {
+			d.hp[base+i].Store(nonePtr)
+		}
+	}
+}
+
+// Protect publishes the unmarked target of *src as a hazard pointer and
+// validates that *src has not changed, looping until the publication is
+// stable. Lock-free: a retry implies *src changed, i.e. another thread made
+// progress.
+func (d *Pointers) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	slot := &d.hp[tid*d.Cfg.Slots+index]
+	ins := d.Ins
+	ins.Visit(tid)
+	for {
+		ptr := mem.Ref(src.Load())
+		ins.Load(tid)
+		if ptr.IsNil() {
+			// Nothing to protect; leave any prior publication in place (it
+			// will be overwritten by the next Protect or by Clear).
+			return ptr
+		}
+		slot.Store(uint64(ptr.Unmarked()))
+		ins.Store(tid)
+		if mem.Ref(src.Load()) == ptr {
+			ins.Load(tid)
+			return ptr
+		}
+		ins.Load(tid)
+	}
+}
+
+// Retire appends ref to the thread's retired list and scans it once the R
+// threshold is reached. Wait-free bounded: the scan visits every slot of
+// every thread exactly once.
+func (d *Pointers) Retire(tid int, ref mem.Ref) {
+	d.PushRetired(tid, ref)
+	if len(d.Retired(tid)) >= d.threshold {
+		d.scan(tid)
+	}
+}
+
+// scan frees every retired object whose unmarked ref is not published in
+// any hazard-pointer slot (Michael's Scan with a sorted snapshot).
+func (d *Pointers) scan(tid int) {
+	d.NoteScan()
+	published := make([]uint64, 0, 64)
+	for i := range d.hp {
+		if p := d.hp[i].Load(); p != nonePtr {
+			published = append(published, p)
+		}
+	}
+	slices.Sort(published)
+
+	rlist := d.Retired(tid)
+	keep := rlist[:0]
+	for _, obj := range rlist {
+		if _, found := slices.BinarySearch(published, uint64(obj)); found {
+			keep = append(keep, obj)
+		} else {
+			d.FreeRetired(obj)
+		}
+	}
+	d.SetRetired(tid, keep)
+}
+
+// Drain implements reclaim.Domain.
+func (d *Pointers) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Pointers) Stats() reclaim.Stats { return d.BaseStats() }

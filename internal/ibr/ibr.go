@@ -1,0 +1,212 @@
+// Package ibr implements 2GE interval-based reclamation (H. Wen,
+// J. Izraelevitz, W. Cai, H. A. Beadle, M. L. Scott, "Interval-Based Memory
+// Reclamation", PPoPP 2018) — the direct follow-on that Hazard Eras
+// inspired, included here to complete the lineage the paper started.
+//
+// Where Hazard Eras publishes one era per protection index, IBR publishes a
+// single [lower, upper] era interval per thread and per operation: BeginOp
+// seeds both bounds with the current era, and every dereference that
+// observes a newer era extends only the upper bound (the same
+// load/validate/republish loop as HE's get_protected, against one cell).
+// Retirement stamps birth/retire eras exactly as in HE; an object may be
+// freed once no thread's interval intersects its lifetime.
+//
+// The trade-off sits between EBR and HE, exactly as the IBR paper
+// positions it:
+//
+//   - reader cost: like HE's fast path (2 loads per node), but at most one
+//     republication store per era change per OPERATION, not per protection
+//     index;
+//   - robustness: a stalled reader pins only objects whose lifetime
+//     intersects its (bounded) interval — objects born after its upper
+//     bound reclaim freely, so reclamation stays non-blocking, unlike EBR;
+//   - memory: pins a superset of what HE pins (whole-interval overlap,
+//     like HE's §3.4 min/max mode), still finite by the Equation-1
+//     argument.
+package ibr
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// inactive marks a thread with no open operation (era 0 is never issued;
+// the clock starts at 1).
+const inactive = 0
+
+// perThread is owner-only reader state mirroring the published interval.
+type perThread struct {
+	lower, upper uint64
+	retireCount  uint64
+	_            [atomicx.CacheLineSize - 24]byte
+}
+
+// Domain is the 2GE-IBR reclamation domain.
+type Domain struct {
+	reclaim.Base
+
+	eraClock atomicx.PaddedUint64
+	// intervals holds the published [lower, upper] pair per thread,
+	// flattened as 2 padded cells per tid.
+	intervals []atomicx.PaddedUint64
+	local     []perThread
+
+	advanceEvery uint64
+}
+
+var _ reclaim.Domain = (*Domain)(nil)
+
+// Option configures the domain.
+type Option func(*Domain)
+
+// WithAdvanceEvery sets the epoch-advance frequency (the IBR paper's epoch
+// frequency parameter): the clock advances on every k-th Retire per thread.
+func WithAdvanceEvery(k int) Option {
+	return func(d *Domain) {
+		if k > 1 {
+			d.advanceEvery = uint64(k)
+		}
+	}
+}
+
+// New constructs a 2GE-IBR domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Domain {
+	d := &Domain{
+		Base:         reclaim.NewBase(alloc, cfg),
+		advanceEvery: 1,
+	}
+	d.eraClock.Store(1)
+	d.intervals = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads*2)
+	d.local = make([]perThread, d.Cfg.MaxThreads)
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Domain) Name() string { return "IBR" }
+
+// Era returns the current global era.
+func (d *Domain) Era() uint64 { return d.eraClock.Load() }
+
+// OnAlloc stamps the birth era (identical to Hazard Eras).
+func (d *Domain) OnAlloc(ref mem.Ref) {
+	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+}
+
+// BeginOp opens the interval: both bounds seeded with the current era.
+func (d *Domain) BeginOp(tid int) {
+	e := d.eraClock.Load()
+	lt := &d.local[tid]
+	lt.lower, lt.upper = e, e
+	d.intervals[tid*2+0].Store(e)
+	d.intervals[tid*2+1].Store(e)
+}
+
+// EndOp closes the interval.
+func (d *Domain) EndOp(tid int) {
+	lt := &d.local[tid]
+	if lt.lower != inactive {
+		lt.lower, lt.upper = inactive, inactive
+		d.intervals[tid*2+0].Store(inactive)
+		d.intervals[tid*2+1].Store(inactive)
+	}
+}
+
+// Protect loads *src under the interval: if the era advanced since the
+// interval's upper bound, extend the bound and reload — HE's Algorithm-2
+// loop against a single per-thread cell. The index argument is ignored
+// (one interval covers every pointer the operation holds), which is the
+// defining difference from HP/HE.
+func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	lt := &d.local[tid]
+	ins := d.Ins
+	ins.Visit(tid)
+	for {
+		ptr := mem.Ref(src.Load())
+		ins.Load(tid)
+		era := d.eraClock.Load()
+		ins.Load(tid)
+		if era == lt.upper {
+			return ptr
+		}
+		lt.upper = era
+		d.intervals[tid*2+1].Store(era)
+		ins.Store(tid)
+	}
+}
+
+// Retire stamps the death era, advances the clock per the epoch frequency,
+// and scans (identical structure to HE's Algorithm 3).
+func (d *Domain) Retire(tid int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	currEra := d.eraClock.Load()
+	d.Alloc.Header(ref).RetireEra = currEra
+	d.PushRetired(tid, ref)
+
+	lt := &d.local[tid]
+	lt.retireCount++
+	if lt.retireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+		d.eraClock.Add(1)
+	}
+	d.scan(tid)
+}
+
+// Scan runs one reclamation pass over tid's retired list; Retire calls it
+// implicitly, and it is exported for harness teardown and tests.
+func (d *Domain) Scan(tid int) { d.scan(tid) }
+
+// scan frees every retired object whose lifetime no published interval
+// intersects.
+func (d *Domain) scan(tid int) {
+	d.NoteScan()
+	rlist := d.Retired(tid)
+	keep := rlist[:0]
+	for _, obj := range rlist {
+		if d.protected(obj) {
+			keep = append(keep, obj)
+		} else {
+			d.FreeRetired(obj)
+		}
+	}
+	d.SetRetired(tid, keep)
+}
+
+// protected reports whether any thread's interval [lo, hi] intersects the
+// object's lifetime [birth, retire].
+func (d *Domain) protected(obj mem.Ref) bool {
+	h := d.Alloc.Header(obj)
+	birth, retire := h.BirthEra, h.RetireEra
+	for t := 0; t < d.Cfg.MaxThreads; t++ {
+		lo := d.intervals[t*2+0].Load()
+		if lo == inactive {
+			continue
+		}
+		hi := d.intervals[t*2+1].Load()
+		if hi < lo {
+			// Between the two publication stores of BeginOp a scanner can
+			// see a fresh lower with a stale upper; treat it as [lo, lo]
+			// extended to lo — conservative either way.
+			hi = lo
+		}
+		// Interval intersection with the lifetime.
+		if lo <= retire && birth <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain implements reclaim.Domain.
+func (d *Domain) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Domain) Stats() reclaim.Stats {
+	s := d.BaseStats()
+	s.EraClock = d.eraClock.Load()
+	return s
+}

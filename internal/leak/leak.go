@@ -1,0 +1,58 @@
+// Package leak implements the no-reclamation control: Retire leaks the
+// object (it is only freed by Drain at teardown). It provides the
+// throughput upper bound for pointer traversals — zero reader-side
+// synchronization, zero reclamation work — against which the real schemes'
+// overhead can be measured, and it is the configuration many published
+// lock-free benchmarks silently use ("many designers do not apply a memory
+// reclamation technique to their algorithms", paper §C).
+package leak
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// Domain is the leaky no-op reclamation domain.
+type Domain struct {
+	reclaim.Base
+}
+
+var _ reclaim.Domain = (*Domain)(nil)
+
+// New constructs a leak domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
+	return &Domain{Base: reclaim.NewBase(alloc, cfg)}
+}
+
+// Name implements reclaim.Domain.
+func (d *Domain) Name() string { return "NONE" }
+
+// OnAlloc implements reclaim.Domain.
+func (d *Domain) OnAlloc(ref mem.Ref) {}
+
+// BeginOp implements reclaim.Domain.
+func (d *Domain) BeginOp(tid int) {}
+
+// EndOp implements reclaim.Domain.
+func (d *Domain) EndOp(tid int) {}
+
+// Protect is a plain load; nothing is ever freed, so nothing needs
+// protecting.
+func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	d.Ins.Visit(tid)
+	d.Ins.Load(tid)
+	return mem.Ref(src.Load())
+}
+
+// Retire leaks ref until Drain.
+func (d *Domain) Retire(tid int, ref mem.Ref) {
+	d.PushRetired(tid, ref)
+}
+
+// Drain frees everything leaked so far (teardown only).
+func (d *Domain) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Domain) Stats() reclaim.Stats { return d.BaseStats() }

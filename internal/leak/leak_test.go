@@ -1,0 +1,52 @@
+package leak
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+type tnode struct{ val uint64 }
+
+func TestRetireLeaksUntilDrain(t *testing.T) {
+	arena := mem.NewArena[tnode](mem.Checked[tnode](true))
+	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 1})
+	tid := d.Register()
+	for i := 0; i < 10; i++ {
+		ref, _ := arena.Alloc()
+		d.Retire(tid, ref)
+	}
+	if s := d.Stats(); s.Freed != 0 || s.Pending != 10 {
+		t.Fatalf("leak domain must not free: %+v", s)
+	}
+	d.Drain()
+	if s := d.Stats(); s.Pending != 0 || s.Freed != 10 {
+		t.Fatalf("drain must free everything: %+v", s)
+	}
+	if arena.Stats().Live != 0 {
+		t.Fatal("arena leaked after drain")
+	}
+}
+
+func TestProtectIsPlainLoad(t *testing.T) {
+	arena := mem.NewArena[tnode]()
+	ins := reclaim.NewInstrument(1)
+	d := New(arena, reclaim.Config{MaxThreads: 1, Slots: 1, Instrument: ins})
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.BeginOp(tid)
+	if got := d.Protect(tid, 0, &cell); got != ref {
+		t.Fatalf("got %v", got)
+	}
+	d.EndOp(tid)
+	if s := ins.Snapshot(); s.PerVisitLoads() != 1 || s.Stores != 0 || s.RMWs != 0 {
+		t.Fatalf("leak per-node cost: %+v", s)
+	}
+	if d.Name() != "NONE" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+}

@@ -1,0 +1,359 @@
+// Package list implements the Maged-Harris lock-free linked-list set
+// (T. Harris 2001, as refined by M. M. Michael 2002 for compatibility with
+// pointer-based reclamation) — the data structure the Hazard Eras paper uses
+// for its entire evaluation (§4). It is written once against
+// reclaim.Domain, so the identical code runs under HE, HP, EBR, URCU, RC
+// and the leaky control, mirroring the paper's shared-code methodology.
+//
+// Exactly as the paper states, traversals use three protection slots
+// ("on the Maged-Harris list, three hazard pointers are required to track
+// traversals on the list and therefore, three hazard eras will be required
+// as well", §2); the slots rotate roles (prev/curr/next) as the traversal
+// advances, so no republication is needed on advance beyond the one
+// Protect per visited node.
+//
+// Deletion protocol (required by every pointer-based scheme, §2): a node is
+// first logically deleted by setting the Harris mark bit on its next word,
+// then physically unlinked by a CAS on its predecessor's next word, and only
+// then retired. The mark lives in the same word as the successor ref, so a
+// traversal holding &pred.next detects both unlink (ref change) and logical
+// deletion of pred (mark change) with one comparison.
+package list
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// Protection slot count for list traversals (the paper's three hazard eras).
+const Slots = 3
+
+// Node is a list cell. Key and Val are immutable after insertion; Next holds
+// a mem.Ref with the Harris mark bit.
+type Node struct {
+	Key  uint64
+	Val  uint64
+	Next atomic.Uint64
+}
+
+// PoisonNode smashes a freed node so that any use-after-free traversal is
+// conspicuous: the key becomes an improbable sentinel and Next becomes a ref
+// into an unallocated slab, which the checked arena faults on dereference.
+func PoisonNode(n *Node) {
+	n.Key = 0xDEADDEADDEADDEAD
+	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
+}
+
+// Ops bundles an arena and a reclamation domain and implements the
+// Harris-Michael set operations over any head cell. The single-head List
+// below and the hash map's per-bucket lists both build on it.
+type Ops struct {
+	Arena *mem.Arena[Node]
+	Dom   reclaim.Domain
+}
+
+// protection slot roles; they rotate as the traversal advances.
+const (
+	slotPrev = 0
+	slotCurr = 1
+	slotNext = 2
+)
+
+// find locates the first node with key >= key starting at head. On return,
+// prev is the cell whose CAS links/unlinks at the position, currRaw the raw
+// (unmarked) ref read from prev, and next the raw successor word of curr.
+// Marked nodes encountered on the way are helped off the list; their refs
+// are appended to *unlinked for the caller to retire after EndOp (deferring
+// retirement keeps URCU's blocking synchronize out of the read-side
+// critical section).
+//
+// Protection invariant at every point: prev's node (when not head) is
+// protected at slot ip, curr at ic, next at in, and the raw word loaded
+// from prev is compared for identity — any unlink OR logical deletion of
+// prev's node changes that word and forces a restart.
+func (o *Ops) find(head *atomic.Uint64, tid int, key uint64, unlinked *[]mem.Ref) (found bool, prev *atomic.Uint64, curr, next mem.Ref) {
+	arena, dom := o.Arena, o.Dom
+retry:
+	for {
+		ip, ic, in := slotPrev, slotCurr, slotNext
+		prev = head
+		curr = dom.Protect(tid, ic, prev)
+		for {
+			if curr.Unmarked().IsNil() {
+				return false, prev, mem.NilRef, mem.NilRef
+			}
+			// The head cell is never marked; interior prev cells were
+			// validated unmarked when adopted, so curr is unmarked here.
+			cn := arena.Get(curr)
+			next = dom.Protect(tid, in, &cn.Next)
+			if prev.Load() != uint64(curr) {
+				continue retry
+			}
+			if next.Marked() {
+				// curr is logically deleted: attempt the physical unlink.
+				target := next.Unmarked()
+				if !prev.CompareAndSwap(uint64(curr), uint64(target)) {
+					continue retry
+				}
+				*unlinked = append(*unlinked, curr)
+				// next (now curr) keeps its protection at in; recycle ic.
+				ic, in = in, ic
+				curr = target
+				continue
+			}
+			if cn.Key >= key {
+				return cn.Key == key, prev, curr, next
+			}
+			prev = &cn.Next
+			// Advance: curr becomes the prev node (protection ic -> role
+			// ip), next becomes curr (in -> ic), and the stale ip slot is
+			// recycled for the upcoming next.
+			ip, ic, in = ic, in, ip
+			curr = next
+		}
+	}
+}
+
+// retireAll retires every helped-off node after the read-side section ended.
+func (o *Ops) retireAll(tid int, unlinked []mem.Ref) {
+	for _, ref := range unlinked {
+		o.Dom.Retire(tid, ref)
+	}
+}
+
+// Insert adds key->val to the set rooted at head. It returns false (and
+// leaves the set unchanged) when the key is already present.
+func (o *Ops) Insert(head *atomic.Uint64, tid int, key, val uint64) bool {
+	dom := o.Dom
+	var unlinked []mem.Ref
+	dom.BeginOp(tid)
+
+	var newRef mem.Ref
+	var newNode *Node
+	ok := false
+	for {
+		found, prev, curr, _ := o.find(head, tid, key, &unlinked)
+		if found {
+			if !newRef.IsNil() {
+				o.Arena.Free(newRef) // never published: direct free is safe
+			}
+			break
+		}
+		if newRef.IsNil() {
+			newRef, newNode = o.Arena.Alloc()
+			newNode.Key, newNode.Val = key, val
+		}
+		newNode.Next.Store(uint64(curr))
+		// Stamp the birth era on every attempt so it is current when the
+		// node becomes visible (paper §3: "before the object is made
+		// visible to other threads").
+		dom.OnAlloc(newRef)
+		if prev.CompareAndSwap(uint64(curr), uint64(newRef)) {
+			ok = true
+			break
+		}
+	}
+	dom.EndOp(tid)
+	o.retireAll(tid, unlinked)
+	return ok
+}
+
+// Remove deletes key from the set rooted at head, returning whether it was
+// present. The deleting thread marks the node; whichever thread physically
+// unlinks it (this one, or a helping traversal) retires it exactly once.
+func (o *Ops) Remove(head *atomic.Uint64, tid int, key uint64) bool {
+	dom := o.Dom
+	var unlinked []mem.Ref
+	dom.BeginOp(tid)
+
+	ok := false
+	for {
+		found, prev, curr, next := o.find(head, tid, key, &unlinked)
+		if !found {
+			break
+		}
+		cn := o.Arena.Get(curr)
+		// Logical deletion: mark the next word. Failure means a racing
+		// insert/remove at this node: retry from find.
+		if !cn.Next.CompareAndSwap(uint64(next), uint64(next.WithMark())) {
+			continue
+		}
+		ok = true
+		// Physical unlink; on failure a helping traversal will unlink (and
+		// retire) the node instead.
+		if prev.CompareAndSwap(uint64(curr), uint64(next)) {
+			unlinked = append(unlinked, curr)
+		}
+		break
+	}
+	dom.EndOp(tid)
+	o.retireAll(tid, unlinked)
+	return ok
+}
+
+// lookup is the pure-reader traversal shared by Contains and Get: marked
+// nodes are skipped, never unlinked, so lookups perform no CAS and never
+// retire — keeping the read side of the URCU variant non-blocking, as in
+// the paper's benchmark ("the remove() method in the implementation using
+// URCU is blocking ... while all other methods for all three
+// implementations are non-blocking", §4).
+//
+// expect holds the raw word read from prev (possibly marked for interior
+// cells — a marked next word is immutable, so validating against it is
+// stable); curr is its unmarked form for dereference.
+func (o *Ops) lookup(head *atomic.Uint64, tid int, key uint64) (uint64, bool) {
+	arena, dom := o.Arena, o.Dom
+	dom.BeginOp(tid)
+	defer dom.EndOp(tid)
+retry:
+	for {
+		ip, ic, in := slotPrev, slotCurr, slotNext
+		prev := head
+		expect := dom.Protect(tid, ic, prev) // head cell is never marked
+		for {
+			curr := expect.Unmarked()
+			if curr.IsNil() {
+				return 0, false
+			}
+			cn := arena.Get(curr)
+			nextRaw := dom.Protect(tid, in, &cn.Next)
+			if prev.Load() != uint64(expect) {
+				continue retry
+			}
+			k := cn.Key
+			if k > key {
+				return 0, false
+			}
+			if k == key && !nextRaw.Marked() {
+				return cn.Val, true
+			}
+			// Advance (skipping marked nodes without helping); the three
+			// slots rotate so prev's node stays protected for the next
+			// validation read of its next word.
+			prev = &cn.Next
+			ip, ic, in = ic, in, ip
+			expect = nextRaw
+		}
+	}
+}
+
+// Contains reports whether key is in the set rooted at head.
+func (o *Ops) Contains(head *atomic.Uint64, tid int, key uint64) bool {
+	_, ok := o.lookup(head, tid, key)
+	return ok
+}
+
+// Get returns the value stored under key.
+func (o *Ops) Get(head *atomic.Uint64, tid int, key uint64) (uint64, bool) {
+	return o.lookup(head, tid, key)
+}
+
+// Len counts unmarked nodes; quiescent use only (tests, reporting).
+func (o *Ops) Len(head *atomic.Uint64) int {
+	n := 0
+	for ref := mem.Ref(head.Load()); !ref.Unmarked().IsNil(); {
+		node := o.Arena.Get(ref)
+		raw := mem.Ref(node.Next.Load())
+		if !raw.Marked() {
+			n++
+		}
+		ref = raw.Unmarked()
+	}
+	return n
+}
+
+// DrainList frees every node still linked from head; quiescent teardown.
+func (o *Ops) DrainList(head *atomic.Uint64) {
+	ref := mem.Ref(head.Load()).Unmarked()
+	head.Store(0)
+	for !ref.IsNil() {
+		next := mem.Ref(o.Arena.Get(ref).Next.Load()).Unmarked()
+		o.Arena.Free(ref)
+		ref = next
+	}
+}
+
+// List is the single-head Harris-Michael set.
+type List struct {
+	ops  Ops
+	head atomic.Uint64
+}
+
+// Option configures a List.
+type Option func(*config)
+
+type config struct {
+	checked bool
+	threads int
+	ins     *reclaim.Instrument
+}
+
+// WithChecked enables the checked (generation-validated, poisoned) arena.
+func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
+
+// WithMaxThreads sets the domain's thread capacity (default 64).
+func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithInstrument attaches reader-side op counting to the domain.
+func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// DomainFactory constructs a reclamation domain over an allocator — e.g.
+// func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) }.
+type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+
+// New builds an empty list whose nodes are reclaimed through the domain
+// produced by mk.
+func New(mk DomainFactory, opts ...Option) *List {
+	c := config{threads: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	var arenaOpts []mem.Option[Node]
+	if c.checked {
+		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+	}
+	arena := mem.NewArena[Node](arenaOpts...)
+	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
+	return &List{ops: Ops{Arena: arena, Dom: dom}}
+}
+
+// Domain exposes the reclamation domain (Register/Unregister, Stats).
+func (l *List) Domain() reclaim.Domain { return l.ops.Dom }
+
+// Arena exposes the node arena (stats, fault counters).
+func (l *List) Arena() *mem.Arena[Node] { return l.ops.Arena }
+
+// Insert adds key->val; false if already present.
+func (l *List) Insert(tid int, key, val uint64) bool { return l.ops.Insert(&l.head, tid, key, val) }
+
+// Remove deletes key; false if absent.
+func (l *List) Remove(tid int, key uint64) bool { return l.ops.Remove(&l.head, tid, key) }
+
+// Contains reports membership of key.
+func (l *List) Contains(tid int, key uint64) bool { return l.ops.Contains(&l.head, tid, key) }
+
+// Get returns the value stored under key.
+func (l *List) Get(tid int, key uint64) (uint64, bool) { return l.ops.Get(&l.head, tid, key) }
+
+// Len counts elements; quiescent use only.
+func (l *List) Len() int { return l.ops.Len(&l.head) }
+
+// Pin parks tid inside a read-side critical section: the operation is
+// opened and the first node protected, but EndOp is never called. This is
+// the paper's "sleepy reader" (Appendix A) — the adversary for every
+// reclamation scheme. Call Unpin to resume.
+func (l *List) Pin(tid int) {
+	l.ops.Dom.BeginOp(tid)
+	l.ops.Dom.Protect(tid, slotCurr, &l.head)
+}
+
+// Unpin ends a Pin'd critical section.
+func (l *List) Unpin(tid int) { l.ops.Dom.EndOp(tid) }
+
+// Drain tears the structure down, freeing linked nodes and pending retirees.
+func (l *List) Drain() {
+	l.ops.DrainList(&l.head)
+	l.ops.Dom.Drain()
+}

@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+)
+
+const (
+	// slabShift sets the slab size: 1<<slabShift slots per slab.
+	slabShift = 13
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+
+	// maxSlabs bounds the arena at maxSlabs*slabSize slots (~134M).
+	maxSlabs = 1 << 14
+)
+
+// slot is one arena cell: SMR metadata, freelist linkage and the payload.
+type slot[T any] struct {
+	hdr Header
+	// nextFree holds the Ref of the next free slot while this slot sits on
+	// the freelist; undefined while allocated.
+	nextFree atomic.Uint64
+	val      T
+}
+
+// Stats is a snapshot of arena accounting.
+type Stats struct {
+	Allocs   int64 // total successful Alloc calls
+	Frees    int64 // total Free calls
+	Reuses   int64 // Allocs served from the freelist (recycled memory)
+	Live     int64 // Allocs - Frees
+	PeakLive int64 // high-water mark of Live
+	Faults   int64 // detected memory-safety violations (checked mode)
+}
+
+// Arena is a slab allocator for values of type T, addressed by Refs.
+// All methods are safe for concurrent use. See the package comment for why
+// this exists.
+type Arena[T any] struct {
+	checked bool
+	poison  func(*T)
+	onFault func(string)
+
+	slabs  [maxSlabs]atomic.Pointer[[slabSize]slot[T]]
+	growMu sync.Mutex
+
+	cursor   atomic.Uint64 // last never-recycled index handed out
+	freeHead atomic.Uint64 // Ref-encoded head of the lock-free freelist
+
+	allocs   atomic.Int64
+	frees    atomic.Int64
+	reuses   atomic.Int64
+	faults   atomic.Int64
+	peakLive atomicx.HighWaterMark
+}
+
+// Option configures an Arena.
+type Option[T any] func(*Arena[T])
+
+// Checked enables generation-validated dereference and double-free
+// detection. It is the default for tests and the stress tool; benchmarks
+// construct unchecked arenas so that validation cost does not pollute the
+// throughput comparison.
+func Checked[T any](on bool) Option[T] {
+	return func(a *Arena[T]) { a.checked = on }
+}
+
+// WithPoison installs a payload poisoner invoked on every Free. Data
+// structures use it to smash their key/next fields so that a use-after-free
+// read is conspicuous even when generation checking is off.
+func WithPoison[T any](poison func(*T)) Option[T] {
+	return func(a *Arena[T]) { a.poison = poison }
+}
+
+// WithFaultHandler replaces the default fault reaction (panic) — used by
+// tests that assert a violation is detected rather than crash.
+func WithFaultHandler[T any](h func(msg string)) Option[T] {
+	return func(a *Arena[T]) { a.onFault = h }
+}
+
+// NewArena constructs an empty arena.
+func NewArena[T any](opts ...Option[T]) *Arena[T] {
+	a := &Arena[T]{}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.onFault == nil {
+		a.onFault = func(msg string) { panic("mem: " + msg) }
+	}
+	return a
+}
+
+// Checked reports whether generation validation is enabled.
+func (a *Arena[T]) Checked() bool { return a.checked }
+
+func (a *Arena[T]) slotAt(index uint64) *slot[T] {
+	sl := a.slabs[index>>slabShift].Load()
+	if sl == nil {
+		a.fault(fmt.Sprintf("dereference of index %d in unallocated slab", index))
+		return nil
+	}
+	return &sl[index&slabMask]
+}
+
+func (a *Arena[T]) fault(msg string) {
+	a.faults.Add(1)
+	a.onFault(msg)
+}
+
+// Alloc returns a fresh slot, recycling freed slots when available. The
+// returned Ref is unmarked and carries the slot's current generation.
+func (a *Arena[T]) Alloc() (Ref, *T) {
+	// Fast path: pop the lock-free freelist. The Ref stored in freeHead
+	// carries the generation the slot had when freed, so a competing
+	// pop/realloc/free cycle changes the head value and the CAS fails (no
+	// ABA), which is precisely the protection this whole repository is
+	// about — here applied to the allocator itself.
+	for {
+		head := Ref(a.freeHead.Load())
+		if head.IsNil() {
+			break
+		}
+		s := a.slotAt(head.Index())
+		next := s.nextFree.Load()
+		if a.freeHead.CompareAndSwap(uint64(head), next) {
+			s.hdr.resetForAlloc()
+			a.reuses.Add(1)
+			a.noteAlloc()
+			return MakeRef(head.Index(), s.hdr.Gen()), &s.val
+		}
+	}
+
+	// Slow path: extend the bump cursor (index 0 is reserved as nil).
+	index := a.cursor.Add(1)
+	if index > MaxIndex {
+		a.fault("arena index space exhausted")
+	}
+	slabIdx := index >> slabShift
+	if slabIdx >= maxSlabs {
+		a.fault("arena slab table exhausted")
+	}
+	if a.slabs[slabIdx].Load() == nil {
+		a.growMu.Lock()
+		if a.slabs[slabIdx].Load() == nil {
+			a.slabs[slabIdx].Store(new([slabSize]slot[T]))
+		}
+		a.growMu.Unlock()
+	}
+	s := a.slotAt(index)
+	s.hdr.resetForAlloc()
+	a.noteAlloc()
+	return MakeRef(index, s.hdr.Gen()), &s.val
+}
+
+func (a *Arena[T]) noteAlloc() {
+	live := a.allocs.Add(1) - a.frees.Load()
+	a.peakLive.Observe(live)
+}
+
+// Free returns the slot to the freelist. The slot's generation is bumped
+// first, so every outstanding Ref to the old incarnation becomes stale, then
+// the payload is poisoned. Freeing with a stale Ref (double free or free of
+// a reused slot) is a detected fault in checked mode.
+func (a *Arena[T]) Free(ref Ref) {
+	ref = ref.Unmarked()
+	if ref.IsNil() {
+		a.fault("free of nil ref")
+		return
+	}
+	s := a.slotAt(ref.Index())
+	if a.checked && s.hdr.Gen() != ref.Gen() {
+		a.fault(fmt.Sprintf("double or stale free: %v, slot generation %d", ref, s.hdr.Gen()))
+		return
+	}
+	s.hdr.gen.Add(1)
+	if a.poison != nil {
+		a.poison(&s.val)
+	}
+	a.frees.Add(1)
+
+	newRef := MakeRef(ref.Index(), s.hdr.Gen())
+	for {
+		head := a.freeHead.Load()
+		s.nextFree.Store(head)
+		if a.freeHead.CompareAndSwap(head, uint64(newRef)) {
+			return
+		}
+	}
+}
+
+// Get dereferences ref to its payload. In checked mode a generation mismatch
+// (use-after-free) is a detected fault.
+func (a *Arena[T]) Get(ref Ref) *T {
+	ref = ref.Unmarked()
+	s := a.slotAt(ref.Index())
+	if a.checked && s.hdr.Gen() != ref.Gen() {
+		a.fault(fmt.Sprintf("use-after-free dereference: %v, slot generation %d", ref, s.hdr.Gen()))
+	}
+	return &s.val
+}
+
+// Header returns the SMR metadata block for ref. It performs no generation
+// check: reclamation schemes legitimately inspect headers of retired (and,
+// for the reference-counting baseline, even transiently freed) slots — the
+// slots are type-stable by construction.
+func (a *Arena[T]) Header(ref Ref) *Header {
+	return &a.slotAt(ref.Unmarked().Index()).hdr
+}
+
+// Validate reports whether ref still names the live incarnation of its slot.
+func (a *Arena[T]) Validate(ref Ref) bool {
+	ref = ref.Unmarked()
+	if ref.IsNil() {
+		return false
+	}
+	return a.slotAt(ref.Index()).hdr.Gen() == ref.Gen()
+}
+
+// Stats returns a point-in-time snapshot of the arena accounting.
+func (a *Arena[T]) Stats() Stats {
+	allocs, frees := a.allocs.Load(), a.frees.Load()
+	return Stats{
+		Allocs:   allocs,
+		Frees:    frees,
+		Reuses:   a.reuses.Load(),
+		Live:     allocs - frees,
+		PeakLive: a.peakLive.Max(),
+		Faults:   a.faults.Load(),
+	}
+}

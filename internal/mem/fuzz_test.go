@@ -1,0 +1,109 @@
+package mem
+
+import "testing"
+
+// FuzzRefPacking drives the Ref bit packing with arbitrary values; it runs
+// its seed corpus as ordinary tests under `go test` and explores further
+// under `go test -fuzz=FuzzRefPacking ./internal/mem`.
+func FuzzRefPacking(f *testing.F) {
+	f.Add(uint64(0), uint32(0), false)
+	f.Add(uint64(1), uint32(1), true)
+	f.Add(uint64(MaxIndex), uint32(GenModulus-1), true)
+	f.Add(uint64(123456789), uint32(424242), false)
+	f.Fuzz(func(t *testing.T, index uint64, gen uint32, marked bool) {
+		index %= MaxIndex + 1
+		gen %= GenModulus
+		r := MakeRef(index, gen)
+		if marked {
+			r = r.WithMark()
+		}
+		if r.Index() != index {
+			t.Fatalf("index: got %d want %d", r.Index(), index)
+		}
+		if r.Gen() != gen {
+			t.Fatalf("gen: got %d want %d", r.Gen(), gen)
+		}
+		if r.Marked() != marked {
+			t.Fatalf("mark: got %v want %v", r.Marked(), marked)
+		}
+		if r.Unmarked().Marked() {
+			t.Fatal("Unmarked left the mark set")
+		}
+		if (index == 0) != r.IsNil() {
+			t.Fatalf("IsNil: got %v for index %d", r.IsNil(), index)
+		}
+	})
+}
+
+// FuzzArenaAllocFree interprets the input as an alloc/free script and
+// checks the arena's accounting invariants throughout.
+func FuzzArenaAllocFree(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		type payload struct{ v uint64 }
+		a := NewArena[payload](Checked[payload](true), WithFaultHandler[payload](func(msg string) {
+			t.Fatalf("fault: %s", msg)
+		}))
+		var live []Ref
+		for _, op := range script {
+			if op%2 == 0 || len(live) == 0 {
+				ref, p := a.Alloc()
+				p.v = uint64(ref)
+				live = append(live, ref)
+			} else {
+				ref := live[len(live)-1]
+				live = live[:len(live)-1]
+				if got := a.Get(ref).v; got != uint64(ref) {
+					t.Fatalf("payload clobbered: %d != %d", got, uint64(ref))
+				}
+				a.Free(ref)
+			}
+			st := a.Stats()
+			if st.Live != int64(len(live)) {
+				t.Fatalf("Live = %d, tracker says %d", st.Live, len(live))
+			}
+			if st.Live > st.PeakLive {
+				t.Fatal("Live exceeded PeakLive")
+			}
+		}
+		for _, ref := range live {
+			a.Free(ref)
+		}
+		if st := a.Stats(); st.Live != 0 {
+			t.Fatalf("leak: %+v", st)
+		}
+	})
+}
+
+// TestGenerationWraparound recycles a single slot past the 23-bit
+// generation modulus and verifies the arena stays consistent (generations
+// wrap; stale refs from exactly GenModulus reuses ago would collide, which
+// is the documented, astronomically unlikely limitation).
+func TestGenerationWraparound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8.4M alloc/free cycles")
+	}
+	type payload struct{ v uint64 }
+	a := NewArena[payload](Checked[payload](true))
+	ref, _ := a.Alloc()
+	index := ref.Index()
+	a.Free(ref)
+	for i := 0; i < GenModulus; i++ {
+		r, _ := a.Alloc()
+		if r.Index() != index {
+			t.Fatalf("slot changed: %d -> %d", index, r.Index())
+		}
+		a.Free(r)
+	}
+	r, _ := a.Alloc()
+	if r.Index() != index {
+		t.Fatalf("slot changed after wrap: %d", r.Index())
+	}
+	// After exactly GenModulus+1 frees the generation has wrapped past its
+	// starting point; the ref must still validate against its own slot.
+	if !a.Validate(r) {
+		t.Fatal("fresh ref does not validate after generation wrap")
+	}
+	a.Free(r)
+}

@@ -1,0 +1,93 @@
+// Package mem simulates manual memory management inside a garbage-collected
+// runtime. It is the substrate that makes a Go reproduction of Hazard Eras
+// meaningful: in C++ the paper's schemes guard genuinely reusable memory,
+// while in Go the collector would silently keep every node alive and no
+// reclamation bug could ever be observed.
+//
+// The substitution works as follows (see DESIGN.md §1.1):
+//
+//   - Nodes live in slab arenas and are addressed by packed 64-bit Refs, not
+//     Go pointers. A Ref carries a mark bit (the Harris list "logical delete"
+//     bit that C++ steals from pointer alignment), a slot generation, and a
+//     slot index.
+//   - Free returns the slot to a lock-free freelist and bumps the slot's
+//     generation; Alloc reuses freed slots, so memory is genuinely recycled
+//     and the ABA problem is real.
+//   - Dereferencing through Arena.Get validates the Ref's generation against
+//     the slot's current generation (in checked mode), so a use-after-free by
+//     a buggy reclamation scheme becomes a detected fault — the moral
+//     equivalent of AddressSanitizer for this simulated heap.
+//
+// Every reclamation scheme in this repository allocates and frees through
+// this package, which also gives all schemes an identical, constant-cost
+// dereference so that throughput comparisons isolate the synchronization
+// cost the paper is about.
+package mem
+
+import "fmt"
+
+// Ref is a packed reference to an arena slot. Layout (LSB to MSB):
+//
+//	bit  0      mark bit (Harris logical-deletion tag)
+//	bits 1..23  slot generation (23 bits, bumped on every Free)
+//	bits 24..63 slot index (40 bits; index 0 is reserved as nil)
+//
+// The zero Ref is the nil reference.
+type Ref uint64
+
+const (
+	markBits  = 1
+	genBits   = 23
+	indexBits = 64 - markBits - genBits
+
+	markMask Ref = 1
+	genShift     = markBits
+	genMask  Ref = ((1 << genBits) - 1) << genShift
+	idxShift     = markBits + genBits
+
+	// MaxIndex is the largest representable slot index.
+	MaxIndex = (1 << indexBits) - 1
+	// GenModulus is the number of distinct generation values; generations
+	// wrap modulo this value after ~8.4M reuses of a single slot.
+	GenModulus = 1 << genBits
+)
+
+// NilRef is the null reference.
+const NilRef Ref = 0
+
+// MakeRef packs an index and generation into an unmarked Ref.
+func MakeRef(index uint64, gen uint32) Ref {
+	return Ref(index)<<idxShift | (Ref(gen)<<genShift)&genMask
+}
+
+// IsNil reports whether r refers to no slot (the mark bit is ignored, so a
+// marked nil — which never occurs in well-formed structures — is still nil).
+func (r Ref) IsNil() bool { return r>>idxShift == 0 }
+
+// Index extracts the slot index.
+func (r Ref) Index() uint64 { return uint64(r >> idxShift) }
+
+// Gen extracts the generation stamp carried by the reference.
+func (r Ref) Gen() uint32 { return uint32((r & genMask) >> genShift) }
+
+// Marked reports whether the Harris mark bit is set.
+func (r Ref) Marked() bool { return r&markMask != 0 }
+
+// WithMark returns r with the mark bit set.
+func (r Ref) WithMark() Ref { return r | markMask }
+
+// Unmarked returns r with the mark bit cleared. Schemes always publish and
+// compare unmarked refs; structures store marked ones.
+func (r Ref) Unmarked() Ref { return r &^ markMask }
+
+// String renders the ref for diagnostics.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "ref<nil>"
+	}
+	m := ""
+	if r.Marked() {
+		m = "*"
+	}
+	return fmt.Sprintf("ref<%d.g%d%s>", r.Index(), r.Gen(), m)
+}

@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRef(t *testing.T) {
+	if !NilRef.IsNil() {
+		t.Fatal("NilRef must be nil")
+	}
+	if NilRef.Marked() {
+		t.Fatal("NilRef must be unmarked")
+	}
+	if NilRef.Index() != 0 || NilRef.Gen() != 0 {
+		t.Fatal("NilRef must have zero index and generation")
+	}
+	if got := NilRef.String(); got != "ref<nil>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMakeRefRoundTrip(t *testing.T) {
+	r := MakeRef(12345, 678)
+	if r.Index() != 12345 {
+		t.Fatalf("Index = %d, want 12345", r.Index())
+	}
+	if r.Gen() != 678 {
+		t.Fatalf("Gen = %d, want 678", r.Gen())
+	}
+	if r.Marked() {
+		t.Fatal("MakeRef must return unmarked ref")
+	}
+	if r.IsNil() {
+		t.Fatal("non-zero index must not be nil")
+	}
+}
+
+func TestMarkBitIndependence(t *testing.T) {
+	r := MakeRef(7, 3)
+	m := r.WithMark()
+	if !m.Marked() {
+		t.Fatal("WithMark must set the mark")
+	}
+	if m.Index() != r.Index() || m.Gen() != r.Gen() {
+		t.Fatal("mark bit must not disturb index or generation")
+	}
+	if m.Unmarked() != r {
+		t.Fatal("Unmarked must recover the original ref")
+	}
+	if r.Unmarked() != r {
+		t.Fatal("Unmarked of unmarked ref must be identity")
+	}
+	if !strings.Contains(m.String(), "*") {
+		t.Fatalf("marked ref String should carry a *: %q", m.String())
+	}
+}
+
+func TestMarkedNilStillNil(t *testing.T) {
+	if !NilRef.WithMark().IsNil() {
+		t.Fatal("a marked nil must still be nil")
+	}
+}
+
+// Property: pack/unpack round-trips for all index/gen values within range,
+// with and without the mark bit.
+func TestRefPackingQuick(t *testing.T) {
+	prop := func(index uint64, gen uint32, marked bool) bool {
+		index %= MaxIndex + 1
+		gen %= GenModulus
+		r := MakeRef(index, gen)
+		if marked {
+			r = r.WithMark()
+		}
+		return r.Index() == index && r.Gen() == gen && r.Marked() == marked &&
+			r.Unmarked().Marked() == false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation wraps modulo GenModulus in MakeRef, matching the
+// arena's gen counter behaviour over very long runs.
+func TestRefGenTruncationQuick(t *testing.T) {
+	prop := func(index uint64, gen uint32) bool {
+		index = index%MaxIndex + 1
+		r := MakeRef(index, gen)
+		return r.Gen() == gen%GenModulus && r.Index() == index
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxIndexRepresentable(t *testing.T) {
+	r := MakeRef(MaxIndex, GenModulus-1).WithMark()
+	if r.Index() != MaxIndex || r.Gen() != GenModulus-1 || !r.Marked() {
+		t.Fatalf("extreme ref mangled: %v", r)
+	}
+}

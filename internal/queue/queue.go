@@ -1,0 +1,185 @@
+// Package queue implements the Michael-Scott lock-free FIFO queue (PODC
+// 1996) with pointer-based reclamation as in M. M. Michael's Hazard
+// Pointers paper — one of the workloads the Hazard Eras paper's
+// introduction motivates (its authors' own wait-free queue, reference [26],
+// is built on exactly this reclamation API).
+//
+// Two protection slots are used: one for the head/tail anchor node, one for
+// its successor. The dequeued dummy node is retired with its next pointer
+// intact; this is safe because every traversal re-validates the anchor
+// after protecting the successor — if the anchor was dequeued in the
+// window, the re-validation fails and the operation retries (see the
+// comment in Dequeue).
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// Slots is the number of protection indices the queue needs.
+const Slots = 2
+
+// Node is a queue cell.
+type Node struct {
+	Val  uint64
+	Next atomic.Uint64
+}
+
+// PoisonNode smashes a freed node for use-after-free visibility.
+func PoisonNode(n *Node) {
+	n.Val = 0xDEADDEADDEADDEAD
+	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
+}
+
+// Queue is a lock-free multi-producer multi-consumer FIFO.
+type Queue struct {
+	arena *mem.Arena[Node]
+	dom   reclaim.Domain
+	head  atomic.Uint64
+	tail  atomic.Uint64
+}
+
+// Option configures a Queue.
+type Option func(*config)
+
+type config struct {
+	checked bool
+	threads int
+	ins     *reclaim.Instrument
+}
+
+// WithChecked enables the checked (generation-validated, poisoned) arena.
+func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
+
+// WithMaxThreads sets the domain's thread capacity (default 64).
+func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithInstrument attaches reader-side op counting to the domain.
+func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// DomainFactory mirrors list.DomainFactory.
+type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+
+// New builds an empty queue (one dummy node) reclaimed through mk's domain.
+func New(mk DomainFactory, opts ...Option) *Queue {
+	c := config{threads: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	var arenaOpts []mem.Option[Node]
+	if c.checked {
+		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+	}
+	arena := mem.NewArena[Node](arenaOpts...)
+	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
+	q := &Queue{arena: arena, dom: dom}
+	dummy, _ := arena.Alloc()
+	dom.OnAlloc(dummy)
+	q.head.Store(uint64(dummy))
+	q.tail.Store(uint64(dummy))
+	return q
+}
+
+// Domain exposes the reclamation domain.
+func (q *Queue) Domain() reclaim.Domain { return q.dom }
+
+// Arena exposes the node arena.
+func (q *Queue) Arena() *mem.Arena[Node] { return q.arena }
+
+// Enqueue appends v. Lock-free.
+func (q *Queue) Enqueue(tid int, v uint64) {
+	ref, n := q.arena.Alloc()
+	n.Val = v
+	n.Next.Store(0)
+
+	q.dom.BeginOp(tid)
+	for {
+		tailRef := q.dom.Protect(tid, 0, &q.tail)
+		tn := q.arena.Get(tailRef)
+		next := tn.Next.Load()
+		if q.tail.Load() != uint64(tailRef) {
+			continue
+		}
+		if next != 0 {
+			// Tail is lagging: help advance it.
+			q.tail.CompareAndSwap(uint64(tailRef), next)
+			continue
+		}
+		// Stamp the birth era immediately before publication (paper §3).
+		q.dom.OnAlloc(ref)
+		if tn.Next.CompareAndSwap(0, uint64(ref)) {
+			q.tail.CompareAndSwap(uint64(tailRef), uint64(ref))
+			break
+		}
+	}
+	q.dom.EndOp(tid)
+}
+
+// Dequeue removes and returns the oldest value; ok is false on empty.
+func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
+	q.dom.BeginOp(tid)
+	var victim mem.Ref
+	for {
+		headRef := q.dom.Protect(tid, 0, &q.head)
+		tailRaw := q.tail.Load()
+		hn := q.arena.Get(headRef)
+		next := q.dom.Protect(tid, 1, &hn.Next)
+		// Re-validate the anchor AFTER protecting the successor: if head
+		// still equals headRef here, the dummy had not been dequeued at
+		// this (seq-cst) point, hence its successor was still reachable —
+		// so the era/pointer published by the Protect above falls inside
+		// the successor's lifetime and the dereference below is safe.
+		if q.head.Load() != uint64(headRef) {
+			continue
+		}
+		if next.IsNil() {
+			q.dom.EndOp(tid)
+			return 0, false
+		}
+		if uint64(headRef) == tailRaw {
+			// Tail is lagging behind a half-finished enqueue: help.
+			q.tail.CompareAndSwap(tailRaw, uint64(next))
+			continue
+		}
+		nn := q.arena.Get(next)
+		val := nn.Val // read before the swing; next is protected
+		if q.head.CompareAndSwap(uint64(headRef), uint64(next)) {
+			v, ok = val, true
+			victim = headRef
+			break
+		}
+	}
+	q.dom.EndOp(tid)
+	q.dom.Retire(tid, victim)
+	return v, ok
+}
+
+// Len counts queued values; quiescent use only.
+func (q *Queue) Len() int {
+	n := 0
+	ref := mem.Ref(q.head.Load())
+	for {
+		next := mem.Ref(q.arena.Get(ref).Next.Load())
+		if next.IsNil() {
+			return n
+		}
+		n++
+		ref = next
+	}
+}
+
+// Drain tears the queue down (including the dummy) at quiescence.
+func (q *Queue) Drain() {
+	ref := mem.Ref(q.head.Load())
+	q.head.Store(0)
+	q.tail.Store(0)
+	for !ref.IsNil() {
+		next := mem.Ref(q.arena.Get(ref).Next.Load())
+		q.arena.Free(ref)
+		ref = next
+	}
+	q.dom.Drain()
+}

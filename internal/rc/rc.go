@@ -1,0 +1,155 @@
+// Package rc implements the reference-counting baseline of the paper's
+// Table 1 and Figure 1 (middle): Valois-style per-object counts with the
+// Michael & Scott correction, sound here because arena slots are type-stable
+// (see internal/mem — a slot's counter survives free and reallocation, which
+// is the precondition reference counting needs to tolerate stale transient
+// acquisitions).
+//
+// Reader-side cost per node: one load plus two fetch_add operations (acquire
+// the new node, release the previous one) — the "2 fetch_add()" row of
+// Table 1 and the reason the paper dismisses reference counting as slow for
+// readers.
+package rc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// perThread tracks, per protection index, the ref whose count this thread
+// currently holds, so a later Protect or Clear releases it.
+type perThread struct {
+	held []mem.Ref
+	_    [atomicx.CacheLineSize - 24]byte
+}
+
+// Domain is the reference-counting domain.
+type Domain struct {
+	reclaim.Base
+	local []perThread
+}
+
+var _ reclaim.Domain = (*Domain)(nil)
+
+// New constructs a reference-counting domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d.local = make([]perThread, d.Cfg.MaxThreads)
+	for i := range d.local {
+		d.local[i].held = make([]mem.Ref, d.Cfg.Slots)
+	}
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Domain) Name() string { return "RC" }
+
+// OnAlloc implements reclaim.Domain; counts start at zero.
+func (d *Domain) OnAlloc(ref mem.Ref) {}
+
+// BeginOp implements reclaim.Domain; no per-operation entry protocol.
+func (d *Domain) BeginOp(tid int) {}
+
+// EndOp releases every count held by tid.
+func (d *Domain) EndOp(tid int) {
+	held := d.local[tid].held
+	for i, ref := range held {
+		if !ref.IsNil() {
+			d.release(ref)
+			held[i] = mem.NilRef
+		}
+	}
+}
+
+// Protect acquires a count on the target of *src, validating that *src still
+// points at it afterwards (the Michael–Scott correction: under sequential
+// consistency, a successful validation orders the increment before any
+// unlink, so a retirer that observes count zero knows no validated holder
+// exists). The count previously held at this index is released.
+func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	held := d.local[tid].held
+	ins := d.Ins
+	ins.Visit(tid)
+	for {
+		ptr := mem.Ref(src.Load())
+		ins.Load(tid)
+		target := ptr.Unmarked()
+		if target == held[index] {
+			return ptr // already holding a count on this object
+		}
+		if target.IsNil() {
+			d.releaseSlot(held, index)
+			return ptr
+		}
+		h := d.Alloc.Header(target)
+		h.RC.Add(1)
+		ins.RMW(tid)
+		if mem.Ref(src.Load()) == ptr {
+			ins.Load(tid)
+			d.releaseSlot(held, index)
+			held[index] = target
+			return ptr
+		}
+		ins.Load(tid)
+		// Validation failed: undo the transient acquisition. The slot is
+		// type-stable, so this is safe even if the object was freed and
+		// recycled in the window; release also honours a retirement this
+		// transient count may have delayed.
+		d.release(target)
+	}
+}
+
+func (d *Domain) releaseSlot(held []mem.Ref, index int) {
+	if prev := held[index]; !prev.IsNil() {
+		d.release(prev)
+		held[index] = mem.NilRef
+	}
+}
+
+// release drops a validated count; the holder that brings a retired
+// object's count to zero frees it. The Retired flag is consumed with a CAS
+// so exactly one releaser (or the retirer) performs the free.
+//
+// The free targets the slot's CURRENT incarnation, not the (possibly
+// stale) ref the releaser holds: counts and the Retired flag are
+// slot-level state shared across incarnations — the Valois model, in which
+// memory is only ever re-used, never truly reclaimed ("the solution by
+// Valois can not be used for memory reclamation, allowing only the
+// re-usage of objects", paper §1 on [28]). A releaser whose acquisition
+// was validated against a cell frozen by an earlier deletion may be
+// holding a name for a previous incarnation; by Valois rules it still
+// legitimately completes the pending retirement of the current one.
+func (d *Domain) release(ref mem.Ref) {
+	h := d.Alloc.Header(ref)
+	if h.RC.Add(-1) == 0 && h.Retired.Load() {
+		if h.Retired.CompareAndSwap(true, false) {
+			d.FreeRetired(mem.MakeRef(ref.Index(), h.Gen()))
+		}
+	}
+}
+
+// Retire marks ref retired; it is freed by whoever brings (or already
+// finds) its count at zero. Wait-free: no retries, no scanning.
+func (d *Domain) Retire(tid int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	d.NoteRetired()
+	h := d.Alloc.Header(ref)
+	h.Retired.Store(true)
+	if h.RC.Load() == 0 {
+		if h.Retired.CompareAndSwap(true, false) {
+			d.FreeRetired(ref)
+		}
+	}
+}
+
+// Drain implements reclaim.Domain. Counts handle reclamation inline, so
+// there are no per-thread retired lists to flush; objects whose holders
+// never released (a stalled reader at shutdown) stay allocated, exactly as
+// in C++.
+func (d *Domain) Drain() {}
+
+// Stats implements reclaim.Domain.
+func (d *Domain) Stats() reclaim.Stats { return d.BaseStats() }

@@ -1,0 +1,246 @@
+package rc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+type tnode struct {
+	val  uint64
+	next atomic.Uint64
+}
+
+func testArena() *mem.Arena[tnode] {
+	// No poisoning: reference counting relies on type-stable slots whose
+	// payloads a transient stale acquirer may still (read-only) touch.
+	return mem.NewArena[tnode](mem.Checked[tnode](true))
+}
+
+func newRC(arena *mem.Arena[tnode], threads int) *Domain {
+	return New(arena, reclaim.Config{MaxThreads: threads, Slots: 3})
+}
+
+func TestProtectAcquiresCount(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+
+	got := d.Protect(tid, 0, &cell)
+	if got != ref {
+		t.Fatalf("got %v", got)
+	}
+	if rc := arena.Header(ref).RC.Load(); rc != 1 {
+		t.Fatalf("RC = %d, want 1", rc)
+	}
+	d.EndOp(tid)
+	if rc := arena.Header(ref).RC.Load(); rc != 0 {
+		t.Fatalf("RC after EndOp = %d, want 0", rc)
+	}
+}
+
+func TestRepeatedProtectSameRefNoDoubleCount(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.Protect(tid, 0, &cell)
+	d.Protect(tid, 0, &cell)
+	d.Protect(tid, 0, &cell)
+	if rc := arena.Header(ref).RC.Load(); rc != 1 {
+		t.Fatalf("RC = %d, want 1 (same index re-protection)", rc)
+	}
+}
+
+func TestProtectNewRefReleasesOld(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	a, _ := arena.Alloc()
+	b, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(a))
+	d.Protect(tid, 0, &cell)
+	cell.Store(uint64(b))
+	d.Protect(tid, 0, &cell)
+	if rc := arena.Header(a).RC.Load(); rc != 0 {
+		t.Fatalf("old RC = %d, want 0", rc)
+	}
+	if rc := arena.Header(b).RC.Load(); rc != 1 {
+		t.Fatalf("new RC = %d, want 1", rc)
+	}
+}
+
+func TestRetireUnreferencedFreesImmediately(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	d.Retire(tid, ref)
+	if s := d.Stats(); s.Freed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if arena.Stats().Live != 0 {
+		t.Fatal("not freed")
+	}
+}
+
+func TestLastReleaserFrees(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	reader := d.Register()
+	writer := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.Protect(reader, 0, &cell)
+
+	cell.Store(uint64(mem.NilRef)) // unlink
+	d.Retire(writer, ref)
+	if arena.Stats().Live != 1 {
+		t.Fatal("held object must not free at retire")
+	}
+	d.EndOp(reader) // last release frees
+	if s := d.Stats(); s.Freed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if arena.Stats().Live != 0 {
+		t.Fatal("last releaser did not free")
+	}
+}
+
+func TestTwoHoldersFreeExactlyOnce(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 3)
+	r1 := d.Register()
+	r2 := d.Register()
+	writer := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.Protect(r1, 0, &cell)
+	d.Protect(r2, 0, &cell)
+
+	cell.Store(uint64(mem.NilRef))
+	d.Retire(writer, ref)
+	d.EndOp(r1)
+	if arena.Stats().Live != 1 {
+		t.Fatal("freed while second holder active")
+	}
+	d.EndOp(r2)
+	if s := d.Stats(); s.Freed != 1 {
+		t.Fatalf("freed %d times, want 1", s.Freed)
+	}
+	if f := arena.Stats().Faults; f != 0 {
+		t.Fatalf("double-free faults: %d", f)
+	}
+}
+
+func TestProtectNilReleasesSlot(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.Protect(tid, 0, &cell)
+	cell.Store(uint64(mem.NilRef))
+	if got := d.Protect(tid, 0, &cell); !got.IsNil() {
+		t.Fatalf("got %v", got)
+	}
+	if rc := arena.Header(ref).RC.Load(); rc != 0 {
+		t.Fatalf("RC = %d after protecting nil", rc)
+	}
+}
+
+func TestMarkedRefCountsUnmarkedTarget(t *testing.T) {
+	arena := testArena()
+	d := newRC(arena, 2)
+	tid := d.Register()
+	ref, _ := arena.Alloc()
+	var cell atomic.Uint64
+	cell.Store(uint64(ref.WithMark()))
+	got := d.Protect(tid, 0, &cell)
+	if !got.Marked() {
+		t.Fatal("mark bit lost")
+	}
+	if rc := arena.Header(ref).RC.Load(); rc != 1 {
+		t.Fatalf("RC = %d", rc)
+	}
+}
+
+func TestInstrumentedCostIsTwoRMWsWorstCase(t *testing.T) {
+	arena := testArena()
+	ins := reclaim.NewInstrument(2)
+	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
+	tid := d.Register()
+	// Alternate two refs at one index: every protect acquires one and
+	// releases the other — Table 1's "2 fetch_add()" per node.
+	a, _ := arena.Alloc()
+	b, _ := arena.Alloc()
+	var cell atomic.Uint64
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			cell.Store(uint64(a))
+		} else {
+			cell.Store(uint64(b))
+		}
+		d.Protect(tid, 0, &cell)
+	}
+	s := ins.Snapshot()
+	// Acquire RMW counted per visit; release RMW hides in releaseSlot (not
+	// per-instrumented). Acquire side must be exactly 1 RMW + 2 loads.
+	if s.PerVisitRMWs() != 1 || s.PerVisitLoads() != 2 {
+		t.Fatalf("per-visit RMW/loads = %v/%v, want 1/2", s.PerVisitRMWs(), s.PerVisitLoads())
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	arena := testArena()
+	const threads = 8
+	d := newRC(arena, threads)
+	var cell atomic.Uint64
+	seed, sn := arena.Alloc()
+	sn.val = 42
+	cell.Store(uint64(seed))
+
+	iters := 3000
+	if testing.Short() {
+		iters = 400
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(writer bool) {
+			defer wg.Done()
+			tid := d.Register()
+			defer d.Unregister(tid)
+			for i := 0; i < iters; i++ {
+				if writer {
+					nref, n := arena.Alloc()
+					n.val = 42
+					old := mem.Ref(cell.Swap(uint64(nref)))
+					d.Retire(tid, old)
+				} else {
+					got := d.Protect(tid, 0, &cell)
+					if v := arena.Get(got).val; v != 42 {
+						panic("reader observed reclaimed value")
+					}
+					d.EndOp(tid)
+				}
+			}
+		}(w%2 == 0)
+	}
+	wg.Wait()
+	if f := arena.Stats().Faults; f != 0 {
+		t.Fatalf("memory faults: %d", f)
+	}
+}

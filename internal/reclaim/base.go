@@ -1,0 +1,129 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+)
+
+// Config carries the construction parameters common to all schemes,
+// mirroring the paper's HazardEras(maxHEs, maxThreads) constructor.
+type Config struct {
+	// MaxThreads is the size of the per-thread slot arrays (the paper's
+	// MAX_THREADS).
+	MaxThreads int
+	// Slots is the number of protection indices per thread (the paper's
+	// maxHEs / maxHPs; the Maged-Harris list needs 3).
+	Slots int
+	// Instrument, when non-nil, enables reader-side atomic-op counting.
+	Instrument *Instrument
+}
+
+// Defaulted returns cfg with zero fields replaced by sane defaults.
+func (cfg Config) Defaulted() Config {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 64
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	return cfg
+}
+
+// retiredList is a per-thread list of retired refs. Only its owning thread
+// appends and scans it, exactly as in the paper's retiredList[MAX_THREADS];
+// padding keeps neighbouring threads' list headers off each other's lines.
+type retiredList struct {
+	refs []mem.Ref
+	_    [atomicx.CacheLineSize - 24]byte
+}
+
+// Base bundles the machinery every Domain implementation shares: thread
+// registry, allocator access, per-thread retired lists, statistics and
+// instrumentation. Scheme packages embed it.
+type Base struct {
+	Alloc Allocator
+	Cfg   Config
+	Ins   *Instrument
+
+	reg    *registry
+	rlists []retiredList
+
+	retired atomic.Int64
+	freed   atomic.Int64
+	scans   atomic.Int64
+	peak    atomicx.HighWaterMark
+}
+
+// NewBase initializes the shared state for a scheme.
+func NewBase(alloc Allocator, cfg Config) Base {
+	cfg = cfg.Defaulted()
+	return Base{
+		Alloc:  alloc,
+		Cfg:    cfg,
+		Ins:    cfg.Instrument,
+		reg:    newRegistry(cfg.MaxThreads),
+		rlists: make([]retiredList, cfg.MaxThreads),
+	}
+}
+
+// Register claims a thread id.
+func (b *Base) Register() int { return b.reg.register("SMR") }
+
+// Unregister releases a thread id.
+func (b *Base) Unregister(tid int) { b.reg.unregister(tid) }
+
+// ActiveThreads reports the number of registered threads.
+func (b *Base) ActiveThreads() int { return b.reg.Active() }
+
+// PushRetired appends ref to tid's retired list and updates accounting.
+func (b *Base) PushRetired(tid int, ref mem.Ref) {
+	b.rlists[tid].refs = append(b.rlists[tid].refs, ref.Unmarked())
+	b.peak.Observe(b.retired.Add(1) - b.freed.Load())
+}
+
+// NoteRetired updates retirement accounting without touching any retired
+// list — for schemes (reference counting) that reclaim inline.
+func (b *Base) NoteRetired() {
+	b.peak.Observe(b.retired.Add(1) - b.freed.Load())
+}
+
+// Retired returns tid's retired list for in-place scanning. The caller owns
+// the slice and must write back the survivor set with SetRetired.
+func (b *Base) Retired(tid int) []mem.Ref { return b.rlists[tid].refs }
+
+// SetRetired replaces tid's retired list after a scan pass.
+func (b *Base) SetRetired(tid int, refs []mem.Ref) { b.rlists[tid].refs = refs }
+
+// FreeRetired frees ref through the allocator and updates accounting.
+func (b *Base) FreeRetired(ref mem.Ref) {
+	b.Alloc.Free(ref)
+	b.freed.Add(1)
+}
+
+// NoteScan records one reclamation pass over a retired list.
+func (b *Base) NoteScan() { b.scans.Add(1) }
+
+// DrainAll unconditionally frees every pending retired object in every
+// thread's list. Only safe at quiescence (the paper's destructor).
+func (b *Base) DrainAll() {
+	for tid := range b.rlists {
+		for _, ref := range b.rlists[tid].refs {
+			b.FreeRetired(ref)
+		}
+		b.rlists[tid].refs = nil
+	}
+}
+
+// BaseStats assembles the common statistics snapshot.
+func (b *Base) BaseStats() Stats {
+	retired, freed := b.retired.Load(), b.freed.Load()
+	return Stats{
+		Retired:     retired,
+		Freed:       freed,
+		Pending:     retired - freed,
+		PeakPending: b.peak.Max(),
+		Scans:       b.scans.Load(),
+	}
+}

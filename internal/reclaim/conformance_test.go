@@ -1,0 +1,182 @@
+package reclaim_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hp"
+	"repro/internal/ibr"
+	"repro/internal/leak"
+	"repro/internal/mem"
+	"repro/internal/rc"
+	"repro/internal/reclaim"
+	"repro/internal/urcu"
+)
+
+// Cross-scheme conformance: the identical usage pattern must be memory-safe
+// under every Domain implementation — this is the structural statement of
+// the paper's "drop-in replacement" claim.
+
+type cnode struct {
+	val  uint64
+	next atomic.Uint64
+}
+
+const threads = 8
+
+func domains() map[string]func(alloc reclaim.Allocator) reclaim.Domain {
+	cfg := reclaim.Config{MaxThreads: threads, Slots: 2}
+	return map[string]func(alloc reclaim.Allocator) reclaim.Domain{
+		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
+		"HE-k16":    func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithAdvanceEvery(16)) },
+		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
+		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"EBR":       func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"URCU":      func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"RC":        func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
+		"NONE":      func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
+	}
+}
+
+// TestConformanceSingleThreaded drives the canonical protect/retire cycle.
+func TestConformanceSingleThreaded(t *testing.T) {
+	for name, mk := range domains() {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+			if d.Name() == "" {
+				t.Fatal("empty scheme name")
+			}
+			tid := d.Register()
+			defer d.Unregister(tid)
+
+			var cell atomic.Uint64
+			for i := 0; i < 100; i++ {
+				ref, n := arena.Alloc()
+				n.val = uint64(i)
+				d.OnAlloc(ref)
+				old := mem.Ref(cell.Swap(uint64(ref)))
+
+				d.BeginOp(tid)
+				got := d.Protect(tid, 0, &cell)
+				if arena.Get(got).val != uint64(i) {
+					t.Fatalf("iteration %d: wrong payload", i)
+				}
+				d.EndOp(tid)
+
+				if !old.IsNil() {
+					d.Retire(tid, old)
+				}
+			}
+			d.Retire(tid, mem.Ref(cell.Swap(0)))
+			d.Drain()
+			s := d.Stats()
+			if s.Retired != 100 {
+				t.Fatalf("Retired = %d, want 100", s.Retired)
+			}
+			if got := arena.Stats().Faults; got != 0 {
+				t.Fatalf("faults: %d", got)
+			}
+			// All schemes except RC track pending; after Drain nothing
+			// may pend anywhere.
+			if s.Pending != 0 {
+				t.Fatalf("pending after drain: %+v", s)
+			}
+		})
+	}
+}
+
+// TestConformanceConcurrentStress hammers a pair of shared cells with
+// readers and swapping writers under a checked arena for every scheme.
+func TestConformanceConcurrentStress(t *testing.T) {
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	for name, mk := range domains() {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+
+			var cells [2]atomic.Uint64
+			for i := range cells {
+				ref, n := arena.Alloc()
+				n.val = 42
+				d.OnAlloc(ref)
+				cells[i].Store(uint64(ref))
+			}
+
+			var wg sync.WaitGroup
+			fail := make(chan string, threads)
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					tid := d.Register()
+					defer d.Unregister(tid)
+					writer := worker%2 == 0
+					for i := 0; i < iters; i++ {
+						ci := (worker + i) % 2
+						if writer {
+							nref, n := arena.Alloc()
+							n.val = 42
+							d.OnAlloc(nref)
+							old := mem.Ref(cells[ci].Swap(uint64(nref)))
+							d.Retire(tid, old)
+						} else {
+							d.BeginOp(tid)
+							got := d.Protect(tid, ci, &cells[ci])
+							if v := arena.Get(got).val; v != 42 {
+								fail <- fmt.Sprintf("%s: observed corrupt value %d", name, v)
+								d.EndOp(tid)
+								return
+							}
+							d.EndOp(tid)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(fail)
+			for msg := range fail {
+				t.Fatal(msg)
+			}
+			d.Drain()
+			if f := arena.Stats().Faults; f != 0 {
+				t.Fatalf("%s: %d memory faults under stress", name, f)
+			}
+		})
+	}
+}
+
+// TestConformanceRetireCountsMatchFrees: after drain, frees must equal
+// retires for every list-based scheme (RC frees inline; leak frees at
+// drain).
+func TestConformanceRetireCountsMatchFrees(t *testing.T) {
+	for name, mk := range domains() {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+			tid := d.Register()
+			for i := 0; i < 25; i++ {
+				ref, _ := arena.Alloc()
+				d.OnAlloc(ref)
+				d.Retire(tid, ref)
+			}
+			d.Unregister(tid)
+			d.Drain()
+			s := d.Stats()
+			if s.Freed != 25 || s.Pending != 0 {
+				t.Fatalf("%s: %+v", name, s)
+			}
+			if arena.Stats().Live != 0 {
+				t.Fatalf("%s leaked arena slots", name)
+			}
+		})
+	}
+}

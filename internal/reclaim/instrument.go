@@ -1,0 +1,105 @@
+package reclaim
+
+import "repro/internal/atomicx"
+
+// Instrument counts the sequentially consistent atomic operations a scheme
+// issues on the reader side. It exists to regenerate the paper's Table 1
+// column "Average per-node synchronization": with instrumentation enabled, a
+// traversal of N nodes under HP reports ~2 loads + 1 store per node, under
+// HE ~2 loads per node on the fast path, and ~1 load (the data access
+// itself) under the quiescence-based schemes.
+//
+// Instrumentation is opt-in: domains constructed without it keep nil
+// pointers and pay only an untaken branch on the hot path.
+type Instrument struct {
+	loads  *atomicx.StripedCounter
+	stores *atomicx.StripedCounter
+	rmws   *atomicx.StripedCounter
+	visits *atomicx.StripedCounter
+}
+
+// NewInstrument allocates counters striped over maxThreads thread ids.
+func NewInstrument(maxThreads int) *Instrument {
+	return &Instrument{
+		loads:  atomicx.NewStripedCounter(maxThreads),
+		stores: atomicx.NewStripedCounter(maxThreads),
+		rmws:   atomicx.NewStripedCounter(maxThreads),
+		visits: atomicx.NewStripedCounter(maxThreads),
+	}
+}
+
+// Load records one seq-cst atomic load issued by tid.
+func (in *Instrument) Load(tid int) {
+	if in != nil {
+		in.loads.Inc(tid)
+	}
+}
+
+// Store records one seq-cst atomic store issued by tid.
+func (in *Instrument) Store(tid int) {
+	if in != nil {
+		in.stores.Inc(tid)
+	}
+}
+
+// RMW records one atomic read-modify-write (fetch_add/CAS) issued by tid.
+func (in *Instrument) RMW(tid int) {
+	if in != nil {
+		in.rmws.Inc(tid)
+	}
+}
+
+// Visit records one Protect call (one node visited) by tid.
+func (in *Instrument) Visit(tid int) {
+	if in != nil {
+		in.visits.Inc(tid)
+	}
+}
+
+// Snapshot is the aggregate view of an instrumentation run.
+type Snapshot struct {
+	Loads  int64
+	Stores int64
+	RMWs   int64
+	Visits int64
+}
+
+// PerVisitLoads returns loads per protected node (0 when no visits).
+func (s Snapshot) PerVisitLoads() float64 { return perVisit(s.Loads, s.Visits) }
+
+// PerVisitStores returns stores per protected node.
+func (s Snapshot) PerVisitStores() float64 { return perVisit(s.Stores, s.Visits) }
+
+// PerVisitRMWs returns read-modify-writes per protected node.
+func (s Snapshot) PerVisitRMWs() float64 { return perVisit(s.RMWs, s.Visits) }
+
+func perVisit(n, visits int64) float64 {
+	if visits == 0 {
+		return 0
+	}
+	return float64(n) / float64(visits)
+}
+
+// Snapshot folds the striped counters. Call it in quiescence.
+func (in *Instrument) Snapshot() Snapshot {
+	if in == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Loads:  in.loads.Sum(),
+		Stores: in.stores.Sum(),
+		RMWs:   in.rmws.Sum(),
+		Visits: in.visits.Sum(),
+	}
+}
+
+// Reset zeroes all counters.
+func (in *Instrument) Reset() {
+	if in == nil {
+		return
+	}
+	in.loads.Reset()
+	in.stores.Reset()
+	in.rmws.Reset()
+	in.visits.Reset()
+}

@@ -1,0 +1,130 @@
+// Package reclaim defines the common framework shared by every safe-memory-
+// reclamation (SMR) scheme in this repository: the Domain interface that a
+// lock-free data structure programs against, the thread registry, statistics
+// and the synchronization-cost instrumentation behind the paper's Table 1.
+//
+// The Hazard Eras paper positions HE as a drop-in replacement for Hazard
+// Pointers ("providing the same API as Hazard Pointers", §2). This package
+// realizes that claim structurally: Harris-Michael lists, hash maps, queues,
+// stacks and BSTs in this repository are written once against Domain and run
+// unchanged under Hazard Eras, Hazard Pointers, epoch-based reclamation,
+// Grace-Version URCU, reference counting, and a leaky no-op control.
+package reclaim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// Allocator is the slice of the arena API that reclamation schemes need:
+// header access for era stamps and refcounts, and the actual free. Every
+// mem.Arena[T] satisfies it.
+type Allocator interface {
+	Header(ref mem.Ref) *mem.Header
+	Free(ref mem.Ref)
+}
+
+// Domain is the uniform SMR interface. The correspondence to the paper's
+// API (§3) is:
+//
+//	Protect  = get_protected()   (HE Alg. 2; HP publish+validate; plain load
+//	                              for quiescence-based schemes)
+//	EndOp    = clear()           (plus rcu_read_unlock / epoch exit)
+//	Retire   = retire()          (HE Alg. 3)
+//	OnAlloc  = getEra() + newEra stamping
+//
+// Thread ids come from Register and index per-thread slot arrays exactly as
+// the paper's tid argument does.
+type Domain interface {
+	// Name identifies the scheme in reports ("HE", "HP", "EBR", ...).
+	Name() string
+
+	// Register claims a thread id in [0, MaxThreads). It panics when the
+	// domain is fully subscribed.
+	Register() int
+	// Unregister releases tid for reuse by another worker.
+	Unregister(tid int)
+
+	// BeginOp opens a read-side critical section. It is a no-op for
+	// pointer-based schemes (HP/HE), rcu_read_lock for URCU, and the epoch
+	// announcement for EBR.
+	BeginOp(tid int)
+	// EndOp closes the critical section: clear() for HP/HE (releases all
+	// protection indices), rcu_read_unlock for URCU, epoch exit for EBR.
+	EndOp(tid int)
+
+	// Protect loads *src and guarantees the referenced object will not be
+	// freed until the protection is released (EndOp, or a later Protect on
+	// the same index). The returned ref preserves the Harris mark bit as
+	// loaded; the protection applies to the unmarked target.
+	Protect(tid, index int, src *atomic.Uint64) mem.Ref
+
+	// Retire declares that ref has been unlinked from shared memory and
+	// must eventually be freed. Pointer-based schemes are non-blocking
+	// here; URCU blocks in synchronize_rcu (exactly as the paper states its
+	// remove() is blocking).
+	Retire(tid int, ref mem.Ref)
+
+	// OnAlloc is invoked after a node is allocated and before it becomes
+	// shared. Hazard Eras stamps BirthEra here; all other schemes no-op.
+	OnAlloc(ref mem.Ref)
+
+	// Drain frees every pending retired object unconditionally. It is the
+	// analogue of the paper's ~HazardEras() destructor and is only safe
+	// once all readers have quiesced.
+	Drain()
+
+	// Stats returns a snapshot of reclamation accounting.
+	Stats() Stats
+}
+
+// Stats is a snapshot of a domain's reclamation accounting.
+type Stats struct {
+	Retired     int64  // total Retire calls
+	Freed       int64  // objects actually freed by the scheme
+	Pending     int64  // retired but not yet freed
+	PeakPending int64  // high-water mark of Pending (Equation 1 subject)
+	Scans       int64  // reclamation scan passes over retired lists
+	EraClock    uint64 // current era/epoch/version clock (scheme-specific; 0 if none)
+}
+
+// registry hands out thread ids. Registration is rare (worker startup), so a
+// mutex is fine; the ids it returns index the padded hot-path arrays.
+type registry struct {
+	mu     sync.Mutex
+	inUse  []bool
+	active atomic.Int64
+}
+
+func newRegistry(maxThreads int) *registry {
+	return &registry{inUse: make([]bool, maxThreads)}
+}
+
+func (r *registry) register(scheme string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for tid, used := range r.inUse {
+		if !used {
+			r.inUse[tid] = true
+			r.active.Add(1)
+			return tid
+		}
+	}
+	panic(fmt.Sprintf("reclaim: %s domain oversubscribed (max %d threads)", scheme, len(r.inUse)))
+}
+
+func (r *registry) unregister(tid int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.inUse[tid] {
+		panic(fmt.Sprintf("reclaim: unregister of unregistered tid %d", tid))
+	}
+	r.inUse[tid] = false
+	r.active.Add(-1)
+}
+
+// Active reports the number of currently registered threads.
+func (r *registry) Active() int { return int(r.active.Load()) }

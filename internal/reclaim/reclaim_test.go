@@ -1,0 +1,161 @@
+package reclaim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+type tnode struct{ v uint64 }
+
+func testArena() *mem.Arena[tnode] {
+	return mem.NewArena[tnode](mem.Checked[tnode](true))
+}
+
+func TestConfigDefaulted(t *testing.T) {
+	cfg := Config{}.Defaulted()
+	if cfg.MaxThreads <= 0 || cfg.Slots <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	cfg2 := Config{MaxThreads: 3, Slots: 7}.Defaulted()
+	if cfg2.MaxThreads != 3 || cfg2.Slots != 7 {
+		t.Fatalf("explicit values clobbered: %+v", cfg2)
+	}
+}
+
+func TestRegistryAssignsDistinctIDs(t *testing.T) {
+	b := NewBase(testArena(), Config{MaxThreads: 4})
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		tid := b.Register()
+		if tid < 0 || tid >= 4 {
+			t.Fatalf("tid %d out of range", tid)
+		}
+		if seen[tid] {
+			t.Fatalf("duplicate tid %d", tid)
+		}
+		seen[tid] = true
+	}
+	if b.ActiveThreads() != 4 {
+		t.Fatalf("ActiveThreads = %d, want 4", b.ActiveThreads())
+	}
+}
+
+func TestRegistryOversubscriptionPanics(t *testing.T) {
+	b := NewBase(testArena(), Config{MaxThreads: 1})
+	b.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversubscription")
+		}
+	}()
+	b.Register()
+}
+
+func TestRegistryReusesReleasedIDs(t *testing.T) {
+	b := NewBase(testArena(), Config{MaxThreads: 2})
+	a := b.Register()
+	_ = b.Register()
+	b.Unregister(a)
+	if got := b.Register(); got != a {
+		t.Fatalf("expected reuse of tid %d, got %d", a, got)
+	}
+}
+
+func TestUnregisterUnknownPanics(t *testing.T) {
+	b := NewBase(testArena(), Config{MaxThreads: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Unregister(0)
+}
+
+func TestRetiredListAccounting(t *testing.T) {
+	arena := testArena()
+	b := NewBase(arena, Config{MaxThreads: 2})
+	r1, _ := arena.Alloc()
+	r2, _ := arena.Alloc()
+	b.PushRetired(0, r1)
+	b.PushRetired(0, r2.WithMark()) // mark bit must be stripped
+	if got := b.Retired(0); len(got) != 2 || got[1].Marked() {
+		t.Fatalf("retired list wrong: %v", got)
+	}
+	s := b.BaseStats()
+	if s.Retired != 2 || s.Pending != 2 || s.PeakPending != 2 || s.Freed != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	b.FreeRetired(b.Retired(0)[0])
+	b.SetRetired(0, b.Retired(0)[1:])
+	s = b.BaseStats()
+	if s.Freed != 1 || s.Pending != 1 || s.PeakPending != 2 {
+		t.Fatalf("stats after free: %+v", s)
+	}
+}
+
+func TestDrainAllFreesEverything(t *testing.T) {
+	arena := testArena()
+	b := NewBase(arena, Config{MaxThreads: 2})
+	for tid := 0; tid < 2; tid++ {
+		for i := 0; i < 3; i++ {
+			r, _ := arena.Alloc()
+			b.PushRetired(tid, r)
+		}
+	}
+	b.DrainAll()
+	if s := b.BaseStats(); s.Pending != 0 || s.Freed != 6 {
+		t.Fatalf("stats after drain: %+v", s)
+	}
+	if st := arena.Stats(); st.Live != 0 {
+		t.Fatalf("arena leaked: %+v", st)
+	}
+}
+
+func TestNoteRetired(t *testing.T) {
+	b := NewBase(testArena(), Config{MaxThreads: 1})
+	b.NoteRetired()
+	b.NoteRetired()
+	if s := b.BaseStats(); s.Retired != 2 || s.PeakPending != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestInstrumentNilSafe(t *testing.T) {
+	var in *Instrument
+	in.Load(0)
+	in.Store(0)
+	in.RMW(0)
+	in.Visit(0)
+	if s := in.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil instrument snapshot: %+v", s)
+	}
+}
+
+func TestInstrumentPerVisitMath(t *testing.T) {
+	in := NewInstrument(2)
+	for i := 0; i < 10; i++ {
+		in.Visit(0)
+		in.Load(0)
+		in.Load(0)
+		in.Store(1)
+	}
+	s := in.Snapshot()
+	if s.Visits != 10 || s.Loads != 20 || s.Stores != 10 || s.RMWs != 0 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if s.PerVisitLoads() != 2 || s.PerVisitStores() != 1 || s.PerVisitRMWs() != 0 {
+		t.Fatalf("per-visit: %v %v %v", s.PerVisitLoads(), s.PerVisitStores(), s.PerVisitRMWs())
+	}
+	in.Reset()
+	if s := in.Snapshot(); s.Visits != 0 {
+		t.Fatalf("Reset failed: %+v", s)
+	}
+}
+
+func TestInstrumentZeroVisits(t *testing.T) {
+	s := Snapshot{Loads: 5}
+	if s.PerVisitLoads() != 0 {
+		t.Fatal("per-visit with zero visits must be 0")
+	}
+}

@@ -1,0 +1,155 @@
+package stack
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hp"
+	"repro/internal/reclaim"
+	"repro/internal/urcu"
+)
+
+func factories() map[string]DomainFactory {
+	return map[string]DomainFactory{
+		"HE":   func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain { return core.New(a, c) },
+		"HP":   func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain { return hp.New(a, c) },
+		"EBR":  func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain { return ebr.New(a, c) },
+		"URCU": func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain { return urcu.New(a, c) },
+	}
+}
+
+func heStack(t *testing.T) *Stack {
+	t.Helper()
+	return New(factories()["HE"], WithChecked(true), WithMaxThreads(16))
+}
+
+func TestEmptyPop(t *testing.T) {
+	s := heStack(t)
+	tid := s.Domain().Register()
+	if _, ok := s.Pop(tid); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := heStack(t)
+	tid := s.Domain().Register()
+	for i := uint64(1); i <= 50; i++ {
+		s.Push(tid, i)
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := uint64(50); i >= 1; i-- {
+		v, ok := s.Pop(tid)
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(tid); ok {
+		t.Fatal("stack should be empty")
+	}
+}
+
+func TestPopRetiresAndReclaims(t *testing.T) {
+	s := heStack(t)
+	tid := s.Domain().Register()
+	for i := uint64(0); i < 30; i++ {
+		s.Push(tid, i)
+		s.Pop(tid)
+	}
+	st := s.Domain().Stats()
+	if st.Retired != 30 {
+		t.Fatalf("Retired = %d", st.Retired)
+	}
+	if st.Pending > 1 {
+		t.Fatalf("Pending = %d", st.Pending)
+	}
+	// Churn must recycle arena slots, demonstrating the memory is really
+	// reused — the property that makes ABA/use-after-free possible at all.
+	if s.Arena().Stats().Reuses == 0 {
+		t.Fatal("no slot recycling under churn")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	const threads = 8
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := New(mk, WithChecked(true), WithMaxThreads(threads))
+			var wg sync.WaitGroup
+			var balance atomic.Int64 // pushes - successful pops
+			var sumPushed, sumPopped atomic.Uint64
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tid := s.Domain().Register()
+					defer s.Domain().Unregister(tid)
+					for i := 0; i < per; i++ {
+						if (w+i)%2 == 0 {
+							v := uint64(w*per + i + 1)
+							s.Push(tid, v)
+							sumPushed.Add(v)
+							balance.Add(1)
+						} else if v, ok := s.Pop(tid); ok {
+							sumPopped.Add(v)
+							balance.Add(-1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Drain the remainder and check conservation of values.
+			tid := s.Domain().Register()
+			for {
+				v, ok := s.Pop(tid)
+				if !ok {
+					break
+				}
+				sumPopped.Add(v)
+				balance.Add(-1)
+			}
+			if balance.Load() != 0 {
+				t.Fatalf("%s: %d values lost or duplicated", name, balance.Load())
+			}
+			if sumPushed.Load() != sumPopped.Load() {
+				t.Fatalf("%s: value sums differ: pushed %d popped %d", name, sumPushed.Load(), sumPopped.Load())
+			}
+			if f := s.Arena().Stats().Faults; f != 0 {
+				t.Fatalf("%s: %d memory faults", name, f)
+			}
+			s.Drain()
+			if live := s.Arena().Stats().Live; live != 0 {
+				t.Fatalf("%s: leaked %d nodes", name, live)
+			}
+		})
+	}
+}
+
+// TestGenerationRefsDefeatABA: even with reclamation disabled on the reader
+// side (a raw CAS race), the generation bits in the ref prevent the classic
+// ABA corruption: a recycled slot's ref never compares equal to its old
+// incarnation.
+func TestGenerationRefsDefeatABA(t *testing.T) {
+	s := heStack(t)
+	tid := s.Domain().Register()
+	s.Push(tid, 1)
+	oldTop := s.top.Load()
+	s.Pop(tid)     // retires and (unprotected) frees the node
+	s.Push(tid, 2) // recycles the same slot
+	newTop := s.top.Load()
+	if oldTop == newTop {
+		t.Fatal("recycled slot produced an identical ref: ABA possible")
+	}
+	if got := s.top.CompareAndSwap(oldTop, 0); got {
+		t.Fatal("stale CAS succeeded: ABA!")
+	}
+}

@@ -1,0 +1,129 @@
+// Package urcu implements Grace-Version Userspace RCU (P. Ramalhete and
+// A. Correia, "Grace Sharing Userspace-RCU", 2016) — the URCU variant the
+// Hazard Eras paper benchmarks against, chosen there as "the currently
+// fastest simple URCU based on the C++ memory model" (§4).
+//
+// Readers publish the updater version they observed on rcu_read_lock and an
+// "unassigned" sentinel on rcu_read_unlock — one load and one store per
+// operation, giving URCU the highest read-side throughput of all schemes
+// (the paper's read-only panels show it up to 8× HP). Reclaimers call
+// synchronize_rcu, which advances the version and *waits* until every reader
+// has either unlocked or observed the new version. Grace periods are shared:
+// a synchronizer whose target version another thread already advanced past
+// skips the increment.
+//
+// The price is the paper's central criticism: Synchronize blocks, so a
+// single preempted reader stalls every reclaimer — visible in the paper's
+// oversubscribed update-heavy panels where URCU drops below HP/HE, and in
+// this repository's stalled-reader experiments.
+package urcu
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// unassigned is published by quiescent readers; it compares greater than
+// every real version.
+const unassigned = math.MaxUint64
+
+// Domain is the Grace-Version URCU domain.
+type Domain struct {
+	reclaim.Base
+
+	updaterVersion atomicx.PaddedUint64
+	readersVersion []atomicx.PaddedUint64
+}
+
+var _ reclaim.Domain = (*Domain)(nil)
+
+// New constructs a URCU domain over the given allocator.
+func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d.updaterVersion.Store(1)
+	d.readersVersion = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads)
+	for i := range d.readersVersion {
+		d.readersVersion[i].Store(unassigned)
+	}
+	return d
+}
+
+// Name implements reclaim.Domain.
+func (d *Domain) Name() string { return "URCU" }
+
+// OnAlloc implements reclaim.Domain; URCU needs no birth stamp.
+func (d *Domain) OnAlloc(ref mem.Ref) {}
+
+// BeginOp is rcu_read_lock: publish the current updater version.
+func (d *Domain) BeginOp(tid int) {
+	d.readersVersion[tid].Store(d.updaterVersion.Load())
+}
+
+// EndOp is rcu_read_unlock: publish the unassigned sentinel.
+func (d *Domain) EndOp(tid int) {
+	d.readersVersion[tid].Store(unassigned)
+}
+
+// Protect under URCU is a plain load; the read-side lock protects the whole
+// operation.
+func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
+	d.Ins.Visit(tid)
+	d.Ins.Load(tid)
+	return mem.Ref(src.Load())
+}
+
+// Synchronize waits for a full grace period: every reader active when it is
+// called must unlock (or re-lock at a later version) before it returns.
+// Grace periods are shared between concurrent synchronizers: whoever finds
+// the version already advanced past its target skips the increment.
+//
+// This method BLOCKS while any reader holds an older version — it is the
+// reason Table 1 classifies URCU reclaimers as blocking.
+func (d *Domain) Synchronize() {
+	waitFor := d.updaterVersion.Load() + 1
+	// Grace sharing: only advance if nobody has reached waitFor yet.
+	if d.updaterVersion.Load() < waitFor {
+		d.updaterVersion.CompareAndSwap(waitFor-1, waitFor)
+	}
+	for i := range d.readersVersion {
+		for d.readersVersion[i].Load() < waitFor {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Retire frees ref after a full grace period. It first marks the calling
+// thread quiescent: synchronize_rcu must never be called from within a
+// read-side critical section (self-deadlock), and the unlink that precedes
+// retirement is the last shared access the operation performs. The caller
+// must not dereference previously protected refs after Retire — the same
+// contract C RCU code follows when it drops the read lock before
+// synchronize_rcu().
+func (d *Domain) Retire(tid int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	d.readersVersion[tid].Store(unassigned)
+	d.PushRetired(tid, ref)
+	d.Synchronize()
+	// After the grace period the object is unreachable by construction.
+	d.NoteScan()
+	rlist := d.Retired(tid)
+	for _, obj := range rlist {
+		d.FreeRetired(obj)
+	}
+	d.SetRetired(tid, rlist[:0])
+}
+
+// Drain implements reclaim.Domain.
+func (d *Domain) Drain() { d.DrainAll() }
+
+// Stats implements reclaim.Domain.
+func (d *Domain) Stats() reclaim.Stats {
+	s := d.BaseStats()
+	s.EraClock = d.updaterVersion.Load()
+	return s
+}

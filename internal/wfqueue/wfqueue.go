@@ -1,0 +1,502 @@
+// Package wfqueue implements the Kogan-Petrank wait-free MPMC queue
+// (A. Kogan and E. Petrank, "Wait-Free Queues With Multiple Enqueuers and
+// Dequeuers", PPoPP 2011 — the paper's reference [17]) on top of this
+// repository's reclamation domains.
+//
+// The Hazard Eras paper motivates exactly this combination: §3.2 notes that
+// "similarly to HP, it is possible to use HE in a wait-free algorithm,
+// maintaining its wait-free progress", citing the authors' wait-free queue
+// [26]; and §C observes that "there is little benefit in designing a
+// wait-free queue and then use a quiescence-based memory reclamation ...
+// knowing that such a technique is blocking for reclaimers, i.e. for
+// dequeuing operations". This package is the demonstration: a wait-free
+// queue whose nodes AND operation descriptors are reclaimed through any
+// reclaim.Domain, with every method wait-free when the domain's operations
+// are (HE/HP; running it over EBR or URCU degrades the progress exactly as
+// the paper predicts, which the tests exploit).
+//
+// Algorithm recap (faithful to the PPoPP'11 pseudocode): each thread
+// announces its operation in state[tid] as an immutable descriptor carrying
+// a phase number; every operation first helps all pending operations with a
+// phase no larger than its own, so each operation completes within a
+// bounded number of steps regardless of scheduling. Enqueues append their
+// pre-created node at the tail (the linking CAS can be performed by any
+// helper, at most once — the tail is only advanced after the owner's
+// descriptor is completed). Dequeues claim the current sentinel by CASing
+// its DeqTid and the head is advanced by whoever finishes the claim.
+//
+// Reclamation additions relative to the GC-reliant original:
+//
+//   - descriptors live in their own arena and are retired by whichever
+//     thread's CAS replaces them in state[i];
+//   - the dequeued sentinel is retired by the owning dequeuer after it has
+//     read the value;
+//   - the dequeued VALUE is snapshotted into the completing descriptor by
+//     the thread that finishes the dequeue. The descriptor-completion CAS
+//     has a unique winner, and the value is loaded from the successor only
+//     under a head re-validation that proves the successor has not itself
+//     been consumed yet — so the owner reads its value from its own
+//     completed descriptor and never dereferences the successor node after
+//     the operation has completed (the successor may be reclaimed by then).
+package wfqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// Protection slot counts for the two domains.
+const (
+	// NodeSlots: 0 anchor (head/tail), 1 successor, 2 finish-anchor,
+	// 3 finish-successor.
+	NodeSlots = 4
+	// DescSlots: 0 descriptor in help loops, 1 descriptor in finishers.
+	DescSlots = 2
+)
+
+const noDeqTid = -1
+
+// Node is a queue cell. Val is immutable after the node is published.
+type Node struct {
+	Val    uint64
+	EnqTid int64 // thread whose enqueue created this node; immutable
+	DeqTid atomic.Int64
+	Next   atomic.Uint64
+}
+
+// Desc is an operation descriptor. All fields are immutable once the
+// descriptor is published in state[tid]; progress is made by replacing the
+// whole descriptor with CAS.
+type Desc struct {
+	Phase   uint64
+	Pending bool
+	Enqueue bool
+	Node    mem.Ref // enqueue: node to link; dequeue: claimed sentinel (nil = empty/candidate unset)
+	// Val is the dequeued value, snapshotted by the finishing helper into
+	// the completed descriptor of a dequeue.
+	Val uint64
+}
+
+// PoisonNode smashes a freed node.
+func PoisonNode(n *Node) {
+	n.Val = 0xDEADDEADDEADDEAD
+	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
+}
+
+// PoisonDesc smashes a freed descriptor.
+func PoisonDesc(d *Desc) {
+	d.Phase = 0xDEADDEADDEADDEAD
+	d.Node = mem.MakeRef(mem.MaxIndex, 0)
+}
+
+// DomainFactory mirrors list.DomainFactory.
+type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+
+// Queue is the wait-free MPMC FIFO.
+type Queue struct {
+	nodes *mem.Arena[Node]
+	descs *mem.Arena[Desc]
+	ndom  reclaim.Domain
+	ddom  reclaim.Domain
+
+	head atomic.Uint64
+	tail atomic.Uint64
+	// state[i] holds the Ref of thread i's current descriptor.
+	state []atomic.Uint64
+
+	maxThreads int
+}
+
+// Option configures a Queue.
+type Option func(*config)
+
+type config struct {
+	checked bool
+	threads int
+}
+
+// WithChecked enables checked (generation-validated, poisoned) arenas.
+func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
+
+// WithMaxThreads sets the thread capacity (default 16; the help loop scans
+// all slots, so keep it close to the real worker count).
+func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// New builds an empty wait-free queue whose nodes and descriptors are
+// reclaimed through domains produced by mk.
+func New(mk DomainFactory, opts ...Option) *Queue {
+	c := config{threads: 16}
+	for _, o := range opts {
+		o(&c)
+	}
+	var nOpts []mem.Option[Node]
+	var dOpts []mem.Option[Desc]
+	if c.checked {
+		nOpts = append(nOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+		dOpts = append(dOpts, mem.Checked[Desc](true), mem.WithPoison[Desc](PoisonDesc))
+	}
+	q := &Queue{
+		nodes:      mem.NewArena[Node](nOpts...),
+		descs:      mem.NewArena[Desc](dOpts...),
+		maxThreads: c.threads,
+	}
+	q.ndom = mk(q.nodes, reclaim.Config{MaxThreads: c.threads, Slots: NodeSlots})
+	q.ddom = mk(q.descs, reclaim.Config{MaxThreads: c.threads, Slots: DescSlots})
+
+	sentinel := q.newNode(0, noDeqTid)
+	q.head.Store(uint64(sentinel))
+	q.tail.Store(uint64(sentinel))
+
+	q.state = make([]atomic.Uint64, c.threads)
+	for i := range q.state {
+		// A completed pseudo-op so the help loop has something valid to read.
+		q.state[i].Store(uint64(q.newDesc(0, false, true, mem.NilRef, 0)))
+	}
+	return q
+}
+
+func (q *Queue) newNode(val uint64, enqTid int64) mem.Ref {
+	ref, n := q.nodes.Alloc()
+	n.Val = val
+	n.EnqTid = enqTid
+	n.DeqTid.Store(noDeqTid)
+	n.Next.Store(0)
+	q.ndom.OnAlloc(ref)
+	return ref
+}
+
+func (q *Queue) newDesc(phase uint64, pending, enqueue bool, node mem.Ref, val uint64) mem.Ref {
+	ref, d := q.descs.Alloc()
+	d.Phase = phase
+	d.Pending = pending
+	d.Enqueue = enqueue
+	d.Node = node
+	d.Val = val
+	q.ddom.OnAlloc(ref)
+	return ref
+}
+
+// Register claims a thread id valid for both internal domains.
+func (q *Queue) Register() int {
+	tid := q.ndom.Register()
+	dtid := q.ddom.Register()
+	if tid != dtid {
+		panic("wfqueue: domain tid allocation diverged")
+	}
+	return tid
+}
+
+// Unregister releases tid.
+func (q *Queue) Unregister(tid int) {
+	q.ndom.Unregister(tid)
+	q.ddom.Unregister(tid)
+}
+
+// NodeDomain exposes the node-reclamation domain (stats).
+func (q *Queue) NodeDomain() reclaim.Domain { return q.ndom }
+
+// DescDomain exposes the descriptor-reclamation domain (stats).
+func (q *Queue) DescDomain() reclaim.Domain { return q.ddom }
+
+// NodeArena exposes the node arena (stats, fault counters).
+func (q *Queue) NodeArena() *mem.Arena[Node] { return q.nodes }
+
+// DescArena exposes the descriptor arena.
+func (q *Queue) DescArena() *mem.Arena[Desc] { return q.descs }
+
+// maxPhase scans every announced descriptor for the largest phase.
+func (q *Queue) maxPhase(tid int) uint64 {
+	var maxP uint64
+	for i := range q.state {
+		dref := q.ddom.Protect(tid, 0, &q.state[i])
+		if p := q.descs.Get(dref).Phase; p > maxP {
+			maxP = p
+		}
+	}
+	return maxP
+}
+
+// isStillPending re-reads thread i's descriptor and reports whether an
+// operation with phase <= ph is still in flight there.
+func (q *Queue) isStillPending(tid, i int, ph uint64) bool {
+	dref := q.ddom.Protect(tid, 0, &q.state[i])
+	d := q.descs.Get(dref)
+	return d.Pending && d.Phase <= ph
+}
+
+// replaceDesc installs newRef in state[i] if it still holds oldRef,
+// retiring the replaced descriptor on success and directly freeing the
+// never-published newRef on failure. Returns success.
+func (q *Queue) replaceDesc(tid, i int, oldRef, newRef mem.Ref) bool {
+	if q.state[i].CompareAndSwap(uint64(oldRef), uint64(newRef)) {
+		q.ddom.Retire(tid, oldRef)
+		return true
+	}
+	q.descs.Free(newRef)
+	return false
+}
+
+// help completes every announced operation whose phase is <= ph.
+func (q *Queue) help(tid int, ph uint64) {
+	for i := range q.state {
+		dref := q.ddom.Protect(tid, 0, &q.state[i])
+		d := q.descs.Get(dref)
+		if !d.Pending || d.Phase > ph {
+			continue
+		}
+		if d.Enqueue {
+			q.helpEnq(tid, i, d.Phase)
+		} else {
+			q.helpDeq(tid, i, d.Phase)
+		}
+	}
+}
+
+// helpEnq pushes thread i's announced node onto the tail. The linking CAS
+// can only succeed while the operation is pending (the tail is advanced
+// strictly after the completing descriptor CAS), so the node is linked at
+// most once.
+func (q *Queue) helpEnq(tid, i int, ph uint64) {
+	for q.isStillPending(tid, i, ph) {
+		lastRef := q.ndom.Protect(tid, 0, &q.tail)
+		last := q.nodes.Get(lastRef)
+		next := mem.Ref(last.Next.Load())
+		if uint64(lastRef) != q.tail.Load() {
+			continue
+		}
+		if !next.IsNil() {
+			// Tail is lagging: finish the enqueue in progress.
+			q.helpFinishEnq(tid)
+			continue
+		}
+		if !q.isStillPending(tid, i, ph) {
+			return
+		}
+		dref := q.ddom.Protect(tid, 0, &q.state[i])
+		d := q.descs.Get(dref)
+		if !d.Pending || d.Phase > ph || !d.Enqueue {
+			return
+		}
+		if last.Next.CompareAndSwap(0, uint64(d.Node)) {
+			q.helpFinishEnq(tid)
+			return
+		}
+	}
+}
+
+// helpFinishEnq completes a half-done enqueue: mark the owner's descriptor
+// non-pending, THEN advance the tail (the order is what guarantees a node
+// is never linked twice).
+func (q *Queue) helpFinishEnq(tid int) {
+	lastRef := q.ndom.Protect(tid, 2, &q.tail)
+	last := q.nodes.Get(lastRef)
+	nextRef := q.ndom.Protect(tid, 3, &last.Next)
+	if uint64(lastRef) != q.tail.Load() {
+		return
+	}
+	if nextRef.IsNil() {
+		return
+	}
+	next := q.nodes.Get(nextRef)
+	i := int(next.EnqTid)
+	if i < 0 || i >= q.maxThreads {
+		return
+	}
+	dref := q.ddom.Protect(tid, 1, &q.state[i])
+	d := q.descs.Get(dref)
+	if uint64(lastRef) == q.tail.Load() && d.Node == nextRef && d.Pending {
+		newRef := q.newDesc(d.Phase, false, true, d.Node, 0)
+		q.replaceDesc(tid, i, dref, newRef)
+	}
+	q.tail.CompareAndSwap(uint64(lastRef), uint64(nextRef))
+}
+
+// helpDeq completes thread i's announced dequeue: record the current
+// sentinel as the candidate in i's descriptor, claim it by CASing its
+// DeqTid, then finish.
+func (q *Queue) helpDeq(tid, i int, ph uint64) {
+	for q.isStillPending(tid, i, ph) {
+		firstRef := q.ndom.Protect(tid, 0, &q.head)
+		lastRaw := q.tail.Load()
+		first := q.nodes.Get(firstRef)
+		nextRef := q.ndom.Protect(tid, 1, &first.Next)
+		if uint64(firstRef) != q.head.Load() {
+			continue
+		}
+		if uint64(firstRef) == lastRaw {
+			if nextRef.IsNil() {
+				// Queue empty: complete i's op with a nil node.
+				dref := q.ddom.Protect(tid, 0, &q.state[i])
+				d := q.descs.Get(dref)
+				if lastRaw != q.tail.Load() {
+					continue
+				}
+				if d.Pending && d.Phase <= ph && !d.Enqueue {
+					newRef := q.newDesc(d.Phase, false, false, mem.NilRef, 0)
+					q.replaceDesc(tid, i, dref, newRef)
+				}
+				continue
+			}
+			// Tail is lagging behind a half-finished enqueue.
+			q.helpFinishEnq(tid)
+			continue
+		}
+		dref := q.ddom.Protect(tid, 0, &q.state[i])
+		d := q.descs.Get(dref)
+		if !d.Pending || d.Phase > ph || d.Enqueue {
+			return
+		}
+		if d.Node != firstRef {
+			// Candidate stale (or unset): point it at the current sentinel.
+			newRef := q.newDesc(d.Phase, true, false, firstRef, 0)
+			if !q.replaceDesc(tid, i, dref, newRef) {
+				continue
+			}
+		}
+		first.DeqTid.CompareAndSwap(noDeqTid, int64(i))
+		q.helpFinishDeq(tid)
+	}
+}
+
+// helpFinishDeq completes a claimed dequeue: snapshot the dequeued value
+// out of the successor, mark the owner's descriptor done (carrying the
+// value), and advance the head.
+//
+// The value snapshot is protected against staleness by the head
+// re-validation AFTER the load: the successor's Val is immutable while the
+// successor is still in the queue, and it can only be consumed after the
+// head has advanced past firstRef — so if head still equals firstRef after
+// the load, the loaded value is the correct one. Every finisher therefore
+// computes the same value, and the unique winner of the descriptor CAS
+// publishes it.
+func (q *Queue) helpFinishDeq(tid int) {
+	firstRef := q.ndom.Protect(tid, 2, &q.head)
+	first := q.nodes.Get(firstRef)
+	nextRef := q.ndom.Protect(tid, 3, &first.Next)
+	if uint64(firstRef) != q.head.Load() {
+		return
+	}
+	i := int(first.DeqTid.Load())
+	if i == noDeqTid {
+		return // nobody has claimed the sentinel yet
+	}
+	if nextRef.IsNil() {
+		return // inconsistent snapshot; a claimed sentinel has a successor
+	}
+	// The head re-validation above makes the successor dereference safe
+	// (same argument as the Michael-Scott queue in internal/queue).
+	val := q.nodes.Get(nextRef).Val
+
+	dref := q.ddom.Protect(tid, 1, &q.state[i])
+	d := q.descs.Get(dref)
+	if uint64(firstRef) != q.head.Load() {
+		return
+	}
+	if d.Node == firstRef && d.Pending {
+		newRef := q.newDesc(d.Phase, false, false, firstRef, val)
+		q.replaceDesc(tid, i, dref, newRef)
+	}
+	q.head.CompareAndSwap(uint64(firstRef), uint64(nextRef))
+}
+
+// Announce publishes an enqueue of v WITHOUT helping it to completion —
+// the "stalled announcer" scenario: any other thread's subsequent operation
+// is obligated to complete this one (wait-free helping). Enqueue is
+// Announce plus the helping; tests and examples use Announce alone to
+// demonstrate that obligation.
+func (q *Queue) Announce(tid int, v uint64) uint64 {
+	q.ndom.BeginOp(tid)
+	q.ddom.BeginOp(tid)
+	phase := q.maxPhase(tid) + 1
+	node := q.newNode(v, int64(tid))
+	desc := q.newDesc(phase, true, true, node, 0)
+	old := mem.Ref(q.state[tid].Swap(uint64(desc)))
+	q.ddom.Retire(tid, old)
+	q.ndom.EndOp(tid)
+	q.ddom.EndOp(tid)
+	return phase
+}
+
+// Enqueue appends v. Wait-free: announce, help everyone up to our phase,
+// finish.
+func (q *Queue) Enqueue(tid int, v uint64) {
+	phase := q.Announce(tid, v)
+
+	q.ndom.BeginOp(tid)
+	q.ddom.BeginOp(tid)
+	q.help(tid, phase)
+	q.helpFinishEnq(tid)
+	q.ndom.EndOp(tid)
+	q.ddom.EndOp(tid)
+}
+
+// Dequeue removes and returns the oldest value; ok is false on empty.
+// Wait-free.
+func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
+	q.ndom.BeginOp(tid)
+	q.ddom.BeginOp(tid)
+
+	phase := q.maxPhase(tid) + 1
+	desc := q.newDesc(phase, true, false, mem.NilRef, 0)
+	old := mem.Ref(q.state[tid].Swap(uint64(desc)))
+	q.ddom.Retire(tid, old)
+
+	q.help(tid, phase)
+	q.helpFinishDeq(tid)
+
+	// Our descriptor is now complete; it names the sentinel we own.
+	dref := q.ddom.Protect(tid, 0, &q.state[tid])
+	d := q.descs.Get(dref)
+	node := d.Node
+	if node.IsNil() {
+		q.ndom.EndOp(tid)
+		q.ddom.EndOp(tid)
+		return 0, false
+	}
+	// The finisher snapshotted the dequeued value into our completed
+	// descriptor; the successor node may already be reclaimed by now, but
+	// we never touch it.
+	v = d.Val
+
+	q.ndom.EndOp(tid)
+	q.ddom.EndOp(tid)
+	// We own the old sentinel: retire it. (Our completed descriptor still
+	// names it, but Node of a non-pending descriptor is only dereferenced
+	// by its owner, i.e. by this thread's NEXT operation's Swap-retire.)
+	q.ndom.Retire(tid, node)
+	return v, true
+}
+
+// Len counts queued values; quiescent use only.
+func (q *Queue) Len() int {
+	n := 0
+	ref := mem.Ref(q.head.Load())
+	for {
+		next := mem.Ref(q.nodes.Get(ref).Next.Load())
+		if next.IsNil() {
+			return n
+		}
+		n++
+		ref = next
+	}
+}
+
+// Drain tears the queue down at quiescence.
+func (q *Queue) Drain() {
+	ref := mem.Ref(q.head.Load())
+	q.head.Store(0)
+	q.tail.Store(0)
+	for !ref.IsNil() {
+		next := mem.Ref(q.nodes.Get(ref).Next.Load())
+		q.nodes.Free(ref)
+		ref = next
+	}
+	for i := range q.state {
+		q.descs.Free(mem.Ref(q.state[i].Load()))
+		q.state[i].Store(0)
+	}
+	q.ndom.Drain()
+	q.ddom.Drain()
+}

@@ -1,0 +1,174 @@
+package repro
+
+import (
+	"repro/internal/bst"
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hashmap"
+	"repro/internal/hp"
+	"repro/internal/ibr"
+	"repro/internal/leak"
+	"repro/internal/list"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/rc"
+	"repro/internal/reclaim"
+	"repro/internal/skiplist"
+	"repro/internal/stack"
+	"repro/internal/urcu"
+)
+
+// This file is the public face of the library: the implementation lives in
+// internal/ packages (keeping their invariants sealed), and the names a
+// downstream user needs are re-exported here as type aliases, so godoc on
+// this package is the API reference.
+
+// ---- memory substrate -------------------------------------------------
+
+// Ref is a packed reference into an Arena: mark bit, slot generation, slot
+// index. See internal/mem for the layout.
+type Ref = mem.Ref
+
+// NilRef is the null Ref.
+const NilRef = mem.NilRef
+
+// Arena is the simulated manual-memory slab allocator all schemes reclaim
+// into.
+type Arena[T any] = mem.Arena[T]
+
+// ArenaOption configures NewArena.
+type ArenaOption[T any] = mem.Option[T]
+
+// NewArena constructs an arena for nodes of type T.
+func NewArena[T any](opts ...ArenaOption[T]) *Arena[T] { return mem.NewArena(opts...) }
+
+// Checked enables generation-validated dereference (use-after-free
+// detection) on an arena.
+func Checked[T any](on bool) ArenaOption[T] { return mem.Checked[T](on) }
+
+// WithPoison installs a payload poisoner run on every Free.
+func WithPoison[T any](poison func(*T)) ArenaOption[T] { return mem.WithPoison(poison) }
+
+// ---- reclamation framework ---------------------------------------------
+
+// Domain is the uniform safe-memory-reclamation interface every scheme
+// implements and every structure programs against.
+type Domain = reclaim.Domain
+
+// Allocator is the arena capability a Domain needs (every *Arena[T]
+// satisfies it).
+type Allocator = reclaim.Allocator
+
+// Config carries MaxThreads, protection-slot count and optional
+// instrumentation, mirroring the paper's HazardEras(maxHEs, maxThreads).
+type Config = reclaim.Config
+
+// Stats is a reclamation-accounting snapshot (PeakPending is the paper's
+// Equation-1 quantity).
+type Stats = reclaim.Stats
+
+// Instrument counts reader-side atomic operations (Table 1 reproduction).
+type Instrument = reclaim.Instrument
+
+// NewInstrument allocates instrumentation counters for maxThreads ids.
+func NewInstrument(maxThreads int) *Instrument { return reclaim.NewInstrument(maxThreads) }
+
+// ---- the schemes --------------------------------------------------------
+
+// HazardEras is the paper's algorithm (internal/core).
+type HazardEras = core.Eras
+
+// HazardErasOption configures NewHazardEras.
+type HazardErasOption = core.Option
+
+// NewHazardEras constructs a Hazard Eras domain over alloc.
+func NewHazardEras(alloc Allocator, cfg Config, opts ...HazardErasOption) *HazardEras {
+	return core.New(alloc, cfg, opts...)
+}
+
+// WithAdvanceEvery is the §3.4 k-advance option: advance the era clock only
+// on every k-th retire.
+func WithAdvanceEvery(k int) HazardErasOption { return core.WithAdvanceEvery(k) }
+
+// WithMinMax is the §3.4 min/max-publication option for deep traversals.
+func WithMinMax(on bool) HazardErasOption { return core.WithMinMax(on) }
+
+// HazardPointers is the Michael 2004 baseline (internal/hp).
+type HazardPointers = hp.Pointers
+
+// NewHazardPointers constructs a Hazard Pointers domain over alloc.
+func NewHazardPointers(alloc Allocator, cfg Config, opts ...hp.Option) *HazardPointers {
+	return hp.New(alloc, cfg, opts...)
+}
+
+// NewEBR constructs an epoch-based-reclamation domain (internal/ebr).
+func NewEBR(alloc Allocator, cfg Config) Domain { return ebr.New(alloc, cfg) }
+
+// NewURCU constructs a Grace-Version Userspace-RCU domain (internal/urcu).
+func NewURCU(alloc Allocator, cfg Config) Domain { return urcu.New(alloc, cfg) }
+
+// NewIBR constructs a 2GE interval-based-reclamation domain
+// (internal/ibr), the follow-on scheme Hazard Eras inspired.
+func NewIBR(alloc Allocator, cfg Config) Domain { return ibr.New(alloc, cfg) }
+
+// NewRefCount constructs the reference-counting baseline (internal/rc).
+func NewRefCount(alloc Allocator, cfg Config) Domain { return rc.New(alloc, cfg) }
+
+// NewLeak constructs the no-reclamation control (internal/leak).
+func NewLeak(alloc Allocator, cfg Config) Domain { return leak.New(alloc, cfg) }
+
+// ---- data structures ----------------------------------------------------
+
+// DomainFactory builds a Domain over a structure's arena; pass e.g.
+//
+//	func(a repro.Allocator, c repro.Config) repro.Domain {
+//		return repro.NewHazardEras(a, c)
+//	}
+type DomainFactory = list.DomainFactory
+
+// List is the Maged-Harris lock-free linked-list set — the structure the
+// paper benchmarks.
+type List = list.List
+
+// NewList builds a list reclaimed through mk's domain.
+func NewList(mk DomainFactory, opts ...list.Option) *List { return list.New(mk, opts...) }
+
+// Map is the Michael lock-free hash table.
+type Map = hashmap.Map
+
+// NewMap builds a hash map reclaimed through mk's domain.
+func NewMap(mk DomainFactory, opts ...hashmap.Option) *Map { return hashmap.New(mk, opts...) }
+
+// Queue is the Michael-Scott lock-free FIFO.
+type Queue = queue.Queue
+
+// NewQueue builds a queue reclaimed through mk's domain.
+func NewQueue(mk DomainFactory, opts ...queue.Option) *Queue {
+	return queue.New(queue.DomainFactory(mk), opts...)
+}
+
+// Stack is the Treiber lock-free LIFO.
+type Stack = stack.Stack
+
+// NewStack builds a stack reclaimed through mk's domain.
+func NewStack(mk DomainFactory, opts ...stack.Option) *Stack {
+	return stack.New(stack.DomainFactory(mk), opts...)
+}
+
+// SkipList is the concurrent ordered map with protected lock-free range
+// scans.
+type SkipList = skiplist.SkipList
+
+// NewSkipList builds a skip list reclaimed through mk's domain.
+func NewSkipList(mk DomainFactory, opts ...skiplist.Option) *SkipList {
+	return skiplist.New(skiplist.DomainFactory(mk), opts...)
+}
+
+// Tree is the external PATRICIA tree with lock-free deep-path readers
+// (the §3.4 workload).
+type Tree = bst.Tree
+
+// NewTree builds a tree reclaimed through mk's domain.
+func NewTree(mk DomainFactory, opts ...bst.Option) *Tree {
+	return bst.New(bst.DomainFactory(mk), opts...)
+}

@@ -1,0 +1,186 @@
+package repro_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+func newCell(v uint64) *atomic.Uint64 {
+	c := &atomic.Uint64{}
+	c.Store(v)
+	return c
+}
+
+// These tests exercise the public facade exactly as a downstream user
+// would: no internal/ imports.
+
+func heFactory(a repro.Allocator, c repro.Config) repro.Domain {
+	return repro.NewHazardEras(a, c)
+}
+
+func TestPublicListRoundTrip(t *testing.T) {
+	l := repro.NewList(heFactory)
+	tid := l.Domain().Register()
+	defer l.Domain().Unregister(tid)
+
+	if !l.Insert(tid, 1, 10) || !l.Insert(tid, 2, 20) {
+		t.Fatal("insert failed")
+	}
+	if v, ok := l.Get(tid, 2); !ok || v != 20 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !l.Remove(tid, 1) {
+		t.Fatal("remove failed")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	l.Drain()
+}
+
+func TestPublicSchemesInterchangeable(t *testing.T) {
+	factories := map[string]repro.DomainFactory{
+		"HE": heFactory,
+		"HE-k8": func(a repro.Allocator, c repro.Config) repro.Domain {
+			return repro.NewHazardEras(a, c, repro.WithAdvanceEvery(8))
+		},
+		"HE-minmax": func(a repro.Allocator, c repro.Config) repro.Domain {
+			return repro.NewHazardEras(a, c, repro.WithMinMax(true))
+		},
+		"HP":   func(a repro.Allocator, c repro.Config) repro.Domain { return repro.NewHazardPointers(a, c) },
+		"EBR":  repro.NewEBR,
+		"URCU": repro.NewURCU,
+		"RC":   repro.NewRefCount,
+		"NONE": repro.NewLeak,
+	}
+	for name, mk := range factories {
+		t.Run(name, func(t *testing.T) {
+			m := repro.NewMap(mk)
+			tid := m.Domain().Register()
+			defer m.Domain().Unregister(tid)
+			for k := uint64(0); k < 100; k++ {
+				m.Insert(tid, k, k*2)
+			}
+			for k := uint64(0); k < 100; k += 2 {
+				m.Remove(tid, k)
+			}
+			if m.Len() != 50 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+			m.Drain()
+		})
+	}
+}
+
+func TestPublicQueueStackTree(t *testing.T) {
+	q := repro.NewQueue(heFactory)
+	tid := q.Domain().Register()
+	q.Enqueue(tid, 7)
+	if v, ok := q.Dequeue(tid); !ok || v != 7 {
+		t.Fatalf("queue: %d,%v", v, ok)
+	}
+	q.Drain()
+
+	s := repro.NewStack(heFactory)
+	tid = s.Domain().Register()
+	s.Push(tid, 9)
+	if v, ok := s.Pop(tid); !ok || v != 9 {
+		t.Fatalf("stack: %d,%v", v, ok)
+	}
+	s.Drain()
+
+	tr := repro.NewTree(heFactory)
+	tid = tr.Domain().Register()
+	tr.Insert(tid, 3, 33)
+	if v, ok := tr.Get(tid, 3); !ok || v != 33 {
+		t.Fatalf("tree: %d,%v", v, ok)
+	}
+	tr.Drain()
+}
+
+func TestPublicArenaDirectUse(t *testing.T) {
+	type node struct{ v uint64 }
+	arena := repro.NewArena[node](
+		repro.Checked[node](true),
+		repro.WithPoison[node](func(n *node) { n.v = 0xDEAD }),
+	)
+	ref, n := arena.Alloc()
+	n.v = 1
+	if ref == repro.NilRef {
+		t.Fatal("nil ref from Alloc")
+	}
+	dom := repro.NewHazardEras(arena, repro.Config{MaxThreads: 2, Slots: 1})
+	dom.OnAlloc(ref)
+	tid := dom.Register()
+	dom.Retire(tid, ref)
+	if st := dom.Stats(); st.Freed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicConcurrentSmoke(t *testing.T) {
+	l := repro.NewList(heFactory)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := l.Domain().Register()
+			defer l.Domain().Unregister(tid)
+			for i := 0; i < 500; i++ {
+				k := uint64((w*17 + i) % 64)
+				switch i % 3 {
+				case 0:
+					l.Insert(tid, k, k)
+				case 1:
+					l.Contains(tid, k)
+				case 2:
+					l.Remove(tid, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	l.Drain()
+}
+
+func TestPublicInstrument(t *testing.T) {
+	ins := repro.NewInstrument(2)
+	type node struct{ v uint64 }
+	arena := repro.NewArena[node]()
+	dom := repro.NewHazardEras(arena, repro.Config{MaxThreads: 2, Slots: 1, Instrument: ins})
+	tid := dom.Register()
+	ref, _ := arena.Alloc()
+	dom.OnAlloc(ref)
+	cell := newCell(uint64(ref))
+	for i := 0; i < 10; i++ {
+		dom.Protect(tid, 0, cell)
+	}
+	if s := ins.Snapshot(); s.Visits != 10 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+func TestPublicSkipListRange(t *testing.T) {
+	s := repro.NewSkipList(heFactory)
+	tid := s.Domain().Register()
+	defer s.Domain().Unregister(tid)
+	for k := uint64(0); k < 20; k++ {
+		s.Insert(tid, k, k*2)
+	}
+	var got []uint64
+	n := s.Range(tid, 5, 15, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if n != 10 || len(got) != 10 || got[0] != 5 || got[9] != 14 {
+		t.Fatalf("Range = %d, %v", n, got)
+	}
+	if v, ok := s.Get(tid, 7); !ok || v != 14 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	s.Drain()
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full validation suite for the hazard-eras reproduction.
+# Usage: scripts/check.sh [quick|full]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-quick}"
+
+echo "== build =="
+go build ./...
+echo "== vet =="
+go vet ./...
+echo "== tests =="
+go test ./...
+if [ "$mode" = "full" ]; then
+  echo "== race =="
+  go test -race ./...
+  echo "== adversarial stress (checked arenas) =="
+  go run ./cmd/hestress -dur 1s -threads 8
+  echo "== schematic replays (exit 1 on divergence) =="
+  go run ./cmd/hetrace > /dev/null
+  echo "== experiment smoke =="
+  go run ./cmd/hebench -exp all -dur 100ms > /dev/null
+fi
+echo "ALL CHECKS PASSED ($mode)"
