@@ -37,6 +37,12 @@ type stressTarget struct {
 	// rcUnsafe marks structures with interior cells that deletion freezes
 	// forever (list-shaped traversals): Valois-style reference counting is
 	// unsound for true reclamation there (paper §1 on [28]) and is skipped.
+	// The wait-free queue is also marked: its helping protocol hands
+	// descriptor refs between threads through the announcement array, and
+	// slot-level counts cannot distinguish slot incarnations across the
+	// recycle a helper races with — checked runs fault nondeterministically
+	// on a stale descriptor dereference in help(). RC is re-usage-only
+	// there too.
 	rcUnsafe bool
 }
 
@@ -73,7 +79,7 @@ func main() {
 		{"queue", stressQueue, false},
 		{"stack", stressStack, false},
 		{"bst", stressBST, true},
-		{"wfq", stressWFQueue, false},
+		{"wfq", stressWFQueue, true},
 		{"skiplist", stressSkipList, true},
 	}
 	if *structs != "all" {

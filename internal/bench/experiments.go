@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bst"
@@ -422,4 +423,23 @@ func RFactor(w io.Writer, o Options) {
 		t.Row(r, res.MopsPerSec, res.Domain.PeakPending, res.Domain.Scans, res.Domain.Freed)
 	}
 	o.emit(w, t)
+
+	// The era-scheme counterpart: Config.ScanR batches scans per
+	// R*MaxThreads*Slots retirements (relative units, vs. HP's absolute
+	// list length above), multiplying the Equation 1 bound by R while
+	// dividing scan frequency by R*T*S.
+	Section(w, "Ablation: era-scheme scan amortization (Config.ScanR), list size=%d, updates=%d%%, threads=%d", wl.Size, wl.UpdatePercent, th)
+	t2 := NewTable("scheme", "ScanR", "Mops", "peak pending", "scans", "freed")
+	for _, r := range []int{0, 1, 4, 16} {
+		for _, mk := range []func(int) Scheme{HEr, IBRr} {
+			s := mk(r)
+			if r == 0 {
+				// ScanR=0 is the paper's scan-per-retire default.
+				s.Name = s.Name[:strings.IndexByte(s.Name, '-')]
+			}
+			res := RunCell(s, wl, o.Dur, o.Seed)
+			t2.Row(s.Name, r, res.MopsPerSec, res.Domain.PeakPending, res.Domain.Scans, res.Domain.Freed)
+		}
+	}
+	o.emit(w, t2)
 }

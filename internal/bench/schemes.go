@@ -57,6 +57,24 @@ func HPr(r int) Scheme {
 	}}
 }
 
+// HEr returns Hazard Eras with amortized batch scanning: a thread scans its
+// retired list only every r*MaxThreads*Slots retirements (this repo's
+// generalization of HP's §3.1 R factor to eras; see reclaim.Config.ScanR).
+func HEr(r int) Scheme {
+	return Scheme{"HE-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		c.ScanR = r
+		return core.New(a, c)
+	}}
+}
+
+// IBRr returns 2GE-IBR with the same amortized batch scanning as HEr.
+func IBRr(r int) Scheme {
+	return Scheme{"IBR-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		c.ScanR = r
+		return ibr.New(a, c)
+	}}
+}
+
 // EBR returns the epoch-based baseline.
 func EBR() Scheme {
 	return Scheme{"EBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {

@@ -100,7 +100,7 @@ func New(mk DomainFactory, opts ...Option) *Tree {
 	for _, o := range opts {
 		o(&c)
 	}
-	var arenaOpts []mem.Option[Node]
+	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
@@ -165,7 +165,7 @@ func (t *Tree) Insert(tid int, key, val uint64) bool {
 	defer t.mu.Unlock()
 
 	if mem.Ref(t.root.Load()).IsNil() {
-		leaf := t.newLeaf(key, val)
+		leaf := t.newLeaf(tid, key, val)
 		t.root.Store(uint64(leaf))
 		return true
 	}
@@ -190,8 +190,8 @@ func (t *Tree) Insert(tid int, key, val uint64) bool {
 		cur := mem.Ref(edge.Load())
 		n := t.arena.Get(cur)
 		if n.Kind == kindLeaf || n.Bit > diff {
-			leaf := t.newLeaf(key, val)
-			inner, in := t.arena.Alloc()
+			leaf := t.newLeaf(tid, key, val)
+			inner, in := t.arena.AllocAt(tid)
 			in.Kind = kindInternal
 			in.Bit = diff
 			in.Child[bit(key, diff)].Store(uint64(leaf))
@@ -204,8 +204,8 @@ func (t *Tree) Insert(tid int, key, val uint64) bool {
 	}
 }
 
-func (t *Tree) newLeaf(key, val uint64) mem.Ref {
-	ref, n := t.arena.Alloc()
+func (t *Tree) newLeaf(tid int, key, val uint64) mem.Ref {
+	ref, n := t.arena.AllocAt(tid)
 	n.Kind = kindLeaf
 	n.Key, n.Val = key, val
 	t.dom.OnAlloc(ref)

@@ -29,6 +29,7 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -59,11 +60,11 @@ func WithMinMax(on bool) Option {
 	return func(d *Eras) { d.minMax = on }
 }
 
-// perThread is the thread-local (owner-only) reader state. held mirrors the
-// published eras so the fast path can compare without an atomic load of its
-// own slot — the paper notes prevEra "is relaxed and can even be replaced
-// with a stack variable".
-type perThread struct {
+// perThreadState is the thread-local (owner-only) reader state. held
+// mirrors the published eras so the fast path can compare without an atomic
+// load of its own slot — the paper notes prevEra "is relaxed and can even
+// be replaced with a stack variable".
+type perThreadState struct {
 	held        []uint64 // era held per protection index (0 = none)
 	retireCount uint64   // Retire calls, for k-advance
 	// curMin/curMax track the published min/max in min/max mode. curMin may
@@ -71,7 +72,14 @@ type perThread struct {
 	// era without raising curMin) — publishing a lower-than-necessary
 	// minimum is conservative: it can only pin more, never less.
 	curMin, curMax uint64
-	_              [atomicx.CacheLineSize - 48]byte
+}
+
+// perThread pads perThreadState out to a whole number of cache lines; the
+// pad length is computed from unsafe.Sizeof so adding a field can never
+// silently unbalance it.
+type perThread struct {
+	perThreadState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
 }
 
 // Eras is the Hazard Eras domain (the paper's HazardEras<T> class).
@@ -230,10 +238,12 @@ func (d *Eras) publish(tid, index int, era uint64, lt *perThread) {
 
 // Retire is the paper's retire() (Algorithm 3): stamp delEra, append to the
 // calling thread's retired list, advance the eraClock (every k-th call
-// under k-advance) if no other thread already advanced it, then scan the
-// retired list freeing every object whose lifetime no eras-in-use overlap.
+// under k-advance) if no other thread already advanced it, then — once the
+// list reaches the scan threshold (every retire under the paper's default;
+// every R·T·S retires under Config.ScanR amortization) — scan the retired
+// list freeing every object whose lifetime no eras-in-use overlap.
 // Wait-free bounded: no retries, and the retired list is bounded by
-// Equation 1 of the paper.
+// Equation 1 of the paper (times R under amortization).
 func (d *Eras) Retire(tid int, ref mem.Ref) {
 	ref = ref.Unmarked()
 	currEra := d.eraClock.Load()
@@ -247,27 +257,75 @@ func (d *Eras) Retire(tid int, ref mem.Ref) {
 		// advance, which only makes eras pass faster.
 		d.eraClock.Add(1)
 	}
-	d.scan(tid)
+	if d.ScanDue(tid) {
+		d.scan(tid)
+	}
 }
 
 // Scan runs one reclamation pass over tid's retired list, freeing every
-// object not protected by any published era. Retire calls it implicitly; it
-// is exported for harness teardown and tests.
+// object not protected by any published era. Retire calls it at the scan
+// threshold; it is exported as the ScanNow escape hatch for callers that
+// want reclamation before the threshold (harness teardown, tests, memory
+// pressure).
 func (d *Eras) Scan(tid int) { d.scan(tid) }
 
-// scan frees every retired object not protected by any published era.
+// scan frees every retired object not protected by any published era. The
+// published-era array is snapshotted once into tid's reusable scratch
+// buffer and sorted, so each retired object is tested with a binary search
+// instead of re-reading the whole array (see reclaim/snapshot.go); the
+// per-object condition is exactly protected()'s.
 func (d *Eras) scan(tid int) {
-	d.NoteScan()
+	d.NoteScan(tid)
+	d.AdoptOrphans(tid)
 	rlist := d.Retired(tid)
-	keep := rlist[:0]
-	for _, obj := range rlist {
-		if d.protected(obj) {
-			keep = append(keep, obj)
-		} else {
-			d.FreeRetired(obj)
+	if len(rlist) == 0 {
+		return
+	}
+	slots := d.Cfg.Slots
+	if d.minMax {
+		// Snapshot each thread's published [min, max] envelope. The
+		// three-clause §3.4 condition in protected() is exactly interval
+		// intersection — (lo <= birth <= hi) or (lo <= retire <= hi) or
+		// enclosure all reduce to lo <= retire && birth <= hi — and a
+		// torn read that yields hi < lo (fresh min beside a stale max)
+		// only ever satisfies the enclosure clause, which is the
+		// intersection test for the normalized [hi, lo]. So normalizing
+		// preserves the semantics exactly.
+		snap := d.IntervalScratch(tid)
+		snap.Begin()
+		for t := 0; t < d.Cfg.MaxThreads; t++ {
+			lo := d.he[t*slots+0].Load()
+			if lo == noneEra {
+				continue
+			}
+			hi := lo
+			if h := d.he[t*slots+1].Load(); h != noneEra {
+				hi = h
+			}
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			snap.Add(lo, hi)
+		}
+		snap.Seal()
+		d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+			h := d.Alloc.Header(obj)
+			return snap.Intersects(h.BirthEra, h.RetireEra)
+		})
+		return
+	}
+	snap := d.EraScratch(tid)
+	snap.Begin()
+	for i := 0; i < d.Cfg.MaxThreads*slots; i++ {
+		if era := d.he[i].Load(); era != noneEra {
+			snap.Add(era)
 		}
 	}
-	d.SetRetired(tid, keep)
+	snap.Seal()
+	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+		h := d.Alloc.Header(obj)
+		return snap.CoversRange(h.BirthEra, h.RetireEra)
+	})
 }
 
 // protected reports whether any thread has published an era within
@@ -305,6 +363,19 @@ func (d *Eras) protected(obj mem.Ref) bool {
 		return true
 	}
 	return false
+}
+
+// Unregister drains the departing thread before releasing its id: any
+// remaining protections are dropped, a final scan reclaims everything now
+// unprotected, and survivors (objects pinned by *other* threads' eras) are
+// handed to the shared orphan pool for the next scanning thread to adopt.
+// Without this, amortized scanning would strand up to threshold-1 objects
+// per departing thread.
+func (d *Eras) Unregister(tid int) {
+	d.Clear(tid)
+	d.scan(tid)
+	d.Abandon(tid)
+	d.Base.Unregister(tid)
 }
 
 // Drain implements reclaim.Domain (the paper's destructor).

@@ -89,7 +89,9 @@ func (d *Domain) Retire(tid int, ref mem.Ref) {
 	d.Alloc.Header(ref).RetireEra = e
 	d.PushRetired(tid, ref)
 	d.tryAdvance(e)
-	d.scan(tid)
+	if d.ScanDue(tid) {
+		d.scan(tid)
+	}
 }
 
 // tryAdvance bumps the global epoch iff every active thread has announced
@@ -108,18 +110,25 @@ func (d *Domain) tryAdvance(observed uint64) {
 // scan frees every retired object that has aged at least gracePeriods
 // epochs.
 func (d *Domain) scan(tid int) {
-	d.NoteScan()
+	d.NoteScan(tid)
+	d.AdoptOrphans(tid)
 	e := d.globalEpoch.Load()
-	rlist := d.Retired(tid)
-	keep := rlist[:0]
-	for _, obj := range rlist {
-		if d.Alloc.Header(obj).RetireEra+gracePeriods <= e {
-			d.FreeRetired(obj)
-		} else {
-			keep = append(keep, obj)
-		}
-	}
-	d.SetRetired(tid, keep)
+	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+		return d.Alloc.Header(obj).RetireEra+gracePeriods > e
+	})
+}
+
+// Unregister drains the departing thread before releasing its id: its
+// epoch announcement is withdrawn (a stale active announcement would pin
+// the epoch forever), a final advance+scan reclaims what has aged out, and
+// the not-yet-aged remainder moves to the shared orphan pool for the next
+// scanning thread to adopt.
+func (d *Domain) Unregister(tid int) {
+	d.announce[tid].Store(0)
+	d.tryAdvance(d.globalEpoch.Load())
+	d.scan(tid)
+	d.Abandon(tid)
+	d.Base.Unregister(tid)
 }
 
 // Drain implements reclaim.Domain.

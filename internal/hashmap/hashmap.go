@@ -68,7 +68,7 @@ func New(mk list.DomainFactory, opts ...Option) *Map {
 	for n < c.buckets {
 		n <<= 1
 	}
-	var arenaOpts []mem.Option[list.Node]
+	arenaOpts := []mem.Option[list.Node]{mem.WithShards[list.Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[list.Node](true), mem.WithPoison[list.Node](list.PoisonNode))
 	}

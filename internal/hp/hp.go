@@ -17,7 +17,6 @@
 package hp
 
 import (
-	"slices"
 	"sync/atomic"
 
 	"repro/internal/atomicx"
@@ -31,15 +30,17 @@ const nonePtr = 0
 // Option configures the Hazard Pointers domain.
 type Option func(*Pointers)
 
-// WithScanThreshold sets the R factor: the retired list is scanned once its
-// length reaches r. r=1 (the default) scans on every Retire, matching both
-// the paper's memory-bound analysis ("when the R factor is set to the lowest
-// setting of 1 ...", §3.1) and Hazard Eras' scan-per-retire, so the two
-// schemes do comparable reclamation work per retire.
+// WithScanThreshold sets the R factor as an absolute retired-list length:
+// the list is scanned once its length reaches r. r=1 (the default) scans on
+// every Retire, matching both the paper's memory-bound analysis ("when the
+// R factor is set to the lowest setting of 1 ...", §3.1) and Hazard Eras'
+// scan-per-retire, so the two schemes do comparable reclamation work per
+// retire. The relative form (threshold = R·MaxThreads·Slots) is available
+// through reclaim.Config.ScanR.
 func WithScanThreshold(r int) Option {
 	return func(d *Pointers) {
 		if r > 0 {
-			d.threshold = r
+			d.SetScanThreshold(r)
 		}
 	}
 }
@@ -50,8 +51,6 @@ type Pointers struct {
 
 	// hp is hp[MAX_THREADS][MAX_HPS] flattened, each cell padded.
 	hp []atomicx.PaddedUint64
-
-	threshold int
 }
 
 var _ reclaim.Domain = (*Pointers)(nil)
@@ -59,8 +58,7 @@ var _ reclaim.Domain = (*Pointers)(nil)
 // New constructs a Hazard Pointers domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Pointers {
 	d := &Pointers{
-		Base:      reclaim.NewBase(alloc, cfg),
-		threshold: 1,
+		Base: reclaim.NewBase(alloc, cfg),
 	}
 	d.hp = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads*d.Cfg.Slots)
 	for _, o := range opts {
@@ -122,33 +120,49 @@ func (d *Pointers) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 // every thread exactly once.
 func (d *Pointers) Retire(tid int, ref mem.Ref) {
 	d.PushRetired(tid, ref)
-	if len(d.Retired(tid)) >= d.threshold {
+	if d.ScanDue(tid) {
 		d.scan(tid)
 	}
 }
 
+// Scan runs one reclamation pass over tid's retired list regardless of the
+// threshold — the ScanNow escape hatch for teardown, tests and memory
+// pressure.
+func (d *Pointers) Scan(tid int) { d.scan(tid) }
+
 // scan frees every retired object whose unmarked ref is not published in
-// any hazard-pointer slot (Michael's Scan with a sorted snapshot).
+// any hazard-pointer slot (Michael's Scan with a sorted snapshot). The
+// snapshot lives in tid's reusable scratch buffer, so steady-state scans
+// allocate nothing.
 func (d *Pointers) scan(tid int) {
-	d.NoteScan()
-	published := make([]uint64, 0, 64)
+	d.NoteScan(tid)
+	d.AdoptOrphans(tid)
+	rlist := d.Retired(tid)
+	if len(rlist) == 0 {
+		return
+	}
+	snap := d.EraScratch(tid) // holds pointer bits here, not eras
+	snap.Begin()
 	for i := range d.hp {
 		if p := d.hp[i].Load(); p != nonePtr {
-			published = append(published, p)
+			snap.Add(p)
 		}
 	}
-	slices.Sort(published)
+	snap.Seal()
+	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+		return snap.Contains(uint64(obj))
+	})
+}
 
-	rlist := d.Retired(tid)
-	keep := rlist[:0]
-	for _, obj := range rlist {
-		if _, found := slices.BinarySearch(published, uint64(obj)); found {
-			keep = append(keep, obj)
-		} else {
-			d.FreeRetired(obj)
-		}
-	}
-	d.SetRetired(tid, keep)
+// Unregister drains the departing thread before releasing its id: hazard
+// pointers are cleared, a final scan reclaims everything now unprotected,
+// and survivors (pinned by other threads) move to the shared orphan pool
+// for the next scanning thread to adopt.
+func (d *Pointers) Unregister(tid int) {
+	d.Clear(tid)
+	d.scan(tid)
+	d.Abandon(tid)
+	d.Base.Unregister(tid)
 }
 
 // Drain implements reclaim.Domain.

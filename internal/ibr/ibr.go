@@ -27,6 +27,7 @@ package ibr
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -37,11 +38,19 @@ import (
 // the clock starts at 1).
 const inactive = 0
 
-// perThread is owner-only reader state mirroring the published interval.
-type perThread struct {
+// perThreadState is owner-only reader state mirroring the published
+// interval.
+type perThreadState struct {
 	lower, upper uint64
 	retireCount  uint64
-	_            [atomicx.CacheLineSize - 24]byte
+}
+
+// perThread pads perThreadState out to a whole number of cache lines; the
+// pad length is computed from unsafe.Sizeof so adding a field can never
+// silently unbalance it.
+type perThread struct {
+	perThreadState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
 }
 
 // Domain is the 2GE-IBR reclamation domain.
@@ -141,7 +150,9 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 }
 
 // Retire stamps the death era, advances the clock per the epoch frequency,
-// and scans (identical structure to HE's Algorithm 3).
+// and scans once the retired list reaches the threshold (every retire by
+// default; every R·T·S retires under Config.ScanR) — identical structure to
+// HE's Algorithm 3.
 func (d *Domain) Retire(tid int, ref mem.Ref) {
 	ref = ref.Unmarked()
 	currEra := d.eraClock.Load()
@@ -153,27 +164,60 @@ func (d *Domain) Retire(tid int, ref mem.Ref) {
 	if lt.retireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
 		d.eraClock.Add(1)
 	}
-	d.scan(tid)
+	if d.ScanDue(tid) {
+		d.scan(tid)
+	}
 }
 
 // Scan runs one reclamation pass over tid's retired list; Retire calls it
-// implicitly, and it is exported for harness teardown and tests.
+// at the scan threshold, and it is exported as the ScanNow escape hatch for
+// harness teardown and tests.
 func (d *Domain) Scan(tid int) { d.scan(tid) }
 
 // scan frees every retired object whose lifetime no published interval
-// intersects.
+// intersects. The published intervals are snapshotted once into tid's
+// reusable scratch buffer (sorted by lower bound, prefix-max upper), so
+// each retired object is tested with a binary search instead of re-reading
+// all interval cells; the per-object condition is exactly protected()'s.
 func (d *Domain) scan(tid int) {
-	d.NoteScan()
+	d.NoteScan(tid)
+	d.AdoptOrphans(tid)
 	rlist := d.Retired(tid)
-	keep := rlist[:0]
-	for _, obj := range rlist {
-		if d.protected(obj) {
-			keep = append(keep, obj)
-		} else {
-			d.FreeRetired(obj)
-		}
+	if len(rlist) == 0 {
+		return
 	}
-	d.SetRetired(tid, keep)
+	snap := d.IntervalScratch(tid)
+	snap.Begin()
+	for t := 0; t < d.Cfg.MaxThreads; t++ {
+		lo := d.intervals[t*2+0].Load()
+		if lo == inactive {
+			continue
+		}
+		hi := d.intervals[t*2+1].Load()
+		if hi < lo {
+			// Between the two publication stores of BeginOp a scanner can
+			// see a fresh lower with a stale upper; treat it as [lo, lo] —
+			// conservative either way.
+			hi = lo
+		}
+		snap.Add(lo, hi)
+	}
+	snap.Seal()
+	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+		h := d.Alloc.Header(obj)
+		return snap.Intersects(h.BirthEra, h.RetireEra)
+	})
+}
+
+// Unregister drains the departing thread before releasing its id: the
+// published interval is closed, a final scan reclaims everything now
+// unprotected, and survivors (pinned by other threads' intervals) move to
+// the shared orphan pool for the next scanning thread to adopt.
+func (d *Domain) Unregister(tid int) {
+	d.EndOp(tid)
+	d.scan(tid)
+	d.Abandon(tid)
+	d.Base.Unregister(tid)
 }
 
 // protected reports whether any thread's interval [lo, hi] intersects the

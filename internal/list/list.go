@@ -137,12 +137,12 @@ func (o *Ops) Insert(head *atomic.Uint64, tid int, key, val uint64) bool {
 		found, prev, curr, _ := o.find(head, tid, key, &unlinked)
 		if found {
 			if !newRef.IsNil() {
-				o.Arena.Free(newRef) // never published: direct free is safe
+				o.Arena.FreeAt(tid, newRef) // never published: direct free is safe
 			}
 			break
 		}
 		if newRef.IsNil() {
-			newRef, newNode = o.Arena.Alloc()
+			newRef, newNode = o.Arena.AllocAt(tid)
 			newNode.Key, newNode.Val = key, val
 		}
 		newNode.Next.Store(uint64(curr))
@@ -310,7 +310,7 @@ func New(mk DomainFactory, opts ...Option) *List {
 	for _, o := range opts {
 		o(&c)
 	}
-	var arenaOpts []mem.Option[Node]
+	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}

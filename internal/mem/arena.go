@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atomicx"
 )
@@ -16,6 +17,15 @@ const (
 
 	// maxSlabs bounds the arena at maxSlabs*slabSize slots (~134M).
 	maxSlabs = 1 << 14
+
+	// MagazineSize is the capacity of each per-shard free-slot magazine
+	// (see AllocAt/FreeAt). Spills and refills move half a magazine at a
+	// time, so in steady state a thread touches the shared freelist once
+	// every MagazineSize/2 operations instead of on every one.
+	MagazineSize = 64
+	// magazineSpill is the batch moved between a magazine and the global
+	// freelist on overflow/underflow.
+	magazineSpill = MagazineSize / 2
 )
 
 // slot is one arena cell: SMR metadata, freelist linkage and the payload.
@@ -37,6 +47,31 @@ type Stats struct {
 	Faults   int64 // detected memory-safety violations (checked mode)
 }
 
+// shardState is one allocation shard: a private magazine of free slot refs
+// plus that shard's share of the striped counters. The magazine fields are
+// owner-only (a shard id is a reclamation-domain thread id, and tid reuse
+// is synchronized by the domain registry's mutex), so they need no atomics;
+// the counters are atomic only so Stats can fold them concurrently.
+type shardState struct {
+	mag [MagazineSize]Ref
+	n   int
+
+	allocs atomic.Int64
+	frees  atomic.Int64
+	// fresh counts the AllocAt calls served by the bump cursor; the shard's
+	// recycled-allocation count is derived as allocs-fresh, so the hot
+	// magazine-hit path updates a single counter, not two.
+	fresh atomic.Int64
+}
+
+// shard pads shardState out to a whole number of cache lines so
+// neighbouring shards never share a line; the pad length is computed from
+// unsafe.Sizeof so adding a field can never silently unbalance it.
+type shard struct {
+	shardState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(shardState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
+}
+
 // Arena is a slab allocator for values of type T, addressed by Refs.
 // All methods are safe for concurrent use. See the package comment for why
 // this exists.
@@ -50,6 +85,9 @@ type Arena[T any] struct {
 
 	cursor   atomic.Uint64 // last never-recycled index handed out
 	freeHead atomic.Uint64 // Ref-encoded head of the lock-free freelist
+
+	// shards holds the per-thread magazines used by AllocAt/FreeAt.
+	shards []shard
 
 	allocs   atomic.Int64
 	frees    atomic.Int64
@@ -82,9 +120,22 @@ func WithFaultHandler[T any](h func(msg string)) Option[T] {
 	return func(a *Arena[T]) { a.onFault = h }
 }
 
+// WithShards sets the number of per-thread allocation shards (magazines)
+// served by AllocAt/FreeAt. Shard ids are reclamation-domain thread ids;
+// calls with an id outside [0, n) fall back to the shared freelist. The
+// default of 64 matches reclaim.Config's default MaxThreads.
+func WithShards[T any](n int) Option[T] {
+	return func(a *Arena[T]) {
+		if n < 0 {
+			n = 0
+		}
+		a.shards = make([]shard, n)
+	}
+}
+
 // NewArena constructs an empty arena.
 func NewArena[T any](opts ...Option[T]) *Arena[T] {
-	a := &Arena[T]{}
+	a := &Arena[T]{shards: make([]shard, 64)}
 	for _, o := range opts {
 		o(a)
 	}
@@ -114,27 +165,43 @@ func (a *Arena[T]) fault(msg string) {
 // Alloc returns a fresh slot, recycling freed slots when available. The
 // returned Ref is unmarked and carries the slot's current generation.
 func (a *Arena[T]) Alloc() (Ref, *T) {
-	// Fast path: pop the lock-free freelist. The Ref stored in freeHead
-	// carries the generation the slot had when freed, so a competing
-	// pop/realloc/free cycle changes the head value and the CAS fails (no
-	// ABA), which is precisely the protection this whole repository is
-	// about — here applied to the allocator itself.
+	if ref, ok := a.popGlobal(); ok {
+		// Freelist refs carry the slot's current (post-bump) generation —
+		// releaseSlot wrote them that way — so ref is already the Ref this
+		// incarnation must hand out; no generation reload needed.
+		s := a.slotAt(ref.Index())
+		s.hdr.resetForAlloc()
+		a.reuses.Add(1)
+		a.noteAlloc()
+		return ref, &s.val
+	}
+	ref, p := a.allocFresh()
+	a.noteAlloc()
+	return ref, p
+}
+
+// popGlobal pops one slot off the lock-free shared freelist. The Ref stored
+// in freeHead carries the generation the slot had when freed, so a
+// competing pop/realloc/free cycle changes the head value and the CAS fails
+// (no ABA), which is precisely the protection this whole repository is
+// about — here applied to the allocator itself.
+func (a *Arena[T]) popGlobal() (Ref, bool) {
 	for {
 		head := Ref(a.freeHead.Load())
 		if head.IsNil() {
-			break
+			return NilRef, false
 		}
 		s := a.slotAt(head.Index())
 		next := s.nextFree.Load()
 		if a.freeHead.CompareAndSwap(uint64(head), next) {
-			s.hdr.resetForAlloc()
-			a.reuses.Add(1)
-			a.noteAlloc()
-			return MakeRef(head.Index(), s.hdr.Gen()), &s.val
+			return head, true
 		}
 	}
+}
 
-	// Slow path: extend the bump cursor (index 0 is reserved as nil).
+// allocFresh extends the bump cursor (index 0 is reserved as nil) and
+// returns the never-before-used slot.
+func (a *Arena[T]) allocFresh() (Ref, *T) {
 	index := a.cursor.Add(1)
 	if index > MaxIndex {
 		a.fault("arena index space exhausted")
@@ -152,7 +219,6 @@ func (a *Arena[T]) Alloc() (Ref, *T) {
 	}
 	s := a.slotAt(index)
 	s.hdr.resetForAlloc()
-	a.noteAlloc()
 	return MakeRef(index, s.hdr.Gen()), &s.val
 }
 
@@ -161,28 +227,166 @@ func (a *Arena[T]) noteAlloc() {
 	a.peakLive.Observe(live)
 }
 
-// Free returns the slot to the freelist. The slot's generation is bumped
-// first, so every outstanding Ref to the old incarnation becomes stale, then
-// the payload is poisoned. Freeing with a stale Ref (double free or free of
-// a reused slot) is a detected fault in checked mode.
-func (a *Arena[T]) Free(ref Ref) {
+// AllocAt is Alloc served from shard's private magazine: no shared atomics
+// on the fast path, a batched refill from the global freelist when the
+// magazine runs dry, and the bump cursor when the whole arena has no free
+// slots. An out-of-range shard id falls back to the shared path.
+func (a *Arena[T]) AllocAt(shard int) (Ref, *T) {
+	if shard < 0 || shard >= len(a.shards) {
+		return a.Alloc()
+	}
+	sh := &a.shards[shard].shardState
+	if sh.n == 0 && !a.refill(sh) {
+		ref, p := a.allocFresh()
+		sh.allocs.Add(1)
+		sh.fresh.Add(1)
+		// Fresh allocation is the only sharded operation that can raise
+		// Live, so folding the peak here (not on magazine hits) keeps the
+		// fast path cheap without losing the high-water mark.
+		a.observePeakLive()
+		return ref, p
+	}
+	sh.n--
+	// Magazine refs carry the slot's current generation (releaseSlot and
+	// popGlobal both hand out post-bump refs), so ref is returned as-is.
+	ref := sh.mag[sh.n]
+	s := a.slotAt(ref.Index())
+	s.hdr.resetForAlloc()
+	sh.allocs.Add(1)
+	return ref, &s.val
+}
+
+// FreeAt is Free into shard's private magazine, spilling half the magazine
+// to the global freelist (one CAS for the whole batch) when it is full. The
+// generation bump and poisoning are identical to Free, so stale frees and
+// use-after-free detection behave the same on both paths.
+func (a *Arena[T]) FreeAt(shard int, ref Ref) {
+	if shard < 0 || shard >= len(a.shards) {
+		a.Free(ref)
+		return
+	}
+	newRef, ok := a.releaseSlot(ref)
+	if !ok {
+		return
+	}
+	sh := &a.shards[shard].shardState
+	if sh.n == MagazineSize {
+		a.spill(sh)
+	}
+	sh.mag[sh.n] = newRef
+	sh.n++
+	sh.frees.Add(1)
+}
+
+// FreeBatchAt frees refs into shard's magazine like repeated FreeAt calls,
+// but folds the whole batch into one counter update — the reclamation
+// schemes' scan passes free dozens of objects at once, and per-object atomic
+// counter traffic would dominate the amortized scan cost. Release semantics
+// (generation bump, poisoning, stale-free detection) are per-object and
+// identical to FreeAt.
+func (a *Arena[T]) FreeBatchAt(shard int, refs []Ref) {
+	if shard < 0 || shard >= len(a.shards) {
+		for _, ref := range refs {
+			a.Free(ref)
+		}
+		return
+	}
+	sh := &a.shards[shard].shardState
+	released := int64(0)
+	for _, ref := range refs {
+		newRef, ok := a.releaseSlot(ref)
+		if !ok {
+			continue
+		}
+		if sh.n == MagazineSize {
+			a.spill(sh)
+		}
+		sh.mag[sh.n] = newRef
+		sh.n++
+		released++
+	}
+	sh.frees.Add(released)
+}
+
+// refill moves up to half a magazine from the global freelist into sh.
+// Each slot is popped with the same generation-CAS as Alloc, so the ABA
+// protection argument carries over unchanged.
+func (a *Arena[T]) refill(sh *shardState) bool {
+	for sh.n < magazineSpill {
+		ref, ok := a.popGlobal()
+		if !ok {
+			break
+		}
+		sh.mag[sh.n] = ref
+		sh.n++
+	}
+	return sh.n > 0
+}
+
+// spill pushes the oldest half of sh's magazine onto the global freelist as
+// one pre-linked chain: the intra-chain links are written once, and only
+// the chain tail's link is rewritten if the single head CAS retries.
+func (a *Arena[T]) spill(sh *shardState) {
+	for i := 0; i < magazineSpill-1; i++ {
+		a.slotAt(sh.mag[i].Index()).nextFree.Store(uint64(sh.mag[i+1]))
+	}
+	tail := a.slotAt(sh.mag[magazineSpill-1].Index())
+	for {
+		head := a.freeHead.Load()
+		tail.nextFree.Store(head)
+		if a.freeHead.CompareAndSwap(head, uint64(sh.mag[0])) {
+			break
+		}
+	}
+	copy(sh.mag[:], sh.mag[magazineSpill:])
+	sh.n -= magazineSpill
+}
+
+// observePeakLive folds the striped counters into the live high-water mark.
+func (a *Arena[T]) observePeakLive() {
+	allocs, frees := a.allocs.Load(), a.frees.Load()
+	for i := range a.shards {
+		sh := &a.shards[i].shardState
+		allocs += sh.allocs.Load()
+		frees += sh.frees.Load()
+	}
+	a.peakLive.Observe(allocs - frees)
+}
+
+// releaseSlot validates ref, bumps the slot's generation (invalidating
+// every outstanding Ref to the old incarnation) and poisons the payload,
+// returning the slot's next-incarnation Ref. A stale or nil ref is a
+// detected fault in checked mode and returns ok=false.
+func (a *Arena[T]) releaseSlot(ref Ref) (Ref, bool) {
 	ref = ref.Unmarked()
 	if ref.IsNil() {
 		a.fault("free of nil ref")
-		return
+		return NilRef, false
 	}
 	s := a.slotAt(ref.Index())
 	if a.checked && s.hdr.Gen() != ref.Gen() {
 		a.fault(fmt.Sprintf("double or stale free: %v, slot generation %d", ref, s.hdr.Gen()))
-		return
+		return NilRef, false
 	}
-	s.hdr.gen.Add(1)
+	g := s.hdr.gen.Add(1)
 	if a.poison != nil {
 		a.poison(&s.val)
 	}
-	a.frees.Add(1)
+	// MakeRef masks the generation to GenModulus, so the full-width counter
+	// value can be packed directly — no reload through Gen() needed.
+	return MakeRef(ref.Index(), g), true
+}
 
-	newRef := MakeRef(ref.Index(), s.hdr.Gen())
+// Free returns the slot to the shared freelist. Freeing with a stale Ref
+// (double free or free of a reused slot) is a detected fault in checked
+// mode.
+func (a *Arena[T]) Free(ref Ref) {
+	newRef, ok := a.releaseSlot(ref)
+	if !ok {
+		return
+	}
+	a.frees.Add(1)
+	s := a.slotAt(newRef.Index())
 	for {
 		head := a.freeHead.Load()
 		s.nextFree.Store(head)
@@ -220,13 +424,24 @@ func (a *Arena[T]) Validate(ref Ref) bool {
 	return a.slotAt(ref.Index()).hdr.Gen() == ref.Gen()
 }
 
-// Stats returns a point-in-time snapshot of the arena accounting.
+// Stats returns a point-in-time snapshot of the arena accounting, folding
+// the per-shard stripes into the global counters. The fold doubles as a
+// peak observation, so PeakLive can never read below the Live it reports
+// alongside.
 func (a *Arena[T]) Stats() Stats {
-	allocs, frees := a.allocs.Load(), a.frees.Load()
+	allocs, frees, reuses := a.allocs.Load(), a.frees.Load(), a.reuses.Load()
+	for i := range a.shards {
+		sh := &a.shards[i].shardState
+		shAllocs := sh.allocs.Load()
+		allocs += shAllocs
+		frees += sh.frees.Load()
+		reuses += shAllocs - sh.fresh.Load()
+	}
+	a.peakLive.Observe(allocs - frees)
 	return Stats{
 		Allocs:   allocs,
 		Frees:    frees,
-		Reuses:   a.reuses.Load(),
+		Reuses:   reuses,
 		Live:     allocs - frees,
 		PeakLive: a.peakLive.Max(),
 		Faults:   a.faults.Load(),

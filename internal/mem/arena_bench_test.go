@@ -1,0 +1,38 @@
+package mem
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type benchPayload struct {
+	key  uint64
+	next uint64
+}
+
+// BenchmarkArenaAllocFree measures the allocator's alloc/free cycle under
+// parallel load. Run with -cpu 8 for the headline 8-goroutine comparison.
+func BenchmarkArenaAllocFree(b *testing.B) {
+	b.Run("global", func(b *testing.B) {
+		a := NewArena[benchPayload]()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ref, p := a.Alloc()
+				p.key = uint64(ref)
+				a.Free(ref)
+			}
+		})
+	})
+	b.Run("sharded", func(b *testing.B) {
+		a := NewArena[benchPayload](WithShards[benchPayload](64))
+		var nextShard atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			shard := int(nextShard.Add(1) - 1)
+			for pb.Next() {
+				ref, p := a.AllocAt(shard)
+				p.key = uint64(ref)
+				a.FreeAt(shard, ref)
+			}
+		})
+	})
+}

@@ -47,5 +47,10 @@ func (h *Header) Gen() uint32 { return h.gen.Load() % GenModulus }
 func (h *Header) resetForAlloc() {
 	h.BirthEra = 0
 	h.RetireEra = 0
-	h.Retired.Store(false)
+	// Only the reference-counting baseline ever sets Retired, so on every
+	// other scheme's alloc path the load spares an unconditional atomic
+	// store (a locked op on amd64) per allocation.
+	if h.Retired.Load() {
+		h.Retired.Store(false)
+	}
 }

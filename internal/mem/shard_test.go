@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+type snode struct {
+	key  uint64
+	next uint64
+}
+
+// TestShardedAllocFreeRecycles: a free through a shard magazine must be
+// recycled by a later alloc on the same shard, with the generation bumped
+// exactly as on the global path.
+func TestShardedAllocFreeRecycles(t *testing.T) {
+	a := NewArena[snode](Checked[snode](true), WithShards[snode](2))
+	ref, _ := a.AllocAt(0)
+	gen := ref.Gen()
+	a.FreeAt(0, ref)
+	ref2, _ := a.AllocAt(0)
+	if ref2.Index() != ref.Index() {
+		t.Fatalf("magazine did not recycle: %v then %v", ref, ref2)
+	}
+	if ref2.Gen() != gen+1 {
+		t.Fatalf("generation not bumped: %d -> %d", gen, ref2.Gen())
+	}
+	s := a.Stats()
+	if s.Allocs != 2 || s.Frees != 1 || s.Reuses != 1 || s.Live != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestShardedSpillRefill drives one shard past MagazineSize frees so the
+// magazine spills to the global freelist, then allocates everything back
+// (refill path) plus via the plain global path.
+func TestShardedSpillRefill(t *testing.T) {
+	a := NewArena[snode](Checked[snode](true), WithShards[snode](1))
+	const n = MagazineSize * 3
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i], _ = a.AllocAt(0)
+	}
+	for _, r := range refs {
+		a.FreeAt(0, r) // overflows the magazine -> spills
+	}
+	if s := a.Stats(); s.Live != 0 {
+		t.Fatalf("live after frees: %+v", s)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		var r Ref
+		if i%2 == 0 {
+			r, _ = a.AllocAt(0) // refills from the spilled chain
+		} else {
+			r, _ = a.Alloc() // global pop must also see spilled slots
+		}
+		if seen[r.Index()] {
+			t.Fatalf("index %d handed out twice", r.Index())
+		}
+		seen[r.Index()] = true
+	}
+	s := a.Stats()
+	if s.Reuses < int64(n) {
+		t.Fatalf("expected >= %d reuses after spill/refill, got %d", n, s.Reuses)
+	}
+	if s.Live != int64(n) || s.Faults != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestShardedOutOfRangeFallsBack: shard ids outside [0, n) must behave
+// exactly like the global path.
+func TestShardedOutOfRangeFallsBack(t *testing.T) {
+	a := NewArena[snode](Checked[snode](true), WithShards[snode](1))
+	ref, _ := a.AllocAt(-1)
+	a.FreeAt(99, ref)
+	ref2, _ := a.AllocAt(5)
+	if ref2.Index() != ref.Index() {
+		t.Fatalf("fallback path did not recycle via global freelist: %v %v", ref, ref2)
+	}
+	if s := a.Stats(); s.Allocs != 2 || s.Frees != 1 || s.Reuses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestShardedStaleFreeFaults: double free through a magazine is detected in
+// checked mode exactly like on the global path.
+func TestShardedStaleFreeFaults(t *testing.T) {
+	var faults []string
+	a := NewArena[snode](
+		Checked[snode](true),
+		WithFaultHandler[snode](func(msg string) { faults = append(faults, msg) }),
+		WithShards[snode](1),
+	)
+	ref, _ := a.AllocAt(0)
+	a.FreeAt(0, ref)
+	a.FreeAt(0, ref) // stale: generation already bumped
+	if len(faults) != 1 {
+		t.Fatalf("faults: %v", faults)
+	}
+	if a.Stats().Faults != 1 {
+		t.Fatalf("fault counter: %+v", a.Stats())
+	}
+}
+
+// TestShardedConcurrentChurn: each goroutine owns one shard (the reclaim
+// registry's tid discipline) and churns alloc/free; no index may be live
+// twice and the folded stats must balance. Run with -race to check the
+// magazine code is race-clean.
+func TestShardedConcurrentChurn(t *testing.T) {
+	const workers = 8
+	const iters = 5000
+	a := NewArena[snode](Checked[snode](true), WithShards[snode](workers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var held []Ref
+			for i := 0; i < iters; i++ {
+				ref, p := a.AllocAt(shard)
+				p.key = ref.Index()
+				held = append(held, ref)
+				if len(held) >= 16 {
+					// Free in FIFO order so spilled chains interleave
+					// with in-magazine recycling.
+					a.FreeAt(shard, held[0])
+					held = held[1:]
+				}
+			}
+			for _, r := range held {
+				a.FreeAt(shard, r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := a.Stats()
+	if s.Live != 0 || s.Faults != 0 {
+		t.Fatalf("stats after churn: %+v", s)
+	}
+	if s.Allocs != workers*iters || s.Frees != workers*iters {
+		t.Fatalf("unbalanced: %+v", s)
+	}
+	if s.Reuses == 0 {
+		t.Fatal("no recycling under churn")
+	}
+	if s.PeakLive < 1 || s.PeakLive > workers*16+workers {
+		t.Fatalf("implausible PeakLive %d", s.PeakLive)
+	}
+}

@@ -69,7 +69,7 @@ func New(mk DomainFactory, opts ...Option) *Queue {
 	for _, o := range opts {
 		o(&c)
 	}
-	var arenaOpts []mem.Option[Node]
+	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
@@ -91,7 +91,7 @@ func (q *Queue) Arena() *mem.Arena[Node] { return q.arena }
 
 // Enqueue appends v. Lock-free.
 func (q *Queue) Enqueue(tid int, v uint64) {
-	ref, n := q.arena.Alloc()
+	ref, n := q.arena.AllocAt(tid)
 	n.Val = v
 	n.Next.Store(0)
 

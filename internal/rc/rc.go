@@ -13,17 +13,25 @@ package rc
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 )
 
-// perThread tracks, per protection index, the ref whose count this thread
-// currently holds, so a later Protect or Clear releases it.
-type perThread struct {
+// perThreadState tracks, per protection index, the ref whose count this
+// thread currently holds, so a later Protect or Clear releases it.
+type perThreadState struct {
 	held []mem.Ref
-	_    [atomicx.CacheLineSize - 24]byte
+}
+
+// perThread pads perThreadState out to a whole number of cache lines; the
+// pad length is computed from unsafe.Sizeof so adding a field can never
+// silently unbalance it.
+type perThread struct {
+	perThreadState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
 }
 
 // Domain is the reference-counting domain.
@@ -58,7 +66,7 @@ func (d *Domain) EndOp(tid int) {
 	held := d.local[tid].held
 	for i, ref := range held {
 		if !ref.IsNil() {
-			d.release(ref)
+			d.release(tid, ref)
 			held[i] = mem.NilRef
 		}
 	}
@@ -81,7 +89,7 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 			return ptr // already holding a count on this object
 		}
 		if target.IsNil() {
-			d.releaseSlot(held, index)
+			d.releaseSlot(tid, held, index)
 			return ptr
 		}
 		h := d.Alloc.Header(target)
@@ -89,7 +97,7 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 		ins.RMW(tid)
 		if mem.Ref(src.Load()) == ptr {
 			ins.Load(tid)
-			d.releaseSlot(held, index)
+			d.releaseSlot(tid, held, index)
 			held[index] = target
 			return ptr
 		}
@@ -98,13 +106,13 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 		// type-stable, so this is safe even if the object was freed and
 		// recycled in the window; release also honours a retirement this
 		// transient count may have delayed.
-		d.release(target)
+		d.release(tid, target)
 	}
 }
 
-func (d *Domain) releaseSlot(held []mem.Ref, index int) {
+func (d *Domain) releaseSlot(tid int, held []mem.Ref, index int) {
 	if prev := held[index]; !prev.IsNil() {
-		d.release(prev)
+		d.release(tid, prev)
 		held[index] = mem.NilRef
 	}
 }
@@ -122,11 +130,11 @@ func (d *Domain) releaseSlot(held []mem.Ref, index int) {
 // was validated against a cell frozen by an earlier deletion may be
 // holding a name for a previous incarnation; by Valois rules it still
 // legitimately completes the pending retirement of the current one.
-func (d *Domain) release(ref mem.Ref) {
+func (d *Domain) release(tid int, ref mem.Ref) {
 	h := d.Alloc.Header(ref)
 	if h.RC.Add(-1) == 0 && h.Retired.Load() {
 		if h.Retired.CompareAndSwap(true, false) {
-			d.FreeRetired(mem.MakeRef(ref.Index(), h.Gen()))
+			d.FreeRetired(tid, mem.MakeRef(ref.Index(), h.Gen()))
 		}
 	}
 }
@@ -135,12 +143,12 @@ func (d *Domain) release(ref mem.Ref) {
 // finds) its count at zero. Wait-free: no retries, no scanning.
 func (d *Domain) Retire(tid int, ref mem.Ref) {
 	ref = ref.Unmarked()
-	d.NoteRetired()
+	d.NoteRetired(tid)
 	h := d.Alloc.Header(ref)
 	h.Retired.Store(true)
 	if h.RC.Load() == 0 {
 		if h.Retired.CompareAndSwap(true, false) {
-			d.FreeRetired(ref)
+			d.FreeRetired(tid, ref)
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package reclaim
 
 import (
+	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -16,6 +18,14 @@ type Config struct {
 	// Slots is the number of protection indices per thread (the paper's
 	// maxHEs / maxHPs; the Maged-Harris list needs 3).
 	Slots int
+	// ScanR is the amortization factor for batch-triggered scanning
+	// (Michael's R factor generalized to eras): a thread scans its retired
+	// list only once the list holds more than ScanR*MaxThreads*Slots
+	// objects, making Retire O(1) amortized. Zero (the default) keeps the
+	// paper's Algorithm 3 behaviour of scanning on every retire. Raising R
+	// multiplies the Equation 1 memory bound by R but divides the scan
+	// frequency by R*MaxThreads*Slots.
+	ScanR int
 	// Instrument, when non-nil, enables reader-side atomic-op counting.
 	Instrument *Instrument
 }
@@ -31,12 +41,32 @@ func (cfg Config) Defaulted() Config {
 	return cfg
 }
 
-// retiredList is a per-thread list of retired refs. Only its owning thread
-// appends and scans it, exactly as in the paper's retiredList[MAX_THREADS];
-// padding keeps neighbouring threads' list headers off each other's lines.
+// retiredListState is the owner-thread-only reclamation state: the retired
+// list itself plus the scratch snapshot buffers reused by every scan pass
+// (so a scan allocates nothing in steady state).
+type retiredListState struct {
+	refs  []mem.Ref
+	spare []mem.Ref // collects the to-free partition during a scan pass
+	eras  EraSnapshot
+	ivals IntervalSnapshot
+}
+
+// retiredList pads retiredListState out to a whole number of cache lines so
+// neighbouring threads' list headers never share a line. The pad length is
+// computed from unsafe.Sizeof, so adding a field to the state struct can
+// never silently unbalance it.
 type retiredList struct {
-	refs []mem.Ref
-	_    [atomicx.CacheLineSize - 24]byte
+	retiredListState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(retiredListState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
+}
+
+// shardedAllocator is implemented by allocators (mem.Arena) that maintain
+// per-thread free-slot magazines; FreeRetired routes through it when
+// available so reclamation feeds slots back to the reclaiming thread's own
+// magazine instead of the contended global freelist.
+type shardedAllocator interface {
+	FreeAt(shard int, ref mem.Ref)
+	FreeBatchAt(shard int, refs []mem.Ref)
 }
 
 // Base bundles the machinery every Domain implementation shares: thread
@@ -47,46 +77,95 @@ type Base struct {
 	Cfg   Config
 	Ins   *Instrument
 
-	reg    *registry
-	rlists []retiredList
+	reg     *registry
+	rlists  []retiredList
+	sharded shardedAllocator // Alloc, when it supports FreeAt (else nil)
 
-	retired atomic.Int64
-	freed   atomic.Int64
-	scans   atomic.Int64
+	// scanThreshold is the retired-list length at which the owning thread
+	// must run a scan; 1 reproduces the paper's scan-per-retire Retire.
+	scanThreshold int
+
+	// Retire/free/scan counters are striped per thread id so the hot paths
+	// touch only their own cache line; Sum folds them on demand.
+	retired *atomicx.StripedCounter
+	freed   *atomicx.StripedCounter
+	scans   *atomicx.StripedCounter
 	peak    atomicx.HighWaterMark
+
+	// orphans holds retired objects abandoned by unregistered threads that
+	// were still protected at exit time; the next scanning thread adopts
+	// them. orphanLoad lets scanners skip the lock when the pool is empty.
+	orphanMu   sync.Mutex
+	orphans    []mem.Ref
+	orphanLoad atomic.Int64
 }
 
 // NewBase initializes the shared state for a scheme.
 func NewBase(alloc Allocator, cfg Config) Base {
 	cfg = cfg.Defaulted()
+	threshold := 1
+	if cfg.ScanR > 0 {
+		threshold = cfg.ScanR * cfg.MaxThreads * cfg.Slots
+	}
+	sharded, _ := alloc.(shardedAllocator)
 	return Base{
-		Alloc:  alloc,
-		Cfg:    cfg,
-		Ins:    cfg.Instrument,
-		reg:    newRegistry(cfg.MaxThreads),
-		rlists: make([]retiredList, cfg.MaxThreads),
+		Alloc:         alloc,
+		Cfg:           cfg,
+		Ins:           cfg.Instrument,
+		reg:           newRegistry(cfg.MaxThreads),
+		rlists:        make([]retiredList, cfg.MaxThreads),
+		sharded:       sharded,
+		scanThreshold: threshold,
+		retired:       atomicx.NewStripedCounter(cfg.MaxThreads),
+		freed:         atomicx.NewStripedCounter(cfg.MaxThreads),
+		scans:         atomicx.NewStripedCounter(cfg.MaxThreads),
 	}
 }
 
 // Register claims a thread id.
 func (b *Base) Register() int { return b.reg.register("SMR") }
 
-// Unregister releases a thread id.
+// Unregister releases a thread id. Schemes that keep per-thread retired
+// lists override this to drain the list (final scan + Abandon) first.
 func (b *Base) Unregister(tid int) { b.reg.unregister(tid) }
 
 // ActiveThreads reports the number of registered threads.
 func (b *Base) ActiveThreads() int { return b.reg.Active() }
 
-// PushRetired appends ref to tid's retired list and updates accounting.
+// PushRetired appends ref to tid's retired list and bumps tid's retire
+// stripe. The high-water fold happens at scan/stats time, keeping this hot
+// path free of shared cache lines.
 func (b *Base) PushRetired(tid int, ref mem.Ref) {
 	b.rlists[tid].refs = append(b.rlists[tid].refs, ref.Unmarked())
-	b.peak.Observe(b.retired.Add(1) - b.freed.Load())
+	b.retired.Inc(tid)
 }
 
 // NoteRetired updates retirement accounting without touching any retired
 // list — for schemes (reference counting) that reclaim inline.
-func (b *Base) NoteRetired() {
-	b.peak.Observe(b.retired.Add(1) - b.freed.Load())
+func (b *Base) NoteRetired(tid int) {
+	b.retired.Inc(tid)
+	b.observePeak()
+}
+
+// ScanDue reports whether tid's retired list has reached the scan
+// threshold. Schemes call it after PushRetired; with the default threshold
+// of one this is true after every retire, reproducing Algorithm 3.
+func (b *Base) ScanDue(tid int) bool {
+	return len(b.rlists[tid].refs) >= b.scanThreshold
+}
+
+// ScanThreshold returns the current retired-list length that triggers a
+// scan.
+func (b *Base) ScanThreshold() int { return b.scanThreshold }
+
+// SetScanThreshold overrides the scan-trigger length directly (construction
+// time only). Scheme options with absolute semantics (hp.WithScanThreshold)
+// route through this rather than Config.ScanR.
+func (b *Base) SetScanThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.scanThreshold = n
 }
 
 // Retired returns tid's retired list for in-place scanning. The caller owns
@@ -96,34 +175,132 @@ func (b *Base) Retired(tid int) []mem.Ref { return b.rlists[tid].refs }
 // SetRetired replaces tid's retired list after a scan pass.
 func (b *Base) SetRetired(tid int, refs []mem.Ref) { b.rlists[tid].refs = refs }
 
-// FreeRetired frees ref through the allocator and updates accounting.
-func (b *Base) FreeRetired(ref mem.Ref) {
-	b.Alloc.Free(ref)
-	b.freed.Add(1)
+// EraScratch returns tid's reusable era-snapshot buffer.
+func (b *Base) EraScratch(tid int) *EraSnapshot { return &b.rlists[tid].eras }
+
+// IntervalScratch returns tid's reusable interval-snapshot buffer.
+func (b *Base) IntervalScratch(tid int) *IntervalSnapshot { return &b.rlists[tid].ivals }
+
+// FreeRetired frees ref through the allocator — into tid's magazine when
+// the allocator is sharded — and bumps tid's freed stripe.
+func (b *Base) FreeRetired(tid int, ref mem.Ref) {
+	if b.sharded != nil {
+		b.sharded.FreeAt(tid, ref)
+	} else {
+		b.Alloc.Free(ref)
+	}
+	b.freed.Inc(tid)
 }
 
-// NoteScan records one reclamation pass over a retired list.
-func (b *Base) NoteScan() { b.scans.Add(1) }
+// ReclaimUnprotected runs the free half of a scan pass: it partitions tid's
+// retired list with the scheme-supplied predicate, keeps the protected
+// survivors in place, and frees the rest as one batch. Batching is what keeps
+// the amortized cost low — the allocator folds the whole batch into one
+// counter update (FreeBatchAt on sharded allocators) and the freed stripe is
+// bumped once per scan, so the per-object cost is the predicate plus the slot
+// release, with no atomic counter traffic.
+func (b *Base) ReclaimUnprotected(tid int, protected func(ref mem.Ref) bool) {
+	st := &b.rlists[tid].retiredListState
+	keep := st.refs[:0]
+	toFree := st.spare[:0]
+	for _, obj := range st.refs {
+		if protected(obj) {
+			keep = append(keep, obj)
+		} else {
+			toFree = append(toFree, obj)
+		}
+	}
+	st.refs = keep
+	if len(toFree) == 0 {
+		return
+	}
+	if b.sharded != nil {
+		b.sharded.FreeBatchAt(tid, toFree)
+	} else {
+		for _, ref := range toFree {
+			b.Alloc.Free(ref)
+		}
+	}
+	b.freed.Add(tid, int64(len(toFree)))
+	st.spare = toFree[:0]
+}
+
+// NoteScan records one reclamation pass over a retired list and folds the
+// striped counters into the pending high-water mark. Scans sample the peak
+// immediately after the pushes that triggered them, preserving the
+// PeakPending semantics the scan-per-retire implementation had.
+func (b *Base) NoteScan(tid int) {
+	b.scans.Inc(tid)
+	b.observePeak()
+}
+
+// observePeak folds retired-freed and raises the high-water mark.
+func (b *Base) observePeak() {
+	b.peak.Observe(b.retired.Sum() - b.freed.Sum())
+}
+
+// Abandon moves tid's remaining retired objects to the shared orphan pool.
+// Called by scheme Unregister overrides after a final scan, so a departing
+// thread's still-protected leftovers are adopted (and eventually freed) by
+// whichever thread scans next instead of leaking.
+func (b *Base) Abandon(tid int) {
+	leftovers := b.rlists[tid].refs
+	b.rlists[tid].refs = nil
+	if len(leftovers) == 0 {
+		return
+	}
+	b.orphanMu.Lock()
+	b.orphans = append(b.orphans, leftovers...)
+	b.orphanLoad.Store(int64(len(b.orphans)))
+	b.orphanMu.Unlock()
+}
+
+// AdoptOrphans moves any abandoned objects into tid's retired list so the
+// scan about to run tests them too. The empty-pool fast path is one atomic
+// load, so scans pay nothing when no thread has unregistered.
+func (b *Base) AdoptOrphans(tid int) {
+	if b.orphanLoad.Load() == 0 {
+		return
+	}
+	b.orphanMu.Lock()
+	adopted := b.orphans
+	b.orphans = nil
+	b.orphanLoad.Store(0)
+	b.orphanMu.Unlock()
+	b.rlists[tid].refs = append(b.rlists[tid].refs, adopted...)
+}
 
 // DrainAll unconditionally frees every pending retired object in every
-// thread's list. Only safe at quiescence (the paper's destructor).
+// thread's list and the orphan pool. Only safe at quiescence (the paper's
+// destructor).
 func (b *Base) DrainAll() {
 	for tid := range b.rlists {
 		for _, ref := range b.rlists[tid].refs {
-			b.FreeRetired(ref)
+			b.FreeRetired(tid, ref)
 		}
 		b.rlists[tid].refs = nil
 	}
+	b.orphanMu.Lock()
+	orphans := b.orphans
+	b.orphans = nil
+	b.orphanLoad.Store(0)
+	b.orphanMu.Unlock()
+	for _, ref := range orphans {
+		b.FreeRetired(0, ref)
+	}
 }
 
-// BaseStats assembles the common statistics snapshot.
+// BaseStats assembles the common statistics snapshot. The fold doubles as a
+// peak observation so PeakPending can never read below the Pending it
+// reports alongside.
 func (b *Base) BaseStats() Stats {
-	retired, freed := b.retired.Load(), b.freed.Load()
+	retired, freed := b.retired.Sum(), b.freed.Sum()
+	b.peak.Observe(retired - freed)
 	return Stats{
 		Retired:     retired,
 		Freed:       freed,
 		Pending:     retired - freed,
 		PeakPending: b.peak.Max(),
-		Scans:       b.scans.Load(),
+		Scans:       b.scans.Sum(),
 	}
 }

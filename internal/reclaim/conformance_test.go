@@ -30,16 +30,26 @@ const threads = 8
 
 func domains() map[string]func(alloc reclaim.Allocator) reclaim.Domain {
 	cfg := reclaim.Config{MaxThreads: threads, Slots: 2}
+	// cfgR enables amortized batch scanning (threshold 2*8*2 = 32 retires)
+	// so every conformance property is also exercised with thresholded
+	// scans and drain-on-unregister in play.
+	cfgR := reclaim.Config{MaxThreads: threads, Slots: 2, ScanR: 2}
 	return map[string]func(alloc reclaim.Allocator) reclaim.Domain{
 		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
 		"HE-k16":    func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithAdvanceEvery(16)) },
 		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
-		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
-		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
-		"EBR":       func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
-		"URCU":      func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
-		"RC":        func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
-		"NONE":      func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
+		"HE-R2":     func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfgR) },
+		"HE-R2-minmax": func(a reclaim.Allocator) reclaim.Domain {
+			return core.New(a, cfgR, core.WithMinMax(true))
+		},
+		"HP":     func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"HP-R2":  func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfgR) },
+		"IBR":    func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"IBR-R2": func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfgR) },
+		"EBR":    func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"URCU":   func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"RC":     func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
+		"NONE":   func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
 	}
 }
 
@@ -176,6 +186,135 @@ func TestConformanceRetireCountsMatchFrees(t *testing.T) {
 			}
 			if arena.Stats().Live != 0 {
 				t.Fatalf("%s leaked arena slots", name)
+			}
+		})
+	}
+}
+
+// thresholdDomains are the era/pointer schemes wired to Config.ScanR, with
+// the resulting absolute scan threshold (ScanR * MaxThreads * Slots).
+func thresholdDomains(r int) (map[string]func(alloc reclaim.Allocator) reclaim.Domain, int) {
+	cfg := reclaim.Config{MaxThreads: threads, Slots: 2, ScanR: r}
+	return map[string]func(alloc reclaim.Allocator) reclaim.Domain{
+		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
+		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
+		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+	}, r * threads * 2
+}
+
+// TestConformanceNoScanBelowThreshold: with ScanR set, retiring fewer
+// objects than the threshold must trigger no scan at all (the whole point
+// of amortization), and the retire crossing the threshold must scan and —
+// with nothing protected — reclaim the entire batch.
+func TestConformanceNoScanBelowThreshold(t *testing.T) {
+	doms, threshold := thresholdDomains(1)
+	for name, mk := range doms {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+			tid := d.Register()
+			defer d.Unregister(tid)
+
+			for i := 0; i < threshold-1; i++ {
+				ref, _ := arena.Alloc()
+				d.OnAlloc(ref)
+				d.Retire(tid, ref)
+			}
+			if s := d.Stats(); s.Scans != 0 || s.Pending != int64(threshold-1) {
+				t.Fatalf("below threshold: scans=%d pending=%d, want 0 and %d",
+					s.Scans, s.Pending, threshold-1)
+			}
+
+			ref, _ := arena.Alloc()
+			d.OnAlloc(ref)
+			d.Retire(tid, ref) // crosses the threshold
+			s := d.Stats()
+			if s.Scans == 0 {
+				t.Fatal("threshold crossing did not trigger a scan")
+			}
+			if s.Pending != 0 {
+				t.Fatalf("burst above threshold not reclaimed: pending=%d", s.Pending)
+			}
+		})
+	}
+}
+
+// TestConformanceUnregisterDrainsRetiredList: a thread leaving below the
+// scan threshold must not strand its retired list — Unregister runs a final
+// scan, so with nothing protected everything is reclaimed immediately, no
+// Drain needed.
+func TestConformanceUnregisterDrainsRetiredList(t *testing.T) {
+	doms, threshold := thresholdDomains(1)
+	for name, mk := range doms {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+			tid := d.Register()
+			for i := 0; i < threshold/2; i++ {
+				ref, _ := arena.Alloc()
+				d.OnAlloc(ref)
+				d.Retire(tid, ref)
+			}
+			d.Unregister(tid)
+			if s := d.Stats(); s.Pending != 0 {
+				t.Fatalf("unregister stranded %d retired objects", s.Pending)
+			}
+			if st := arena.Stats(); st.Live != 0 || st.Faults != 0 {
+				t.Fatalf("arena after unregister: %+v", st)
+			}
+		})
+	}
+}
+
+// TestConformanceUnregisterHandsOffProtected: objects still protected by
+// ANOTHER thread when their retirer unregisters must survive (no
+// use-after-free) and move to the orphan pool, from which the next
+// scanning thread adopts and eventually frees them.
+func TestConformanceUnregisterHandsOffProtected(t *testing.T) {
+	doms, threshold := thresholdDomains(1)
+	for name, mk := range doms {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+			reader := d.Register()
+			writer := d.Register()
+
+			ref, n := arena.Alloc()
+			n.val = 7
+			d.OnAlloc(ref)
+			var cell atomic.Uint64
+			cell.Store(uint64(ref))
+
+			d.BeginOp(reader)
+			got := d.Protect(reader, 0, &cell)
+
+			cell.Store(0)
+			d.Retire(writer, got)
+			d.Unregister(writer)
+
+			if s := d.Stats(); s.Pending == 0 {
+				t.Fatal("protected object freed by the retirer's unregister")
+			}
+			if v := arena.Get(got).val; v != 7 { // checked arena: UAF faults
+				t.Fatalf("protected object corrupted: %d", v)
+			}
+			d.EndOp(reader)
+
+			// The survivor sits in the orphan pool; the reader's next
+			// threshold crossing must adopt and free it.
+			for i := 0; i < threshold; i++ {
+				r, _ := arena.Alloc()
+				d.OnAlloc(r)
+				d.Retire(reader, r)
+			}
+			if s := d.Stats(); s.Pending != 0 {
+				t.Fatalf("orphaned object not adopted: pending=%d", s.Pending)
+			}
+			d.Unregister(reader)
+			d.Drain()
+			if st := arena.Stats(); st.Live != 0 || st.Faults != 0 {
+				t.Fatalf("arena after drain: %+v", st)
 			}
 		})
 	}

@@ -86,7 +86,7 @@ func TestRetiredListAccounting(t *testing.T) {
 	if s.Retired != 2 || s.Pending != 2 || s.PeakPending != 2 || s.Freed != 0 {
 		t.Fatalf("stats: %+v", s)
 	}
-	b.FreeRetired(b.Retired(0)[0])
+	b.FreeRetired(0, b.Retired(0)[0])
 	b.SetRetired(0, b.Retired(0)[1:])
 	s = b.BaseStats()
 	if s.Freed != 1 || s.Pending != 1 || s.PeakPending != 2 {
@@ -114,8 +114,8 @@ func TestDrainAllFreesEverything(t *testing.T) {
 
 func TestNoteRetired(t *testing.T) {
 	b := NewBase(testArena(), Config{MaxThreads: 1})
-	b.NoteRetired()
-	b.NoteRetired()
+	b.NoteRetired(0)
+	b.NoteRetired(0)
 	if s := b.BaseStats(); s.Retired != 2 || s.PeakPending != 2 {
 		t.Fatalf("stats: %+v", s)
 	}

@@ -1,0 +1,71 @@
+package reclaim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hp"
+	"repro/internal/ibr"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// bnode is the payload retired by the reclamation benchmarks.
+type bnode struct {
+	val  uint64
+	next uint64
+}
+
+const (
+	benchThreads = 16
+	benchSlots   = 3
+)
+
+// benchCfg is the construction configuration the retire benchmarks use.
+// ScanR=1 enables the amortized scan path (threshold 1*16*3 = 48 retires);
+// the pre-PR baseline in BENCH_retire.json was captured with the same
+// workload and scan-per-retire behaviour.
+func benchCfg() reclaim.Config {
+	return reclaim.Config{MaxThreads: benchThreads, Slots: benchSlots, ScanR: 1}
+}
+
+// retireSchemes are the era/pointer schemes whose retire/scan path this PR's
+// amortization targets.
+func retireSchemes() []struct {
+	name string
+	mk   func(a reclaim.Allocator) reclaim.Domain
+} {
+	return []struct {
+		name string
+		mk   func(a reclaim.Allocator) reclaim.Domain
+	}{
+		{"HE", func(a reclaim.Allocator) reclaim.Domain { return core.New(a, benchCfg()) }},
+		{"HE-minmax", func(a reclaim.Allocator) reclaim.Domain { return core.New(a, benchCfg(), core.WithMinMax(true)) }},
+		{"HP", func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, benchCfg()) }},
+		{"IBR", func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, benchCfg()) }},
+	}
+}
+
+// BenchmarkRetireScan measures the retire-heavy path: every iteration
+// allocates, stamps and retires one unprotected object, so throughput is
+// dominated by the per-retire reclamation work (scan frequency x scan cost).
+// Run with -cpu 8 for the headline 8-goroutine comparison.
+func BenchmarkRetireScan(b *testing.B) {
+	for _, s := range retireSchemes() {
+		b.Run(s.name, func(b *testing.B) {
+			arena := mem.NewArena[bnode]()
+			d := s.mk(arena)
+			b.RunParallel(func(pb *testing.PB) {
+				tid := d.Register()
+				defer d.Unregister(tid)
+				for pb.Next() {
+					ref, _ := arena.AllocAt(tid)
+					d.OnAlloc(ref)
+					d.Retire(tid, ref)
+				}
+			})
+			b.StopTimer()
+			d.Drain()
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package reclaim
+
+import "slices"
+
+// This file implements the snapshot side of the amortized scan: instead of
+// re-reading the whole published era/pointer array for every retired object
+// (O(R*T*S) atomic loads per scan), a scan collects the array once into a
+// reusable per-thread scratch buffer, sorts it, and answers each retired
+// object's "is any published value inside my lifetime?" question with a
+// binary search — O(T*S) loads plus O((T*S + R)*log(T*S)) local work.
+
+// EraSnapshot is a reusable sorted snapshot of published uint64 values —
+// era values for the HE scan, raw pointer bits for the HP scan. The zero
+// value is ready to use; Begin/Add/Seal refill it in place so steady-state
+// scans allocate nothing.
+type EraSnapshot struct {
+	vals []uint64
+}
+
+// Begin resets the snapshot for a new collection pass, keeping capacity.
+func (s *EraSnapshot) Begin() { s.vals = s.vals[:0] }
+
+// Add records one published value.
+func (s *EraSnapshot) Add(v uint64) { s.vals = append(s.vals, v) }
+
+// Seal sorts the collected values, enabling the binary-search queries.
+func (s *EraSnapshot) Seal() { slices.Sort(s.vals) }
+
+// Len reports the number of collected values.
+func (s *EraSnapshot) Len() int { return len(s.vals) }
+
+// Contains reports whether v itself was snapshotted (the HP scan's "is this
+// pointer published?" test).
+func (s *EraSnapshot) Contains(v uint64) bool {
+	_, ok := slices.BinarySearch(s.vals, v)
+	return ok
+}
+
+// CoversRange reports whether any snapshotted value lies in [lo, hi] — the
+// paper's retire() condition (lines 57-63): some published era falls within
+// the object's [newEra, delEra] lifetime.
+func (s *EraSnapshot) CoversRange(lo, hi uint64) bool {
+	i, _ := slices.BinarySearch(s.vals, lo)
+	return i < len(s.vals) && s.vals[i] <= hi
+}
+
+// IntervalSnapshot is a reusable snapshot of published [lo, hi] intervals —
+// the §3.4 min/max era envelopes, or IBR's per-thread reservations. Seal
+// sorts by lo and overwrites each hi with the running prefix maximum, after
+// which Intersects answers interval-overlap queries in O(log T).
+type IntervalSnapshot struct {
+	los []uint64
+	his []uint64 // after Seal: his[i] = max(hi[0..i])
+}
+
+// Begin resets the snapshot for a new collection pass, keeping capacity.
+func (s *IntervalSnapshot) Begin() {
+	s.los = s.los[:0]
+	s.his = s.his[:0]
+}
+
+// Add records one published interval [lo, hi].
+func (s *IntervalSnapshot) Add(lo, hi uint64) {
+	s.los = append(s.los, lo)
+	s.his = append(s.his, hi)
+}
+
+// Len reports the number of collected intervals.
+func (s *IntervalSnapshot) Len() int { return len(s.los) }
+
+// Seal sorts the intervals by lo and folds hi into a prefix maximum.
+func (s *IntervalSnapshot) Seal() {
+	n := len(s.los)
+	if n == 0 {
+		return
+	}
+	// Insertion sort of the parallel arrays: T is small (one interval per
+	// thread) and the publication pattern is near-sorted across scans.
+	for i := 1; i < n; i++ {
+		lo, hi := s.los[i], s.his[i]
+		j := i - 1
+		for j >= 0 && s.los[j] > lo {
+			s.los[j+1], s.his[j+1] = s.los[j], s.his[j]
+			j--
+		}
+		s.los[j+1], s.his[j+1] = lo, hi
+	}
+	for i := 1; i < n; i++ {
+		if s.his[i] < s.his[i-1] {
+			s.his[i] = s.his[i-1]
+		}
+	}
+}
+
+// Intersects reports whether any snapshotted interval overlaps [lo, hi].
+// Overlap of [a, b] and [lo, hi] means a <= hi && b >= lo; among the
+// snapshotted intervals with a <= hi (a sorted prefix), the prefix-max hi
+// tells in O(1) whether any reaches back to lo.
+func (s *IntervalSnapshot) Intersects(lo, hi uint64) bool {
+	// Largest index whose interval starts at or before hi.
+	i, found := slices.BinarySearch(s.los, hi)
+	if !found {
+		i--
+	} else {
+		// BinarySearch returns the first equal element; extend to the last.
+		for i+1 < len(s.los) && s.los[i+1] == hi {
+			i++
+		}
+	}
+	return i >= 0 && s.his[i] >= lo
+}

@@ -1,0 +1,119 @@
+package reclaim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEraSnapshotCoversRange(t *testing.T) {
+	var s EraSnapshot
+	s.Begin()
+	for _, v := range []uint64{9, 3, 14, 3, 7} {
+		s.Add(v)
+	}
+	s.Seal()
+	cases := []struct {
+		lo, hi uint64
+		want   bool
+	}{
+		{0, 2, false},
+		{0, 3, true},
+		{3, 3, true},
+		{4, 6, false},
+		{4, 7, true},
+		{10, 13, false},
+		{10, 20, true},
+		{15, 100, false},
+		{0, 100, true},
+	}
+	for _, c := range cases {
+		if got := s.CoversRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CoversRange(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if !s.Contains(14) || s.Contains(13) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSnapshotReuseDoesNotLeakOldValues(t *testing.T) {
+	var s EraSnapshot
+	s.Begin()
+	s.Add(5)
+	s.Seal()
+	s.Begin() // second pass with fewer values
+	s.Add(9)
+	s.Seal()
+	if s.Contains(5) || !s.Contains(9) || s.Len() != 1 {
+		t.Fatalf("stale values survived Begin: len=%d", s.Len())
+	}
+
+	var iv IntervalSnapshot
+	iv.Begin()
+	iv.Add(1, 10)
+	iv.Seal()
+	iv.Begin()
+	iv.Seal()
+	if iv.Len() != 0 || iv.Intersects(1, 10) {
+		t.Fatal("stale intervals survived Begin")
+	}
+}
+
+// TestEraSnapshotMatchesBruteForce cross-checks the binary-search queries
+// against the naive loop for random value sets and query ranges.
+func TestEraSnapshotMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		vals := make([]uint64, rng.Intn(12))
+		var s EraSnapshot
+		s.Begin()
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(30))
+			s.Add(vals[i])
+		}
+		s.Seal()
+		lo := uint64(rng.Intn(30))
+		hi := lo + uint64(rng.Intn(8))
+		naive := false
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				naive = true
+			}
+		}
+		if got := s.CoversRange(lo, hi); got != naive {
+			t.Fatalf("trial %d: CoversRange(%d,%d)=%v naive=%v vals=%v",
+				trial, lo, hi, got, naive, vals)
+		}
+	}
+}
+
+// TestIntervalSnapshotMatchesBruteForce cross-checks Intersects against the
+// naive per-interval overlap loop for random interval sets, including
+// duplicate lower bounds (several threads publishing the same era).
+func TestIntervalSnapshotMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type iv struct{ lo, hi uint64 }
+	for trial := 0; trial < 2000; trial++ {
+		ivs := make([]iv, rng.Intn(10))
+		var s IntervalSnapshot
+		s.Begin()
+		for i := range ivs {
+			lo := uint64(rng.Intn(25))
+			ivs[i] = iv{lo, lo + uint64(rng.Intn(10))}
+			s.Add(ivs[i].lo, ivs[i].hi)
+		}
+		s.Seal()
+		lo := uint64(rng.Intn(30))
+		hi := lo + uint64(rng.Intn(10))
+		naive := false
+		for _, v := range ivs {
+			if v.lo <= hi && lo <= v.hi {
+				naive = true
+			}
+		}
+		if got := s.Intersects(lo, hi); got != naive {
+			t.Fatalf("trial %d: Intersects(%d,%d)=%v naive=%v ivs=%v",
+				trial, lo, hi, got, naive, ivs)
+		}
+	}
+}

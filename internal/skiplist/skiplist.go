@@ -100,7 +100,7 @@ func New(mk DomainFactory, opts ...Option) *SkipList {
 	for _, o := range opts {
 		o(&c)
 	}
-	var arenaOpts []mem.Option[Node]
+	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
@@ -257,7 +257,7 @@ func (s *SkipList) Insert(tid int, key, val uint64) bool {
 		return false
 	}
 	level := s.randomLevel()
-	ref, n := s.arena.Alloc()
+	ref, n := s.arena.AllocAt(tid)
 	n.Key, n.Val, n.Level = key, val, level
 	for l := 0; l < level; l++ {
 		n.Next[l].Store(preds[l].Load())

@@ -67,7 +67,7 @@ func New(mk DomainFactory, opts ...Option) *Stack {
 	for _, o := range opts {
 		o(&c)
 	}
-	var arenaOpts []mem.Option[Node]
+	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
@@ -84,7 +84,7 @@ func (s *Stack) Arena() *mem.Arena[Node] { return s.arena }
 
 // Push adds v on top. Lock-free.
 func (s *Stack) Push(tid int, v uint64) {
-	ref, n := s.arena.Alloc()
+	ref, n := s.arena.AllocAt(tid)
 	n.Val = v
 	for {
 		top := s.top.Load()

@@ -110,10 +110,10 @@ func (d *Domain) Retire(tid int, ref mem.Ref) {
 	d.PushRetired(tid, ref)
 	d.Synchronize()
 	// After the grace period the object is unreachable by construction.
-	d.NoteScan()
+	d.NoteScan(tid)
 	rlist := d.Retired(tid)
 	for _, obj := range rlist {
-		d.FreeRetired(obj)
+		d.FreeRetired(tid, obj)
 	}
 	d.SetRetired(tid, rlist[:0])
 }

@@ -28,7 +28,11 @@
 // Reclamation additions relative to the GC-reliant original:
 //
 //   - descriptors live in their own arena and are retired by whichever
-//     thread's CAS replaces them in state[i];
+//     thread's CAS replaces them in state[i] — with the retire buffered
+//     until that thread's operation ends, because quiescence-based domains
+//     (URCU) treat Retire as a quiescent state for the caller and an
+//     inline mid-operation retire would unprotect the rest of the helping
+//     loop (see threadLocalState);
 //   - the dequeued sentinel is retired by the owning dequeuer after it has
 //     read the value;
 //   - the dequeued VALUE is snapshotted into the completing descriptor by
@@ -42,7 +46,9 @@ package wfqueue
 
 import (
 	"sync/atomic"
+	"unsafe"
 
+	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 )
@@ -94,6 +100,25 @@ func PoisonDesc(d *Desc) {
 // DomainFactory mirrors list.DomainFactory.
 type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
 
+// threadLocalState buffers descriptor retires issued inside a thread's
+// BeginOp..EndOp section. Retiring mid-section is unsound under
+// quiescence-based domains: URCU's Retire marks the CALLER quiescent, so an
+// inline retire deep in the helping loop would strip the reader's own
+// protection for the rest of the operation (other threads' Synchronize then
+// stops waiting for it, and a descriptor it is still dereferencing can be
+// freed and recycled under it). The buffer is flushed immediately after
+// EndOp; only the owning thread touches it.
+type threadLocalState struct {
+	deferred []mem.Ref
+}
+
+// threadLocal pads threadLocalState out to a whole number of cache lines so
+// neighbouring threads' buffers never share a line.
+type threadLocal struct {
+	threadLocalState
+	_ [(atomicx.CacheLineSize - unsafe.Sizeof(threadLocalState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
+}
+
 // Queue is the wait-free MPMC FIFO.
 type Queue struct {
 	nodes *mem.Arena[Node]
@@ -105,6 +130,8 @@ type Queue struct {
 	tail atomic.Uint64
 	// state[i] holds the Ref of thread i's current descriptor.
 	state []atomic.Uint64
+	// local[i] is thread i's deferred-retire buffer (see threadLocalState).
+	local []threadLocal
 
 	maxThreads int
 }
@@ -131,8 +158,8 @@ func New(mk DomainFactory, opts ...Option) *Queue {
 	for _, o := range opts {
 		o(&c)
 	}
-	var nOpts []mem.Option[Node]
-	var dOpts []mem.Option[Desc]
+	nOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
+	dOpts := []mem.Option[Desc]{mem.WithShards[Desc](c.threads)}
 	if c.checked {
 		nOpts = append(nOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 		dOpts = append(dOpts, mem.Checked[Desc](true), mem.WithPoison[Desc](PoisonDesc))
@@ -145,20 +172,21 @@ func New(mk DomainFactory, opts ...Option) *Queue {
 	q.ndom = mk(q.nodes, reclaim.Config{MaxThreads: c.threads, Slots: NodeSlots})
 	q.ddom = mk(q.descs, reclaim.Config{MaxThreads: c.threads, Slots: DescSlots})
 
-	sentinel := q.newNode(0, noDeqTid)
+	sentinel := q.newNode(0, 0, noDeqTid)
 	q.head.Store(uint64(sentinel))
 	q.tail.Store(uint64(sentinel))
 
+	q.local = make([]threadLocal, c.threads)
 	q.state = make([]atomic.Uint64, c.threads)
 	for i := range q.state {
 		// A completed pseudo-op so the help loop has something valid to read.
-		q.state[i].Store(uint64(q.newDesc(0, false, true, mem.NilRef, 0)))
+		q.state[i].Store(uint64(q.newDesc(i, 0, false, true, mem.NilRef, 0)))
 	}
 	return q
 }
 
-func (q *Queue) newNode(val uint64, enqTid int64) mem.Ref {
-	ref, n := q.nodes.Alloc()
+func (q *Queue) newNode(tid int, val uint64, enqTid int64) mem.Ref {
+	ref, n := q.nodes.AllocAt(tid)
 	n.Val = val
 	n.EnqTid = enqTid
 	n.DeqTid.Store(noDeqTid)
@@ -167,8 +195,8 @@ func (q *Queue) newNode(val uint64, enqTid int64) mem.Ref {
 	return ref
 }
 
-func (q *Queue) newDesc(phase uint64, pending, enqueue bool, node mem.Ref, val uint64) mem.Ref {
-	ref, d := q.descs.Alloc()
+func (q *Queue) newDesc(tid int, phase uint64, pending, enqueue bool, node mem.Ref, val uint64) mem.Ref {
+	ref, d := q.descs.AllocAt(tid)
 	d.Phase = phase
 	d.Pending = pending
 	d.Enqueue = enqueue
@@ -227,15 +255,36 @@ func (q *Queue) isStillPending(tid, i int, ph uint64) bool {
 }
 
 // replaceDesc installs newRef in state[i] if it still holds oldRef,
-// retiring the replaced descriptor on success and directly freeing the
+// deferring the retire of the replaced descriptor to the end of the
+// caller's operation (see threadLocalState) and directly freeing the
 // never-published newRef on failure. Returns success.
 func (q *Queue) replaceDesc(tid, i int, oldRef, newRef mem.Ref) bool {
 	if q.state[i].CompareAndSwap(uint64(oldRef), uint64(newRef)) {
-		q.ddom.Retire(tid, oldRef)
+		q.deferRetire(tid, oldRef)
 		return true
 	}
 	q.descs.Free(newRef)
 	return false
+}
+
+// deferRetire queues a descriptor retire until the current operation's
+// read-side section ends.
+func (q *Queue) deferRetire(tid int, ref mem.Ref) {
+	st := &q.local[tid].threadLocalState
+	st.deferred = append(st.deferred, ref)
+}
+
+// endOp closes both domains' read-side sections and only then retires the
+// descriptors replaced during the operation. Every BeginOp pair in this
+// file must exit through endOp.
+func (q *Queue) endOp(tid int) {
+	q.ndom.EndOp(tid)
+	q.ddom.EndOp(tid)
+	st := &q.local[tid].threadLocalState
+	for _, ref := range st.deferred {
+		q.ddom.Retire(tid, ref)
+	}
+	st.deferred = st.deferred[:0]
 }
 
 // help completes every announced operation whose phase is <= ph.
@@ -307,7 +356,7 @@ func (q *Queue) helpFinishEnq(tid int) {
 	dref := q.ddom.Protect(tid, 1, &q.state[i])
 	d := q.descs.Get(dref)
 	if uint64(lastRef) == q.tail.Load() && d.Node == nextRef && d.Pending {
-		newRef := q.newDesc(d.Phase, false, true, d.Node, 0)
+		newRef := q.newDesc(tid, d.Phase, false, true, d.Node, 0)
 		q.replaceDesc(tid, i, dref, newRef)
 	}
 	q.tail.CompareAndSwap(uint64(lastRef), uint64(nextRef))
@@ -334,7 +383,7 @@ func (q *Queue) helpDeq(tid, i int, ph uint64) {
 					continue
 				}
 				if d.Pending && d.Phase <= ph && !d.Enqueue {
-					newRef := q.newDesc(d.Phase, false, false, mem.NilRef, 0)
+					newRef := q.newDesc(tid, d.Phase, false, false, mem.NilRef, 0)
 					q.replaceDesc(tid, i, dref, newRef)
 				}
 				continue
@@ -350,7 +399,7 @@ func (q *Queue) helpDeq(tid, i int, ph uint64) {
 		}
 		if d.Node != firstRef {
 			// Candidate stale (or unset): point it at the current sentinel.
-			newRef := q.newDesc(d.Phase, true, false, firstRef, 0)
+			newRef := q.newDesc(tid, d.Phase, true, false, firstRef, 0)
 			if !q.replaceDesc(tid, i, dref, newRef) {
 				continue
 			}
@@ -395,7 +444,7 @@ func (q *Queue) helpFinishDeq(tid int) {
 		return
 	}
 	if d.Node == firstRef && d.Pending {
-		newRef := q.newDesc(d.Phase, false, false, firstRef, val)
+		newRef := q.newDesc(tid, d.Phase, false, false, firstRef, val)
 		q.replaceDesc(tid, i, dref, newRef)
 	}
 	q.head.CompareAndSwap(uint64(firstRef), uint64(nextRef))
@@ -410,12 +459,11 @@ func (q *Queue) Announce(tid int, v uint64) uint64 {
 	q.ndom.BeginOp(tid)
 	q.ddom.BeginOp(tid)
 	phase := q.maxPhase(tid) + 1
-	node := q.newNode(v, int64(tid))
-	desc := q.newDesc(phase, true, true, node, 0)
+	node := q.newNode(tid, v, int64(tid))
+	desc := q.newDesc(tid, phase, true, true, node, 0)
 	old := mem.Ref(q.state[tid].Swap(uint64(desc)))
-	q.ddom.Retire(tid, old)
-	q.ndom.EndOp(tid)
-	q.ddom.EndOp(tid)
+	q.deferRetire(tid, old)
+	q.endOp(tid)
 	return phase
 }
 
@@ -428,8 +476,7 @@ func (q *Queue) Enqueue(tid int, v uint64) {
 	q.ddom.BeginOp(tid)
 	q.help(tid, phase)
 	q.helpFinishEnq(tid)
-	q.ndom.EndOp(tid)
-	q.ddom.EndOp(tid)
+	q.endOp(tid)
 }
 
 // Dequeue removes and returns the oldest value; ok is false on empty.
@@ -439,9 +486,9 @@ func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
 	q.ddom.BeginOp(tid)
 
 	phase := q.maxPhase(tid) + 1
-	desc := q.newDesc(phase, true, false, mem.NilRef, 0)
+	desc := q.newDesc(tid, phase, true, false, mem.NilRef, 0)
 	old := mem.Ref(q.state[tid].Swap(uint64(desc)))
-	q.ddom.Retire(tid, old)
+	q.deferRetire(tid, old)
 
 	q.help(tid, phase)
 	q.helpFinishDeq(tid)
@@ -451,8 +498,7 @@ func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
 	d := q.descs.Get(dref)
 	node := d.Node
 	if node.IsNil() {
-		q.ndom.EndOp(tid)
-		q.ddom.EndOp(tid)
+		q.endOp(tid)
 		return 0, false
 	}
 	// The finisher snapshotted the dequeued value into our completed
@@ -460,8 +506,7 @@ func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
 	// we never touch it.
 	v = d.Val
 
-	q.ndom.EndOp(tid)
-	q.ddom.EndOp(tid)
+	q.endOp(tid)
 	// We own the old sentinel: retire it. (Our completed descriptor still
 	// names it, but Node of a non-pending descriptor is only dereferenced
 	// by its owner, i.e. by this thread's NEXT operation's Swap-retire.)

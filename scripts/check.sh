@@ -12,6 +12,8 @@ echo "== vet =="
 go vet ./...
 echo "== tests =="
 go test ./...
+echo "== race (reclamation core) =="
+go test -race ./internal/core/... ./internal/reclaim/... ./internal/mem/...
 if [ "$mode" = "full" ]; then
   echo "== race =="
   go test -race ./...
