@@ -39,17 +39,17 @@ func benchListWorkload(b *testing.B, s bench.Scheme, size uint64, updatePct int)
 	var seed atomic.Uint64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		tid := dom.Register()
-		defer dom.Unregister(tid)
+		h := dom.Register()
+		defer dom.Unregister(h)
 		rng := bench.NewSplitMix64(seed.Add(1) * 0x9E37)
 		for pb.Next() {
 			k := rng.Intn(size)
 			if updatePct > 0 && rng.Intn(100) < uint64(updatePct) {
-				if l.Remove(tid, k) {
-					l.Insert(tid, k, k)
+				if l.Remove(h, k) {
+					l.Insert(h, k, k)
 				}
 			} else {
-				l.Contains(tid, k)
+				l.Contains(h, k)
 			}
 		}
 	})
@@ -95,22 +95,22 @@ func BenchmarkTable1_ProtectCost(b *testing.B) {
 			dom.OnAlloc(ref)
 			var cell atomic.Uint64
 			cell.Store(uint64(ref))
-			tid := dom.Register()
-			defer dom.Unregister(tid)
+			h := dom.Register()
+			defer dom.Unregister(h)
 			b.ResetTimer()
 			// One operation protects many nodes (a traversal); open and
 			// close the critical section every 128 protects so the
 			// per-operation costs (Clear, read-lock) amortize exactly as
 			// they do in a list traversal of that length.
-			dom.BeginOp(tid)
+			dom.BeginOp(h)
 			for i := 0; i < b.N; i++ {
 				if i&127 == 127 {
-					dom.EndOp(tid)
-					dom.BeginOp(tid)
+					dom.EndOp(h)
+					dom.BeginOp(h)
 				}
-				dom.Protect(tid, 0, &cell)
+				dom.Protect(h, 0, &cell)
 			}
-			dom.EndOp(tid)
+			dom.EndOp(h)
 		})
 	}
 }
@@ -124,8 +124,8 @@ func BenchmarkTable1_RetireCost(b *testing.B) {
 		b.Run(s.Name, func(b *testing.B) {
 			arena := mem.NewArena[node]()
 			dom := s.Make(arena, reclaim.Config{MaxThreads: 8, Slots: 3})
-			tid := dom.Register()
-			defer dom.Unregister(tid)
+			h := dom.Register()
+			defer dom.Unregister(h)
 			var cell atomic.Uint64
 			seed, _ := arena.Alloc()
 			dom.OnAlloc(seed)
@@ -135,7 +135,7 @@ func BenchmarkTable1_RetireCost(b *testing.B) {
 				ref, _ := arena.Alloc()
 				dom.OnAlloc(ref)
 				old := mem.Ref(cell.Swap(uint64(ref)))
-				dom.Retire(tid, old)
+				dom.Retire(h, old)
 			}
 			b.StopTimer()
 			dom.Drain()
@@ -154,19 +154,19 @@ func BenchmarkEq1_BoundedChurn(b *testing.B) {
 			release := make(chan struct{})
 			bench.StalledReader(l, release)
 			dom := l.Domain()
-			tid := dom.Register()
+			h := dom.Register()
 			rng := bench.NewSplitMix64(1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := rng.Intn(100)
-				if l.Remove(tid, k) {
-					l.Insert(tid, k, k)
+				if l.Remove(h, k) {
+					l.Insert(h, k, k)
 				}
 			}
 			b.StopTimer()
 			st := dom.Stats()
 			b.ReportMetric(float64(st.PeakPending), "peak-pending")
-			dom.Unregister(tid)
+			dom.Unregister(h)
 			close(release)
 			l.Drain()
 		})
@@ -195,17 +195,17 @@ func BenchmarkAblation_MinMaxBST(b *testing.B) {
 			var seed atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
-				tid := dom.Register()
-				defer dom.Unregister(tid)
+				h := dom.Register()
+				defer dom.Unregister(h)
 				rng := bench.NewSplitMix64(seed.Add(1))
 				for pb.Next() {
 					k := rng.Intn(size)
 					if rng.Intn(100) < 10 {
-						if tr.Remove(tid, k) {
-							tr.Insert(tid, k, k)
+						if tr.Remove(h, k) {
+							tr.Insert(h, k, k)
 						}
 					} else {
-						tr.Contains(tid, k)
+						tr.Contains(h, k)
 					}
 				}
 			})
@@ -224,14 +224,14 @@ func BenchmarkExtension_WaitFreeQueue(b *testing.B) {
 		b.Run("MS-lockfree/"+s.Name, func(b *testing.B) {
 			q := queue.New(queue.DomainFactory(s.Make), queue.WithMaxThreads(64))
 			b.RunParallel(func(pb *testing.PB) {
-				tid := q.Domain().Register()
-				defer q.Domain().Unregister(tid)
+				h := q.Domain().Register()
+				defer q.Domain().Unregister(h)
 				i := 0
 				for pb.Next() {
 					if i%2 == 0 {
-						q.Enqueue(tid, uint64(i))
+						q.Enqueue(h, uint64(i))
 					} else {
-						q.Dequeue(tid)
+						q.Dequeue(h)
 					}
 					i++
 				}
@@ -242,14 +242,14 @@ func BenchmarkExtension_WaitFreeQueue(b *testing.B) {
 		b.Run("KP-waitfree/"+s.Name, func(b *testing.B) {
 			q := wfqueue.New(wfqueue.DomainFactory(s.Make), wfqueue.WithMaxThreads(64))
 			b.RunParallel(func(pb *testing.PB) {
-				tid := q.Register()
-				defer q.Unregister(tid)
+				h := q.Register()
+				defer q.Unregister(h)
 				i := 0
 				for pb.Next() {
 					if i%2 == 0 {
-						q.Enqueue(tid, uint64(i))
+						q.Enqueue(h, uint64(i))
 					} else {
-						q.Dequeue(tid)
+						q.Dequeue(h)
 					}
 					i++
 				}

@@ -8,6 +8,7 @@
 //	hebench -exp fig4 -dur 1s -threads 1,2,4,8
 //	hebench -exp table1
 //	hebench -exp all -dur 500ms -csv
+//	hebench -exp fig4 -grow        # undersized registries: exercise slot-block growth
 //
 // Experiments: fig4, table1, bound, kadvance, minmax, stalled, all.
 package main
@@ -33,6 +34,7 @@ func main() {
 		updates = flag.String("updates", "0,10,100", "comma-separated update percentages (fig4)")
 		seed    = flag.Uint64("seed", 42, "PRNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		grow    = flag.Bool("grow", false, "undersize every registry (initial capacity 2) so workers register through dynamically grown slot blocks")
 	)
 	flag.Parse()
 
@@ -43,6 +45,7 @@ func main() {
 		Sizes:   parseUints(*sizes),
 		Seed:    *seed,
 		CSV:     *csv,
+		Grow:    *grow,
 	}
 
 	fmt.Printf("hazard-eras benchmark harness — GOMAXPROCS=%d, NumCPU=%d\n",

@@ -7,9 +7,13 @@
 //
 //	hestress -struct list -scheme HE -threads 8 -dur 5s
 //	hestress -struct all -scheme all -dur 1s
+//	hestress -struct all -scheme all -dur 1s -grow
 //
 // Structures: list, map, queue, stack, bst, all. Schemes: HE, HE-minmax,
-// HP, EBR, URCU, RC, NONE, all. Exit status 1 if any fault was detected.
+// HP, EBR, URCU, RC, NONE, all. -grow undersizes every registry so the
+// dynamic session-growth path (Register past the initial capacity) is
+// exercised under full contention; registration never fails either way.
+// Exit status 1 if any fault was detected.
 package main
 
 import (
@@ -52,8 +56,10 @@ func main() {
 		schemes = flag.String("scheme", "all", "HE|HE-minmax|HP|EBR|URCU|RC|NONE|all")
 		threads = flag.Int("threads", 8, "concurrent workers")
 		dur     = flag.Duration("dur", time.Second, "stress duration per combination")
+		grow    = flag.Bool("grow", false, "undersize the registries (initial capacity 2) so every run exercises dynamic session growth")
 	)
 	flag.Parse()
+	growMode = *grow
 
 	roster := map[string]bench.Scheme{}
 	for _, s := range bench.AllSchemes() {
@@ -121,6 +127,20 @@ func main() {
 	}
 }
 
+// growMode deliberately undersizes every registry so the slot-block growth
+// path (Register past the initial capacity) runs under full stress. With it
+// off, capacity is sized to the worker count plus setup/stall headroom;
+// either way Register never fails — growth is the tentpole guarantee.
+var growMode bool
+
+// capFor picks the initial session capacity for a stress run.
+func capFor(threads int) int {
+	if growMode {
+		return 2
+	}
+	return threads + 2
+}
+
 // guard converts a memory-fault panic (the checked arena's reaction to a
 // use-after-free or double free) into a counted failure and stops the run,
 // so one bad scheme/structure combination doesn't abort the whole sweep.
@@ -151,19 +171,19 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 		go func(seed uint64) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			tid := s.Domain().Register()
-			defer s.Domain().Unregister(tid)
+			h := s.Domain().Register()
+			defer s.Domain().Unregister(h)
 			rng := bench.NewSplitMix64(seed)
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
 				k := rng.Intn(keyRange)
 				if rng.Intn(100) < 30 {
-					if s.Remove(tid, k) {
-						s.Insert(tid, k, k)
+					if s.Remove(h, k) {
+						s.Insert(h, k, k)
 					}
 				} else {
-					s.Contains(tid, k)
+					s.Contains(h, k)
 				}
 				local++
 			}
@@ -176,7 +196,7 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 }
 
 func stressList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	l := list.New(list.DomainFactory(s.Make), list.WithChecked(true), list.WithMaxThreads(threads+2))
+	l := list.New(list.DomainFactory(s.Make), list.WithChecked(true), list.WithMaxThreads(capFor(threads)))
 	faults, ops := churnSet(l, func() int64 { return l.Arena().Stats().Faults }, threads, dur)
 	l.Drain()
 	return faults, ops
@@ -184,21 +204,21 @@ func stressList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
 
 func stressMap(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
 	m := hashmap.New(list.DomainFactory(s.Make), hashmap.WithChecked(true),
-		hashmap.WithMaxThreads(threads+2), hashmap.WithBuckets(32))
+		hashmap.WithMaxThreads(capFor(threads)), hashmap.WithBuckets(32))
 	faults, ops := churnSet(m, func() int64 { return m.Arena().Stats().Faults }, threads, dur)
 	m.Drain()
 	return faults, ops
 }
 
 func stressBST(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	t := bst.New(bst.DomainFactory(s.Make), bst.WithChecked(true), bst.WithMaxThreads(threads+2))
+	t := bst.New(bst.DomainFactory(s.Make), bst.WithChecked(true), bst.WithMaxThreads(capFor(threads)))
 	faults, ops := churnSet(t, func() int64 { return t.Arena().Stats().Faults }, threads, dur)
 	t.Drain()
 	return faults, ops
 }
 
 func stressQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	q := queue.New(queue.DomainFactory(s.Make), queue.WithChecked(true), queue.WithMaxThreads(threads+2))
+	q := queue.New(queue.DomainFactory(s.Make), queue.WithChecked(true), queue.WithMaxThreads(capFor(threads)))
 	var stop atomic.Bool
 	var panics atomic.Int64
 	var ops atomic.Int64
@@ -208,15 +228,15 @@ func stressQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 		go func(producer bool) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			tid := q.Domain().Register()
-			defer q.Domain().Unregister(tid)
+			h := q.Domain().Register()
+			defer q.Domain().Unregister(h)
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
 				if producer {
-					q.Enqueue(tid, uint64(local))
+					q.Enqueue(h, uint64(local))
 				} else {
-					q.Dequeue(tid)
+					q.Dequeue(h)
 				}
 				local++
 			}
@@ -231,7 +251,7 @@ func stressQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 }
 
 func stressStack(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	st := stack.New(stack.DomainFactory(s.Make), stack.WithChecked(true), stack.WithMaxThreads(threads+2))
+	st := stack.New(stack.DomainFactory(s.Make), stack.WithChecked(true), stack.WithMaxThreads(capFor(threads)))
 	var stop atomic.Bool
 	var panics atomic.Int64
 	var ops atomic.Int64
@@ -241,15 +261,15 @@ func stressStack(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 		go func(w int) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			tid := st.Domain().Register()
-			defer st.Domain().Unregister(tid)
+			h := st.Domain().Register()
+			defer st.Domain().Unregister(h)
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
 				if (int64(w)+local)%2 == 0 {
-					st.Push(tid, uint64(local))
+					st.Push(h, uint64(local))
 				} else {
-					st.Pop(tid)
+					st.Pop(h)
 				}
 				local++
 			}
@@ -264,7 +284,7 @@ func stressStack(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 }
 
 func stressWFQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	q := wfqueue.New(wfqueue.DomainFactory(s.Make), wfqueue.WithChecked(true), wfqueue.WithMaxThreads(threads+2))
+	q := wfqueue.New(wfqueue.DomainFactory(s.Make), wfqueue.WithChecked(true), wfqueue.WithMaxThreads(capFor(threads)))
 	var stop atomic.Bool
 	var panics atomic.Int64
 	var ops atomic.Int64
@@ -274,15 +294,15 @@ func stressWFQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64
 		go func(producer bool) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			tid := q.Register()
-			defer q.Unregister(tid)
+			h := q.Register()
+			defer q.Unregister(h)
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
 				if producer {
-					q.Enqueue(tid, uint64(local))
+					q.Enqueue(h, uint64(local))
 				} else {
-					q.Dequeue(tid)
+					q.Dequeue(h)
 				}
 				local++
 			}
@@ -297,7 +317,7 @@ func stressWFQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64
 }
 
 func stressSkipList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	sl := skiplist.New(skiplist.DomainFactory(s.Make), skiplist.WithChecked(true), skiplist.WithMaxThreads(threads+2))
+	sl := skiplist.New(skiplist.DomainFactory(s.Make), skiplist.WithChecked(true), skiplist.WithMaxThreads(capFor(threads)))
 	faults, ops := churnSet(sl, func() int64 { return sl.Arena().Stats().Faults }, threads, dur)
 	sl.Drain()
 	return faults, ops

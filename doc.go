@@ -20,7 +20,8 @@
 //	internal/rc       reference-counting baseline
 //	internal/leak     no-reclamation control
 //	internal/ibr      2GE interval-based reclamation (the HE follow-on)
-//	internal/reclaim  the shared Domain interface + instrumentation
+//	internal/reclaim  the shared Domain interface, session Handles, the
+//	                  growable slot-block registry + instrumentation
 //	internal/mem      simulated manual memory: slab arenas, packed refs with
 //	                  generation tags, use-after-free detection
 //	internal/list     Maged-Harris list (the paper's benchmark structure)
@@ -36,7 +37,15 @@
 //	cmd/hetrace       print the checked schematic replays
 //	cmd/hestress      adversarial stress with use-after-free detection
 //	examples/...      quickstart, stalled reader, concurrent cache,
-//	                  pipeline, wait-free queue, skip-list range scans
+//	                  pipeline, wait-free queue, skip-list range scans,
+//	                  goroutine pools over the growable session registry
+//
+// Where the paper's C++ API threads an integer tid through every call and
+// fixes maxThreads at construction, this reproduction hands each
+// participating goroutine a session Handle (Domain.Register, or the pooled
+// Domain.Acquire) carrying its protection cells, retired list and counter
+// stripes; the registry grows by publishing chained slot blocks, so
+// registration never fails. See examples/goroutinepool.
 //
 // The benchmarks in bench_test.go mirror cmd/hebench as go-test benchmarks:
 // one Benchmark per paper table/figure.

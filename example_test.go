@@ -13,14 +13,14 @@ func ExampleNewList() {
 	l := repro.NewList(func(a repro.Allocator, c repro.Config) repro.Domain {
 		return repro.NewHazardEras(a, c)
 	})
-	tid := l.Domain().Register()
-	defer l.Domain().Unregister(tid)
+	h := l.Domain().Register()
+	defer l.Domain().Unregister(h)
 
-	l.Insert(tid, 42, 4200)
-	if v, ok := l.Get(tid, 42); ok {
+	l.Insert(h, 42, 4200)
+	if v, ok := l.Get(h, 42); ok {
 		fmt.Println("got", v)
 	}
-	l.Remove(tid, 42) // unlink -> retire -> reclaimed when safe
+	l.Remove(h, 42) // unlink -> retire -> reclaimed when safe
 	fmt.Println("len", l.Len())
 	// Output:
 	// got 4200
@@ -34,14 +34,14 @@ func ExampleNewHazardEras() {
 	type node struct{ v uint64 }
 	arena := repro.NewArena[node]()
 	he := repro.NewHazardEras(arena, repro.Config{MaxThreads: 2, Slots: 1})
-	tid := he.Register()
-	defer he.Unregister(tid)
+	h := he.Register()
+	defer he.Unregister(h)
 
 	ref, n := arena.Alloc()
 	n.v = 7
 	he.OnAlloc(ref) // stamp newEra before publishing
 
-	he.Retire(tid, ref) // no reader: freed immediately
+	he.Retire(h, ref) // no reader: freed immediately
 	s := he.Stats()
 	fmt.Printf("retired=%d freed=%d era=%d\n", s.Retired, s.Freed, s.EraClock)
 	// Output:
@@ -53,13 +53,13 @@ func ExampleNewSkipList() {
 	s := repro.NewSkipList(func(a repro.Allocator, c repro.Config) repro.Domain {
 		return repro.NewHazardEras(a, c)
 	})
-	tid := s.Domain().Register()
-	defer s.Domain().Unregister(tid)
+	h := s.Domain().Register()
+	defer s.Domain().Unregister(h)
 
 	for _, k := range []uint64{30, 10, 20, 40} {
-		s.Insert(tid, k, k*100)
+		s.Insert(h, k, k*100)
 	}
-	s.Range(tid, 10, 35, func(k, v uint64) bool {
+	s.Range(h, 10, 35, func(k, v uint64) bool {
 		fmt.Println(k, v)
 		return true
 	})

@@ -51,8 +51,8 @@ func run(s bench.Scheme) (mops float64, pending int64) {
 	var wg sync.WaitGroup
 	worker := func(seed uint64, writer bool) {
 		defer wg.Done()
-		tid := dom.Register()
-		defer dom.Unregister(tid)
+		h := dom.Register()
+		defer dom.Unregister(h)
 		rng := bench.NewSplitMix64(seed)
 		var local int64
 		for !stop.Load() {
@@ -60,10 +60,10 @@ func run(s bench.Scheme) (mops float64, pending int64) {
 			if writer {
 				// Cache refresh: replace the entry (remove + insert churns
 				// a node through retire()).
-				if cache.Remove(tid, k) {
-					cache.Insert(tid, k, rng.Next())
+				if cache.Remove(h, k) {
+					cache.Insert(h, k, rng.Next())
 				}
-			} else if v, ok := cache.Get(tid, k); ok {
+			} else if v, ok := cache.Get(h, k); ok {
 				_ = v
 			}
 			local++

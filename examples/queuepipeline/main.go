@@ -40,10 +40,10 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			tid := stage1.Domain().Register()
-			defer stage1.Domain().Unregister(tid)
+			h := stage1.Domain().Register()
+			defer stage1.Domain().Unregister(h)
 			for i := 0; i < items/producers; i++ {
-				stage1.Enqueue(tid, uint64(p*items+i))
+				stage1.Enqueue(h, uint64(p*items+i))
 			}
 		}(p)
 	}
@@ -76,10 +76,10 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		tid := stage2.Domain().Register()
-		defer stage2.Domain().Unregister(tid)
+		h := stage2.Domain().Register()
+		defer stage2.Domain().Unregister(h)
 		for count < items {
-			v, ok := stage2.Dequeue(tid)
+			v, ok := stage2.Dequeue(h)
 			if !ok {
 				runtime.Gosched()
 				continue

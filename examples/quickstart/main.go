@@ -3,11 +3,11 @@
 // Run with: go run ./examples/quickstart
 //
 // The flow is the one the paper prescribes: construct a domain over the
-// node arena (HazardEras(maxHEs, maxThreads)), register each thread for a
-// tid, and let the structure call get_protected/clear/retire/getEra
-// internally. Switching the factory to bench.HP().Make (or EBR/URCU/RC)
-// swaps the reclamation scheme without touching any data-structure code —
-// the paper's "drop-in replacement" claim.
+// node arena (HazardEras(maxHEs, maxThreads)), register each goroutine for
+// a session handle, and let the structure call get_protected/clear/retire/
+// getEra internally. Switching the factory to bench.HP().Make (or
+// EBR/URCU/RC) swaps the reclamation scheme without touching any
+// data-structure code — the paper's "drop-in replacement" claim.
 package main
 
 import (
@@ -22,24 +22,25 @@ func main() {
 	l := list.New(list.DomainFactory(bench.HE().Make), list.WithMaxThreads(8))
 	dom := l.Domain()
 
-	// Every participating goroutine claims a thread id (the paper's tid).
-	tid := dom.Register()
-	defer dom.Unregister(tid)
+	// Every participating goroutine registers a session handle (the role
+	// the paper's tid plays, with the per-thread state cached inside it).
+	h := dom.Register()
+	defer dom.Unregister(h)
 
 	for k := uint64(1); k <= 5; k++ {
-		l.Insert(tid, k, k*100)
+		l.Insert(h, k, k*100)
 	}
 	fmt.Println("inserted 1..5, list length:", l.Len())
 
-	if v, ok := l.Get(tid, 3); ok {
+	if v, ok := l.Get(h, 3); ok {
 		fmt.Println("Get(3) =", v)
 	}
 
 	// Remove + re-insert churns nodes through retire(): the old node is
 	// reclaimed as soon as no published era covers its lifetime.
 	for i := 0; i < 1000; i++ {
-		l.Remove(tid, 3)
-		l.Insert(tid, 3, 300)
+		l.Remove(h, 3)
+		l.Insert(h, 3, 300)
 	}
 
 	s := dom.Stats()

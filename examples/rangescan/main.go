@@ -47,13 +47,13 @@ func main() {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			tid := index.Domain().Register()
-			defer index.Domain().Unregister(tid)
+			h := index.Domain().Register()
+			defer index.Domain().Unregister(h)
 			rngState := seed
 			for !stop.Load() {
 				rngState = rngState*6364136223846793005 + 1442695040888963407
 				from := rngState % keys
-				n := index.Range(tid, from, from+200, func(k, v uint64) bool {
+				n := index.Range(h, from, from+200, func(k, v uint64) bool {
 					if v != k*10 {
 						panic(fmt.Sprintf("corrupt value %d at key %d", v, k))
 					}
@@ -68,14 +68,14 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		tid := index.Domain().Register()
-		defer index.Domain().Unregister(tid)
+		h := index.Domain().Register()
+		defer index.Domain().Unregister(h)
 		rngState := uint64(99)
 		for !stop.Load() {
 			rngState = rngState*6364136223846793005 + 1442695040888963407
 			k := rngState % keys
-			if index.Remove(tid, k) {
-				index.Insert(tid, k, k*10)
+			if index.Remove(h, k) {
+				index.Insert(h, k, k*10)
 				churned.Add(1)
 			}
 		}

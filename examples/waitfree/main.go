@@ -44,40 +44,43 @@ func helpedCompletion() {
 	fmt.Printf("part 1: sleeper's 42 completed by the helper; dequeue order: %d, %d\n", v1, v2)
 }
 
-func throughput() {
-	const workers = 4
-	const dur = 500 * time.Millisecond
+const workers = 4
+const dur = 500 * time.Millisecond
 
-	run := func(enq func(tid int, v uint64), deq func(tid int) (uint64, bool),
-		register func() int, unregister func(int)) float64 {
-		var stop atomic.Bool
-		var ops atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(producer bool) {
-				defer wg.Done()
-				tid := register()
-				defer unregister(tid)
-				var local int64
-				for !stop.Load() {
-					if producer {
-						enq(tid, uint64(local))
-					} else {
-						deq(tid)
-					}
-					local++
+// run drives either queue through its session-handle API; H is
+// *reclaim.Handle for the Michael-Scott queue and *wfqueue.Handle (two
+// domain sessions plus an announcement cell) for the wait-free one.
+func run[H any](enq func(H, uint64), deq func(H) (uint64, bool),
+	register func() H, unregister func(H)) float64 {
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(producer bool) {
+			defer wg.Done()
+			h := register()
+			defer unregister(h)
+			var local int64
+			for !stop.Load() {
+				if producer {
+					enq(h, uint64(local))
+				} else {
+					deq(h)
 				}
-				ops.Add(local)
-			}(w%2 == 0)
-		}
-		start := time.Now()
-		time.Sleep(dur)
-		stop.Store(true)
-		wg.Wait()
-		return float64(ops.Load()) / time.Since(start).Seconds() / 1e6
+				local++
+			}
+			ops.Add(local)
+		}(w%2 == 0)
 	}
+	start := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return float64(ops.Load()) / time.Since(start).Seconds() / 1e6
+}
 
+func throughput() {
 	lf := queue.New(queue.DomainFactory(bench.HE().Make), queue.WithMaxThreads(workers+1))
 	lfMops := run(lf.Enqueue, lf.Dequeue, lf.Domain().Register, lf.Domain().Unregister)
 	lf.Drain()

@@ -5,24 +5,36 @@ package atomicx
 // stripe with a plain atomic add (no contention, no false sharing); Sum folds
 // all stripes. It is used for operation counting in the benchmark harness and
 // for the synchronization-cost instrumentation behind Table 1.
+//
+// The stripe count is rounded up to a power of two and ids are masked, so
+// any id — including session ids beyond the initially sized capacity, which
+// the dynamically growing reclamation registry hands out — maps to a valid
+// stripe. Two sessions sharing a stripe costs a shared cache line, never
+// correctness: stripes are summed, not owned.
 type StripedCounter struct {
 	stripes []PaddedInt64
+	mask    int
 }
 
-// NewStripedCounter returns a counter with one stripe per thread id in
-// [0, threads).
+// NewStripedCounter returns a counter with at least one stripe per thread
+// id in [0, threads), rounded up to a power of two.
 func NewStripedCounter(threads int) *StripedCounter {
-	if threads <= 0 {
-		threads = 1
+	n := 1
+	for n < threads {
+		n <<= 1
 	}
-	return &StripedCounter{stripes: make([]PaddedInt64, threads)}
+	return &StripedCounter{stripes: make([]PaddedInt64, n), mask: n - 1}
 }
 
 // Inc adds 1 to the stripe owned by tid.
-func (c *StripedCounter) Inc(tid int) { c.stripes[tid].Add(1) }
+func (c *StripedCounter) Inc(tid int) { c.stripes[tid&c.mask].Add(1) }
 
 // Add adds delta to the stripe owned by tid.
-func (c *StripedCounter) Add(tid int, delta int64) { c.stripes[tid].Add(delta) }
+func (c *StripedCounter) Add(tid int, delta int64) { c.stripes[tid&c.mask].Add(delta) }
+
+// Stripe returns the stripe cell owned by tid, for callers that cache the
+// pointer and Add on it directly (the reclamation Handle hot paths).
+func (c *StripedCounter) Stripe(tid int) *PaddedInt64 { return &c.stripes[tid&c.mask] }
 
 // Sum folds all stripes. It is linearizable only in quiescence, which is all
 // the harness needs (it reads after the workers have stopped).

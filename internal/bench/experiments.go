@@ -28,6 +28,20 @@ type Options struct {
 	Seed uint64
 	// CSV switches the report format from aligned text to CSV.
 	CSV bool
+	// Grow runs every cell with an undersized registry (initial capacity
+	// 2) so workers register through dynamically grown slot blocks — the
+	// hebench -grow flag. See Workload.Grow.
+	Grow bool
+}
+
+// capFor is the structure capacity for a cell with n expected sessions:
+// n normally, a deliberately undersized 2 when -grow is exercising the
+// registry's growth path.
+func (o Options) capFor(n int) int {
+	if o.Grow {
+		return 2
+	}
+	return n
 }
 
 // DefaultOptions mirrors the paper's grid, scaled to a small machine:
@@ -88,7 +102,11 @@ func newList(s Scheme, threads int) *list.List {
 // RunCell builds a fresh list under scheme s, pre-fills it, runs one cell
 // of the paper's grid, and tears everything down.
 func RunCell(s Scheme, w Workload, dur time.Duration, seed uint64) Result {
-	l := newList(s, w.Threads+2)
+	capacity := w.Threads + 2
+	if w.Grow {
+		capacity = 2
+	}
+	l := newList(s, capacity)
 	Prefill(l, w.Size)
 	res := RunSet(l, w, dur, seed)
 	l.Drain()
@@ -111,7 +129,7 @@ func Figure4(w io.Writer, o Options) {
 			}
 			tbl := NewTable(head...)
 			for _, th := range o.Threads {
-				wl := Workload{Size: size, UpdatePercent: upd, Threads: th}
+				wl := Workload{Size: size, UpdatePercent: upd, Threads: th, Grow: o.Grow}
 				row := []any{th}
 				var hpMops float64
 				for _, s := range schemes {
@@ -198,8 +216,8 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 	if churnPercent > 0 {
 		go func() {
 			defer close(churnDone)
-			tid := dom.Register()
-			defer dom.Unregister(tid)
+			h := dom.Register()
+			defer dom.Unregister(h)
 			rng := NewSplitMix64(7)
 			for {
 				select {
@@ -208,8 +226,8 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 				default:
 				}
 				k := rng.Intn(size)
-				if l.Remove(tid, k) {
-					l.Insert(tid, k, k)
+				if l.Remove(h, k) {
+					l.Insert(h, k, k)
 				}
 				// Yield after every update so reader and churn interleave
 				// finely even on one core.
@@ -220,11 +238,11 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 		close(churnDone)
 	}
 
-	tid := dom.Register()
+	h := dom.Register()
 	rng := NewSplitMix64(3)
 	ins.Reset()
 	for i := 0; i < 2000; i++ {
-		l.Contains(tid, rng.Intn(size))
+		l.Contains(h, rng.Intn(size))
 		if churnPercent > 0 && i%4 == 0 {
 			// Yield so the churn thread interleaves even on a single core;
 			// otherwise the whole measurement can finish inside one
@@ -233,7 +251,7 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 		}
 	}
 	snap := ins.Snapshot()
-	dom.Unregister(tid)
+	dom.Unregister(h)
 	close(stop)
 	<-churnDone
 	l.Drain()
@@ -251,12 +269,12 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	StalledReader(l, release)
 
 	dom := l.Domain()
-	tid := dom.Register()
+	h := dom.Register()
 	rng := NewSplitMix64(11)
 	for i := 0; i < churnOps; i++ {
 		k := rng.Intn(size)
-		if l.Remove(tid, k) {
-			l.Insert(tid, k, k)
+		if l.Remove(h, k) {
+			l.Insert(h, k, k)
 		}
 	}
 	st := dom.Stats()
@@ -269,7 +287,7 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	default:
 		verdict = "grows"
 	}
-	dom.Unregister(tid)
+	dom.Unregister(h)
 	close(release)
 	time.Sleep(time.Millisecond)
 	l.Drain()
@@ -299,7 +317,7 @@ func EquationOneBound(w io.Writer, o Options) {
 func KAdvance(w io.Writer, o Options) {
 	o = o.defaulted()
 	th := o.Threads[len(o.Threads)-1]
-	wl := Workload{Size: 1000, UpdatePercent: 10, Threads: th}
+	wl := Workload{Size: 1000, UpdatePercent: 10, Threads: th, Grow: o.Grow}
 	Section(w, "Ablation (§3.4): era-clock k-advance, list size=%d, updates=%d%%, threads=%d", wl.Size, wl.UpdatePercent, th)
 	t := NewTable("k", "Mops", "peak pending", "final era clock")
 	for _, k := range []int{1, 4, 16, 64} {
@@ -322,7 +340,7 @@ func MinMax(w io.Writer, o Options) {
 		t := NewTable("scheme", "Mops", "ratio vs HP", "peak pending")
 		var hpMops float64
 		for _, s := range []Scheme{HP(), HE(), HEMinMax()} {
-			tr := bst.New(bst.DomainFactory(s.Make), bst.WithMaxThreads(th+2))
+			tr := bst.New(bst.DomainFactory(s.Make), bst.WithMaxThreads(o.capFor(th+2)))
 			Prefill(tr, size)
 			res := RunSet(tr, Workload{Size: size, UpdatePercent: upd, Threads: th}, o.Dur, o.Seed)
 			tr.Drain()
@@ -361,7 +379,7 @@ func Oversubscription(w io.Writer, o Options) {
 	tbl := NewTable(head...)
 	for _, mult := range []int{1, 2, 8, 32} {
 		th := cores * mult
-		wl := Workload{Size: wlSize, UpdatePercent: upd, Threads: th}
+		wl := Workload{Size: wlSize, UpdatePercent: upd, Threads: th, Grow: o.Grow}
 		row := []any{th}
 		var hpMops float64
 		for _, s := range schemes {
@@ -415,7 +433,7 @@ func Stalled(w io.Writer, o Options) {
 func RFactor(w io.Writer, o Options) {
 	o = o.defaulted()
 	th := o.Threads[len(o.Threads)-1]
-	wl := Workload{Size: 1000, UpdatePercent: 10, Threads: th}
+	wl := Workload{Size: 1000, UpdatePercent: 10, Threads: th, Grow: o.Grow}
 	Section(w, "Ablation: HP scan threshold (R factor), list size=%d, updates=%d%%, threads=%d", wl.Size, wl.UpdatePercent, th)
 	t := NewTable("R", "Mops", "peak pending", "scans", "freed")
 	for _, r := range []int{1, 8, 64, 512} {

@@ -12,9 +12,9 @@ import (
 // Set is the structure interface the harness drives — satisfied by
 // list.List, hashmap.Map and bst.Tree.
 type Set interface {
-	Insert(tid int, key, val uint64) bool
-	Remove(tid int, key uint64) bool
-	Contains(tid int, key uint64) bool
+	Insert(h *reclaim.Handle, key, val uint64) bool
+	Remove(h *reclaim.Handle, key uint64) bool
+	Contains(h *reclaim.Handle, key uint64) bool
 	Domain() reclaim.Domain
 }
 
@@ -50,8 +50,8 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 		done.Add(1)
 		go func(worker int) {
 			defer done.Done()
-			tid := dom.Register()
-			defer dom.Unregister(tid)
+			h := dom.Register()
+			defer dom.Unregister(h)
 			rng := NewSplitMix64(seed + uint64(worker)*0x9E37)
 			ready.Done()
 			<-start
@@ -63,16 +63,16 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 						// Paper: remove; if successful, re-insert the same
 						// item, keeping the size at Size minus ongoing
 						// removals.
-						if s.Remove(tid, key) {
-							s.Insert(tid, key, key)
+						if s.Remove(h, key) {
+							s.Insert(h, key, key)
 						}
 					} else {
-						s.Contains(tid, key)
+						s.Contains(h, key)
 					}
 					local++
 				}
 			}
-			ops.Add(tid, local)
+			ops.Add(h.ID(), local)
 		}(t)
 	}
 
@@ -100,19 +100,19 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 // insert lands at the head of a sorted list: O(n) total instead of O(n^2).
 func Prefill(s Set, size uint64) {
 	dom := s.Domain()
-	tid := dom.Register()
+	h := dom.Register()
 	for k := size; k > 0; k-- {
-		s.Insert(tid, k-1, k-1)
+		s.Insert(h, k-1, k-1)
 	}
-	dom.Unregister(tid)
+	dom.Unregister(h)
 }
 
 // Pinnable is implemented by structures that can park a reader inside a
 // read-side critical section (list.List).
 type Pinnable interface {
 	Set
-	Pin(tid int)
-	Unpin(tid int)
+	Pin(h *reclaim.Handle)
+	Unpin(h *reclaim.Handle)
 }
 
 // StalledReader parks one registered reader mid-operation until release is
@@ -123,12 +123,12 @@ func StalledReader(s Pinnable, release <-chan struct{}) {
 	dom := s.Domain()
 	parked := make(chan struct{})
 	go func() {
-		tid := dom.Register()
-		s.Pin(tid)
+		h := dom.Register()
+		s.Pin(h)
 		close(parked)
 		<-release
-		s.Unpin(tid)
-		dom.Unregister(tid)
+		s.Unpin(h)
+		dom.Unregister(h)
 	}()
 	<-parked
 }

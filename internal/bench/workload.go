@@ -53,4 +53,10 @@ type Workload struct {
 	UpdatePercent int
 	// Threads is the number of concurrent workers.
 	Threads int
+	// Grow undersizes the structure's registry (initial capacity 2
+	// regardless of Threads) so the cell exercises dynamic slot-block
+	// growth: every worker past the second registers through a grown
+	// block. Throughput numbers are still valid — growth is a one-time
+	// setup cost per worker, not a per-operation one.
+	Grow bool
 }

@@ -83,7 +83,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
@@ -118,22 +119,22 @@ func (t *Tree) Arena() *mem.Arena[Node] { return t.arena }
 func bit(key uint64, i uint64) int { return int(key >> i & 1) }
 
 // Contains reports membership of key.
-func (t *Tree) Contains(tid int, key uint64) bool {
-	_, ok := t.Get(tid, key)
+func (t *Tree) Contains(h *reclaim.Handle, key uint64) bool {
+	_, ok := t.Get(h, key)
 	return ok
 }
 
 // Get returns the value stored under key. Lock-free; protects the whole
 // root-to-leaf path, one slot per level.
-func (t *Tree) Get(tid int, key uint64) (uint64, bool) {
+func (t *Tree) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
 	arena, dom := t.arena, t.dom
-	dom.BeginOp(tid)
-	defer dom.EndOp(tid)
+	dom.BeginOp(h)
+	defer dom.EndOp(h)
 retry:
 	for {
 		edge := &t.root
 		slot := 0
-		cur := dom.Protect(tid, slot, edge)
+		cur := dom.Protect(h, slot, edge)
 		if cur.IsNil() {
 			return 0, false
 		}
@@ -147,7 +148,7 @@ retry:
 			}
 			childEdge := &n.Child[bit(key, n.Bit)]
 			slot++
-			child := dom.Protect(tid, slot, childEdge)
+			child := dom.Protect(h, slot, childEdge)
 			// Anchor re-validation: if cur was unlinked, the edge that led
 			// to it changed and the protection on child may be stale.
 			if edge.Load() != uint64(cur) {
@@ -160,12 +161,12 @@ retry:
 }
 
 // Insert adds key->val; false if already present. Writer-serialized.
-func (t *Tree) Insert(tid int, key, val uint64) bool {
+func (t *Tree) Insert(h *reclaim.Handle, key, val uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
 	if mem.Ref(t.root.Load()).IsNil() {
-		leaf := t.newLeaf(tid, key, val)
+		leaf := t.newLeaf(h, key, val)
 		t.root.Store(uint64(leaf))
 		return true
 	}
@@ -190,8 +191,8 @@ func (t *Tree) Insert(tid int, key, val uint64) bool {
 		cur := mem.Ref(edge.Load())
 		n := t.arena.Get(cur)
 		if n.Kind == kindLeaf || n.Bit > diff {
-			leaf := t.newLeaf(tid, key, val)
-			inner, in := t.arena.AllocAt(tid)
+			leaf := t.newLeaf(h, key, val)
+			inner, in := t.arena.AllocAt(h.ID())
 			in.Kind = kindInternal
 			in.Bit = diff
 			in.Child[bit(key, diff)].Store(uint64(leaf))
@@ -204,8 +205,8 @@ func (t *Tree) Insert(tid int, key, val uint64) bool {
 	}
 }
 
-func (t *Tree) newLeaf(tid int, key, val uint64) mem.Ref {
-	ref, n := t.arena.AllocAt(tid)
+func (t *Tree) newLeaf(h *reclaim.Handle, key, val uint64) mem.Ref {
+	ref, n := t.arena.AllocAt(h.ID())
 	n.Kind = kindLeaf
 	n.Key, n.Val = key, val
 	t.dom.OnAlloc(ref)
@@ -216,7 +217,7 @@ func (t *Tree) newLeaf(tid int, key, val uint64) mem.Ref {
 // and its parent internal node are retired through the domain — these are
 // the retirements that exercise HP's O(threads x Slots) scan versus
 // HE-minmax's O(threads x 2).
-func (t *Tree) Remove(tid int, key uint64) bool {
+func (t *Tree) Remove(h *reclaim.Handle, key uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -244,15 +245,15 @@ func (t *Tree) Remove(tid int, key uint64) bool {
 	if parent.IsNil() {
 		// The leaf is the root.
 		t.root.Store(0)
-		t.dom.Retire(tid, cur)
+		t.dom.Retire(h, cur)
 		return true
 	}
 	pn := t.arena.Get(parent)
 	b := bit(key, pn.Bit)
 	sibling := pn.Child[1-b].Load()
 	gpEdge.Store(sibling) // unlink parent (and with it the leaf)
-	t.dom.Retire(tid, parent)
-	t.dom.Retire(tid, cur)
+	t.dom.Retire(h, parent)
+	t.dom.Retire(h, cur)
 	return true
 }
 

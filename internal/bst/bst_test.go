@@ -29,11 +29,11 @@ func heTree(t *testing.T) *Tree {
 
 func TestEmptyTree(t *testing.T) {
 	tr := heTree(t)
-	tid := tr.Domain().Register()
-	if tr.Contains(tid, 1) {
+	h := tr.Domain().Register()
+	if tr.Contains(h, 1) {
 		t.Fatal("empty tree contains 1")
 	}
-	if tr.Remove(tid, 1) {
+	if tr.Remove(h, 1) {
 		t.Fatal("removed from empty tree")
 	}
 	if tr.Len() != 0 || tr.Depth() != 0 {
@@ -43,13 +43,13 @@ func TestEmptyTree(t *testing.T) {
 
 func TestInsertGetRemove(t *testing.T) {
 	tr := heTree(t)
-	tid := tr.Domain().Register()
+	h := tr.Domain().Register()
 	keys := []uint64{5, 1, 9, 0, 12, 7, ^uint64(0)}
 	for _, k := range keys {
-		if !tr.Insert(tid, k, k*2) {
+		if !tr.Insert(h, k, k*2) {
 			t.Fatalf("insert %d failed", k)
 		}
-		if tr.Insert(tid, k, k*2) {
+		if tr.Insert(h, k, k*2) {
 			t.Fatalf("duplicate insert %d succeeded", k)
 		}
 	}
@@ -57,18 +57,18 @@ func TestInsertGetRemove(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
 	}
 	for _, k := range keys {
-		if v, ok := tr.Get(tid, k); !ok || v != k*2 {
+		if v, ok := tr.Get(h, k); !ok || v != k*2 {
 			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
 		}
 	}
-	if tr.Contains(tid, 1000) {
+	if tr.Contains(h, 1000) {
 		t.Fatal("phantom key")
 	}
 	for _, k := range keys {
-		if !tr.Remove(tid, k) {
+		if !tr.Remove(h, k) {
 			t.Fatalf("remove %d failed", k)
 		}
-		if tr.Contains(tid, k) {
+		if tr.Contains(h, k) {
 			t.Fatalf("%d still present", k)
 		}
 	}
@@ -79,43 +79,43 @@ func TestInsertGetRemove(t *testing.T) {
 
 func TestRemoveRetiresParentAndLeaf(t *testing.T) {
 	tr := heTree(t)
-	tid := tr.Domain().Register()
-	tr.Insert(tid, 1, 1)
-	tr.Insert(tid, 2, 2)
-	tr.Remove(tid, 1) // removes leaf + its parent internal
+	h := tr.Domain().Register()
+	tr.Insert(h, 1, 1)
+	tr.Insert(h, 2, 2)
+	tr.Remove(h, 1) // removes leaf + its parent internal
 	s := tr.Domain().Stats()
 	if s.Retired != 2 {
 		t.Fatalf("Retired = %d, want 2 (leaf + internal)", s.Retired)
 	}
-	if !tr.Contains(tid, 2) {
+	if !tr.Contains(h, 2) {
 		t.Fatal("sibling lost on remove")
 	}
 }
 
 func TestRootLeafRemoval(t *testing.T) {
 	tr := heTree(t)
-	tid := tr.Domain().Register()
-	tr.Insert(tid, 42, 1)
-	if !tr.Remove(tid, 42) {
+	h := tr.Domain().Register()
+	tr.Insert(h, 42, 1)
+	if !tr.Remove(h, 42) {
 		t.Fatal("root-leaf remove failed")
 	}
 	if tr.Len() != 0 {
 		t.Fatal("tree not empty")
 	}
 	// Structure stays usable after emptying.
-	tr.Insert(tid, 7, 7)
-	if !tr.Contains(tid, 7) {
+	tr.Insert(h, 7, 7)
+	if !tr.Contains(h, 7) {
 		t.Fatal("reuse after emptying failed")
 	}
 }
 
 func TestPatriciaInvariantDepth(t *testing.T) {
 	tr := heTree(t)
-	tid := tr.Domain().Register()
+	h := tr.Domain().Register()
 	const n = 1024
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < n; i++ {
-		tr.Insert(tid, rng.Uint64(), uint64(i))
+		tr.Insert(h, rng.Uint64(), uint64(i))
 	}
 	// PATRICIA on random uint64 keys: expected depth O(log n), far below
 	// the 64-bit worst case.
@@ -131,25 +131,25 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		tr := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		tid := tr.Domain().Register()
+		h := tr.Domain().Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key)
 			switch o.Kind % 3 {
 			case 0:
 				_, exists := model[k]
-				if tr.Insert(tid, k, k+7) == exists {
+				if tr.Insert(h, k, k+7) == exists {
 					return false
 				}
 				model[k] = k + 7
 			case 1:
 				_, exists := model[k]
-				if tr.Remove(tid, k) != exists {
+				if tr.Remove(h, k) != exists {
 					return false
 				}
 				delete(model, k)
 			case 2:
-				v, ok := tr.Get(tid, k)
+				v, ok := tr.Get(h, k)
 				mv, exists := model[k]
 				if ok != exists || (ok && v != mv) {
 					return false
@@ -191,25 +191,25 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					tid := tr.Domain().Register()
-					defer tr.Domain().Unregister(tid)
+					h := tr.Domain().Register()
+					defer tr.Domain().Unregister(h)
 					rng := rand.New(rand.NewSource(seed))
 					for !stop.Load() {
 						k := uint64(rng.Intn(keyRange)) * 2654435761
-						tr.Contains(tid, k)
+						tr.Contains(h, k)
 					}
 				}(int64(r) + 1)
 			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				tid := tr.Domain().Register()
-				defer tr.Domain().Unregister(tid)
+				h := tr.Domain().Register()
+				defer tr.Domain().Unregister(h)
 				rng := rand.New(rand.NewSource(99))
 				for i := 0; i < iters; i++ {
 					k := uint64(rng.Intn(keyRange)) * 2654435761
-					if tr.Remove(tid, k) {
-						tr.Insert(tid, k, k)
+					if tr.Remove(h, k) {
+						tr.Insert(h, k, k)
 					}
 				}
 				stop.Store(true)

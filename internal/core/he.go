@@ -25,11 +25,16 @@
 // Progress (paper §3.2): Protect is lock-free (its loop only retries when
 // the eraClock advanced, i.e. another thread made progress); Clear and
 // Retire are wait-free bounded; Era is wait-free population oblivious.
+//
+// Where the paper indexes fixed per-thread arrays with a tid, this
+// implementation works on reclaim.Handle sessions: a session's hazard-era
+// cells live in its registry slot (h.Words), its owner-only held mirror in
+// h.Held, and its min/max envelope in h.Lo/h.Hi, so no per-call indexing
+// remains and the registry can grow past the initial capacity.
 package core
 
 import (
 	"sync/atomic"
-	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -44,7 +49,7 @@ const noneEra = 0
 type Option func(*Eras)
 
 // WithAdvanceEvery sets k-advance (§3.4): the eraClock is advanced only on
-// every k-th call to Retire by each thread. k=1 is the paper's Algorithm 3.
+// every k-th call to Retire by each session. k=1 is the paper's Algorithm 3.
 func WithAdvanceEvery(k int) Option {
 	return func(d *Eras) {
 		if k > 1 {
@@ -54,46 +59,21 @@ func WithAdvanceEvery(k int) Option {
 }
 
 // WithMinMax enables the §3.4 min/max optimization: only the lowest and
-// highest currently-held eras are published per thread, regardless of how
+// highest currently-held eras are published per session, regardless of how
 // many protection indices the data structure uses.
 func WithMinMax(on bool) Option {
 	return func(d *Eras) { d.minMax = on }
 }
 
-// perThreadState is the thread-local (owner-only) reader state. held
-// mirrors the published eras so the fast path can compare without an atomic
-// load of its own slot — the paper notes prevEra "is relaxed and can even
-// be replaced with a stack variable".
-type perThreadState struct {
-	held        []uint64 // era held per protection index (0 = none)
-	retireCount uint64   // Retire calls, for k-advance
-	// curMin/curMax track the published min/max in min/max mode. curMin may
-	// lag (a slot holding the old minimum can be overwritten by a larger
-	// era without raising curMin) — publishing a lower-than-necessary
-	// minimum is conservative: it can only pin more, never less.
-	curMin, curMax uint64
-}
-
-// perThread pads perThreadState out to a whole number of cache lines; the
-// pad length is computed from unsafe.Sizeof so adding a field can never
-// silently unbalance it.
-type perThread struct {
-	perThreadState
-	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
-}
-
-// Eras is the Hazard Eras domain (the paper's HazardEras<T> class).
+// Eras is the Hazard Eras domain (the paper's HazardEras<T> class). Each
+// registered session's published hazard eras are the cells of its registry
+// slot — the paper's he[tid][i] row, reached through the block chain during
+// scans and through the cached h.Words on the reader paths. In min/max mode
+// only cells 0 (min) and 1 (max) of each row are published.
 type Eras struct {
 	reclaim.Base
 
 	eraClock atomicx.PaddedUint64
-
-	// he is the paper's he[MAX_THREADS][MAX_HES] flattened; each cell is
-	// cache-line padded. In min/max mode only cells 0 (min) and 1 (max) of
-	// each thread row are published.
-	he []atomicx.PaddedUint64
-
-	local []perThread
 
 	advanceEvery uint64
 	minMax       bool
@@ -110,16 +90,12 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Eras {
 	cfg = cfg.Defaulted()
 	if d.minMax && cfg.Slots < 2 {
 		// Min/max mode publishes a [min, max] pair, so it needs two cells
-		// per thread even when the structure asked for a single protection
+		// per session even when the structure asked for a single protection
 		// index; the extra slot is simply never indexed.
 		cfg.Slots = 2
 	}
-	d.Base = reclaim.NewBase(alloc, cfg)
-	d.he = make([]atomicx.PaddedUint64, cfg.MaxThreads*cfg.Slots)
-	d.local = make([]perThread, cfg.MaxThreads)
-	for i := range d.local {
-		d.local[i].held = make([]uint64, cfg.Slots)
-	}
+	d.Base = reclaim.NewBase(alloc, cfg, cfg.Slots, noneEra)
+	d.Base.Dom = d
 	d.eraClock.Store(1) // paper: eraClock = {1}
 	return d
 }
@@ -145,31 +121,30 @@ func (d *Eras) OnAlloc(ref mem.Ref) {
 
 // BeginOp implements reclaim.Domain; pointer-based schemes need no
 // per-operation entry protocol.
-func (d *Eras) BeginOp(tid int) {}
+func (d *Eras) BeginOp(h *reclaim.Handle) {}
 
 // EndOp clears all protection indices (the paper's clear()).
-func (d *Eras) EndOp(tid int) { d.Clear(tid) }
+func (d *Eras) EndOp(h *reclaim.Handle) { d.Clear(h) }
 
-// Clear resets every hazard era of tid to NONE. Wait-free bounded.
-func (d *Eras) Clear(tid int) {
-	lt := &d.local[tid]
+// Clear resets every hazard era of the session to NONE. Wait-free bounded.
+func (d *Eras) Clear(h *reclaim.Handle) {
 	if d.minMax {
-		if lt.curMin != noneEra {
-			d.he[tid*d.Cfg.Slots+0].Store(noneEra)
-			if d.Cfg.Slots > 1 {
-				d.he[tid*d.Cfg.Slots+1].Store(noneEra)
+		if h.Lo != noneEra {
+			h.Words[0].Store(noneEra)
+			if len(h.Words) > 1 {
+				h.Words[1].Store(noneEra)
 			}
-			lt.curMin, lt.curMax = noneEra, noneEra
+			h.Lo, h.Hi = noneEra, noneEra
 		}
 	} else {
-		for i := 0; i < d.Cfg.Slots; i++ {
-			if lt.held[i] != noneEra {
-				d.he[tid*d.Cfg.Slots+i].Store(noneEra)
+		for i := range h.Held {
+			if h.Held[i] != noneEra {
+				h.Words[i].Store(noneEra)
 			}
 		}
 	}
-	for i := range lt.held {
-		lt.held[i] = noneEra
+	for i := range h.Held {
+		h.Held[i] = noneEra
 	}
 }
 
@@ -179,111 +154,108 @@ func (d *Eras) Clear(tid int) {
 // path (era unchanged since this index's last publication) it issues two
 // seq-cst loads and no store — the mechanism behind the paper's headline
 // throughput gain over Hazard Pointers.
-func (d *Eras) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	lt := &d.local[tid]
-	prevEra := lt.held[index]
-	ins := d.Ins
-	ins.Visit(tid)
+func (d *Eras) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	prevEra := h.Held[index]
+	h.InsVisit()
 	for {
 		ptr := mem.Ref(src.Load())
-		ins.Load(tid)
+		h.InsLoad()
 		era := d.eraClock.Load()
-		ins.Load(tid)
+		h.InsLoad()
 		if era == prevEra {
 			return ptr
 		}
-		d.publish(tid, index, era, lt)
+		d.publish(h, index, era)
 		prevEra = era
 	}
 }
 
-// publish records era in the thread-local slot and pushes the published
-// view: the slot itself in standard mode, or the maintained min/max pair in
-// min/max mode. The min/max update is O(1): the era clock is monotone, so a
-// fresh era can only raise the max (or seed both); the minimum only ever
-// moves down to a newly observed smaller value, and a slot overwrite that
-// removes the old minimum simply leaves curMin conservatively low until
-// Clear.
-func (d *Eras) publish(tid, index int, era uint64, lt *perThread) {
-	lt.held[index] = era
-	base := tid * d.Cfg.Slots
+// publish records era in the session-local slot mirror and pushes the
+// published view: the cell itself in standard mode, or the maintained
+// min/max pair in min/max mode. The min/max update is O(1): the era clock
+// is monotone, so a fresh era can only raise the max (or seed both); the
+// minimum only ever moves down to a newly observed smaller value, and a
+// slot overwrite that removes the old minimum simply leaves h.Lo
+// conservatively low until Clear.
+func (d *Eras) publish(h *reclaim.Handle, index int, era uint64) {
+	h.Held[index] = era
 	if !d.minMax {
-		d.he[base+index].Store(era)
-		d.Ins.Store(tid)
+		h.Words[index].Store(era)
+		h.InsStore()
 		return
 	}
-	if lt.curMin == noneEra {
-		lt.curMin, lt.curMax = era, era
-		d.he[base+0].Store(era)
-		d.Ins.Store(tid)
-		if d.Cfg.Slots > 1 {
-			d.he[base+1].Store(era)
-			d.Ins.Store(tid)
+	if h.Lo == noneEra {
+		h.Lo, h.Hi = era, era
+		h.Words[0].Store(era)
+		h.InsStore()
+		if len(h.Words) > 1 {
+			h.Words[1].Store(era)
+			h.InsStore()
 		}
 		return
 	}
-	if era < lt.curMin {
-		lt.curMin = era
-		d.he[base+0].Store(era)
-		d.Ins.Store(tid)
+	if era < h.Lo {
+		h.Lo = era
+		h.Words[0].Store(era)
+		h.InsStore()
 	}
-	if era > lt.curMax {
-		lt.curMax = era
-		if d.Cfg.Slots > 1 {
-			d.he[base+1].Store(era)
-			d.Ins.Store(tid)
+	if era > h.Hi {
+		h.Hi = era
+		if len(h.Words) > 1 {
+			h.Words[1].Store(era)
+			h.InsStore()
 		}
 	}
 }
 
 // Retire is the paper's retire() (Algorithm 3): stamp delEra, append to the
-// calling thread's retired list, advance the eraClock (every k-th call
+// calling session's retired list, advance the eraClock (every k-th call
 // under k-advance) if no other thread already advanced it, then — once the
 // list reaches the scan threshold (every retire under the paper's default;
 // every R·T·S retires under Config.ScanR amortization) — scan the retired
 // list freeing every object whose lifetime no eras-in-use overlap.
 // Wait-free bounded: no retries, and the retired list is bounded by
 // Equation 1 of the paper (times R under amortization).
-func (d *Eras) Retire(tid int, ref mem.Ref) {
+func (d *Eras) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
 	currEra := d.eraClock.Load()
 	d.Alloc.Header(ref).RetireEra = currEra
-	d.PushRetired(tid, ref)
+	h.PushRetired(ref)
 
-	lt := &d.local[tid]
-	lt.retireCount++
-	if lt.retireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+	h.RetireCount++
+	if h.RetireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
 		// Benign race, exactly as the paper's line 51: two threads may both
 		// advance, which only makes eras pass faster.
 		d.eraClock.Add(1)
 	}
-	if d.ScanDue(tid) {
-		d.scan(tid)
+	if h.ScanDue() {
+		d.scan(h)
 	}
 }
 
-// Scan runs one reclamation pass over tid's retired list, freeing every
-// object not protected by any published era. Retire calls it at the scan
-// threshold; it is exported as the ScanNow escape hatch for callers that
-// want reclamation before the threshold (harness teardown, tests, memory
-// pressure).
-func (d *Eras) Scan(tid int) { d.scan(tid) }
+// Scan runs one reclamation pass over the session's retired list, freeing
+// every object not protected by any published era. Retire calls it at the
+// scan threshold; it is exported as the ScanNow escape hatch for callers
+// that want reclamation before the threshold (harness teardown, tests,
+// memory pressure).
+func (d *Eras) Scan(h *reclaim.Handle) { d.scan(h) }
 
 // scan frees every retired object not protected by any published era. The
-// published-era array is snapshotted once into tid's reusable scratch
-// buffer and sorted, so each retired object is tested with a binary search
-// instead of re-reading the whole array (see reclaim/snapshot.go); the
-// per-object condition is exactly protected()'s.
-func (d *Eras) scan(tid int) {
-	d.NoteScan(tid)
-	d.AdoptOrphans(tid)
-	rlist := d.Retired(tid)
-	if len(rlist) == 0 {
+// published-era cells of every slot in the registry chain are snapshotted
+// once into the session's reusable scratch buffer and sorted, so each
+// retired object is tested with a binary search instead of re-reading the
+// whole registry (see reclaim/snapshot.go); the per-object condition is
+// exactly protected()'s. Idle and free slots publish noneEra and are
+// skipped by value; blocks published after the walk started protect only
+// sessions that cannot hold the objects scanned here (see handle.go).
+func (d *Eras) scan(h *reclaim.Handle) {
+	h.NoteScan()
+	h.AdoptOrphans()
+	if len(h.Retired()) == 0 {
 		return
 	}
-	slots := d.Cfg.Slots
 	if d.minMax {
-		// Snapshot each thread's published [min, max] envelope. The
+		// Snapshot each session's published [min, max] envelope. The
 		// three-clause §3.4 condition in protected() is exactly interval
 		// intersection — (lo <= birth <= hi) or (lo <= retire <= hi) or
 		// enclosure all reduce to lo <= retire && birth <= hi — and a
@@ -291,91 +263,104 @@ func (d *Eras) scan(tid int) {
 		// only ever satisfies the enclosure clause, which is the
 		// intersection test for the normalized [hi, lo]. So normalizing
 		// preserves the semantics exactly.
-		snap := d.IntervalScratch(tid)
+		snap := h.IntervalScratch()
 		snap.Begin()
-		for t := 0; t < d.Cfg.MaxThreads; t++ {
-			lo := d.he[t*slots+0].Load()
-			if lo == noneEra {
-				continue
+		for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+			slots := blk.Slots()
+			for t := range slots {
+				w := slots[t].Words()
+				lo := w[0].Load()
+				if lo == noneEra {
+					continue
+				}
+				hi := lo
+				if x := w[1].Load(); x != noneEra {
+					hi = x
+				}
+				if hi < lo {
+					lo, hi = hi, lo
+				}
+				snap.Add(lo, hi)
 			}
-			hi := lo
-			if h := d.he[t*slots+1].Load(); h != noneEra {
-				hi = h
-			}
-			if hi < lo {
-				lo, hi = hi, lo
-			}
-			snap.Add(lo, hi)
 		}
 		snap.Seal()
-		d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
-			h := d.Alloc.Header(obj)
-			return snap.Intersects(h.BirthEra, h.RetireEra)
+		h.ReclaimUnprotected(func(obj mem.Ref) bool {
+			hdr := d.Alloc.Header(obj)
+			return snap.Intersects(hdr.BirthEra, hdr.RetireEra)
 		})
 		return
 	}
-	snap := d.EraScratch(tid)
+	snap := h.EraScratch()
 	snap.Begin()
-	for i := 0; i < d.Cfg.MaxThreads*slots; i++ {
-		if era := d.he[i].Load(); era != noneEra {
-			snap.Add(era)
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for t := range slots {
+			w := slots[t].Words()
+			for i := range w {
+				if era := w[i].Load(); era != noneEra {
+					snap.Add(era)
+				}
+			}
 		}
 	}
 	snap.Seal()
-	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
-		h := d.Alloc.Header(obj)
-		return snap.CoversRange(h.BirthEra, h.RetireEra)
+	h.ReclaimUnprotected(func(obj mem.Ref) bool {
+		hdr := d.Alloc.Header(obj)
+		return snap.CoversRange(hdr.BirthEra, hdr.RetireEra)
 	})
 }
 
-// protected reports whether any thread has published an era within
+// protected reports whether any session has published an era within
 // [BirthEra, RetireEra] of obj — the paper's lines 57-63, or the §3.4
 // min/max condition when that mode is active.
 func (d *Eras) protected(obj mem.Ref) bool {
-	h := d.Alloc.Header(obj)
-	birth, retire := h.BirthEra, h.RetireEra
-	slots := d.Cfg.Slots
-	if d.minMax {
-		for t := 0; t < d.Cfg.MaxThreads; t++ {
-			lo := d.he[t*slots+0].Load()
-			if lo == noneEra {
+	hdr := d.Alloc.Header(obj)
+	birth, retire := hdr.BirthEra, hdr.RetireEra
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for t := range slots {
+			w := slots[t].Words()
+			if d.minMax {
+				lo := w[0].Load()
+				if lo == noneEra {
+					continue
+				}
+				hi := lo
+				if x := w[1].Load(); x != noneEra {
+					hi = x
+				}
+				// §3.4: the object is protected when its birth or retire era
+				// falls inside [lo,hi], or its lifetime encloses the range.
+				if (lo <= birth && birth <= hi) ||
+					(lo <= retire && retire <= hi) ||
+					(birth <= lo && retire >= hi) {
+					return true
+				}
 				continue
 			}
-			hi := lo
-			if h := d.he[t*slots+1].Load(); h != noneEra {
-				hi = h
-			}
-			// §3.4: the object is protected when its birth or retire era
-			// falls inside [lo,hi], or its lifetime encloses the range.
-			if (lo <= birth && birth <= hi) ||
-				(lo <= retire && retire <= hi) ||
-				(birth <= lo && retire >= hi) {
+			for i := range w {
+				era := w[i].Load()
+				if era == noneEra || era < birth || era > retire {
+					continue
+				}
 				return true
 			}
 		}
-		return false
-	}
-	for i := 0; i < d.Cfg.MaxThreads*slots; i++ {
-		era := d.he[i].Load()
-		if era == noneEra || era < birth || era > retire {
-			continue
-		}
-		return true
 	}
 	return false
 }
 
-// Unregister drains the departing thread before releasing its id: any
+// Unregister drains the departing session before recycling its slot: any
 // remaining protections are dropped, a final scan reclaims everything now
-// unprotected, and survivors (objects pinned by *other* threads' eras) are
-// handed to the shared orphan pool for the next scanning thread to adopt.
+// unprotected, and survivors (objects pinned by *other* sessions' eras) are
+// handed to the shared orphan pool for the next scanning session to adopt.
 // Without this, amortized scanning would strand up to threshold-1 objects
-// per departing thread.
-func (d *Eras) Unregister(tid int) {
-	d.Clear(tid)
-	d.scan(tid)
-	d.Abandon(tid)
-	d.Base.Unregister(tid)
+// per departing session.
+func (d *Eras) Unregister(h *reclaim.Handle) {
+	d.Clear(h)
+	d.scan(h)
+	h.Abandon()
+	d.Base.Unregister(h)
 }
 
 // Drain implements reclaim.Domain (the paper's destructor).

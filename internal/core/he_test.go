@@ -52,10 +52,10 @@ func TestOnAllocStampsBirthEra(t *testing.T) {
 func TestRetireUnprotectedFreesImmediately(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	s := d.Stats()
 	if s.Freed != 1 || s.Pending != 0 {
 		t.Fatalf("unprotected object not freed: %+v", s)
@@ -68,11 +68,11 @@ func TestRetireUnprotectedFreesImmediately(t *testing.T) {
 func TestRetireAdvancesClockOnlyWhenUnchanged(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	for i := 0; i < 5; i++ {
 		ref, _ := arena.Alloc()
 		d.OnAlloc(ref)
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 	}
 	// Single retirer: exactly one advance per retire.
 	if got := d.Era(); got != 6 {
@@ -83,22 +83,22 @@ func TestRetireAdvancesClockOnlyWhenUnchanged(t *testing.T) {
 func TestProtectPublishesObservedEra(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	ref, n := arena.Alloc()
 	n.val = 7
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 
-	got := d.Protect(tid, 0, &cell)
+	got := d.Protect(h, 0, &cell)
 	if got != ref {
 		t.Fatalf("Protect returned %v, want %v", got, ref)
 	}
 	if arena.Get(got).val != 7 {
 		t.Fatal("protected deref failed")
 	}
-	if d.he[tid*3+0].Load() != 1 {
-		t.Fatalf("published era = %d, want 1", d.he[tid*3].Load())
+	if h.Words[0].Load() != 1 {
+		t.Fatalf("published era = %d, want 1", h.Words[0].Load())
 	}
 }
 
@@ -106,16 +106,16 @@ func TestProtectFastPathSkipsStore(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 
-	d.Protect(tid, 0, &cell) // publishes era 1
+	d.Protect(h, 0, &cell) // publishes era 1
 	ins.Reset()
 	for i := 0; i < 10; i++ {
-		d.Protect(tid, 0, &cell) // era unchanged: fast path
+		d.Protect(h, 0, &cell) // era unchanged: fast path
 	}
 	s := ins.Snapshot()
 	if s.Stores != 0 {
@@ -148,7 +148,7 @@ func TestProtectRepublishesAfterEraChange(t *testing.T) {
 	if s := ins.Snapshot(); s.Stores != 1 {
 		t.Fatalf("expected exactly one republication store, got %d", s.Stores)
 	}
-	if d.he[reader*3+0].Load() != d.Era() {
+	if reader.Words[0].Load() != d.Era() {
 		t.Fatal("republished era must equal current clock")
 	}
 }
@@ -156,12 +156,12 @@ func TestProtectRepublishesAfterEraChange(t *testing.T) {
 func TestProtectPreservesMarkBit(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref.WithMark()))
-	got := d.Protect(tid, 0, &cell)
+	got := d.Protect(h, 0, &cell)
 	if !got.Marked() || got.Unmarked() != ref {
 		t.Fatalf("mark bit mangled: %v", got)
 	}
@@ -210,8 +210,8 @@ func TestFig2Scenario(t *testing.T) {
 	d.SetEraClock(3)
 
 	// Reader published era 2 (it protected something at era 2).
-	d.he[reader*3+0].Store(2)
-	d.local[reader].held[0] = 2
+	reader.Words[0].Store(2)
+	reader.Held[0] = 2
 
 	// Step 2: remove B.
 	d.Retire(writer, refB)
@@ -285,23 +285,23 @@ func TestClearIsIdempotentAndResetsFastPath(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 
-	d.Protect(tid, 0, &cell)
-	d.Clear(tid)
-	d.Clear(tid) // idempotent
+	d.Protect(h, 0, &cell)
+	d.Clear(h)
+	d.Clear(h) // idempotent
 	for i := 0; i < 3; i++ {
-		if got := d.he[tid*3+i].Load(); got != noneEra {
+		if got := h.Words[i].Load(); got != noneEra {
 			t.Fatalf("slot %d not cleared: %d", i, got)
 		}
 	}
 	// After Clear, the next Protect must republish (prevEra was reset).
 	ins.Reset()
-	d.Protect(tid, 0, &cell)
+	d.Protect(h, 0, &cell)
 	if s := ins.Snapshot(); s.Stores != 1 {
 		t.Fatalf("expected republication after Clear, stores = %d", s.Stores)
 	}
@@ -310,11 +310,11 @@ func TestClearIsIdempotentAndResetsFastPath(t *testing.T) {
 func TestKAdvanceDelaysClock(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3, WithAdvanceEvery(4))
-	tid := d.Register()
+	h := d.Register()
 	for i := 1; i <= 8; i++ {
 		ref, _ := arena.Alloc()
 		d.OnAlloc(ref)
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 		wantEra := uint64(1 + i/4)
 		if d.Era() != wantEra {
 			t.Fatalf("after %d retires Era = %d, want %d", i, d.Era(), wantEra)
@@ -352,7 +352,7 @@ func TestMinMaxModeProtectsRange(t *testing.T) {
 	cells[1].Store(uint64(r2))
 	d.Protect(reader, 1, &cells[1])
 
-	if lo, hi := d.he[reader*4+0].Load(), d.he[reader*4+1].Load(); lo != 2 || hi != 5 {
+	if lo, hi := reader.Words[0].Load(), reader.Words[1].Load(); lo != 2 || hi != 5 {
 		t.Fatalf("published min/max = %d/%d, want 2/5", lo, hi)
 	}
 
@@ -396,14 +396,14 @@ func TestMinMaxModeProtectsRange(t *testing.T) {
 func TestMinMaxClearPublishesNone(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 4, WithMinMax(true))
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	d.Protect(tid, 0, &cell)
-	d.Clear(tid)
-	if d.he[tid*4+0].Load() != noneEra || d.he[tid*4+1].Load() != noneEra {
+	d.Protect(h, 0, &cell)
+	d.Clear(h)
+	if h.Words[0].Load() != noneEra || h.Words[1].Load() != noneEra {
 		t.Fatal("min/max slots not cleared")
 	}
 }
@@ -416,14 +416,14 @@ func TestMinMaxClearPublishesNone(t *testing.T) {
 func TestEraClockNearOverflow(t *testing.T) {
 	arena := testArena()
 	d := newHE(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	d.SetEraClock(math.MaxUint64 - 2)
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	if arena.Header(ref).BirthEra != math.MaxUint64-2 {
 		t.Fatal("birth stamp near overflow mangled")
 	}
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	if d.Era() != math.MaxUint64-1 {
 		t.Fatalf("Era = %d, want MaxUint64-1", d.Era())
 	}
@@ -518,21 +518,21 @@ func TestConcurrentProtectRetireStress(t *testing.T) {
 		wg.Add(1)
 		go func(writer bool) {
 			defer wg.Done()
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 			for i := 0; i < iters; i++ {
 				if writer {
 					nref, n := arena.Alloc()
 					n.val = 42
 					d.OnAlloc(nref)
 					old := mem.Ref(cell.Swap(uint64(nref)))
-					d.Retire(tid, old)
+					d.Retire(h, old)
 				} else {
-					got := d.Protect(tid, 0, &cell)
+					got := d.Protect(h, 0, &cell)
 					if v := arena.Get(got).val; v != 42 {
 						panic("reader observed poisoned or torn value")
 					}
-					d.EndOp(tid)
+					d.EndOp(h)
 				}
 			}
 			// Writers leave their pending list for Drain.

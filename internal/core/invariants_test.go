@@ -28,7 +28,7 @@ func TestInvariant1PublishedEraWithinLifetime(t *testing.T) {
 	// conceptually infinite.
 	d.SetEraClock(7)
 	d.Protect(reader, 0, cell)
-	pub := d.he[reader*1+0].Load()
+	pub := reader.Words[0].Load()
 	if pub != 7 {
 		t.Fatalf("published era = %d, want current clock 7", pub)
 	}
@@ -63,7 +63,7 @@ func TestInvariant2StaleEraForcesRepublish(t *testing.T) {
 	if got != newRef {
 		t.Fatalf("Protect returned %v", got)
 	}
-	if pub := d.he[reader*1+0].Load(); pub < arena.Header(newRef).BirthEra {
+	if pub := reader.Words[0].Load(); pub < arena.Header(newRef).BirthEra {
 		t.Fatalf("reader accessed object born at era %d while publishing era %d",
 			arena.Header(newRef).BirthEra, pub)
 	}

@@ -37,9 +37,10 @@ func TestProtectedMatchesNaiveModelQuick(t *testing.T) {
 		arena := mem.NewArena[tnode]()
 		d := New(arena, reclaim.Config{MaxThreads: threads, Slots: slots})
 		eras := make([]uint64, threads*slots)
+		regSlots := d.FirstBlock().Slots()
 		for i, e := range rawEras {
 			eras[i] = uint64(e % 50) // dense range so overlaps actually occur
-			d.he[i].Store(eras[i])
+			regSlots[i/slots].Word(i % slots).Store(eras[i])
 		}
 		birth := uint64(b16 % 50)
 		retire := birth + uint64(r16%10)
@@ -66,11 +67,13 @@ func TestMinMaxIsConservativeQuick(t *testing.T) {
 		mm := New(arenaMM, reclaim.Config{MaxThreads: threads, Slots: slots}, WithMinMax(true))
 
 		// Publish the same held sets through both disciplines.
+		stdSlots := std.FirstBlock().Slots()
+		mmSlots := mm.FirstBlock().Slots()
 		for ti := 0; ti < threads; ti++ {
 			var lo, hi uint64
 			for si := 0; si < slots; si++ {
 				e := uint64(rawEras[ti*slots+si] % 50)
-				std.he[ti*slots+si].Store(e)
+				stdSlots[ti].Word(si).Store(e)
 				if e == noneEra {
 					continue
 				}
@@ -81,8 +84,8 @@ func TestMinMaxIsConservativeQuick(t *testing.T) {
 					hi = e
 				}
 			}
-			mm.he[ti*slots+0].Store(lo)
-			mm.he[ti*slots+1].Store(hi)
+			mmSlots[ti].Word(0).Store(lo)
+			mmSlots[ti].Word(1).Store(hi)
 		}
 
 		birth := uint64(b16 % 50)
@@ -113,7 +116,7 @@ func TestMinMaxPublishMaintainsEnvelope(t *testing.T) {
 		arena := mem.NewArena[tnode]()
 		const slots = 4
 		d := New(arena, reclaim.Config{MaxThreads: 2, Slots: slots}, WithMinMax(true))
-		tid := d.Register()
+		h := d.Register()
 		ref, _ := arena.Alloc()
 		cell := newTestCell(uint64(ref))
 
@@ -121,11 +124,11 @@ func TestMinMaxPublishMaintainsEnvelope(t *testing.T) {
 		for _, s := range steps {
 			clock += uint64(s % 3) // sometimes advance, sometimes not
 			d.SetEraClock(clock)
-			d.Protect(tid, int(s)%slots, cell)
+			d.Protect(h, int(s)%slots, cell)
 
-			lo := d.he[tid*slots+0].Load()
-			hi := d.he[tid*slots+1].Load()
-			for _, held := range d.local[tid].held {
+			lo := h.Words[0].Load()
+			hi := h.Words[1].Load()
+			for _, held := range h.Held {
 				if held == noneEra {
 					continue
 				}
@@ -153,7 +156,7 @@ func TestMinMaxClampsToTwoSlots(t *testing.T) {
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	cell := newTestCell(uint64(ref))
-	tid := d.Register()
-	d.Protect(tid, 0, cell)
-	d.EndOp(tid)
+	h := d.Register()
+	d.Protect(h, 0, cell)
+	d.EndOp(h)
 }

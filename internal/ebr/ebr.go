@@ -13,6 +13,13 @@
 // reclamation is *blocking* even though readers are wait-free population
 // oblivious. The stalled-reader experiments in this repository demonstrate
 // exactly that behaviour against HE's bounded pending set.
+//
+// A session's epoch announcement is the single word of its registry slot;
+// the advance check walks the slot-block chain. A session registered after
+// an epoch-advance walk started announces the current (already advanced or
+// advancing) epoch — the publication of its block is seq-cst-ordered after
+// the unlinks its announcement could otherwise have pinned, so missing it
+// is safe (see reclaim/handle.go).
 package ebr
 
 import (
@@ -23,7 +30,7 @@ import (
 	"repro/internal/reclaim"
 )
 
-// Reader announcement encoding: epoch<<1 | activeBit. A quiescent thread
+// Reader announcement encoding: epoch<<1 | activeBit. A quiescent session
 // publishes 0.
 const activeBit = 1
 
@@ -37,17 +44,15 @@ type Domain struct {
 	reclaim.Base
 
 	globalEpoch atomicx.PaddedUint64
-	// announce[tid] holds epoch<<1|1 while tid is inside an operation.
-	announce []atomicx.PaddedUint64
 }
 
 var _ reclaim.Domain = (*Domain)(nil)
 
 // New constructs an EBR domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
-	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 1, 0)}
+	d.Base.Dom = d
 	d.globalEpoch.Store(gracePeriods) // start high enough that epoch-0 math never underflows
-	d.announce = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads)
 	return d
 }
 
@@ -57,24 +62,24 @@ func (d *Domain) Name() string { return "EBR" }
 // OnAlloc implements reclaim.Domain; EBR needs no birth stamp.
 func (d *Domain) OnAlloc(ref mem.Ref) {}
 
-// BeginOp announces the current global epoch and marks tid active. This is
-// the only reader-side synchronization: one load and one store per
+// BeginOp announces the current global epoch and marks the session active.
+// This is the only reader-side synchronization: one load and one store per
 // *operation* (not per node), the "minor" synchronization row of Table 1.
-func (d *Domain) BeginOp(tid int) {
+func (d *Domain) BeginOp(h *reclaim.Handle) {
 	e := d.globalEpoch.Load()
-	d.announce[tid].Store(e<<1 | activeBit)
+	h.Words[0].Store(e<<1 | activeBit)
 }
 
-// EndOp marks tid quiescent.
-func (d *Domain) EndOp(tid int) {
-	d.announce[tid].Store(0)
+// EndOp marks the session quiescent.
+func (d *Domain) EndOp(h *reclaim.Handle) {
+	h.Words[0].Store(0)
 }
 
 // Protect under EBR is a plain load: the epoch announcement already protects
 // everything reachable during the operation.
-func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	d.Ins.Visit(tid)
-	d.Ins.Load(tid)
+func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	h.InsVisit()
+	h.InsLoad()
 	return mem.Ref(src.Load())
 }
 
@@ -83,24 +88,28 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 // advance fails — and the limbo list therefore only grows — whenever any
 // thread is still active in an older epoch. That wait is what makes EBR
 // blocking for reclaimers.
-func (d *Domain) Retire(tid int, ref mem.Ref) {
+func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
 	e := d.globalEpoch.Load()
 	d.Alloc.Header(ref).RetireEra = e
-	d.PushRetired(tid, ref)
+	h.PushRetired(ref)
 	d.tryAdvance(e)
-	if d.ScanDue(tid) {
-		d.scan(tid)
+	if h.ScanDue() {
+		d.scan(h)
 	}
 }
 
-// tryAdvance bumps the global epoch iff every active thread has announced
-// the current epoch.
+// tryAdvance bumps the global epoch iff every active session has announced
+// the current epoch. The walk covers every published slot block; quiescent
+// and free slots announce 0 and cannot block the advance.
 func (d *Domain) tryAdvance(observed uint64) {
-	for i := range d.announce {
-		a := d.announce[i].Load()
-		if a&activeBit != 0 && a>>1 != observed {
-			return // a straggler pins the epoch
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for i := range slots {
+			a := slots[i].Word(0).Load()
+			if a&activeBit != 0 && a>>1 != observed {
+				return // a straggler pins the epoch
+			}
 		}
 	}
 	// CAS so concurrent retirers advance at most once per observation.
@@ -109,26 +118,26 @@ func (d *Domain) tryAdvance(observed uint64) {
 
 // scan frees every retired object that has aged at least gracePeriods
 // epochs.
-func (d *Domain) scan(tid int) {
-	d.NoteScan(tid)
-	d.AdoptOrphans(tid)
+func (d *Domain) scan(h *reclaim.Handle) {
+	h.NoteScan()
+	h.AdoptOrphans()
 	e := d.globalEpoch.Load()
-	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+	h.ReclaimUnprotected(func(obj mem.Ref) bool {
 		return d.Alloc.Header(obj).RetireEra+gracePeriods > e
 	})
 }
 
-// Unregister drains the departing thread before releasing its id: its
+// Unregister drains the departing session before recycling its slot: its
 // epoch announcement is withdrawn (a stale active announcement would pin
 // the epoch forever), a final advance+scan reclaims what has aged out, and
 // the not-yet-aged remainder moves to the shared orphan pool for the next
-// scanning thread to adopt.
-func (d *Domain) Unregister(tid int) {
-	d.announce[tid].Store(0)
+// scanning session to adopt.
+func (d *Domain) Unregister(h *reclaim.Handle) {
+	h.Words[0].Store(0)
 	d.tryAdvance(d.globalEpoch.Load())
-	d.scan(tid)
-	d.Abandon(tid)
-	d.Base.Unregister(tid)
+	d.scan(h)
+	h.Abandon()
+	d.Base.Unregister(h)
 }
 
 // Drain implements reclaim.Domain.

@@ -21,17 +21,17 @@ func newEBR(arena *mem.Arena[tnode], threads int) *Domain {
 
 func TestBeginOpAnnouncesEpoch(t *testing.T) {
 	d := newEBR(testArena(), 2)
-	tid := d.Register()
-	d.BeginOp(tid)
-	a := d.announce[tid].Load()
+	h := d.Register()
+	d.BeginOp(h)
+	a := h.Words[0].Load()
 	if a&activeBit == 0 {
 		t.Fatal("BeginOp must set active bit")
 	}
 	if a>>1 != d.globalEpoch.Load() {
 		t.Fatalf("announced epoch %d != global %d", a>>1, d.globalEpoch.Load())
 	}
-	d.EndOp(tid)
-	if d.announce[tid].Load() != 0 {
+	d.EndOp(h)
+	if h.Words[0].Load() != 0 {
 		t.Fatal("EndOp must clear announcement")
 	}
 }
@@ -40,11 +40,11 @@ func TestProtectIsPlainLoad(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	if got := d.Protect(tid, 0, &cell); got != ref {
+	if got := d.Protect(h, 0, &cell); got != ref {
 		t.Fatalf("got %v", got)
 	}
 	if s := ins.Snapshot(); s.PerVisitLoads() != 1 || s.Stores != 0 {
@@ -55,7 +55,7 @@ func TestProtectIsPlainLoad(t *testing.T) {
 func TestReclaimAfterGracePeriod(t *testing.T) {
 	arena := testArena()
 	d := newEBR(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	// With no active readers each Retire advances the epoch once; an object
 	// retired at epoch e frees once global >= e+2, i.e. two retires later.
 	// Timeline: retire i stamps epoch e_i and advances the clock, so the
@@ -65,7 +65,7 @@ func TestReclaimAfterGracePeriod(t *testing.T) {
 	var refs [4]mem.Ref
 	for i := range refs {
 		refs[i], _ = arena.Alloc()
-		d.Retire(tid, refs[i])
+		d.Retire(h, refs[i])
 	}
 	s := d.Stats()
 	if s.Freed != 3 {

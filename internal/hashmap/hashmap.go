@@ -47,7 +47,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithBuckets sets the bucket count, rounded up to a power of two
@@ -101,23 +102,23 @@ func (m *Map) Arena() *mem.Arena[list.Node] { return m.ops.Arena }
 func (m *Map) Buckets() int { return len(m.buckets) }
 
 // Insert adds key->val; false if already present.
-func (m *Map) Insert(tid int, key, val uint64) bool {
-	return m.ops.Insert(m.bucketFor(key), tid, key, val)
+func (m *Map) Insert(h *reclaim.Handle, key, val uint64) bool {
+	return m.ops.Insert(m.bucketFor(key), h, key, val)
 }
 
 // Remove deletes key; false if absent.
-func (m *Map) Remove(tid int, key uint64) bool {
-	return m.ops.Remove(m.bucketFor(key), tid, key)
+func (m *Map) Remove(h *reclaim.Handle, key uint64) bool {
+	return m.ops.Remove(m.bucketFor(key), h, key)
 }
 
 // Contains reports membership of key.
-func (m *Map) Contains(tid int, key uint64) bool {
-	return m.ops.Contains(m.bucketFor(key), tid, key)
+func (m *Map) Contains(h *reclaim.Handle, key uint64) bool {
+	return m.ops.Contains(m.bucketFor(key), h, key)
 }
 
 // Get returns the value stored under key.
-func (m *Map) Get(tid int, key uint64) (uint64, bool) {
-	return m.ops.Get(m.bucketFor(key), tid, key)
+func (m *Map) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
+	return m.ops.Get(m.bucketFor(key), h, key)
 }
 
 // Len counts elements across all buckets; quiescent use only.

@@ -37,17 +37,17 @@ func TestBucketCountRoundsToPowerOfTwo(t *testing.T) {
 
 func TestBasicOps(t *testing.T) {
 	m := heMap(t, 64)
-	tid := m.Domain().Register()
-	if m.Contains(tid, 1) {
+	h := m.Domain().Register()
+	if m.Contains(h, 1) {
 		t.Fatal("empty map contains 1")
 	}
-	if !m.Insert(tid, 1, 10) || m.Insert(tid, 1, 11) {
+	if !m.Insert(h, 1, 10) || m.Insert(h, 1, 11) {
 		t.Fatal("insert semantics broken")
 	}
-	if v, ok := m.Get(tid, 1); !ok || v != 10 {
+	if v, ok := m.Get(h, 1); !ok || v != 10 {
 		t.Fatalf("Get = %d,%v", v, ok)
 	}
-	if !m.Remove(tid, 1) || m.Remove(tid, 1) {
+	if !m.Remove(h, 1) || m.Remove(h, 1) {
 		t.Fatal("remove semantics broken")
 	}
 	if m.Len() != 0 {
@@ -57,9 +57,9 @@ func TestBasicOps(t *testing.T) {
 
 func TestCollidingKeysShareBucketCorrectly(t *testing.T) {
 	m := heMap(t, 1) // single bucket: everything collides
-	tid := m.Domain().Register()
+	h := m.Domain().Register()
 	for k := uint64(0); k < 40; k++ {
-		if !m.Insert(tid, k, k*3) {
+		if !m.Insert(h, k, k*3) {
 			t.Fatalf("insert %d", k)
 		}
 	}
@@ -67,12 +67,12 @@ func TestCollidingKeysShareBucketCorrectly(t *testing.T) {
 		t.Fatalf("Len = %d", m.Len())
 	}
 	for k := uint64(0); k < 40; k++ {
-		if v, ok := m.Get(tid, k); !ok || v != k*3 {
+		if v, ok := m.Get(h, k); !ok || v != k*3 {
 			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
 		}
 	}
 	for k := uint64(0); k < 40; k += 2 {
-		if !m.Remove(tid, k) {
+		if !m.Remove(h, k) {
 			t.Fatalf("remove %d", k)
 		}
 	}
@@ -100,25 +100,25 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		m := New(factories()["HE"], WithChecked(true), WithMaxThreads(2), WithBuckets(8))
-		tid := m.Domain().Register()
+		h := m.Domain().Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 128)
 			switch o.Kind % 3 {
 			case 0:
 				_, exists := model[k]
-				if m.Insert(tid, k, k+1) == exists {
+				if m.Insert(h, k, k+1) == exists {
 					return false
 				}
 				model[k] = k + 1
 			case 1:
 				_, exists := model[k]
-				if m.Remove(tid, k) != exists {
+				if m.Remove(h, k) != exists {
 					return false
 				}
 				delete(model, k)
 			case 2:
-				v, ok := m.Get(tid, k)
+				v, ok := m.Get(h, k)
 				mv, exists := model[k]
 				if ok != exists || (ok && v != mv) {
 					return false
@@ -157,17 +157,17 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					tid := m.Domain().Register()
-					defer m.Domain().Unregister(tid)
+					h := m.Domain().Register()
+					defer m.Domain().Unregister(h)
 					rng := rand.New(rand.NewSource(seed))
 					for i := 0; i < iters; i++ {
 						k := uint64(rng.Intn(keyRange))
 						if rng.Intn(10) < 3 {
-							if m.Remove(tid, k) {
-								m.Insert(tid, k, k)
+							if m.Remove(h, k) {
+								m.Insert(h, k, k)
 							}
 						} else {
-							m.Contains(tid, k)
+							m.Contains(h, k)
 						}
 					}
 				}(int64(w) + 1)

@@ -7,9 +7,12 @@
 // our own implementation, sharing as much code as possible with the Hazard
 // Eras implementation, using also a two-dimensional array to store the
 // hazard pointers, and thread-local lists to store the retired nodes", §4),
-// this implementation shares the reclaim.Base machinery, the padded
-// two-dimensional slot array layout and the retired-list handling with
-// internal/core, so throughput differences isolate the algorithms.
+// this implementation shares the reclaim.Base machinery, the padded session
+// slot layout and the retired-list handling with internal/core, so
+// throughput differences isolate the algorithms. A session's hazard-pointer
+// cells are its registry slot's words (h.Words); scans walk the slot-block
+// chain, so the registry grows past the initial capacity like every other
+// scheme.
 //
 // Reader-side cost per protected node: one seq-cst load of the source, one
 // seq-cst store publishing the hazard pointer, and one seq-cst load to
@@ -19,7 +22,6 @@ package hp
 import (
 	"sync/atomic"
 
-	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 )
@@ -48,19 +50,17 @@ func WithScanThreshold(r int) Option {
 // Pointers is the Hazard Pointers domain.
 type Pointers struct {
 	reclaim.Base
-
-	// hp is hp[MAX_THREADS][MAX_HPS] flattened, each cell padded.
-	hp []atomicx.PaddedUint64
 }
 
 var _ reclaim.Domain = (*Pointers)(nil)
 
 // New constructs a Hazard Pointers domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Pointers {
+	cfg = cfg.Defaulted()
 	d := &Pointers{
-		Base: reclaim.NewBase(alloc, cfg),
+		Base: reclaim.NewBase(alloc, cfg, cfg.Slots, nonePtr),
 	}
-	d.hp = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads*d.Cfg.Slots)
+	d.Base.Dom = d
 	for _, o := range opts {
 		o(d)
 	}
@@ -74,17 +74,16 @@ func (d *Pointers) Name() string { return "HP" }
 func (d *Pointers) OnAlloc(ref mem.Ref) {}
 
 // BeginOp implements reclaim.Domain; no per-operation entry protocol.
-func (d *Pointers) BeginOp(tid int) {}
+func (d *Pointers) BeginOp(h *reclaim.Handle) {}
 
-// EndOp clears all hazard pointers of tid.
-func (d *Pointers) EndOp(tid int) { d.Clear(tid) }
+// EndOp clears all hazard pointers of the session.
+func (d *Pointers) EndOp(h *reclaim.Handle) { d.Clear(h) }
 
-// Clear resets every hazard pointer of tid.
-func (d *Pointers) Clear(tid int) {
-	base := tid * d.Cfg.Slots
-	for i := 0; i < d.Cfg.Slots; i++ {
-		if d.hp[base+i].Load() != nonePtr {
-			d.hp[base+i].Store(nonePtr)
+// Clear resets every hazard pointer of the session.
+func (d *Pointers) Clear(h *reclaim.Handle) {
+	for i := range h.Words {
+		if h.Words[i].Load() != nonePtr {
+			h.Words[i].Store(nonePtr)
 		}
 	}
 }
@@ -93,76 +92,81 @@ func (d *Pointers) Clear(tid int) {
 // validates that *src has not changed, looping until the publication is
 // stable. Lock-free: a retry implies *src changed, i.e. another thread made
 // progress.
-func (d *Pointers) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	slot := &d.hp[tid*d.Cfg.Slots+index]
-	ins := d.Ins
-	ins.Visit(tid)
+func (d *Pointers) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	slot := &h.Words[index]
+	h.InsVisit()
 	for {
 		ptr := mem.Ref(src.Load())
-		ins.Load(tid)
+		h.InsLoad()
 		if ptr.IsNil() {
 			// Nothing to protect; leave any prior publication in place (it
 			// will be overwritten by the next Protect or by Clear).
 			return ptr
 		}
 		slot.Store(uint64(ptr.Unmarked()))
-		ins.Store(tid)
+		h.InsStore()
 		if mem.Ref(src.Load()) == ptr {
-			ins.Load(tid)
+			h.InsLoad()
 			return ptr
 		}
-		ins.Load(tid)
+		h.InsLoad()
 	}
 }
 
-// Retire appends ref to the thread's retired list and scans it once the R
+// Retire appends ref to the session's retired list and scans it once the R
 // threshold is reached. Wait-free bounded: the scan visits every slot of
-// every thread exactly once.
-func (d *Pointers) Retire(tid int, ref mem.Ref) {
-	d.PushRetired(tid, ref)
-	if d.ScanDue(tid) {
-		d.scan(tid)
+// every session exactly once.
+func (d *Pointers) Retire(h *reclaim.Handle, ref mem.Ref) {
+	h.PushRetired(ref)
+	if h.ScanDue() {
+		d.scan(h)
 	}
 }
 
-// Scan runs one reclamation pass over tid's retired list regardless of the
-// threshold — the ScanNow escape hatch for teardown, tests and memory
-// pressure.
-func (d *Pointers) Scan(tid int) { d.scan(tid) }
+// Scan runs one reclamation pass over the session's retired list regardless
+// of the threshold — the ScanNow escape hatch for teardown, tests and
+// memory pressure.
+func (d *Pointers) Scan(h *reclaim.Handle) { d.scan(h) }
 
 // scan frees every retired object whose unmarked ref is not published in
 // any hazard-pointer slot (Michael's Scan with a sorted snapshot). The
-// snapshot lives in tid's reusable scratch buffer, so steady-state scans
-// allocate nothing.
-func (d *Pointers) scan(tid int) {
-	d.NoteScan(tid)
-	d.AdoptOrphans(tid)
-	rlist := d.Retired(tid)
-	if len(rlist) == 0 {
+// snapshot lives in the session's reusable scratch buffer, so steady-state
+// scans allocate nothing. The walk covers every published slot block; idle
+// slots hold nonePtr and are skipped by value.
+func (d *Pointers) scan(h *reclaim.Handle) {
+	h.NoteScan()
+	h.AdoptOrphans()
+	if len(h.Retired()) == 0 {
 		return
 	}
-	snap := d.EraScratch(tid) // holds pointer bits here, not eras
+	snap := h.EraScratch() // holds pointer bits here, not eras
 	snap.Begin()
-	for i := range d.hp {
-		if p := d.hp[i].Load(); p != nonePtr {
-			snap.Add(p)
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for t := range slots {
+			w := slots[t].Words()
+			for i := range w {
+				if p := w[i].Load(); p != nonePtr {
+					snap.Add(p)
+				}
+			}
 		}
 	}
 	snap.Seal()
-	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
+	h.ReclaimUnprotected(func(obj mem.Ref) bool {
 		return snap.Contains(uint64(obj))
 	})
 }
 
-// Unregister drains the departing thread before releasing its id: hazard
+// Unregister drains the departing session before recycling its slot: hazard
 // pointers are cleared, a final scan reclaims everything now unprotected,
-// and survivors (pinned by other threads) move to the shared orphan pool
-// for the next scanning thread to adopt.
-func (d *Pointers) Unregister(tid int) {
-	d.Clear(tid)
-	d.scan(tid)
-	d.Abandon(tid)
-	d.Base.Unregister(tid)
+// and survivors (pinned by other sessions) move to the shared orphan pool
+// for the next scanning session to adopt.
+func (d *Pointers) Unregister(h *reclaim.Handle) {
+	d.Clear(h)
+	d.scan(h)
+	h.Abandon()
+	d.Base.Unregister(h)
 }
 
 // Drain implements reclaim.Domain.

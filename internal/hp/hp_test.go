@@ -28,17 +28,17 @@ func newHP(arena *mem.Arena[tnode], threads, slots int, opts ...Option) *Pointer
 func TestProtectPublishesUnmarkedRef(t *testing.T) {
 	arena := testArena()
 	d := newHP(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	ref, n := arena.Alloc()
 	n.val = 9
 	var cell atomic.Uint64
 	cell.Store(uint64(ref.WithMark()))
 
-	got := d.Protect(tid, 0, &cell)
+	got := d.Protect(h, 0, &cell)
 	if !got.Marked() || got.Unmarked() != ref {
 		t.Fatalf("Protect returned %v", got)
 	}
-	if pub := mem.Ref(d.hp[tid*3+0].Load()); pub != ref {
+	if pub := mem.Ref(h.Words[0].Load()); pub != ref {
 		t.Fatalf("published %v, want unmarked %v", pub, ref)
 	}
 	if arena.Get(got).val != 9 {
@@ -50,9 +50,9 @@ func TestProtectNilSkipsPublication(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	var cell atomic.Uint64 // nil
-	if got := d.Protect(tid, 0, &cell); !got.IsNil() {
+	if got := d.Protect(h, 0, &cell); !got.IsNil() {
 		t.Fatalf("got %v, want nil", got)
 	}
 	if s := ins.Snapshot(); s.Stores != 0 || s.Loads != 1 {
@@ -64,12 +64,12 @@ func TestProtectCostIsTwoLoadsOneStore(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 	for i := 0; i < 10; i++ {
-		d.Protect(tid, 0, &cell)
+		d.Protect(h, 0, &cell)
 	}
 	s := ins.Snapshot()
 	// Paper Table 1: HP costs 2 load() + 1 store() per node — every time,
@@ -82,9 +82,9 @@ func TestProtectCostIsTwoLoadsOneStore(t *testing.T) {
 func TestRetireUnprotectedFreesAtThreshold(t *testing.T) {
 	arena := testArena()
 	d := newHP(arena, 2, 3) // default R=1: scan every retire
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
 		t.Fatalf("stats: %+v", s)
 	}
@@ -93,16 +93,16 @@ func TestRetireUnprotectedFreesAtThreshold(t *testing.T) {
 func TestScanThresholdDefersScan(t *testing.T) {
 	arena := testArena()
 	d := newHP(arena, 2, 3, WithScanThreshold(5))
-	tid := d.Register()
+	h := d.Register()
 	for i := 0; i < 4; i++ {
 		ref, _ := arena.Alloc()
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 	}
 	if s := d.Stats(); s.Scans != 0 || s.Pending != 4 {
 		t.Fatalf("scan ran early: %+v", s)
 	}
 	ref, _ := arena.Alloc()
-	d.Retire(tid, ref) // 5th triggers scan
+	d.Retire(h, ref) // 5th triggers scan
 	if s := d.Stats(); s.Scans != 1 || s.Freed != 5 {
 		t.Fatalf("threshold scan missing: %+v", s)
 	}
@@ -158,16 +158,16 @@ func TestStalledReaderPinsExactlyOneObject(t *testing.T) {
 func TestClearReleasesAllSlots(t *testing.T) {
 	arena := testArena()
 	d := newHP(arena, 2, 3)
-	tid := d.Register()
+	h := d.Register()
 	for i := 0; i < 3; i++ {
 		ref, _ := arena.Alloc()
 		var cell atomic.Uint64
 		cell.Store(uint64(ref))
-		d.Protect(tid, i, &cell)
+		d.Protect(h, i, &cell)
 	}
-	d.EndOp(tid)
+	d.EndOp(h)
 	for i := 0; i < 3; i++ {
-		if d.hp[tid*3+i].Load() != nonePtr {
+		if h.Words[i].Load() != nonePtr {
 			t.Fatalf("slot %d not cleared", i)
 		}
 	}
@@ -191,20 +191,20 @@ func TestConcurrentProtectRetireStress(t *testing.T) {
 		wg.Add(1)
 		go func(writer bool) {
 			defer wg.Done()
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 			for i := 0; i < iters; i++ {
 				if writer {
 					nref, n := arena.Alloc()
 					n.val = 42
 					old := mem.Ref(cell.Swap(uint64(nref)))
-					d.Retire(tid, old)
+					d.Retire(h, old)
 				} else {
-					got := d.Protect(tid, 0, &cell)
+					got := d.Protect(h, 0, &cell)
 					if v := arena.Get(got).val; v != 42 {
 						panic("reader observed poisoned value")
 					}
-					d.EndOp(tid)
+					d.EndOp(h)
 				}
 			}
 		}(w%2 == 0)
@@ -232,12 +232,12 @@ func TestMemoryBoundIsPublishedPointers(t *testing.T) {
 	// Each reader pins `slots` distinct nodes.
 	var pinned []mem.Ref
 	for r := 0; r < readers; r++ {
-		tid := d.Register()
+		h := d.Register()
 		for i := 0; i < slots; i++ {
 			ref, _ := arena.Alloc()
 			var cell atomic.Uint64
 			cell.Store(uint64(ref))
-			d.Protect(tid, i, &cell)
+			d.Protect(h, i, &cell)
 			pinned = append(pinned, ref)
 		}
 	}

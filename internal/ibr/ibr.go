@@ -4,12 +4,12 @@
 // inspired, included here to complete the lineage the paper started.
 //
 // Where Hazard Eras publishes one era per protection index, IBR publishes a
-// single [lower, upper] era interval per thread and per operation: BeginOp
+// single [lower, upper] era interval per session and per operation: BeginOp
 // seeds both bounds with the current era, and every dereference that
 // observes a newer era extends only the upper bound (the same
 // load/validate/republish loop as HE's get_protected, against one cell).
 // Retirement stamps birth/retire eras exactly as in HE; an object may be
-// freed once no thread's interval intersects its lifetime.
+// freed once no session's interval intersects its lifetime.
 //
 // The trade-off sits between EBR and HE, exactly as the IBR paper
 // positions it:
@@ -23,45 +23,29 @@
 //   - memory: pins a superset of what HE pins (whole-interval overlap,
 //     like HE's §3.4 min/max mode), still finite by the Equation-1
 //     argument.
+//
+// A session's published interval is the two words of its registry slot
+// (Words[0]=lower, Words[1]=upper); its owner-only mirror lives in
+// h.Lo/h.Hi. Scans walk the slot-block chain.
 package ibr
 
 import (
 	"sync/atomic"
-	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 )
 
-// inactive marks a thread with no open operation (era 0 is never issued;
+// inactive marks a session with no open operation (era 0 is never issued;
 // the clock starts at 1).
 const inactive = 0
-
-// perThreadState is owner-only reader state mirroring the published
-// interval.
-type perThreadState struct {
-	lower, upper uint64
-	retireCount  uint64
-}
-
-// perThread pads perThreadState out to a whole number of cache lines; the
-// pad length is computed from unsafe.Sizeof so adding a field can never
-// silently unbalance it.
-type perThread struct {
-	perThreadState
-	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
-}
 
 // Domain is the 2GE-IBR reclamation domain.
 type Domain struct {
 	reclaim.Base
 
 	eraClock atomicx.PaddedUint64
-	// intervals holds the published [lower, upper] pair per thread,
-	// flattened as 2 padded cells per tid.
-	intervals []atomicx.PaddedUint64
-	local     []perThread
 
 	advanceEvery uint64
 }
@@ -72,7 +56,7 @@ var _ reclaim.Domain = (*Domain)(nil)
 type Option func(*Domain)
 
 // WithAdvanceEvery sets the epoch-advance frequency (the IBR paper's epoch
-// frequency parameter): the clock advances on every k-th Retire per thread.
+// frequency parameter): the clock advances on every k-th Retire per session.
 func WithAdvanceEvery(k int) Option {
 	return func(d *Domain) {
 		if k > 1 {
@@ -84,12 +68,11 @@ func WithAdvanceEvery(k int) Option {
 // New constructs a 2GE-IBR domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Domain {
 	d := &Domain{
-		Base:         reclaim.NewBase(alloc, cfg),
+		Base:         reclaim.NewBase(alloc, cfg, 2, inactive),
 		advanceEvery: 1,
 	}
+	d.Base.Dom = d
 	d.eraClock.Store(1)
-	d.intervals = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads*2)
-	d.local = make([]perThread, d.Cfg.MaxThreads)
 	for _, o := range opts {
 		o(d)
 	}
@@ -108,44 +91,40 @@ func (d *Domain) OnAlloc(ref mem.Ref) {
 }
 
 // BeginOp opens the interval: both bounds seeded with the current era.
-func (d *Domain) BeginOp(tid int) {
+func (d *Domain) BeginOp(h *reclaim.Handle) {
 	e := d.eraClock.Load()
-	lt := &d.local[tid]
-	lt.lower, lt.upper = e, e
-	d.intervals[tid*2+0].Store(e)
-	d.intervals[tid*2+1].Store(e)
+	h.Lo, h.Hi = e, e
+	h.Words[0].Store(e)
+	h.Words[1].Store(e)
 }
 
 // EndOp closes the interval.
-func (d *Domain) EndOp(tid int) {
-	lt := &d.local[tid]
-	if lt.lower != inactive {
-		lt.lower, lt.upper = inactive, inactive
-		d.intervals[tid*2+0].Store(inactive)
-		d.intervals[tid*2+1].Store(inactive)
+func (d *Domain) EndOp(h *reclaim.Handle) {
+	if h.Lo != inactive {
+		h.Lo, h.Hi = inactive, inactive
+		h.Words[0].Store(inactive)
+		h.Words[1].Store(inactive)
 	}
 }
 
 // Protect loads *src under the interval: if the era advanced since the
 // interval's upper bound, extend the bound and reload — HE's Algorithm-2
-// loop against a single per-thread cell. The index argument is ignored
+// loop against a single per-session cell. The index argument is ignored
 // (one interval covers every pointer the operation holds), which is the
 // defining difference from HP/HE.
-func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	lt := &d.local[tid]
-	ins := d.Ins
-	ins.Visit(tid)
+func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	h.InsVisit()
 	for {
 		ptr := mem.Ref(src.Load())
-		ins.Load(tid)
+		h.InsLoad()
 		era := d.eraClock.Load()
-		ins.Load(tid)
-		if era == lt.upper {
+		h.InsLoad()
+		if era == h.Hi {
 			return ptr
 		}
-		lt.upper = era
-		d.intervals[tid*2+1].Store(era)
-		ins.Store(tid)
+		h.Hi = era
+		h.Words[1].Store(era)
+		h.InsStore()
 	}
 }
 
@@ -153,93 +132,101 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 // and scans once the retired list reaches the threshold (every retire by
 // default; every R·T·S retires under Config.ScanR) — identical structure to
 // HE's Algorithm 3.
-func (d *Domain) Retire(tid int, ref mem.Ref) {
+func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
 	currEra := d.eraClock.Load()
 	d.Alloc.Header(ref).RetireEra = currEra
-	d.PushRetired(tid, ref)
+	h.PushRetired(ref)
 
-	lt := &d.local[tid]
-	lt.retireCount++
-	if lt.retireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+	h.RetireCount++
+	if h.RetireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
 		d.eraClock.Add(1)
 	}
-	if d.ScanDue(tid) {
-		d.scan(tid)
+	if h.ScanDue() {
+		d.scan(h)
 	}
 }
 
-// Scan runs one reclamation pass over tid's retired list; Retire calls it
-// at the scan threshold, and it is exported as the ScanNow escape hatch for
-// harness teardown and tests.
-func (d *Domain) Scan(tid int) { d.scan(tid) }
+// Scan runs one reclamation pass over the session's retired list; Retire
+// calls it at the scan threshold, and it is exported as the ScanNow escape
+// hatch for harness teardown and tests.
+func (d *Domain) Scan(h *reclaim.Handle) { d.scan(h) }
 
 // scan frees every retired object whose lifetime no published interval
-// intersects. The published intervals are snapshotted once into tid's
-// reusable scratch buffer (sorted by lower bound, prefix-max upper), so
-// each retired object is tested with a binary search instead of re-reading
-// all interval cells; the per-object condition is exactly protected()'s.
-func (d *Domain) scan(tid int) {
-	d.NoteScan(tid)
-	d.AdoptOrphans(tid)
-	rlist := d.Retired(tid)
-	if len(rlist) == 0 {
+// intersects. The published intervals are snapshotted once into the
+// session's reusable scratch buffer (sorted by lower bound, prefix-max
+// upper), so each retired object is tested with a binary search instead of
+// re-reading all interval cells; the per-object condition is exactly
+// protected()'s. The walk covers every published slot block; inactive
+// slots publish 0 and are skipped by value.
+func (d *Domain) scan(h *reclaim.Handle) {
+	h.NoteScan()
+	h.AdoptOrphans()
+	if len(h.Retired()) == 0 {
 		return
 	}
-	snap := d.IntervalScratch(tid)
+	snap := h.IntervalScratch()
 	snap.Begin()
-	for t := 0; t < d.Cfg.MaxThreads; t++ {
-		lo := d.intervals[t*2+0].Load()
-		if lo == inactive {
-			continue
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for t := range slots {
+			w := slots[t].Words()
+			lo := w[0].Load()
+			if lo == inactive {
+				continue
+			}
+			hi := w[1].Load()
+			if hi < lo {
+				// Between the two publication stores of BeginOp a scanner can
+				// see a fresh lower with a stale upper; treat it as [lo, lo] —
+				// conservative either way.
+				hi = lo
+			}
+			snap.Add(lo, hi)
 		}
-		hi := d.intervals[t*2+1].Load()
-		if hi < lo {
-			// Between the two publication stores of BeginOp a scanner can
-			// see a fresh lower with a stale upper; treat it as [lo, lo] —
-			// conservative either way.
-			hi = lo
-		}
-		snap.Add(lo, hi)
 	}
 	snap.Seal()
-	d.ReclaimUnprotected(tid, func(obj mem.Ref) bool {
-		h := d.Alloc.Header(obj)
-		return snap.Intersects(h.BirthEra, h.RetireEra)
+	h.ReclaimUnprotected(func(obj mem.Ref) bool {
+		hdr := d.Alloc.Header(obj)
+		return snap.Intersects(hdr.BirthEra, hdr.RetireEra)
 	})
 }
 
-// Unregister drains the departing thread before releasing its id: the
+// Unregister drains the departing session before recycling its slot: the
 // published interval is closed, a final scan reclaims everything now
-// unprotected, and survivors (pinned by other threads' intervals) move to
-// the shared orphan pool for the next scanning thread to adopt.
-func (d *Domain) Unregister(tid int) {
-	d.EndOp(tid)
-	d.scan(tid)
-	d.Abandon(tid)
-	d.Base.Unregister(tid)
+// unprotected, and survivors (pinned by other sessions' intervals) move to
+// the shared orphan pool for the next scanning session to adopt.
+func (d *Domain) Unregister(h *reclaim.Handle) {
+	d.EndOp(h)
+	d.scan(h)
+	h.Abandon()
+	d.Base.Unregister(h)
 }
 
-// protected reports whether any thread's interval [lo, hi] intersects the
+// protected reports whether any session's interval [lo, hi] intersects the
 // object's lifetime [birth, retire].
 func (d *Domain) protected(obj mem.Ref) bool {
-	h := d.Alloc.Header(obj)
-	birth, retire := h.BirthEra, h.RetireEra
-	for t := 0; t < d.Cfg.MaxThreads; t++ {
-		lo := d.intervals[t*2+0].Load()
-		if lo == inactive {
-			continue
-		}
-		hi := d.intervals[t*2+1].Load()
-		if hi < lo {
-			// Between the two publication stores of BeginOp a scanner can
-			// see a fresh lower with a stale upper; treat it as [lo, lo]
-			// extended to lo — conservative either way.
-			hi = lo
-		}
-		// Interval intersection with the lifetime.
-		if lo <= retire && birth <= hi {
-			return true
+	hdr := d.Alloc.Header(obj)
+	birth, retire := hdr.BirthEra, hdr.RetireEra
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for t := range slots {
+			w := slots[t].Words()
+			lo := w[0].Load()
+			if lo == inactive {
+				continue
+			}
+			hi := w[1].Load()
+			if hi < lo {
+				// Between the two publication stores of BeginOp a scanner can
+				// see a fresh lower with a stale upper; treat it as [lo, lo]
+				// extended to lo — conservative either way.
+				hi = lo
+			}
+			// Interval intersection with the lifetime.
+			if lo <= retire && birth <= hi {
+				return true
+			}
 		}
 	}
 	return false

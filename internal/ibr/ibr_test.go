@@ -27,13 +27,13 @@ func newIBR(arena *mem.Arena[tnode], threads int, opts ...Option) *Domain {
 
 func TestBeginOpSeedsInterval(t *testing.T) {
 	d := newIBR(testArena(), 2)
-	tid := d.Register()
-	d.BeginOp(tid)
-	if lo, hi := d.intervals[tid*2].Load(), d.intervals[tid*2+1].Load(); lo != 1 || hi != 1 {
+	h := d.Register()
+	d.BeginOp(h)
+	if lo, hi := h.Words[0].Load(), h.Words[1].Load(); lo != 1 || hi != 1 {
 		t.Fatalf("interval = [%d,%d], want [1,1]", lo, hi)
 	}
-	d.EndOp(tid)
-	if lo := d.intervals[tid*2].Load(); lo != inactive {
+	d.EndOp(h)
+	if lo := h.Words[0].Load(); lo != inactive {
 		t.Fatal("EndOp must clear the interval")
 	}
 }
@@ -42,22 +42,22 @@ func TestProtectExtendsUpperOnly(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 
-	d.BeginOp(tid) // [1,1]
+	d.BeginOp(h) // [1,1]
 	d.eraClock.Store(5)
-	d.Protect(tid, 0, &cell)
-	if lo, hi := d.intervals[tid*2].Load(), d.intervals[tid*2+1].Load(); lo != 1 || hi != 5 {
+	d.Protect(h, 0, &cell)
+	if lo, hi := h.Words[0].Load(), h.Words[1].Load(); lo != 1 || hi != 5 {
 		t.Fatalf("interval = [%d,%d], want [1,5]", lo, hi)
 	}
 	// Fast path afterwards: no further stores, 2 loads per visit.
 	ins.Reset()
 	for i := 0; i < 10; i++ {
-		d.Protect(tid, 0, &cell)
+		d.Protect(h, 0, &cell)
 	}
 	if s := ins.Snapshot(); s.Stores != 0 || s.PerVisitLoads() != 2 {
 		t.Fatalf("fast path: %+v", s)
@@ -68,17 +68,17 @@ func TestSingleIntervalCoversAllIndices(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	var cells [3]atomic.Uint64
 	for i := range cells {
 		ref, _ := arena.Alloc()
 		d.OnAlloc(ref)
 		cells[i].Store(uint64(ref))
 	}
-	d.BeginOp(tid)
+	d.BeginOp(h)
 	ins.Reset()
 	for i := 0; i < 3; i++ {
-		d.Protect(tid, i, &cells[i])
+		d.Protect(h, i, &cells[i])
 	}
 	// Unlike HE, protecting through many indices costs zero extra stores
 	// while the era is stable — the defining IBR property.
@@ -90,10 +90,10 @@ func TestSingleIntervalCoversAllIndices(t *testing.T) {
 func TestRetireUnprotectedFrees(t *testing.T) {
 	arena := testArena()
 	d := newIBR(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	d.OnAlloc(ref)
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
 		t.Fatalf("stats: %+v", s)
 	}
@@ -158,11 +158,11 @@ func TestStalledReaderIsBounded(t *testing.T) {
 func TestAdvanceEvery(t *testing.T) {
 	arena := testArena()
 	d := newIBR(arena, 2, WithAdvanceEvery(4))
-	tid := d.Register()
+	h := d.Register()
 	for i := 1; i <= 8; i++ {
 		ref, _ := arena.Alloc()
 		d.OnAlloc(ref)
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 		if want := uint64(1 + i/4); d.Era() != want {
 			t.Fatalf("after %d retires Era = %d, want %d", i, d.Era(), want)
 		}
@@ -188,22 +188,22 @@ func TestConcurrentStress(t *testing.T) {
 		wg.Add(1)
 		go func(writer bool) {
 			defer wg.Done()
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 			for i := 0; i < iters; i++ {
 				if writer {
 					nref, n := arena.Alloc()
 					n.val = 42
 					d.OnAlloc(nref)
 					old := mem.Ref(cell.Swap(uint64(nref)))
-					d.Retire(tid, old)
+					d.Retire(h, old)
 				} else {
-					d.BeginOp(tid)
-					got := d.Protect(tid, 0, &cell)
+					d.BeginOp(h)
+					got := d.Protect(h, 0, &cell)
 					if v := arena.Get(got).val; v != 42 {
 						panic("reader observed reclaimed value")
 					}
-					d.EndOp(tid)
+					d.EndOp(h)
 				}
 			}
 		}(w%2 == 0)

@@ -23,7 +23,9 @@ var _ reclaim.Domain = (*Domain)(nil)
 
 // New constructs a leak domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
-	return &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 0, 0)}
+	d.Base.Dom = d
+	return d
 }
 
 // Name implements reclaim.Domain.
@@ -33,22 +35,22 @@ func (d *Domain) Name() string { return "NONE" }
 func (d *Domain) OnAlloc(ref mem.Ref) {}
 
 // BeginOp implements reclaim.Domain.
-func (d *Domain) BeginOp(tid int) {}
+func (d *Domain) BeginOp(h *reclaim.Handle) {}
 
 // EndOp implements reclaim.Domain.
-func (d *Domain) EndOp(tid int) {}
+func (d *Domain) EndOp(h *reclaim.Handle) {}
 
 // Protect is a plain load; nothing is ever freed, so nothing needs
 // protecting.
-func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	d.Ins.Visit(tid)
-	d.Ins.Load(tid)
+func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	h.InsVisit()
+	h.InsLoad()
 	return mem.Ref(src.Load())
 }
 
 // Retire leaks ref until Drain.
-func (d *Domain) Retire(tid int, ref mem.Ref) {
-	d.PushRetired(tid, ref)
+func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
+	h.PushRetired(ref)
 }
 
 // Drain frees everything leaked so far (teardown only).

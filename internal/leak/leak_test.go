@@ -13,10 +13,10 @@ type tnode struct{ val uint64 }
 func TestRetireLeaksUntilDrain(t *testing.T) {
 	arena := mem.NewArena[tnode](mem.Checked[tnode](true))
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 1})
-	tid := d.Register()
+	h := d.Register()
 	for i := 0; i < 10; i++ {
 		ref, _ := arena.Alloc()
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 	}
 	if s := d.Stats(); s.Freed != 0 || s.Pending != 10 {
 		t.Fatalf("leak domain must not free: %+v", s)
@@ -34,15 +34,15 @@ func TestProtectIsPlainLoad(t *testing.T) {
 	arena := mem.NewArena[tnode]()
 	ins := reclaim.NewInstrument(1)
 	d := New(arena, reclaim.Config{MaxThreads: 1, Slots: 1, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	d.BeginOp(tid)
-	if got := d.Protect(tid, 0, &cell); got != ref {
+	d.BeginOp(h)
+	if got := d.Protect(h, 0, &cell); got != ref {
 		t.Fatalf("got %v", got)
 	}
-	d.EndOp(tid)
+	d.EndOp(h)
 	if s := ins.Snapshot(); s.PerVisitLoads() != 1 || s.Stores != 0 || s.RMWs != 0 {
 		t.Fatalf("leak per-node cost: %+v", s)
 	}

@@ -73,13 +73,13 @@ const (
 // protected at slot ip, curr at ic, next at in, and the raw word loaded
 // from prev is compared for identity — any unlink OR logical deletion of
 // prev's node changes that word and forces a restart.
-func (o *Ops) find(head *atomic.Uint64, tid int, key uint64, unlinked *[]mem.Ref) (found bool, prev *atomic.Uint64, curr, next mem.Ref) {
+func (o *Ops) find(head *atomic.Uint64, h *reclaim.Handle, key uint64, unlinked *[]mem.Ref) (found bool, prev *atomic.Uint64, curr, next mem.Ref) {
 	arena, dom := o.Arena, o.Dom
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev = head
-		curr = dom.Protect(tid, ic, prev)
+		curr = dom.Protect(h, ic, prev)
 		for {
 			if curr.Unmarked().IsNil() {
 				return false, prev, mem.NilRef, mem.NilRef
@@ -87,7 +87,7 @@ retry:
 			// The head cell is never marked; interior prev cells were
 			// validated unmarked when adopted, so curr is unmarked here.
 			cn := arena.Get(curr)
-			next = dom.Protect(tid, in, &cn.Next)
+			next = dom.Protect(h, in, &cn.Next)
 			if prev.Load() != uint64(curr) {
 				continue retry
 			}
@@ -117,32 +117,32 @@ retry:
 }
 
 // retireAll retires every helped-off node after the read-side section ended.
-func (o *Ops) retireAll(tid int, unlinked []mem.Ref) {
+func (o *Ops) retireAll(h *reclaim.Handle, unlinked []mem.Ref) {
 	for _, ref := range unlinked {
-		o.Dom.Retire(tid, ref)
+		o.Dom.Retire(h, ref)
 	}
 }
 
 // Insert adds key->val to the set rooted at head. It returns false (and
 // leaves the set unchanged) when the key is already present.
-func (o *Ops) Insert(head *atomic.Uint64, tid int, key, val uint64) bool {
+func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bool {
 	dom := o.Dom
 	var unlinked []mem.Ref
-	dom.BeginOp(tid)
+	dom.BeginOp(h)
 
 	var newRef mem.Ref
 	var newNode *Node
 	ok := false
 	for {
-		found, prev, curr, _ := o.find(head, tid, key, &unlinked)
+		found, prev, curr, _ := o.find(head, h, key, &unlinked)
 		if found {
 			if !newRef.IsNil() {
-				o.Arena.FreeAt(tid, newRef) // never published: direct free is safe
+				o.Arena.FreeAt(h.ID(), newRef) // never published: direct free is safe
 			}
 			break
 		}
 		if newRef.IsNil() {
-			newRef, newNode = o.Arena.AllocAt(tid)
+			newRef, newNode = o.Arena.AllocAt(h.ID())
 			newNode.Key, newNode.Val = key, val
 		}
 		newNode.Next.Store(uint64(curr))
@@ -155,22 +155,22 @@ func (o *Ops) Insert(head *atomic.Uint64, tid int, key, val uint64) bool {
 			break
 		}
 	}
-	dom.EndOp(tid)
-	o.retireAll(tid, unlinked)
+	dom.EndOp(h)
+	o.retireAll(h, unlinked)
 	return ok
 }
 
 // Remove deletes key from the set rooted at head, returning whether it was
 // present. The deleting thread marks the node; whichever thread physically
 // unlinks it (this one, or a helping traversal) retires it exactly once.
-func (o *Ops) Remove(head *atomic.Uint64, tid int, key uint64) bool {
+func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 	dom := o.Dom
 	var unlinked []mem.Ref
-	dom.BeginOp(tid)
+	dom.BeginOp(h)
 
 	ok := false
 	for {
-		found, prev, curr, next := o.find(head, tid, key, &unlinked)
+		found, prev, curr, next := o.find(head, h, key, &unlinked)
 		if !found {
 			break
 		}
@@ -188,8 +188,8 @@ func (o *Ops) Remove(head *atomic.Uint64, tid int, key uint64) bool {
 		}
 		break
 	}
-	dom.EndOp(tid)
-	o.retireAll(tid, unlinked)
+	dom.EndOp(h)
+	o.retireAll(h, unlinked)
 	return ok
 }
 
@@ -203,22 +203,22 @@ func (o *Ops) Remove(head *atomic.Uint64, tid int, key uint64) bool {
 // expect holds the raw word read from prev (possibly marked for interior
 // cells — a marked next word is immutable, so validating against it is
 // stable); curr is its unmarked form for dereference.
-func (o *Ops) lookup(head *atomic.Uint64, tid int, key uint64) (uint64, bool) {
+func (o *Ops) lookup(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
 	arena, dom := o.Arena, o.Dom
-	dom.BeginOp(tid)
-	defer dom.EndOp(tid)
+	dom.BeginOp(h)
+	defer dom.EndOp(h)
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev := head
-		expect := dom.Protect(tid, ic, prev) // head cell is never marked
+		expect := dom.Protect(h, ic, prev) // head cell is never marked
 		for {
 			curr := expect.Unmarked()
 			if curr.IsNil() {
 				return 0, false
 			}
 			cn := arena.Get(curr)
-			nextRaw := dom.Protect(tid, in, &cn.Next)
+			nextRaw := dom.Protect(h, in, &cn.Next)
 			if prev.Load() != uint64(expect) {
 				continue retry
 			}
@@ -240,14 +240,14 @@ retry:
 }
 
 // Contains reports whether key is in the set rooted at head.
-func (o *Ops) Contains(head *atomic.Uint64, tid int, key uint64) bool {
-	_, ok := o.lookup(head, tid, key)
+func (o *Ops) Contains(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
+	_, ok := o.lookup(head, h, key)
 	return ok
 }
 
 // Get returns the value stored under key.
-func (o *Ops) Get(head *atomic.Uint64, tid int, key uint64) (uint64, bool) {
-	return o.lookup(head, tid, key)
+func (o *Ops) Get(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
+	return o.lookup(head, h, key)
 }
 
 // Len counts unmarked nodes; quiescent use only (tests, reporting).
@@ -293,7 +293,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
@@ -326,31 +327,31 @@ func (l *List) Domain() reclaim.Domain { return l.ops.Dom }
 func (l *List) Arena() *mem.Arena[Node] { return l.ops.Arena }
 
 // Insert adds key->val; false if already present.
-func (l *List) Insert(tid int, key, val uint64) bool { return l.ops.Insert(&l.head, tid, key, val) }
+func (l *List) Insert(h *reclaim.Handle, key, val uint64) bool { return l.ops.Insert(&l.head, h, key, val) }
 
 // Remove deletes key; false if absent.
-func (l *List) Remove(tid int, key uint64) bool { return l.ops.Remove(&l.head, tid, key) }
+func (l *List) Remove(h *reclaim.Handle, key uint64) bool { return l.ops.Remove(&l.head, h, key) }
 
 // Contains reports membership of key.
-func (l *List) Contains(tid int, key uint64) bool { return l.ops.Contains(&l.head, tid, key) }
+func (l *List) Contains(h *reclaim.Handle, key uint64) bool { return l.ops.Contains(&l.head, h, key) }
 
 // Get returns the value stored under key.
-func (l *List) Get(tid int, key uint64) (uint64, bool) { return l.ops.Get(&l.head, tid, key) }
+func (l *List) Get(h *reclaim.Handle, key uint64) (uint64, bool) { return l.ops.Get(&l.head, h, key) }
 
 // Len counts elements; quiescent use only.
 func (l *List) Len() int { return l.ops.Len(&l.head) }
 
-// Pin parks tid inside a read-side critical section: the operation is
-// opened and the first node protected, but EndOp is never called. This is
-// the paper's "sleepy reader" (Appendix A) — the adversary for every
+// Pin parks the session inside a read-side critical section: the operation
+// is opened and the first node protected, but EndOp is never called. This
+// is the paper's "sleepy reader" (Appendix A) — the adversary for every
 // reclamation scheme. Call Unpin to resume.
-func (l *List) Pin(tid int) {
-	l.ops.Dom.BeginOp(tid)
-	l.ops.Dom.Protect(tid, slotCurr, &l.head)
+func (l *List) Pin(h *reclaim.Handle) {
+	l.ops.Dom.BeginOp(h)
+	l.ops.Dom.Protect(h, slotCurr, &l.head)
 }
 
 // Unpin ends a Pin'd critical section.
-func (l *List) Unpin(tid int) { l.ops.Dom.EndOp(tid) }
+func (l *List) Unpin(h *reclaim.Handle) { l.ops.Dom.EndOp(h) }
 
 // Drain tears the structure down, freeing linked nodes and pending retirees.
 func (l *List) Drain() {

@@ -40,11 +40,11 @@ func heList(t *testing.T) *List {
 
 func TestEmptyList(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
-	if l.Contains(tid, 5) {
+	h := l.Domain().Register()
+	if l.Contains(h, 5) {
 		t.Fatal("empty list contains 5")
 	}
-	if l.Remove(tid, 5) {
+	if l.Remove(h, 5) {
 		t.Fatal("removed from empty list")
 	}
 	if l.Len() != 0 {
@@ -54,35 +54,35 @@ func TestEmptyList(t *testing.T) {
 
 func TestInsertContainsRemove(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
-	if !l.Insert(tid, 5, 50) {
+	h := l.Domain().Register()
+	if !l.Insert(h, 5, 50) {
 		t.Fatal("insert failed")
 	}
-	if l.Insert(tid, 5, 51) {
+	if l.Insert(h, 5, 51) {
 		t.Fatal("duplicate insert succeeded")
 	}
-	if !l.Contains(tid, 5) {
+	if !l.Contains(h, 5) {
 		t.Fatal("missing 5")
 	}
-	if v, ok := l.Get(tid, 5); !ok || v != 50 {
+	if v, ok := l.Get(h, 5); !ok || v != 50 {
 		t.Fatalf("Get = %d,%v", v, ok)
 	}
-	if !l.Remove(tid, 5) {
+	if !l.Remove(h, 5) {
 		t.Fatal("remove failed")
 	}
-	if l.Contains(tid, 5) {
+	if l.Contains(h, 5) {
 		t.Fatal("still contains 5")
 	}
-	if l.Remove(tid, 5) {
+	if l.Remove(h, 5) {
 		t.Fatal("double remove succeeded")
 	}
 }
 
 func TestSortedOrderMaintained(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
+	h := l.Domain().Register()
 	for _, k := range []uint64{5, 1, 9, 3, 7, 2, 8} {
-		l.Insert(tid, k, k*10)
+		l.Insert(h, k, k*10)
 	}
 	if l.Len() != 7 {
 		t.Fatalf("Len = %d, want 7", l.Len())
@@ -102,17 +102,17 @@ func TestSortedOrderMaintained(t *testing.T) {
 
 func TestBoundaryKeys(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
+	h := l.Domain().Register()
 	for _, k := range []uint64{0, 1, ^uint64(0) >> 1, ^uint64(0)} {
-		if !l.Insert(tid, k, k) {
+		if !l.Insert(h, k, k) {
 			t.Fatalf("insert %d failed", k)
 		}
-		if !l.Contains(tid, k) {
+		if !l.Contains(h, k) {
 			t.Fatalf("missing %d", k)
 		}
 	}
 	for _, k := range []uint64{0, 1, ^uint64(0) >> 1, ^uint64(0)} {
-		if !l.Remove(tid, k) {
+		if !l.Remove(h, k) {
 			t.Fatalf("remove %d failed", k)
 		}
 	}
@@ -123,17 +123,17 @@ func TestBoundaryKeys(t *testing.T) {
 
 func TestRemoveHeadMiddleTail(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
+	h := l.Domain().Register()
 	for k := uint64(1); k <= 5; k++ {
-		l.Insert(tid, k, k)
+		l.Insert(h, k, k)
 	}
 	for _, k := range []uint64{1, 3, 5} { // head, middle, tail
-		if !l.Remove(tid, k) {
+		if !l.Remove(h, k) {
 			t.Fatalf("remove %d", k)
 		}
 	}
 	for _, k := range []uint64{2, 4} {
-		if !l.Contains(tid, k) {
+		if !l.Contains(h, k) {
 			t.Fatalf("lost %d", k)
 		}
 	}
@@ -147,11 +147,11 @@ func TestReinsertionAllocatesNewNode(t *testing.T) {
 	// the lock-free list will have to retire the old node and create a new
 	// node" (§4). Verify churn actually allocates.
 	l := heList(t)
-	tid := l.Domain().Register()
-	l.Insert(tid, 7, 7)
+	h := l.Domain().Register()
+	l.Insert(h, 7, 7)
 	a0 := l.Arena().Stats().Allocs
 	for i := 0; i < 10; i++ {
-		if !l.Remove(tid, 7) || !l.Insert(tid, 7, 7) {
+		if !l.Remove(h, 7) || !l.Insert(h, 7, 7) {
 			t.Fatal("churn failed")
 		}
 	}
@@ -173,26 +173,26 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		l := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		tid := l.Domain().Register()
+		h := l.Domain().Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 32)
 			switch o.Kind % 3 {
 			case 0:
 				_, exists := model[k]
-				if l.Insert(tid, k, k*2) == exists {
+				if l.Insert(h, k, k*2) == exists {
 					return false
 				}
 				model[k] = k * 2
 			case 1:
 				_, exists := model[k]
-				if l.Remove(tid, k) != exists {
+				if l.Remove(h, k) != exists {
 					return false
 				}
 				delete(model, k)
 			case 2:
 				_, exists := model[k]
-				if l.Contains(tid, k) != exists {
+				if l.Contains(h, k) != exists {
 					return false
 				}
 			}
@@ -201,7 +201,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 			return false
 		}
 		for k, v := range model {
-			got, ok := l.Get(tid, k)
+			got, ok := l.Get(h, k)
 			if !ok || got != v {
 				return false
 			}
@@ -251,21 +251,21 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					tid := l.Domain().Register()
-					defer l.Domain().Unregister(tid)
+					h := l.Domain().Register()
+					defer l.Domain().Unregister(h)
 					rng := rand.New(rand.NewSource(seed))
 					for i := 0; i < iters; i++ {
 						k := uint64(rng.Intn(keyRange))
 						switch rng.Intn(10) {
 						case 0, 1, 2: // update: remove + reinsert (paper §4)
-							if l.Remove(tid, k) {
-								if !l.Insert(tid, k, k) {
+							if l.Remove(h, k) {
+								if !l.Insert(h, k, k) {
 									errs <- fmt.Sprintf("reinsert of %d failed", k)
 									return
 								}
 							}
 						default:
-							l.Contains(tid, k)
+							l.Contains(h, k)
 						}
 					}
 				}(int64(w) + 1)
@@ -294,10 +294,10 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 // unlinked by a different traversal and confirm single retirement.
 func TestHelpingUnlinkRetiresExactlyOnce(t *testing.T) {
 	l := heList(t)
-	tid := l.Domain().Register()
-	l.Insert(tid, 1, 1)
-	l.Insert(tid, 2, 2)
-	l.Insert(tid, 3, 3)
+	h := l.Domain().Register()
+	l.Insert(h, 1, 1)
+	l.Insert(h, 2, 2)
+	l.Insert(h, 3, 3)
 
 	// Mark node 2 manually (logical delete without physical unlink).
 	var prev = &l.head
@@ -311,8 +311,8 @@ func TestHelpingUnlinkRetiresExactlyOnce(t *testing.T) {
 	}
 
 	// A traversal (insert of key 4) must help unlink node 2 and retire it.
-	l.Insert(tid, 4, 4)
-	if l.Contains(tid, 2) {
+	l.Insert(h, 4, 4)
+	if l.Contains(h, 2) {
 		t.Fatal("marked node still visible")
 	}
 	s := l.Domain().Stats()
@@ -331,14 +331,14 @@ func TestDrainFreesEverything(t *testing.T) {
 	for name, mk := range factories() {
 		t.Run(name, func(t *testing.T) {
 			l := New(mk, WithChecked(true), WithMaxThreads(4))
-			tid := l.Domain().Register()
+			h := l.Domain().Register()
 			for k := uint64(0); k < 50; k++ {
-				l.Insert(tid, k, k)
+				l.Insert(h, k, k)
 			}
 			for k := uint64(0); k < 50; k += 2 {
-				l.Remove(tid, k)
+				l.Remove(h, k)
 			}
-			l.Domain().Unregister(tid)
+			l.Domain().Unregister(h)
 			l.Drain()
 			if st := l.Arena().Stats(); st.Live != 0 {
 				t.Fatalf("%s: leaked %d (%+v)", name, st.Live, st)
@@ -364,13 +364,13 @@ func TestInstrumentedTraversalCosts(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ins := reclaim.NewInstrument(4)
 			l := New(factories()[tc.factory], WithChecked(true), WithMaxThreads(4), WithInstrument(ins))
-			tid := l.Domain().Register()
+			h := l.Domain().Register()
 			for k := uint64(0); k < 100; k++ {
-				l.Insert(tid, k, k)
+				l.Insert(h, k, k)
 			}
 			ins.Reset()
 			for i := 0; i < 20; i++ {
-				l.Contains(tid, 99) // full traversal
+				l.Contains(h, 99) // full traversal
 			}
 			s := ins.Snapshot()
 			// The ratios amortize to the Table-1 values: the end-of-list
@@ -407,14 +407,14 @@ func FuzzListModel(f *testing.F) {
 		l := New(func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 			return core.New(a, c)
 		}, WithChecked(true), WithMaxThreads(2))
-		tid := l.Domain().Register()
+		h := l.Domain().Register()
 		model := map[uint64]uint64{}
 		for i, b := range script {
 			k := uint64(b % 32)
 			switch (b / 32) % 3 {
 			case 0:
 				_, exists := model[k]
-				if l.Insert(tid, k, uint64(i)) == exists {
+				if l.Insert(h, k, uint64(i)) == exists {
 					t.Fatalf("op %d: insert(%d) disagreed with model", i, k)
 				}
 				if !exists {
@@ -422,13 +422,13 @@ func FuzzListModel(f *testing.F) {
 				}
 			case 1:
 				_, exists := model[k]
-				if l.Remove(tid, k) != exists {
+				if l.Remove(h, k) != exists {
 					t.Fatalf("op %d: remove(%d) disagreed with model", i, k)
 				}
 				delete(model, k)
 			case 2:
 				_, exists := model[k]
-				if l.Contains(tid, k) != exists {
+				if l.Contains(h, k) != exists {
 					t.Fatalf("op %d: contains(%d) disagreed with model", i, k)
 				}
 			}

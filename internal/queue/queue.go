@@ -54,7 +54,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
@@ -90,14 +91,14 @@ func (q *Queue) Domain() reclaim.Domain { return q.dom }
 func (q *Queue) Arena() *mem.Arena[Node] { return q.arena }
 
 // Enqueue appends v. Lock-free.
-func (q *Queue) Enqueue(tid int, v uint64) {
-	ref, n := q.arena.AllocAt(tid)
+func (q *Queue) Enqueue(h *reclaim.Handle, v uint64) {
+	ref, n := q.arena.AllocAt(h.ID())
 	n.Val = v
 	n.Next.Store(0)
 
-	q.dom.BeginOp(tid)
+	q.dom.BeginOp(h)
 	for {
-		tailRef := q.dom.Protect(tid, 0, &q.tail)
+		tailRef := q.dom.Protect(h, 0, &q.tail)
 		tn := q.arena.Get(tailRef)
 		next := tn.Next.Load()
 		if q.tail.Load() != uint64(tailRef) {
@@ -115,18 +116,18 @@ func (q *Queue) Enqueue(tid int, v uint64) {
 			break
 		}
 	}
-	q.dom.EndOp(tid)
+	q.dom.EndOp(h)
 }
 
 // Dequeue removes and returns the oldest value; ok is false on empty.
-func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
-	q.dom.BeginOp(tid)
+func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
+	q.dom.BeginOp(h)
 	var victim mem.Ref
 	for {
-		headRef := q.dom.Protect(tid, 0, &q.head)
+		headRef := q.dom.Protect(h, 0, &q.head)
 		tailRaw := q.tail.Load()
 		hn := q.arena.Get(headRef)
-		next := q.dom.Protect(tid, 1, &hn.Next)
+		next := q.dom.Protect(h, 1, &hn.Next)
 		// Re-validate the anchor AFTER protecting the successor: if head
 		// still equals headRef here, the dummy had not been dequeued at
 		// this (seq-cst) point, hence its successor was still reachable —
@@ -136,7 +137,7 @@ func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
 			continue
 		}
 		if next.IsNil() {
-			q.dom.EndOp(tid)
+			q.dom.EndOp(h)
 			return 0, false
 		}
 		if uint64(headRef) == tailRaw {
@@ -152,8 +153,8 @@ func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
 			break
 		}
 	}
-	q.dom.EndOp(tid)
-	q.dom.Retire(tid, victim)
+	q.dom.EndOp(h)
+	q.dom.Retire(h, victim)
 	return v, ok
 }
 

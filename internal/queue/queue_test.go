@@ -29,8 +29,8 @@ func heQueue(t *testing.T) *Queue {
 
 func TestEmptyDequeue(t *testing.T) {
 	q := heQueue(t)
-	tid := q.Domain().Register()
-	if _, ok := q.Dequeue(tid); ok {
+	h := q.Domain().Register()
+	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("dequeue from empty queue succeeded")
 	}
 	if q.Len() != 0 {
@@ -40,30 +40,30 @@ func TestEmptyDequeue(t *testing.T) {
 
 func TestFIFOOrder(t *testing.T) {
 	q := heQueue(t)
-	tid := q.Domain().Register()
+	h := q.Domain().Register()
 	for i := uint64(1); i <= 100; i++ {
-		q.Enqueue(tid, i)
+		q.Enqueue(h, i)
 	}
 	if q.Len() != 100 {
 		t.Fatalf("Len = %d", q.Len())
 	}
 	for i := uint64(1); i <= 100; i++ {
-		v, ok := q.Dequeue(tid)
+		v, ok := q.Dequeue(h)
 		if !ok || v != i {
 			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, i)
 		}
 	}
-	if _, ok := q.Dequeue(tid); ok {
+	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("queue should be empty")
 	}
 }
 
 func TestDequeueRetiresDummies(t *testing.T) {
 	q := heQueue(t)
-	tid := q.Domain().Register()
+	h := q.Domain().Register()
 	for i := uint64(0); i < 50; i++ {
-		q.Enqueue(tid, i)
-		q.Dequeue(tid)
+		q.Enqueue(h, i)
+		q.Dequeue(h)
 	}
 	s := q.Domain().Stats()
 	if s.Retired != 50 {
@@ -80,17 +80,17 @@ func TestDequeueRetiresDummies(t *testing.T) {
 
 func TestInterleavedEnqueueDequeue(t *testing.T) {
 	q := heQueue(t)
-	tid := q.Domain().Register()
-	q.Enqueue(tid, 1)
-	q.Enqueue(tid, 2)
-	if v, _ := q.Dequeue(tid); v != 1 {
+	h := q.Domain().Register()
+	q.Enqueue(h, 1)
+	q.Enqueue(h, 2)
+	if v, _ := q.Dequeue(h); v != 1 {
 		t.Fatalf("got %d, want 1", v)
 	}
-	q.Enqueue(tid, 3)
-	if v, _ := q.Dequeue(tid); v != 2 {
+	q.Enqueue(h, 3)
+	if v, _ := q.Dequeue(h); v != 2 {
 		t.Fatalf("got %d, want 2", v)
 	}
-	if v, _ := q.Dequeue(tid); v != 3 {
+	if v, _ := q.Dequeue(h); v != 3 {
 		t.Fatalf("got %d, want 3", v)
 	}
 }
@@ -116,11 +116,11 @@ func TestConcurrentMPMC(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					tid := q.Domain().Register()
-					defer q.Domain().Unregister(tid)
+					h := q.Domain().Register()
+					defer q.Domain().Unregister(h)
 					var got []uint64
 					for {
-						v, ok := q.Dequeue(tid)
+						v, ok := q.Dequeue(h)
 						if ok {
 							got = append(got, v)
 							consumed.Add(1)
@@ -138,11 +138,11 @@ func TestConcurrentMPMC(t *testing.T) {
 				wg.Add(1)
 				go func(p int) {
 					defer wg.Done()
-					tid := q.Domain().Register()
-					defer q.Domain().Unregister(tid)
+					h := q.Domain().Register()
+					defer q.Domain().Unregister(h)
 					base := uint64(p) << 32
 					for i := 0; i < perProducer; i++ {
-						q.Enqueue(tid, base|uint64(i))
+						q.Enqueue(h, base|uint64(i))
 					}
 				}(p)
 			}

@@ -9,46 +9,31 @@
 // the new node, release the previous one) — the "2 fetch_add()" row of
 // Table 1 and the reason the paper dismisses reference counting as slow for
 // readers.
+//
+// RC publishes nothing (counts live on the objects), so its registry slots
+// carry zero words; a session's held refs live in the Handle's Held scratch
+// (as raw uint64 — mem.Ref is a uint64, and NilRef encodes as 0, matching
+// the zeroed scratch of a fresh handle).
 package rc
 
 import (
 	"sync/atomic"
-	"unsafe"
 
-	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 )
 
-// perThreadState tracks, per protection index, the ref whose count this
-// thread currently holds, so a later Protect or Clear releases it.
-type perThreadState struct {
-	held []mem.Ref
-}
-
-// perThread pads perThreadState out to a whole number of cache lines; the
-// pad length is computed from unsafe.Sizeof so adding a field can never
-// silently unbalance it.
-type perThread struct {
-	perThreadState
-	_ [(atomicx.CacheLineSize - unsafe.Sizeof(perThreadState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
-}
-
 // Domain is the reference-counting domain.
 type Domain struct {
 	reclaim.Base
-	local []perThread
 }
 
 var _ reclaim.Domain = (*Domain)(nil)
 
 // New constructs a reference-counting domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
-	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
-	d.local = make([]perThread, d.Cfg.MaxThreads)
-	for i := range d.local {
-		d.local[i].held = make([]mem.Ref, d.Cfg.Slots)
-	}
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 0, 0)}
+	d.Base.Dom = d
 	return d
 }
 
@@ -59,15 +44,14 @@ func (d *Domain) Name() string { return "RC" }
 func (d *Domain) OnAlloc(ref mem.Ref) {}
 
 // BeginOp implements reclaim.Domain; no per-operation entry protocol.
-func (d *Domain) BeginOp(tid int) {}
+func (d *Domain) BeginOp(h *reclaim.Handle) {}
 
-// EndOp releases every count held by tid.
-func (d *Domain) EndOp(tid int) {
-	held := d.local[tid].held
-	for i, ref := range held {
-		if !ref.IsNil() {
-			d.release(tid, ref)
-			held[i] = mem.NilRef
+// EndOp releases every count held by the session.
+func (d *Domain) EndOp(h *reclaim.Handle) {
+	for i, raw := range h.Held {
+		if ref := mem.Ref(raw); !ref.IsNil() {
+			d.release(h, ref)
+			h.Held[i] = uint64(mem.NilRef)
 		}
 	}
 }
@@ -77,43 +61,41 @@ func (d *Domain) EndOp(tid int) {
 // consistency, a successful validation orders the increment before any
 // unlink, so a retirer that observes count zero knows no validated holder
 // exists). The count previously held at this index is released.
-func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	held := d.local[tid].held
-	ins := d.Ins
-	ins.Visit(tid)
+func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	h.InsVisit()
 	for {
 		ptr := mem.Ref(src.Load())
-		ins.Load(tid)
+		h.InsLoad()
 		target := ptr.Unmarked()
-		if target == held[index] {
+		if target == mem.Ref(h.Held[index]) {
 			return ptr // already holding a count on this object
 		}
 		if target.IsNil() {
-			d.releaseSlot(tid, held, index)
+			d.releaseSlot(h, index)
 			return ptr
 		}
-		h := d.Alloc.Header(target)
-		h.RC.Add(1)
-		ins.RMW(tid)
+		hdr := d.Alloc.Header(target)
+		hdr.RC.Add(1)
+		h.InsRMW()
 		if mem.Ref(src.Load()) == ptr {
-			ins.Load(tid)
-			d.releaseSlot(tid, held, index)
-			held[index] = target
+			h.InsLoad()
+			d.releaseSlot(h, index)
+			h.Held[index] = uint64(target)
 			return ptr
 		}
-		ins.Load(tid)
+		h.InsLoad()
 		// Validation failed: undo the transient acquisition. The slot is
 		// type-stable, so this is safe even if the object was freed and
 		// recycled in the window; release also honours a retirement this
 		// transient count may have delayed.
-		d.release(tid, target)
+		d.release(h, target)
 	}
 }
 
-func (d *Domain) releaseSlot(tid int, held []mem.Ref, index int) {
-	if prev := held[index]; !prev.IsNil() {
-		d.release(tid, prev)
-		held[index] = mem.NilRef
+func (d *Domain) releaseSlot(h *reclaim.Handle, index int) {
+	if prev := mem.Ref(h.Held[index]); !prev.IsNil() {
+		d.release(h, prev)
+		h.Held[index] = uint64(mem.NilRef)
 	}
 }
 
@@ -130,31 +112,37 @@ func (d *Domain) releaseSlot(tid int, held []mem.Ref, index int) {
 // was validated against a cell frozen by an earlier deletion may be
 // holding a name for a previous incarnation; by Valois rules it still
 // legitimately completes the pending retirement of the current one.
-func (d *Domain) release(tid int, ref mem.Ref) {
-	h := d.Alloc.Header(ref)
-	if h.RC.Add(-1) == 0 && h.Retired.Load() {
-		if h.Retired.CompareAndSwap(true, false) {
-			d.FreeRetired(tid, mem.MakeRef(ref.Index(), h.Gen()))
+func (d *Domain) release(h *reclaim.Handle, ref mem.Ref) {
+	hdr := d.Alloc.Header(ref)
+	if hdr.RC.Add(-1) == 0 && hdr.Retired.Load() {
+		if hdr.Retired.CompareAndSwap(true, false) {
+			h.FreeRetired(mem.MakeRef(ref.Index(), hdr.Gen()))
 		}
 	}
 }
 
 // Retire marks ref retired; it is freed by whoever brings (or already
 // finds) its count at zero. Wait-free: no retries, no scanning.
-func (d *Domain) Retire(tid int, ref mem.Ref) {
+func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
-	d.NoteRetired(tid)
-	h := d.Alloc.Header(ref)
-	h.Retired.Store(true)
-	if h.RC.Load() == 0 {
-		if h.Retired.CompareAndSwap(true, false) {
-			d.FreeRetired(tid, ref)
+	h.NoteRetired()
+	hdr := d.Alloc.Header(ref)
+	hdr.Retired.Store(true)
+	if hdr.RC.Load() == 0 {
+		if hdr.Retired.CompareAndSwap(true, false) {
+			h.FreeRetired(ref)
 		}
 	}
 }
 
+// Unregister releases the session's held counts before recycling its slot.
+func (d *Domain) Unregister(h *reclaim.Handle) {
+	d.EndOp(h)
+	d.Base.Unregister(h)
+}
+
 // Drain implements reclaim.Domain. Counts handle reclamation inline, so
-// there are no per-thread retired lists to flush; objects whose holders
+// there are no per-session retired lists to flush; objects whose holders
 // never released (a stalled reader at shutdown) stay allocated, exactly as
 // in C++.
 func (d *Domain) Drain() {}

@@ -27,19 +27,19 @@ func newRC(arena *mem.Arena[tnode], threads int) *Domain {
 func TestProtectAcquiresCount(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
 
-	got := d.Protect(tid, 0, &cell)
+	got := d.Protect(h, 0, &cell)
 	if got != ref {
 		t.Fatalf("got %v", got)
 	}
 	if rc := arena.Header(ref).RC.Load(); rc != 1 {
 		t.Fatalf("RC = %d, want 1", rc)
 	}
-	d.EndOp(tid)
+	d.EndOp(h)
 	if rc := arena.Header(ref).RC.Load(); rc != 0 {
 		t.Fatalf("RC after EndOp = %d, want 0", rc)
 	}
@@ -48,13 +48,13 @@ func TestProtectAcquiresCount(t *testing.T) {
 func TestRepeatedProtectSameRefNoDoubleCount(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	d.Protect(tid, 0, &cell)
-	d.Protect(tid, 0, &cell)
-	d.Protect(tid, 0, &cell)
+	d.Protect(h, 0, &cell)
+	d.Protect(h, 0, &cell)
+	d.Protect(h, 0, &cell)
 	if rc := arena.Header(ref).RC.Load(); rc != 1 {
 		t.Fatalf("RC = %d, want 1 (same index re-protection)", rc)
 	}
@@ -63,14 +63,14 @@ func TestRepeatedProtectSameRefNoDoubleCount(t *testing.T) {
 func TestProtectNewRefReleasesOld(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	a, _ := arena.Alloc()
 	b, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(a))
-	d.Protect(tid, 0, &cell)
+	d.Protect(h, 0, &cell)
 	cell.Store(uint64(b))
-	d.Protect(tid, 0, &cell)
+	d.Protect(h, 0, &cell)
 	if rc := arena.Header(a).RC.Load(); rc != 0 {
 		t.Fatalf("old RC = %d, want 0", rc)
 	}
@@ -82,9 +82,9 @@ func TestProtectNewRefReleasesOld(t *testing.T) {
 func TestRetireUnreferencedFreesImmediately(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	if s := d.Stats(); s.Freed != 1 {
 		t.Fatalf("stats: %+v", s)
 	}
@@ -147,13 +147,13 @@ func TestTwoHoldersFreeExactlyOnce(t *testing.T) {
 func TestProtectNilReleasesSlot(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	d.Protect(tid, 0, &cell)
+	d.Protect(h, 0, &cell)
 	cell.Store(uint64(mem.NilRef))
-	if got := d.Protect(tid, 0, &cell); !got.IsNil() {
+	if got := d.Protect(h, 0, &cell); !got.IsNil() {
 		t.Fatalf("got %v", got)
 	}
 	if rc := arena.Header(ref).RC.Load(); rc != 0 {
@@ -164,11 +164,11 @@ func TestProtectNilReleasesSlot(t *testing.T) {
 func TestMarkedRefCountsUnmarkedTarget(t *testing.T) {
 	arena := testArena()
 	d := newRC(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref.WithMark()))
-	got := d.Protect(tid, 0, &cell)
+	got := d.Protect(h, 0, &cell)
 	if !got.Marked() {
 		t.Fatal("mark bit lost")
 	}
@@ -181,7 +181,7 @@ func TestInstrumentedCostIsTwoRMWsWorstCase(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	// Alternate two refs at one index: every protect acquires one and
 	// releases the other — Table 1's "2 fetch_add()" per node.
 	a, _ := arena.Alloc()
@@ -193,7 +193,7 @@ func TestInstrumentedCostIsTwoRMWsWorstCase(t *testing.T) {
 		} else {
 			cell.Store(uint64(b))
 		}
-		d.Protect(tid, 0, &cell)
+		d.Protect(h, 0, &cell)
 	}
 	s := ins.Snapshot()
 	// Acquire RMW counted per visit; release RMW hides in releaseSlot (not
@@ -221,20 +221,20 @@ func TestConcurrentStress(t *testing.T) {
 		wg.Add(1)
 		go func(writer bool) {
 			defer wg.Done()
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 			for i := 0; i < iters; i++ {
 				if writer {
 					nref, n := arena.Alloc()
 					n.val = 42
 					old := mem.Ref(cell.Swap(uint64(nref)))
-					d.Retire(tid, old)
+					d.Retire(h, old)
 				} else {
-					got := d.Protect(tid, 0, &cell)
+					got := d.Protect(h, 0, &cell)
 					if v := arena.Get(got).val; v != 42 {
 						panic("reader observed reclaimed value")
 					}
-					d.EndOp(tid)
+					d.EndOp(h)
 				}
 			}
 		}(w%2 == 0)

@@ -3,7 +3,6 @@ package reclaim
 import (
 	"sync"
 	"sync/atomic"
-	"unsafe"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
@@ -12,14 +11,16 @@ import (
 // Config carries the construction parameters common to all schemes,
 // mirroring the paper's HazardEras(maxHEs, maxThreads) constructor.
 type Config struct {
-	// MaxThreads is the size of the per-thread slot arrays (the paper's
-	// MAX_THREADS).
+	// MaxThreads is the *initial* session capacity (the paper's
+	// MAX_THREADS). Unlike the paper's fixed arrays, the registry grows by
+	// publishing additional slot blocks when more sessions register, so
+	// this is a sizing hint, not a limit.
 	MaxThreads int
-	// Slots is the number of protection indices per thread (the paper's
+	// Slots is the number of protection indices per session (the paper's
 	// maxHEs / maxHPs; the Maged-Harris list needs 3).
 	Slots int
 	// ScanR is the amortization factor for batch-triggered scanning
-	// (Michael's R factor generalized to eras): a thread scans its retired
+	// (Michael's R factor generalized to eras): a session scans its retired
 	// list only once the list holds more than ScanR*MaxThreads*Slots
 	// objects, making Retire O(1) amortized. Zero (the default) keeps the
 	// paper's Algorithm 3 behaviour of scanning on every retire. Raising R
@@ -41,80 +42,95 @@ func (cfg Config) Defaulted() Config {
 	return cfg
 }
 
-// retiredListState is the owner-thread-only reclamation state: the retired
-// list itself plus the scratch snapshot buffers reused by every scan pass
-// (so a scan allocates nothing in steady state).
-type retiredListState struct {
-	refs  []mem.Ref
-	spare []mem.Ref // collects the to-free partition during a scan pass
-	eras  EraSnapshot
-	ivals IntervalSnapshot
-}
-
-// retiredList pads retiredListState out to a whole number of cache lines so
-// neighbouring threads' list headers never share a line. The pad length is
-// computed from unsafe.Sizeof, so adding a field to the state struct can
-// never silently unbalance it.
-type retiredList struct {
-	retiredListState
-	_ [(atomicx.CacheLineSize - unsafe.Sizeof(retiredListState{})%atomicx.CacheLineSize) % atomicx.CacheLineSize]byte
-}
-
 // shardedAllocator is implemented by allocators (mem.Arena) that maintain
-// per-thread free-slot magazines; FreeRetired routes through it when
-// available so reclamation feeds slots back to the reclaiming thread's own
+// per-session free-slot magazines; FreeRetired routes through it when
+// available so reclamation feeds slots back to the reclaiming session's own
 // magazine instead of the contended global freelist.
 type shardedAllocator interface {
 	FreeAt(shard int, ref mem.Ref)
 	FreeBatchAt(shard int, refs []mem.Ref)
 }
 
-// Base bundles the machinery every Domain implementation shares: thread
-// registry, allocator access, per-thread retired lists, statistics and
-// instrumentation. Scheme packages embed it.
+// Base bundles the machinery every Domain implementation shares: the
+// growing session registry, the handle pool, allocator access, statistics
+// and instrumentation. Scheme packages embed it and set Dom to themselves
+// at construction time so the generic Register/Acquire/Release paths can
+// hand out handles that dispatch back to the scheme.
 type Base struct {
+	// Dom is the owning scheme; set by the scheme constructor right after
+	// NewBase (`d.Base.Dom = d`). Handles created by Register carry it.
+	Dom Domain
+
 	Alloc Allocator
 	Cfg   Config
 	Ins   *Instrument
 
-	reg     *registry
-	rlists  []retiredList
 	sharded shardedAllocator // Alloc, when it supports FreeAt (else nil)
 
-	// scanThreshold is the retired-list length at which the owning thread
+	// The registry chain. head never changes after construction; growth
+	// appends blocks by storing the tail's next pointer (seq-cst), which is
+	// the publication point scans synchronize on. All other registry state
+	// (tail cursor, free-slot list, handle pool, id counter) is mutated
+	// only under mu — Register/Unregister/Acquire/Release are cold paths.
+	head *SlotBlock
+
+	mu        sync.Mutex
+	tail      *SlotBlock
+	tailUsed  int     // slots handed out from tail
+	total     int     // slots across all published blocks
+	freeSlots []*Slot // recycled by Unregister, preferred by Register
+	pool      []*Handle
+
+	active atomic.Int64
+
+	// wordsPerSlot/initWord describe the published cells: how many each
+	// slot carries and the idle sentinel value scans skip by (noneEra for
+	// HE/HP/IBR, the inactive epoch for EBR, unassigned for URCU).
+	wordsPerSlot int
+	initWord     uint64
+
+	// scanThreshold is the retired-list length at which the owning session
 	// must run a scan; 1 reproduces the paper's scan-per-retire Retire.
 	scanThreshold int
 
-	// Retire/free/scan counters are striped per thread id so the hot paths
+	// Retire/free/scan counters are striped by session id so the hot paths
 	// touch only their own cache line; Sum folds them on demand.
 	retired *atomicx.StripedCounter
 	freed   *atomicx.StripedCounter
 	scans   *atomicx.StripedCounter
 	peak    atomicx.HighWaterMark
 
-	// orphans holds retired objects abandoned by unregistered threads that
-	// were still protected at exit time; the next scanning thread adopts
+	// orphans holds retired objects abandoned by unregistered sessions that
+	// were still protected at exit time; the next scanning session adopts
 	// them. orphanLoad lets scanners skip the lock when the pool is empty.
 	orphanMu   sync.Mutex
 	orphans    []mem.Ref
 	orphanLoad atomic.Int64
 }
 
-// NewBase initializes the shared state for a scheme.
-func NewBase(alloc Allocator, cfg Config) Base {
+// NewBase initializes the shared state for a scheme. wordsPerSlot is the
+// number of published cells per session slot (protection indices for HE/HP,
+// 1 for EBR/URCU announcements, 2 for IBR intervals, 0 for schemes with no
+// published state); initWord is the idle sentinel those cells hold whenever
+// the slot is unregistered, pooled, or outside a critical section.
+func NewBase(alloc Allocator, cfg Config, wordsPerSlot int, initWord uint64) Base {
 	cfg = cfg.Defaulted()
 	threshold := 1
 	if cfg.ScanR > 0 {
 		threshold = cfg.ScanR * cfg.MaxThreads * cfg.Slots
 	}
 	sharded, _ := alloc.(shardedAllocator)
+	first := newSlotBlock(0, cfg.MaxThreads, wordsPerSlot, initWord)
 	return Base{
 		Alloc:         alloc,
 		Cfg:           cfg,
 		Ins:           cfg.Instrument,
-		reg:           newRegistry(cfg.MaxThreads),
-		rlists:        make([]retiredList, cfg.MaxThreads),
 		sharded:       sharded,
+		head:          first,
+		tail:          first,
+		total:         cfg.MaxThreads,
+		wordsPerSlot:  wordsPerSlot,
+		initWord:      initWord,
 		scanThreshold: threshold,
 		retired:       atomicx.NewStripedCounter(cfg.MaxThreads),
 		freed:         atomicx.NewStripedCounter(cfg.MaxThreads),
@@ -122,36 +138,130 @@ func NewBase(alloc Allocator, cfg Config) Base {
 	}
 }
 
-// Register claims a thread id.
-func (b *Base) Register() int { return b.reg.register("SMR") }
-
-// Unregister releases a thread id. Schemes that keep per-thread retired
-// lists override this to drain the list (final scan + Abandon) first.
-func (b *Base) Unregister(tid int) { b.reg.unregister(tid) }
-
-// ActiveThreads reports the number of registered threads.
-func (b *Base) ActiveThreads() int { return b.reg.Active() }
-
-// PushRetired appends ref to tid's retired list and bumps tid's retire
-// stripe. The high-water fold happens at scan/stats time, keeping this hot
-// path free of shared cache lines.
-func (b *Base) PushRetired(tid int, ref mem.Ref) {
-	b.rlists[tid].refs = append(b.rlists[tid].refs, ref.Unmarked())
-	b.retired.Inc(tid)
+// newSlotBlock builds an unpublished block whose slots have ids
+// [firstID, firstID+n) and every published cell set to initWord. All
+// initialization happens before the block becomes reachable, so scans never
+// observe a partially built slot.
+func newSlotBlock(firstID, n, wordsPerSlot int, initWord uint64) *SlotBlock {
+	blk := &SlotBlock{slots: make([]Slot, n)}
+	words := make([]atomicx.PaddedUint64, n*wordsPerSlot)
+	for i := range blk.slots {
+		s := &blk.slots[i]
+		s.id = firstID + i
+		s.words = words[i*wordsPerSlot : (i+1)*wordsPerSlot : (i+1)*wordsPerSlot]
+		if initWord != 0 {
+			for w := range s.words {
+				s.words[w].Store(initWord)
+			}
+		}
+	}
+	return blk
 }
 
-// NoteRetired updates retirement accounting without touching any retired
-// list — for schemes (reference counting) that reclaim inline.
-func (b *Base) NoteRetired(tid int) {
-	b.retired.Inc(tid)
-	b.observePeak()
+// FirstBlock returns the head of the registry chain. Scans walk it via
+// SlotBlock.Next, observing every block published before their first load.
+func (b *Base) FirstBlock() *SlotBlock { return b.head }
+
+// Register opens a session: it reuses a recycled slot if one is free,
+// otherwise takes the next slot of the tail block, otherwise grows the
+// chain by publishing a new block that doubles total capacity. It never
+// fails. The returned Handle dispatches to b.Dom.
+func (b *Base) Register() *Handle {
+	b.mu.Lock()
+	var s *Slot
+	if n := len(b.freeSlots); n > 0 {
+		s = b.freeSlots[n-1]
+		b.freeSlots = b.freeSlots[:n-1]
+	} else {
+		if b.tailUsed == len(b.tail.slots) {
+			grown := newSlotBlock(b.total, b.total, b.wordsPerSlot, b.initWord)
+			b.tail.next.Store(grown) // publication point: block is complete
+			b.tail = grown
+			b.total += len(grown.slots)
+			b.tailUsed = 0
+		}
+		s = &b.tail.slots[b.tailUsed]
+		b.tailUsed++
+	}
+	b.active.Add(1)
+	b.mu.Unlock()
+	return b.makeHandle(s)
 }
 
-// ScanDue reports whether tid's retired list has reached the scan
-// threshold. Schemes call it after PushRetired; with the default threshold
-// of one this is true after every retire, reproducing Algorithm 3.
-func (b *Base) ScanDue(tid int) bool {
-	return len(b.rlists[tid].refs) >= b.scanThreshold
+// makeHandle builds a fresh Handle around s with every hot-path pointer
+// cached. Scratch fields start zeroed (= noneEra / NilRef), matching the
+// idle published cells.
+func (b *Base) makeHandle(s *Slot) *Handle {
+	h := &Handle{
+		dom:        b.Dom,
+		base:       b,
+		slot:       s,
+		Words:      s.words,
+		retStripe:  b.retired.Stripe(s.id),
+		freeStripe: b.freed.Stripe(s.id),
+		scanStripe: b.scans.Stripe(s.id),
+	}
+	if b.Cfg.Slots > 0 {
+		h.Held = make([]uint64, b.Cfg.Slots)
+	}
+	if b.Ins != nil {
+		h.insLoads = b.Ins.loads.Stripe(s.id)
+		h.insStores = b.Ins.stores.Stripe(s.id)
+		h.insRMWs = b.Ins.rmws.Stripe(s.id)
+		h.insVisits = b.Ins.visits.Stripe(s.id)
+	}
+	return h
+}
+
+// Acquire returns a pooled session parked by Release, or registers a new
+// one. The pooled handle keeps its slot, retired list and cached stripes.
+func (b *Base) Acquire() *Handle {
+	b.mu.Lock()
+	if n := len(b.pool); n > 0 {
+		h := b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		b.active.Add(1)
+		b.mu.Unlock()
+		return h
+	}
+	b.mu.Unlock()
+	return b.Register()
+}
+
+// Release drops h's protections (via the scheme's EndOp) and parks the live
+// session in the pool for Acquire. The retired list stays with the slot; a
+// future owner's scans will drain it, and DrainAll reaches it regardless.
+func (b *Base) Release(h *Handle) {
+	b.Dom.EndOp(h)
+	b.mu.Lock()
+	b.pool = append(b.pool, h)
+	b.active.Add(-1)
+	b.mu.Unlock()
+}
+
+// Unregister permanently closes h's session: the published cells return to
+// the idle sentinel and the slot is recycled for a future Register. Schemes
+// that keep retired lists override this to run a final scan and Abandon the
+// leftovers first, then call back here.
+func (b *Base) Unregister(h *Handle) {
+	s := h.slot
+	for w := range s.words {
+		s.words[w].Store(b.initWord)
+	}
+	b.mu.Lock()
+	b.freeSlots = append(b.freeSlots, s)
+	b.active.Add(-1)
+	b.mu.Unlock()
+}
+
+// ActiveThreads reports the number of live (registered, unpooled) sessions.
+func (b *Base) ActiveThreads() int { return int(b.active.Load()) }
+
+// Capacity reports the total slot count across all published blocks.
+func (b *Base) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
 }
 
 // ScanThreshold returns the current retired-list length that triggers a
@@ -168,84 +278,15 @@ func (b *Base) SetScanThreshold(n int) {
 	b.scanThreshold = n
 }
 
-// Retired returns tid's retired list for in-place scanning. The caller owns
-// the slice and must write back the survivor set with SetRetired.
-func (b *Base) Retired(tid int) []mem.Ref { return b.rlists[tid].refs }
-
-// SetRetired replaces tid's retired list after a scan pass.
-func (b *Base) SetRetired(tid int, refs []mem.Ref) { b.rlists[tid].refs = refs }
-
-// EraScratch returns tid's reusable era-snapshot buffer.
-func (b *Base) EraScratch(tid int) *EraSnapshot { return &b.rlists[tid].eras }
-
-// IntervalScratch returns tid's reusable interval-snapshot buffer.
-func (b *Base) IntervalScratch(tid int) *IntervalSnapshot { return &b.rlists[tid].ivals }
-
-// FreeRetired frees ref through the allocator — into tid's magazine when
-// the allocator is sharded — and bumps tid's freed stripe.
-func (b *Base) FreeRetired(tid int, ref mem.Ref) {
-	if b.sharded != nil {
-		b.sharded.FreeAt(tid, ref)
-	} else {
-		b.Alloc.Free(ref)
-	}
-	b.freed.Inc(tid)
-}
-
-// ReclaimUnprotected runs the free half of a scan pass: it partitions tid's
-// retired list with the scheme-supplied predicate, keeps the protected
-// survivors in place, and frees the rest as one batch. Batching is what keeps
-// the amortized cost low — the allocator folds the whole batch into one
-// counter update (FreeBatchAt on sharded allocators) and the freed stripe is
-// bumped once per scan, so the per-object cost is the predicate plus the slot
-// release, with no atomic counter traffic.
-func (b *Base) ReclaimUnprotected(tid int, protected func(ref mem.Ref) bool) {
-	st := &b.rlists[tid].retiredListState
-	keep := st.refs[:0]
-	toFree := st.spare[:0]
-	for _, obj := range st.refs {
-		if protected(obj) {
-			keep = append(keep, obj)
-		} else {
-			toFree = append(toFree, obj)
-		}
-	}
-	st.refs = keep
-	if len(toFree) == 0 {
-		return
-	}
-	if b.sharded != nil {
-		b.sharded.FreeBatchAt(tid, toFree)
-	} else {
-		for _, ref := range toFree {
-			b.Alloc.Free(ref)
-		}
-	}
-	b.freed.Add(tid, int64(len(toFree)))
-	st.spare = toFree[:0]
-}
-
-// NoteScan records one reclamation pass over a retired list and folds the
-// striped counters into the pending high-water mark. Scans sample the peak
-// immediately after the pushes that triggered them, preserving the
-// PeakPending semantics the scan-per-retire implementation had.
-func (b *Base) NoteScan(tid int) {
-	b.scans.Inc(tid)
-	b.observePeak()
-}
-
 // observePeak folds retired-freed and raises the high-water mark.
 func (b *Base) observePeak() {
 	b.peak.Observe(b.retired.Sum() - b.freed.Sum())
 }
 
-// Abandon moves tid's remaining retired objects to the shared orphan pool.
-// Called by scheme Unregister overrides after a final scan, so a departing
-// thread's still-protected leftovers are adopted (and eventually freed) by
-// whichever thread scans next instead of leaking.
-func (b *Base) Abandon(tid int) {
-	leftovers := b.rlists[tid].refs
-	b.rlists[tid].refs = nil
+// abandon moves s's remaining retired objects to the shared orphan pool.
+func (b *Base) abandon(s *Slot) {
+	leftovers := s.rl.refs
+	s.rl.refs = nil
 	if len(leftovers) == 0 {
 		return
 	}
@@ -255,30 +296,18 @@ func (b *Base) Abandon(tid int) {
 	b.orphanMu.Unlock()
 }
 
-// AdoptOrphans moves any abandoned objects into tid's retired list so the
-// scan about to run tests them too. The empty-pool fast path is one atomic
-// load, so scans pay nothing when no thread has unregistered.
-func (b *Base) AdoptOrphans(tid int) {
-	if b.orphanLoad.Load() == 0 {
-		return
-	}
-	b.orphanMu.Lock()
-	adopted := b.orphans
-	b.orphans = nil
-	b.orphanLoad.Store(0)
-	b.orphanMu.Unlock()
-	b.rlists[tid].refs = append(b.rlists[tid].refs, adopted...)
-}
-
 // DrainAll unconditionally frees every pending retired object in every
-// thread's list and the orphan pool. Only safe at quiescence (the paper's
-// destructor).
+// slot's list (registered, pooled, or recycled) and the orphan pool. Only
+// safe at quiescence (the paper's destructor).
 func (b *Base) DrainAll() {
-	for tid := range b.rlists {
-		for _, ref := range b.rlists[tid].refs {
-			b.FreeRetired(tid, ref)
+	for blk := b.head; blk != nil; blk = blk.Next() {
+		for i := range blk.slots {
+			s := &blk.slots[i]
+			for _, ref := range s.rl.refs {
+				b.freeAt(s.id, ref)
+			}
+			s.rl.refs = nil
 		}
-		b.rlists[tid].refs = nil
 	}
 	b.orphanMu.Lock()
 	orphans := b.orphans
@@ -286,8 +315,19 @@ func (b *Base) DrainAll() {
 	b.orphanLoad.Store(0)
 	b.orphanMu.Unlock()
 	for _, ref := range orphans {
-		b.FreeRetired(0, ref)
+		b.freeAt(0, ref)
 	}
+}
+
+// freeAt frees ref through the allocator (into shard's magazine when
+// sharded) and bumps the freed stripe for that id.
+func (b *Base) freeAt(id int, ref mem.Ref) {
+	if b.sharded != nil {
+		b.sharded.FreeAt(id, ref)
+	} else {
+		b.Alloc.Free(ref)
+	}
+	b.freed.Inc(id)
 }
 
 // BaseStats assembles the common statistics snapshot. The fold doubles as a

@@ -1,0 +1,150 @@
+package reclaim_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebr"
+	"repro/internal/hp"
+	"repro/internal/ibr"
+	"repro/internal/leak"
+	"repro/internal/mem"
+	"repro/internal/rc"
+	"repro/internal/reclaim"
+	"repro/internal/urcu"
+)
+
+// Session-churn conformance (the PR-2 tentpole): goroutines continuously
+// registering, acquiring, releasing and unregistering sessions — past the
+// initial capacity — must be safe under every scheme. Run under -race this
+// also checks the grown-block publication protocol: every handle's cached
+// cells are written by their owner and read by concurrent scanners walking
+// the chain.
+
+// TestConformanceHandleChurn hammers each scheme with short-lived sessions
+// (alternating Register/Unregister and Acquire/Release) that do real
+// protect/retire work against shared cells. Invariants checked:
+//
+//   - no two concurrently-live sessions ever share a registry id (id
+//     aliasing would make two goroutines publish through the same cells);
+//   - registration beyond the initial capacity succeeds (MaxThreads is 2,
+//     workers are 8);
+//   - no retired node is leaked or double-freed: after a final Drain the
+//     checked arena must be empty and fault-free.
+func TestConformanceHandleChurn(t *testing.T) {
+	const workers = 8
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	for name, mk := range churnDomains() {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena)
+
+			var cell atomic.Uint64
+			seedRef, seed := arena.Alloc()
+			seed.val = 42
+			d.OnAlloc(seedRef)
+			cell.Store(uint64(seedRef))
+
+			var mu sync.Mutex
+			live := map[int]int{} // registry id -> live-session count
+			claim := func(h *reclaim.Handle) {
+				mu.Lock()
+				live[h.ID()]++
+				if live[h.ID()] > 1 {
+					mu.Unlock()
+					panic("registry id aliased by two live sessions")
+				}
+				mu.Unlock()
+			}
+			drop := func(h *reclaim.Handle) {
+				mu.Lock()
+				live[h.ID()]--
+				mu.Unlock()
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						pooled := (w+r)%2 == 0
+						var h *reclaim.Handle
+						if pooled {
+							h = d.Acquire()
+						} else {
+							h = d.Register()
+						}
+						claim(h)
+						for i := 0; i < 4; i++ {
+							if (w+r+i)%3 == 0 {
+								nref, n := arena.Alloc()
+								n.val = 42
+								d.OnAlloc(nref)
+								old := mem.Ref(cell.Swap(uint64(nref)))
+								d.Retire(h, old)
+							} else {
+								d.BeginOp(h)
+								got := d.Protect(h, 0, &cell)
+								if v := arena.Get(got).val; v != 42 {
+									panic("churned session observed reclaimed node")
+								}
+								d.EndOp(h)
+							}
+						}
+						drop(h)
+						if pooled {
+							d.Release(h)
+						} else {
+							d.Unregister(h)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Close out the shared cell and tear down.
+			final := d.Register()
+			d.Retire(final, mem.Ref(cell.Swap(0)))
+			d.Unregister(final)
+			d.Drain()
+
+			if f := arena.Stats().Faults; f != 0 {
+				t.Fatalf("%s: %d memory faults under session churn", name, f)
+			}
+			if s := d.Stats(); s.Pending != 0 {
+				t.Fatalf("%s: %d retired nodes stranded after churn+drain", name, s.Pending)
+			}
+			if name != "RC" {
+				// RC's stalled-holder semantics aside, every list-based
+				// scheme must return the arena to empty.
+				if live := arena.Stats().Live; live != 0 {
+					t.Fatalf("%s: %d arena slots leaked by churned sessions", name, live)
+				}
+			}
+		})
+	}
+}
+
+// churnDomains undersizes every registry (MaxThreads 2 against 8 workers)
+// so the churn test always crosses the growth boundary.
+func churnDomains() map[string]func(alloc reclaim.Allocator) reclaim.Domain {
+	cfg := reclaim.Config{MaxThreads: 2, Slots: 2}
+	cfgR := reclaim.Config{MaxThreads: 2, Slots: 2, ScanR: 2}
+	return map[string]func(alloc reclaim.Allocator) reclaim.Domain{
+		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
+		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
+		"HE-R2":     func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfgR) },
+		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"EBR":       func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"URCU":      func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"RC":        func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
+		"NONE":      func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
+	}
+}

@@ -62,8 +62,8 @@ func TestConformanceSingleThreaded(t *testing.T) {
 			if d.Name() == "" {
 				t.Fatal("empty scheme name")
 			}
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 
 			var cell atomic.Uint64
 			for i := 0; i < 100; i++ {
@@ -72,18 +72,18 @@ func TestConformanceSingleThreaded(t *testing.T) {
 				d.OnAlloc(ref)
 				old := mem.Ref(cell.Swap(uint64(ref)))
 
-				d.BeginOp(tid)
-				got := d.Protect(tid, 0, &cell)
+				d.BeginOp(h)
+				got := d.Protect(h, 0, &cell)
 				if arena.Get(got).val != uint64(i) {
 					t.Fatalf("iteration %d: wrong payload", i)
 				}
-				d.EndOp(tid)
+				d.EndOp(h)
 
 				if !old.IsNil() {
-					d.Retire(tid, old)
+					d.Retire(h, old)
 				}
 			}
-			d.Retire(tid, mem.Ref(cell.Swap(0)))
+			d.Retire(h, mem.Ref(cell.Swap(0)))
 			d.Drain()
 			s := d.Stats()
 			if s.Retired != 100 {
@@ -127,8 +127,8 @@ func TestConformanceConcurrentStress(t *testing.T) {
 				wg.Add(1)
 				go func(worker int) {
 					defer wg.Done()
-					tid := d.Register()
-					defer d.Unregister(tid)
+					h := d.Register()
+					defer d.Unregister(h)
 					writer := worker%2 == 0
 					for i := 0; i < iters; i++ {
 						ci := (worker + i) % 2
@@ -137,16 +137,16 @@ func TestConformanceConcurrentStress(t *testing.T) {
 							n.val = 42
 							d.OnAlloc(nref)
 							old := mem.Ref(cells[ci].Swap(uint64(nref)))
-							d.Retire(tid, old)
+							d.Retire(h, old)
 						} else {
-							d.BeginOp(tid)
-							got := d.Protect(tid, ci, &cells[ci])
+							d.BeginOp(h)
+							got := d.Protect(h, ci, &cells[ci])
 							if v := arena.Get(got).val; v != 42 {
 								fail <- fmt.Sprintf("%s: observed corrupt value %d", name, v)
-								d.EndOp(tid)
+								d.EndOp(h)
 								return
 							}
-							d.EndOp(tid)
+							d.EndOp(h)
 						}
 					}
 				}(w)
@@ -172,13 +172,13 @@ func TestConformanceRetireCountsMatchFrees(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
 			d := mk(arena)
-			tid := d.Register()
+			h := d.Register()
 			for i := 0; i < 25; i++ {
 				ref, _ := arena.Alloc()
 				d.OnAlloc(ref)
-				d.Retire(tid, ref)
+				d.Retire(h, ref)
 			}
-			d.Unregister(tid)
+			d.Unregister(h)
 			d.Drain()
 			s := d.Stats()
 			if s.Freed != 25 || s.Pending != 0 {
@@ -213,13 +213,13 @@ func TestConformanceNoScanBelowThreshold(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
 			d := mk(arena)
-			tid := d.Register()
-			defer d.Unregister(tid)
+			h := d.Register()
+			defer d.Unregister(h)
 
 			for i := 0; i < threshold-1; i++ {
 				ref, _ := arena.Alloc()
 				d.OnAlloc(ref)
-				d.Retire(tid, ref)
+				d.Retire(h, ref)
 			}
 			if s := d.Stats(); s.Scans != 0 || s.Pending != int64(threshold-1) {
 				t.Fatalf("below threshold: scans=%d pending=%d, want 0 and %d",
@@ -228,7 +228,7 @@ func TestConformanceNoScanBelowThreshold(t *testing.T) {
 
 			ref, _ := arena.Alloc()
 			d.OnAlloc(ref)
-			d.Retire(tid, ref) // crosses the threshold
+			d.Retire(h, ref) // crosses the threshold
 			s := d.Stats()
 			if s.Scans == 0 {
 				t.Fatal("threshold crossing did not trigger a scan")
@@ -250,13 +250,13 @@ func TestConformanceUnregisterDrainsRetiredList(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
 			d := mk(arena)
-			tid := d.Register()
+			h := d.Register()
 			for i := 0; i < threshold/2; i++ {
 				ref, _ := arena.Alloc()
 				d.OnAlloc(ref)
-				d.Retire(tid, ref)
+				d.Retire(h, ref)
 			}
-			d.Unregister(tid)
+			d.Unregister(h)
 			if s := d.Stats(); s.Pending != 0 {
 				t.Fatalf("unregister stranded %d retired objects", s.Pending)
 			}

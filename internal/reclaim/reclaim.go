@@ -1,19 +1,33 @@
 // Package reclaim defines the common framework shared by every safe-memory-
-// reclamation (SMR) scheme in this repository: the Domain interface that a
-// lock-free data structure programs against, the thread registry, statistics
-// and the synchronization-cost instrumentation behind the paper's Table 1.
+// reclamation (SMR) scheme in this repository: the Domain/Handle session
+// API that a lock-free data structure programs against, the dynamically
+// growing session registry, statistics and the synchronization-cost
+// instrumentation behind the paper's Table 1.
 //
 // The Hazard Eras paper positions HE as a drop-in replacement for Hazard
 // Pointers ("providing the same API as Hazard Pointers", §2). This package
 // realizes that claim structurally: Harris-Michael lists, hash maps, queues,
-// stacks and BSTs in this repository are written once against Domain and run
-// unchanged under Hazard Eras, Hazard Pointers, epoch-based reclamation,
-// Grace-Version URCU, reference counting, and a leaky no-op control.
+// stacks, BSTs and skip lists in this repository are written once against
+// Domain/Handle and run unchanged under Hazard Eras, Hazard Pointers,
+// epoch-based reclamation, Grace-Version URCU, reference counting, and a
+// leaky no-op control.
+//
+// # Sessions instead of raw thread ids
+//
+// The paper's C++ API threads a tid argument through every call and indexes
+// fixed per-thread slot arrays with it. Here a worker instead holds a
+// *Handle — a session object returned by Domain.Register (or the pooled
+// Domain.Acquire) that owns a registry Slot and caches direct pointers to
+// its published era/hazard cells, its retired list and its statistics
+// stripes, so the hot paths (Protect, Retire, BeginOp) perform no per-call
+// registry indexing. The registry grows by atomically publishing chained
+// slot blocks, so Register never fails and never panics: goroutine counts
+// beyond Config.MaxThreads (the *initial* capacity) are served by growing
+// the chain, and every scan walks whatever prefix of the chain is published
+// at that moment (see handle.go for the memory-ordering argument).
 package reclaim
 
 import (
-	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/mem"
@@ -36,37 +50,57 @@ type Allocator interface {
 //	Retire   = retire()          (HE Alg. 3)
 //	OnAlloc  = getEra() + newEra stamping
 //
-// Thread ids come from Register and index per-thread slot arrays exactly as
-// the paper's tid argument does.
+// Where the paper passes a tid, this API passes the *Handle obtained from
+// Register — the Handle convenience methods (h.Protect(i, src), h.Retire(r),
+// ...) forward here, so structure code reads as a session API while scheme
+// code receives the cached slot pointers.
 type Domain interface {
 	// Name identifies the scheme in reports ("HE", "HP", "EBR", ...).
 	Name() string
 
-	// Register claims a thread id in [0, MaxThreads). It panics when the
-	// domain is fully subscribed.
-	Register() int
-	// Unregister releases tid for reuse by another worker.
-	Unregister(tid int)
+	// Register opens a new session. It never fails: when all slots of the
+	// current registry are taken, the registry grows by publishing a new
+	// slot block. Close the session with Handle.Unregister (drains and
+	// frees the slot) or Handle.Release (parks the live session in the
+	// domain's pool for Acquire to reuse).
+	Register() *Handle
+
+	// Acquire returns a pooled session previously parked by Release, or
+	// registers a new one. Short-lived goroutines should prefer
+	// Acquire/Release over Register/Unregister: reuse skips the
+	// final-scan/orphan-drain cost of a full unregister.
+	Acquire() *Handle
+
+	// Release parks h's live session in the domain pool after dropping all
+	// its protections. The slot, its retired list and its statistics stay
+	// registered and are inherited by the next Acquire.
+	Release(h *Handle)
+
+	// Unregister permanently closes h's session: protections are dropped,
+	// a final scan reclaims what it can, still-protected leftovers move to
+	// the shared orphan pool, and the slot is recycled for a future
+	// Register.
+	Unregister(h *Handle)
 
 	// BeginOp opens a read-side critical section. It is a no-op for
 	// pointer-based schemes (HP/HE), rcu_read_lock for URCU, and the epoch
 	// announcement for EBR.
-	BeginOp(tid int)
+	BeginOp(h *Handle)
 	// EndOp closes the critical section: clear() for HP/HE (releases all
 	// protection indices), rcu_read_unlock for URCU, epoch exit for EBR.
-	EndOp(tid int)
+	EndOp(h *Handle)
 
 	// Protect loads *src and guarantees the referenced object will not be
 	// freed until the protection is released (EndOp, or a later Protect on
 	// the same index). The returned ref preserves the Harris mark bit as
 	// loaded; the protection applies to the unmarked target.
-	Protect(tid, index int, src *atomic.Uint64) mem.Ref
+	Protect(h *Handle, index int, src *atomic.Uint64) mem.Ref
 
 	// Retire declares that ref has been unlinked from shared memory and
 	// must eventually be freed. Pointer-based schemes are non-blocking
 	// here; URCU blocks in synchronize_rcu (exactly as the paper states its
 	// remove() is blocking).
-	Retire(tid int, ref mem.Ref)
+	Retire(h *Handle, ref mem.Ref)
 
 	// OnAlloc is invoked after a node is allocated and before it becomes
 	// shared. Hazard Eras stamps BirthEra here; all other schemes no-op.
@@ -90,41 +124,3 @@ type Stats struct {
 	Scans       int64  // reclamation scan passes over retired lists
 	EraClock    uint64 // current era/epoch/version clock (scheme-specific; 0 if none)
 }
-
-// registry hands out thread ids. Registration is rare (worker startup), so a
-// mutex is fine; the ids it returns index the padded hot-path arrays.
-type registry struct {
-	mu     sync.Mutex
-	inUse  []bool
-	active atomic.Int64
-}
-
-func newRegistry(maxThreads int) *registry {
-	return &registry{inUse: make([]bool, maxThreads)}
-}
-
-func (r *registry) register(scheme string) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for tid, used := range r.inUse {
-		if !used {
-			r.inUse[tid] = true
-			r.active.Add(1)
-			return tid
-		}
-	}
-	panic(fmt.Sprintf("reclaim: %s domain oversubscribed (max %d threads)", scheme, len(r.inUse)))
-}
-
-func (r *registry) unregister(tid int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.inUse[tid] {
-		panic(fmt.Sprintf("reclaim: unregister of unregistered tid %d", tid))
-	}
-	r.inUse[tid] = false
-	r.active.Add(-1)
-}
-
-// Active reports the number of currently registered threads.
-func (r *registry) Active() int { return int(r.active.Load()) }

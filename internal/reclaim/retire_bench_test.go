@@ -56,12 +56,12 @@ func BenchmarkRetireScan(b *testing.B) {
 			arena := mem.NewArena[bnode]()
 			d := s.mk(arena)
 			b.RunParallel(func(pb *testing.PB) {
-				tid := d.Register()
-				defer d.Unregister(tid)
+				h := d.Register()
+				defer d.Unregister(h)
 				for pb.Next() {
-					ref, _ := arena.AllocAt(tid)
+					ref, _ := arena.AllocAt(h.ID())
 					d.OnAlloc(ref)
-					d.Retire(tid, ref)
+					d.Retire(h, ref)
 				}
 			})
 			b.StopTimer()

@@ -85,7 +85,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithSeed seeds the tower-height generator (default 1).
@@ -134,10 +135,10 @@ func (s *SkipList) randomLevel() int {
 // Get returns the value stored under key. Lock-free; the traversal
 // protects prev/curr/next with three rotating slots and validates the
 // incoming edge of prev after every successor protection.
-func (s *SkipList) Get(tid int, key uint64) (uint64, bool) {
+func (s *SkipList) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
 	arena, dom := s.arena, s.dom
-	dom.BeginOp(tid)
-	defer dom.EndOp(tid)
+	dom.BeginOp(h)
+	defer dom.EndOp(h)
 retry:
 	for {
 		sc, sn := 1, 2
@@ -146,7 +147,7 @@ retry:
 		var pEdge *atomic.Uint64 // incoming edge of prev (nil for the head)
 		var pExpect uint64
 		cell := &s.heads[level]
-		curr := dom.Protect(tid, sc, cell) // head cells are never marked
+		curr := dom.Protect(h, sc, cell) // head cells are never marked
 		for {
 			// Advance horizontally while curr.Key < key.
 			for !curr.IsNil() {
@@ -154,7 +155,7 @@ retry:
 				if cn.Key >= key {
 					break
 				}
-				next := dom.Protect(tid, sn, &cn.Next[level])
+				next := dom.Protect(h, sn, &cn.Next[level])
 				// A marked load means curr's tower is being (or has been)
 				// deleted: its cells will never change again, so only the
 				// mark reveals the staleness.
@@ -196,7 +197,7 @@ retry:
 			} else {
 				cell = &prev.Next[level]
 			}
-			curr = dom.Protect(tid, sc, cell)
+			curr = dom.Protect(h, sc, cell)
 			if curr.Marked() {
 				continue retry // prev's tower is being deleted
 			}
@@ -208,8 +209,8 @@ retry:
 }
 
 // Contains reports membership of key.
-func (s *SkipList) Contains(tid int, key uint64) bool {
-	_, ok := s.Get(tid, key)
+func (s *SkipList) Contains(h *reclaim.Handle, key uint64) bool {
+	_, ok := s.Get(h, key)
 	return ok
 }
 
@@ -249,7 +250,7 @@ func (s *SkipList) findPreds(key uint64) (preds [MaxLevel]*atomic.Uint64, found 
 // tower is linked bottom-up, so the node appears atomically at level 0 —
 // its linearization point — and partially-linked upper levels are simply
 // not yet taken by readers.
-func (s *SkipList) Insert(tid int, key, val uint64) bool {
+func (s *SkipList) Insert(h *reclaim.Handle, key, val uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	preds, found := s.findPreds(key)
@@ -257,7 +258,7 @@ func (s *SkipList) Insert(tid int, key, val uint64) bool {
 		return false
 	}
 	level := s.randomLevel()
-	ref, n := s.arena.AllocAt(tid)
+	ref, n := s.arena.AllocAt(h.ID())
 	n.Key, n.Val, n.Level = key, val, level
 	for l := 0; l < level; l++ {
 		n.Next[l].Store(preds[l].Load())
@@ -274,7 +275,7 @@ func (s *SkipList) Insert(tid int, key, val uint64) bool {
 // unlinked top-down — level 0 last, the linearization point — and the node
 // is retired only once it is unreachable from every level, which is the
 // precondition the reader-side validation relies on.
-func (s *SkipList) Remove(tid int, key uint64) bool {
+func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	preds, found := s.findPreds(key)
@@ -293,7 +294,7 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 			preds[l].Store(uint64(mem.Ref(n.Next[l].Load()).Unmarked()))
 		}
 	}
-	s.dom.Retire(tid, found)
+	s.dom.Retire(h, found)
 	s.size--
 	return true
 }
@@ -301,19 +302,19 @@ func (s *SkipList) Remove(tid int, key uint64) bool {
 // Range calls fn(key, val) for every element with from <= key < to, in
 // ascending order, under continuous protection. It returns the number of
 // elements visited. fn must not call back into the skip list with the same
-// tid. The scan is lock-free; a concurrent unlink near the cursor restarts
+// session. The scan is lock-free; a concurrent unlink near the cursor restarts
 // the scan from the current key (elements already reported are not
 // repeated — the cursor key only moves forward).
-func (s *SkipList) Range(tid int, from, to uint64, fn func(key, val uint64) bool) int {
+func (s *SkipList) Range(h *reclaim.Handle, from, to uint64, fn func(key, val uint64) bool) int {
 	arena, dom := s.arena, s.dom
 	count := 0
 	cursor := from
 	for cursor < to {
 		// Locate the first key >= cursor with a protected descent, then
 		// walk level 0 until invalidated.
-		dom.BeginOp(tid)
-		visited, next, again := s.rangeSegment(tid, cursor, to, fn, arena)
-		dom.EndOp(tid)
+		dom.BeginOp(h)
+		visited, next, again := s.rangeSegment(h, cursor, to, fn, arena)
+		dom.EndOp(h)
 		count += visited
 		if !again {
 			return count
@@ -326,7 +327,7 @@ func (s *SkipList) Range(tid int, from, to uint64, fn func(key, val uint64) bool
 // rangeSegment scans level 0 from the first key >= cursor, reporting
 // elements < to. It returns how many were reported, the key to resume from
 // after an invalidation, and whether the scan must continue.
-func (s *SkipList) rangeSegment(tid int, cursor, to uint64, fn func(key, val uint64) bool, arena *mem.Arena[Node]) (int, uint64, bool) {
+func (s *SkipList) rangeSegment(h *reclaim.Handle, cursor, to uint64, fn func(key, val uint64) bool, arena *mem.Arena[Node]) (int, uint64, bool) {
 	dom := s.dom
 retry:
 	for {
@@ -338,14 +339,14 @@ retry:
 		var pEdge *atomic.Uint64
 		var pExpect uint64
 		cell := &s.heads[level]
-		curr := dom.Protect(tid, sc, cell)
+		curr := dom.Protect(h, sc, cell)
 		for {
 			for !curr.IsNil() {
 				cn := arena.Get(curr)
 				if cn.Key >= cursor {
 					break
 				}
-				next := dom.Protect(tid, sn, &cn.Next[level])
+				next := dom.Protect(h, sn, &cn.Next[level])
 				if next.Marked() {
 					continue retry
 				}
@@ -367,7 +368,7 @@ retry:
 			} else {
 				cell = &prev.Next[level]
 			}
-			curr = dom.Protect(tid, sc, cell)
+			curr = dom.Protect(h, sc, cell)
 			if curr.Marked() {
 				continue retry
 			}
@@ -388,7 +389,7 @@ retry:
 			}
 			count++
 			resume := cn.Key + 1
-			next := dom.Protect(tid, sn, &cn.Next[0])
+			next := dom.Protect(h, sn, &cn.Next[0])
 			if next.Marked() || cell.Load() != uint64(curr) {
 				// Invalidated mid-scan: resume past the last reported key.
 				return count, resume, true

@@ -31,8 +31,8 @@ func heList(t *testing.T) *SkipList {
 
 func TestEmpty(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
-	if s.Contains(tid, 1) || s.Remove(tid, 1) {
+	h := s.Domain().Register()
+	if s.Contains(h, 1) || s.Remove(h, 1) {
 		t.Fatal("empty list misbehaves")
 	}
 	if s.Len() != 0 {
@@ -42,13 +42,13 @@ func TestEmpty(t *testing.T) {
 
 func TestInsertGetRemove(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	keys := []uint64{10, 3, 7, 1, 9, 0, ^uint64(0), 1 << 40}
 	for _, k := range keys {
-		if !s.Insert(tid, k, k*3) {
+		if !s.Insert(h, k, k*3) {
 			t.Fatalf("insert %d failed", k)
 		}
-		if s.Insert(tid, k, k) {
+		if s.Insert(h, k, k) {
 			t.Fatalf("duplicate insert %d succeeded", k)
 		}
 	}
@@ -56,15 +56,15 @@ func TestInsertGetRemove(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
 	}
 	for _, k := range keys {
-		if v, ok := s.Get(tid, k); !ok || v != k*3 {
+		if v, ok := s.Get(h, k); !ok || v != k*3 {
 			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
 		}
 	}
-	if s.Contains(tid, 5) {
+	if s.Contains(h, 5) {
 		t.Fatal("phantom key 5")
 	}
 	for _, k := range keys {
-		if !s.Remove(tid, k) {
+		if !s.Remove(h, k) {
 			t.Fatalf("remove %d failed", k)
 		}
 	}
@@ -75,10 +75,10 @@ func TestInsertGetRemove(t *testing.T) {
 
 func TestTowersDistribution(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	const n = 4096
 	for k := uint64(0); k < n; k++ {
-		s.Insert(tid, k, k)
+		s.Insert(h, k, k)
 	}
 	histogram := make([]int, MaxLevel+1)
 	for k := uint64(0); k < n; k++ {
@@ -103,12 +103,12 @@ func TestTowersDistribution(t *testing.T) {
 
 func TestRangeScan(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	for k := uint64(0); k < 100; k += 2 { // even keys 0..98
-		s.Insert(tid, k, k+1000)
+		s.Insert(h, k, k+1000)
 	}
 	var got []uint64
-	n := s.Range(tid, 10, 31, func(k, v uint64) bool {
+	n := s.Range(h, 10, 31, func(k, v uint64) bool {
 		if v != k+1000 {
 			t.Fatalf("Range value mismatch at %d: %d", k, v)
 		}
@@ -131,12 +131,12 @@ func TestRangeScan(t *testing.T) {
 
 func TestRangeEarlyStop(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	for k := uint64(0); k < 50; k++ {
-		s.Insert(tid, k, k)
+		s.Insert(h, k, k)
 	}
 	seen := 0
-	s.Range(tid, 0, 50, func(k, v uint64) bool {
+	s.Range(h, 0, 50, func(k, v uint64) bool {
 		seen++
 		return seen < 5
 	})
@@ -147,12 +147,12 @@ func TestRangeEarlyStop(t *testing.T) {
 
 func TestRangeEmptyWindow(t *testing.T) {
 	s := heList(t)
-	tid := s.Domain().Register()
-	s.Insert(tid, 10, 1)
-	if n := s.Range(tid, 2, 9, func(k, v uint64) bool { return true }); n != 0 {
+	h := s.Domain().Register()
+	s.Insert(h, 10, 1)
+	if n := s.Range(h, 2, 9, func(k, v uint64) bool { return true }); n != 0 {
 		t.Fatalf("empty window visited %d", n)
 	}
-	if n := s.Range(tid, 11, 11, func(k, v uint64) bool { return true }); n != 0 {
+	if n := s.Range(h, 11, 11, func(k, v uint64) bool { return true }); n != 0 {
 		t.Fatalf("degenerate window visited %d", n)
 	}
 }
@@ -164,25 +164,25 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		s := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		tid := s.Domain().Register()
+		h := s.Domain().Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 64)
 			switch o.Kind % 4 {
 			case 0:
 				_, exists := model[k]
-				if s.Insert(tid, k, k+5) == exists {
+				if s.Insert(h, k, k+5) == exists {
 					return false
 				}
 				model[k] = k + 5
 			case 1:
 				_, exists := model[k]
-				if s.Remove(tid, k) != exists {
+				if s.Remove(h, k) != exists {
 					return false
 				}
 				delete(model, k)
 			case 2:
-				v, ok := s.Get(tid, k)
+				v, ok := s.Get(h, k)
 				mv, exists := model[k]
 				if ok != exists || (ok && v != mv) {
 					return false
@@ -190,7 +190,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 			case 3:
 				// Full range must match the sorted model exactly.
 				var keys []uint64
-				s.Range(tid, 0, 64, func(key, val uint64) bool {
+				s.Range(h, 0, 64, func(key, val uint64) bool {
 					keys = append(keys, key)
 					return true
 				})
@@ -239,15 +239,15 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					tid := s.Domain().Register()
-					defer s.Domain().Unregister(tid)
+					h := s.Domain().Register()
+					defer s.Domain().Unregister(h)
 					rng := rand.New(rand.NewSource(seed))
 					for !stop.Load() {
 						k := uint64(rng.Intn(keyRange))
 						if rng.Intn(4) == 0 {
-							s.Range(tid, k, k+16, func(uint64, uint64) bool { return true })
+							s.Range(h, k, k+16, func(uint64, uint64) bool { return true })
 						} else {
-							s.Contains(tid, k)
+							s.Contains(h, k)
 						}
 					}
 				}(int64(r) + 1)
@@ -255,13 +255,13 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				tid := s.Domain().Register()
-				defer s.Domain().Unregister(tid)
+				h := s.Domain().Register()
+				defer s.Domain().Unregister(h)
 				rng := rand.New(rand.NewSource(99))
 				for i := 0; i < iters; i++ {
 					k := uint64(rng.Intn(keyRange))
-					if s.Remove(tid, k) {
-						s.Insert(tid, k, k)
+					if s.Remove(h, k) {
+						s.Insert(h, k, k)
 					}
 				}
 				stop.Store(true)
@@ -296,22 +296,22 @@ func TestRangeNeverGoesBackward(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		tid := s.Domain().Register()
-		defer s.Domain().Unregister(tid)
+		h := s.Domain().Register()
+		defer s.Domain().Unregister(h)
 		rng := rand.New(rand.NewSource(7))
 		for !stop.Load() {
 			k := uint64(rng.Intn(512))
-			if s.Remove(tid, k) {
-				s.Insert(tid, k, k)
+			if s.Remove(h, k) {
+				s.Insert(h, k, k)
 			}
 		}
 	}()
 
-	tid := s.Domain().Register()
-	defer s.Domain().Unregister(tid)
+	h := s.Domain().Register()
+	defer s.Domain().Unregister(h)
 	for i := 0; i < 300; i++ {
 		last := int64(-1)
-		s.Range(tid, 0, 512, func(k, v uint64) bool {
+		s.Range(h, 0, 512, func(k, v uint64) bool {
 			if int64(k) <= last {
 				t.Errorf("range went backward: %d after %d", k, last)
 				return false

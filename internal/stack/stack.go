@@ -52,7 +52,8 @@ type config struct {
 // WithChecked enables the checked (generation-validated, poisoned) arena.
 func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 
-// WithMaxThreads sets the domain's thread capacity (default 64).
+// WithMaxThreads sets the domain's initial session capacity (default 64);
+// the registry grows past it on demand.
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
@@ -83,8 +84,8 @@ func (s *Stack) Domain() reclaim.Domain { return s.dom }
 func (s *Stack) Arena() *mem.Arena[Node] { return s.arena }
 
 // Push adds v on top. Lock-free.
-func (s *Stack) Push(tid int, v uint64) {
-	ref, n := s.arena.AllocAt(tid)
+func (s *Stack) Push(h *reclaim.Handle, v uint64) {
+	ref, n := s.arena.AllocAt(h.ID())
 	n.Val = v
 	for {
 		top := s.top.Load()
@@ -97,13 +98,13 @@ func (s *Stack) Push(tid int, v uint64) {
 }
 
 // Pop removes and returns the top value; ok is false on empty.
-func (s *Stack) Pop(tid int) (v uint64, ok bool) {
-	s.dom.BeginOp(tid)
+func (s *Stack) Pop(h *reclaim.Handle) (v uint64, ok bool) {
+	s.dom.BeginOp(h)
 	var victim mem.Ref
 	for {
-		topRef := s.dom.Protect(tid, 0, &s.top)
+		topRef := s.dom.Protect(h, 0, &s.top)
 		if topRef.IsNil() {
-			s.dom.EndOp(tid)
+			s.dom.EndOp(h)
 			return 0, false
 		}
 		n := s.arena.Get(topRef)
@@ -115,8 +116,8 @@ func (s *Stack) Pop(tid int) (v uint64, ok bool) {
 			break
 		}
 	}
-	s.dom.EndOp(tid)
-	s.dom.Retire(tid, victim)
+	s.dom.EndOp(h)
+	s.dom.Retire(h, victim)
 	return v, ok
 }
 

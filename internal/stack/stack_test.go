@@ -28,38 +28,38 @@ func heStack(t *testing.T) *Stack {
 
 func TestEmptyPop(t *testing.T) {
 	s := heStack(t)
-	tid := s.Domain().Register()
-	if _, ok := s.Pop(tid); ok {
+	h := s.Domain().Register()
+	if _, ok := s.Pop(h); ok {
 		t.Fatal("pop from empty stack succeeded")
 	}
 }
 
 func TestLIFOOrder(t *testing.T) {
 	s := heStack(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	for i := uint64(1); i <= 50; i++ {
-		s.Push(tid, i)
+		s.Push(h, i)
 	}
 	if s.Len() != 50 {
 		t.Fatalf("Len = %d", s.Len())
 	}
 	for i := uint64(50); i >= 1; i-- {
-		v, ok := s.Pop(tid)
+		v, ok := s.Pop(h)
 		if !ok || v != i {
 			t.Fatalf("Pop = %d,%v, want %d", v, ok, i)
 		}
 	}
-	if _, ok := s.Pop(tid); ok {
+	if _, ok := s.Pop(h); ok {
 		t.Fatal("stack should be empty")
 	}
 }
 
 func TestPopRetiresAndReclaims(t *testing.T) {
 	s := heStack(t)
-	tid := s.Domain().Register()
+	h := s.Domain().Register()
 	for i := uint64(0); i < 30; i++ {
-		s.Push(tid, i)
-		s.Pop(tid)
+		s.Push(h, i)
+		s.Pop(h)
 	}
 	st := s.Domain().Stats()
 	if st.Retired != 30 {
@@ -91,15 +91,15 @@ func TestConcurrentPushPop(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					tid := s.Domain().Register()
-					defer s.Domain().Unregister(tid)
+					h := s.Domain().Register()
+					defer s.Domain().Unregister(h)
 					for i := 0; i < per; i++ {
 						if (w+i)%2 == 0 {
 							v := uint64(w*per + i + 1)
-							s.Push(tid, v)
+							s.Push(h, v)
 							sumPushed.Add(v)
 							balance.Add(1)
-						} else if v, ok := s.Pop(tid); ok {
+						} else if v, ok := s.Pop(h); ok {
 							sumPopped.Add(v)
 							balance.Add(-1)
 						}
@@ -108,9 +108,9 @@ func TestConcurrentPushPop(t *testing.T) {
 			}
 			wg.Wait()
 			// Drain the remainder and check conservation of values.
-			tid := s.Domain().Register()
+			h := s.Domain().Register()
 			for {
-				v, ok := s.Pop(tid)
+				v, ok := s.Pop(h)
 				if !ok {
 					break
 				}
@@ -140,11 +140,11 @@ func TestConcurrentPushPop(t *testing.T) {
 // incarnation.
 func TestGenerationRefsDefeatABA(t *testing.T) {
 	s := heStack(t)
-	tid := s.Domain().Register()
-	s.Push(tid, 1)
+	h := s.Domain().Register()
+	s.Push(h, 1)
 	oldTop := s.top.Load()
-	s.Pop(tid)     // retires and (unprotected) frees the node
-	s.Push(tid, 2) // recycles the same slot
+	s.Pop(h)     // retires and (unprotected) frees the node
+	s.Push(h, 2) // recycles the same slot
 	newTop := s.top.Load()
 	if oldTop == newTop {
 		t.Fatal("recycled slot produced an identical ref: ABA possible")

@@ -16,6 +16,12 @@
 // single preempted reader stalls every reclaimer — visible in the paper's
 // oversubscribed update-heavy panels where URCU drops below HP/HE, and in
 // this repository's stalled-reader experiments.
+//
+// A session's reader version is the single word of its registry slot,
+// initialized to the unassigned sentinel. Synchronize walks the slot-block
+// chain; a reader whose block it misses began its read-side section after
+// the chain walk's first load, hence after the unlink being waited out —
+// the standard new-reader argument (see reclaim/handle.go).
 package urcu
 
 import (
@@ -37,19 +43,15 @@ type Domain struct {
 	reclaim.Base
 
 	updaterVersion atomicx.PaddedUint64
-	readersVersion []atomicx.PaddedUint64
 }
 
 var _ reclaim.Domain = (*Domain)(nil)
 
 // New constructs a URCU domain over the given allocator.
 func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
-	d := &Domain{Base: reclaim.NewBase(alloc, cfg)}
+	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 1, unassigned)}
+	d.Base.Dom = d
 	d.updaterVersion.Store(1)
-	d.readersVersion = make([]atomicx.PaddedUint64, d.Cfg.MaxThreads)
-	for i := range d.readersVersion {
-		d.readersVersion[i].Store(unassigned)
-	}
 	return d
 }
 
@@ -60,20 +62,20 @@ func (d *Domain) Name() string { return "URCU" }
 func (d *Domain) OnAlloc(ref mem.Ref) {}
 
 // BeginOp is rcu_read_lock: publish the current updater version.
-func (d *Domain) BeginOp(tid int) {
-	d.readersVersion[tid].Store(d.updaterVersion.Load())
+func (d *Domain) BeginOp(h *reclaim.Handle) {
+	h.Words[0].Store(d.updaterVersion.Load())
 }
 
 // EndOp is rcu_read_unlock: publish the unassigned sentinel.
-func (d *Domain) EndOp(tid int) {
-	d.readersVersion[tid].Store(unassigned)
+func (d *Domain) EndOp(h *reclaim.Handle) {
+	h.Words[0].Store(unassigned)
 }
 
 // Protect under URCU is a plain load; the read-side lock protects the whole
 // operation.
-func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
-	d.Ins.Visit(tid)
-	d.Ins.Load(tid)
+func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref {
+	h.InsVisit()
+	h.InsLoad()
 	return mem.Ref(src.Load())
 }
 
@@ -83,39 +85,44 @@ func (d *Domain) Protect(tid, index int, src *atomic.Uint64) mem.Ref {
 // the version already advanced past its target skips the increment.
 //
 // This method BLOCKS while any reader holds an older version — it is the
-// reason Table 1 classifies URCU reclaimers as blocking.
+// reason Table 1 classifies URCU reclaimers as blocking. Quiescent and
+// free slots publish unassigned and never delay it.
 func (d *Domain) Synchronize() {
 	waitFor := d.updaterVersion.Load() + 1
 	// Grace sharing: only advance if nobody has reached waitFor yet.
 	if d.updaterVersion.Load() < waitFor {
 		d.updaterVersion.CompareAndSwap(waitFor-1, waitFor)
 	}
-	for i := range d.readersVersion {
-		for d.readersVersion[i].Load() < waitFor {
-			runtime.Gosched()
+	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		slots := blk.Slots()
+		for i := range slots {
+			w := slots[i].Word(0)
+			for w.Load() < waitFor {
+				runtime.Gosched()
+			}
 		}
 	}
 }
 
 // Retire frees ref after a full grace period. It first marks the calling
-// thread quiescent: synchronize_rcu must never be called from within a
+// session quiescent: synchronize_rcu must never be called from within a
 // read-side critical section (self-deadlock), and the unlink that precedes
 // retirement is the last shared access the operation performs. The caller
 // must not dereference previously protected refs after Retire — the same
 // contract C RCU code follows when it drops the read lock before
 // synchronize_rcu().
-func (d *Domain) Retire(tid int, ref mem.Ref) {
+func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
-	d.readersVersion[tid].Store(unassigned)
-	d.PushRetired(tid, ref)
+	h.Words[0].Store(unassigned)
+	h.PushRetired(ref)
 	d.Synchronize()
 	// After the grace period the object is unreachable by construction.
-	d.NoteScan(tid)
-	rlist := d.Retired(tid)
+	h.NoteScan()
+	rlist := h.Retired()
 	for _, obj := range rlist {
-		d.FreeRetired(tid, obj)
+		h.FreeRetired(obj)
 	}
-	d.SetRetired(tid, rlist[:0])
+	h.SetRetired(rlist[:0])
 }
 
 // Drain implements reclaim.Domain.

@@ -22,16 +22,16 @@ func newURCU(arena *mem.Arena[tnode], threads int) *Domain {
 
 func TestReadLockPublishesVersion(t *testing.T) {
 	d := newURCU(testArena(), 2)
-	tid := d.Register()
-	if d.readersVersion[tid].Load() != uint64(unassigned) {
+	h := d.Register()
+	if h.Words[0].Load() != uint64(unassigned) {
 		t.Fatal("idle reader must publish unassigned")
 	}
-	d.BeginOp(tid)
-	if got := d.readersVersion[tid].Load(); got != d.updaterVersion.Load() {
+	d.BeginOp(h)
+	if got := h.Words[0].Load(); got != d.updaterVersion.Load() {
 		t.Fatalf("published %d, want updater version %d", got, d.updaterVersion.Load())
 	}
-	d.EndOp(tid)
-	if d.readersVersion[tid].Load() != uint64(unassigned) {
+	d.EndOp(h)
+	if h.Words[0].Load() != uint64(unassigned) {
 		t.Fatal("EndOp must publish unassigned")
 	}
 }
@@ -39,9 +39,9 @@ func TestReadLockPublishesVersion(t *testing.T) {
 func TestRetireWithNoReadersFreesImmediately(t *testing.T) {
 	arena := testArena()
 	d := newURCU(arena, 2)
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
-	d.Retire(tid, ref)
+	d.Retire(h, ref)
 	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
 		t.Fatalf("stats: %+v", s)
 	}
@@ -146,15 +146,15 @@ func TestProtectIsPlainLoad(t *testing.T) {
 	arena := testArena()
 	ins := reclaim.NewInstrument(2)
 	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
-	tid := d.Register()
+	h := d.Register()
 	ref, _ := arena.Alloc()
 	var cell atomic.Uint64
 	cell.Store(uint64(ref))
-	d.BeginOp(tid)
-	if got := d.Protect(tid, 0, &cell); got != ref {
+	d.BeginOp(h)
+	if got := d.Protect(h, 0, &cell); got != ref {
 		t.Fatalf("got %v", got)
 	}
-	d.EndOp(tid)
+	d.EndOp(h)
 	if s := ins.Snapshot(); s.PerVisitLoads() != 1 || s.Stores != 0 {
 		t.Fatalf("URCU per-node cost must be a single load: %+v", s)
 	}
@@ -163,13 +163,13 @@ func TestProtectIsPlainLoad(t *testing.T) {
 func TestRetireExitsOwnCriticalSection(t *testing.T) {
 	arena := testArena()
 	d := newURCU(arena, 2)
-	tid := d.Register()
-	d.BeginOp(tid)
+	h := d.Register()
+	d.BeginOp(h)
 	ref, _ := arena.Alloc()
 	// Retire from inside the operation must not self-deadlock.
 	done := make(chan struct{})
 	go func() {
-		d.Retire(tid, ref)
+		d.Retire(h, ref)
 		close(done)
 	}()
 	select {
@@ -212,12 +212,12 @@ func TestConcurrentSynchronizeSharesGrace(t *testing.T) {
 // synchronizer established.
 func TestReaderVersionOrdering(t *testing.T) {
 	d := newURCU(testArena(), 2)
-	tid := d.Register()
+	h := d.Register()
 	d.Synchronize()
 	after := d.updaterVersion.Load()
-	d.BeginOp(tid)
-	if got := d.readersVersion[tid].Load(); got < after {
+	d.BeginOp(h)
+	if got := h.Words[0].Load(); got < after {
 		t.Fatalf("reader published %d, want >= %d", got, after)
 	}
-	d.EndOp(tid)
+	d.EndOp(h)
 }

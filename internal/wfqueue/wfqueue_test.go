@@ -26,9 +26,9 @@ func heQueue(t *testing.T, threads int) *Queue {
 
 func TestEmptyDequeue(t *testing.T) {
 	q := heQueue(t, 4)
-	tid := q.Register()
-	defer q.Unregister(tid)
-	if _, ok := q.Dequeue(tid); ok {
+	h := q.Register()
+	defer q.Unregister(h)
+	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("dequeue from empty queue succeeded")
 	}
 	if q.Len() != 0 {
@@ -38,21 +38,21 @@ func TestEmptyDequeue(t *testing.T) {
 
 func TestFIFOOrderSingleThread(t *testing.T) {
 	q := heQueue(t, 4)
-	tid := q.Register()
-	defer q.Unregister(tid)
+	h := q.Register()
+	defer q.Unregister(h)
 	for i := uint64(1); i <= 200; i++ {
-		q.Enqueue(tid, i)
+		q.Enqueue(h, i)
 	}
 	if q.Len() != 200 {
 		t.Fatalf("Len = %d", q.Len())
 	}
 	for i := uint64(1); i <= 200; i++ {
-		v, ok := q.Dequeue(tid)
+		v, ok := q.Dequeue(h)
 		if !ok || v != i {
 			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, i)
 		}
 	}
-	if _, ok := q.Dequeue(tid); ok {
+	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("queue should be empty")
 	}
 	if f := q.NodeArena().Stats().Faults + q.DescArena().Stats().Faults; f != 0 {
@@ -62,30 +62,30 @@ func TestFIFOOrderSingleThread(t *testing.T) {
 
 func TestInterleavedOps(t *testing.T) {
 	q := heQueue(t, 4)
-	tid := q.Register()
-	defer q.Unregister(tid)
-	q.Enqueue(tid, 1)
-	q.Enqueue(tid, 2)
-	if v, _ := q.Dequeue(tid); v != 1 {
+	h := q.Register()
+	defer q.Unregister(h)
+	q.Enqueue(h, 1)
+	q.Enqueue(h, 2)
+	if v, _ := q.Dequeue(h); v != 1 {
 		t.Fatalf("want 1, got %d", v)
 	}
-	q.Enqueue(tid, 3)
-	if v, _ := q.Dequeue(tid); v != 2 {
+	q.Enqueue(h, 3)
+	if v, _ := q.Dequeue(h); v != 2 {
 		t.Fatalf("want 2, got %d", v)
 	}
-	if v, _ := q.Dequeue(tid); v != 3 {
+	if v, _ := q.Dequeue(h); v != 3 {
 		t.Fatalf("want 3, got %d", v)
 	}
-	if _, ok := q.Dequeue(tid); ok {
+	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("should be empty")
 	}
 	// Alternating empty/non-empty transitions.
 	for i := 0; i < 20; i++ {
-		q.Enqueue(tid, uint64(i))
-		if v, ok := q.Dequeue(tid); !ok || v != uint64(i) {
+		q.Enqueue(h, uint64(i))
+		if v, ok := q.Dequeue(h); !ok || v != uint64(i) {
 			t.Fatalf("round %d: %d,%v", i, v, ok)
 		}
-		if _, ok := q.Dequeue(tid); ok {
+		if _, ok := q.Dequeue(h); ok {
 			t.Fatal("phantom element")
 		}
 	}
@@ -93,11 +93,11 @@ func TestInterleavedOps(t *testing.T) {
 
 func TestReclamationAccounting(t *testing.T) {
 	q := heQueue(t, 4)
-	tid := q.Register()
-	defer q.Unregister(tid)
+	h := q.Register()
+	defer q.Unregister(h)
 	for i := 0; i < 100; i++ {
-		q.Enqueue(tid, uint64(i))
-		q.Dequeue(tid)
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
 	}
 	ns := q.NodeDomain().Stats()
 	if ns.Retired != 100 {
@@ -159,11 +159,11 @@ func TestConcurrentMPMCConservation(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					tid := q.Register()
-					defer q.Unregister(tid)
+					h := q.Register()
+					defer q.Unregister(h)
 					var got []uint64
 					for {
-						v, ok := q.Dequeue(tid)
+						v, ok := q.Dequeue(h)
 						if ok {
 							got = append(got, v)
 							consumed.Add(1)
@@ -181,11 +181,11 @@ func TestConcurrentMPMCConservation(t *testing.T) {
 				wg.Add(1)
 				go func(p int) {
 					defer wg.Done()
-					tid := q.Register()
-					defer q.Unregister(tid)
+					h := q.Register()
+					defer q.Unregister(h)
 					base := uint64(p) << 32
 					for i := 0; i < perProducer; i++ {
-						q.Enqueue(tid, base|uint64(i))
+						q.Enqueue(h, base|uint64(i))
 					}
 				}(p)
 			}
@@ -228,13 +228,13 @@ func TestConcurrentMPMCConservation(t *testing.T) {
 // for helping; two sequential ops by one thread must use increasing phases.
 func TestPhaseMonotonicity(t *testing.T) {
 	q := heQueue(t, 2)
-	tid := q.Register()
-	defer q.Unregister(tid)
-	q.Enqueue(tid, 1)
-	d1 := q.descs.Get(mem0(q.state[tid].Load()))
+	h := q.Register()
+	defer q.Unregister(h)
+	q.Enqueue(h, 1)
+	d1 := q.descs.Get(mem0(h.cell.Load()))
 	p1 := d1.Phase
-	q.Enqueue(tid, 2)
-	d2 := q.descs.Get(mem0(q.state[tid].Load()))
+	q.Enqueue(h, 2)
+	d2 := q.descs.Get(mem0(h.cell.Load()))
 	if d2.Phase <= p1 {
 		t.Fatalf("phases not increasing: %d then %d", p1, d2.Phase)
 	}
@@ -242,14 +242,14 @@ func TestPhaseMonotonicity(t *testing.T) {
 
 func TestDrainEmptiesArenas(t *testing.T) {
 	q := heQueue(t, 4)
-	tid := q.Register()
+	h := q.Register()
 	for i := 0; i < 30; i++ {
-		q.Enqueue(tid, uint64(i))
+		q.Enqueue(h, uint64(i))
 	}
 	for i := 0; i < 10; i++ {
-		q.Dequeue(tid)
+		q.Dequeue(h)
 	}
-	q.Unregister(tid)
+	q.Unregister(h)
 	q.Drain()
 	if live := q.NodeArena().Stats().Live; live != 0 {
 		t.Fatalf("leaked %d nodes", live)

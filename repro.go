@@ -55,6 +55,13 @@ func WithPoison[T any](poison func(*T)) ArenaOption[T] { return mem.WithPoison(p
 // implements and every structure programs against.
 type Domain = reclaim.Domain
 
+// Handle is a registered session in a Domain: where the paper's C++ API
+// threads a tid through every call, this library hands each participating
+// goroutine a Handle from Domain.Register (or the pooled Domain.Acquire)
+// and every operation goes through it. Registration never fails — the
+// registry grows past its initial capacity on demand.
+type Handle = reclaim.Handle
+
 // Allocator is the arena capability a Domain needs (every *Arena[T]
 // satisfies it).
 type Allocator = reclaim.Allocator

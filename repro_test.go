@@ -23,16 +23,16 @@ func heFactory(a repro.Allocator, c repro.Config) repro.Domain {
 
 func TestPublicListRoundTrip(t *testing.T) {
 	l := repro.NewList(heFactory)
-	tid := l.Domain().Register()
-	defer l.Domain().Unregister(tid)
+	h := l.Domain().Register()
+	defer l.Domain().Unregister(h)
 
-	if !l.Insert(tid, 1, 10) || !l.Insert(tid, 2, 20) {
+	if !l.Insert(h, 1, 10) || !l.Insert(h, 2, 20) {
 		t.Fatal("insert failed")
 	}
-	if v, ok := l.Get(tid, 2); !ok || v != 20 {
+	if v, ok := l.Get(h, 2); !ok || v != 20 {
 		t.Fatalf("Get = %d,%v", v, ok)
 	}
-	if !l.Remove(tid, 1) {
+	if !l.Remove(h, 1) {
 		t.Fatal("remove failed")
 	}
 	if l.Len() != 1 {
@@ -59,13 +59,13 @@ func TestPublicSchemesInterchangeable(t *testing.T) {
 	for name, mk := range factories {
 		t.Run(name, func(t *testing.T) {
 			m := repro.NewMap(mk)
-			tid := m.Domain().Register()
-			defer m.Domain().Unregister(tid)
+			h := m.Domain().Register()
+			defer m.Domain().Unregister(h)
 			for k := uint64(0); k < 100; k++ {
-				m.Insert(tid, k, k*2)
+				m.Insert(h, k, k*2)
 			}
 			for k := uint64(0); k < 100; k += 2 {
-				m.Remove(tid, k)
+				m.Remove(h, k)
 			}
 			if m.Len() != 50 {
 				t.Fatalf("Len = %d", m.Len())
@@ -77,25 +77,25 @@ func TestPublicSchemesInterchangeable(t *testing.T) {
 
 func TestPublicQueueStackTree(t *testing.T) {
 	q := repro.NewQueue(heFactory)
-	tid := q.Domain().Register()
-	q.Enqueue(tid, 7)
-	if v, ok := q.Dequeue(tid); !ok || v != 7 {
+	h := q.Domain().Register()
+	q.Enqueue(h, 7)
+	if v, ok := q.Dequeue(h); !ok || v != 7 {
 		t.Fatalf("queue: %d,%v", v, ok)
 	}
 	q.Drain()
 
 	s := repro.NewStack(heFactory)
-	tid = s.Domain().Register()
-	s.Push(tid, 9)
-	if v, ok := s.Pop(tid); !ok || v != 9 {
+	h = s.Domain().Register()
+	s.Push(h, 9)
+	if v, ok := s.Pop(h); !ok || v != 9 {
 		t.Fatalf("stack: %d,%v", v, ok)
 	}
 	s.Drain()
 
 	tr := repro.NewTree(heFactory)
-	tid = tr.Domain().Register()
-	tr.Insert(tid, 3, 33)
-	if v, ok := tr.Get(tid, 3); !ok || v != 33 {
+	h = tr.Domain().Register()
+	tr.Insert(h, 3, 33)
+	if v, ok := tr.Get(h, 3); !ok || v != 33 {
 		t.Fatalf("tree: %d,%v", v, ok)
 	}
 	tr.Drain()
@@ -114,8 +114,8 @@ func TestPublicArenaDirectUse(t *testing.T) {
 	}
 	dom := repro.NewHazardEras(arena, repro.Config{MaxThreads: 2, Slots: 1})
 	dom.OnAlloc(ref)
-	tid := dom.Register()
-	dom.Retire(tid, ref)
+	h := dom.Register()
+	dom.Retire(h, ref)
 	if st := dom.Stats(); st.Freed != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
@@ -128,17 +128,17 @@ func TestPublicConcurrentSmoke(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			tid := l.Domain().Register()
-			defer l.Domain().Unregister(tid)
+			h := l.Domain().Register()
+			defer l.Domain().Unregister(h)
 			for i := 0; i < 500; i++ {
 				k := uint64((w*17 + i) % 64)
 				switch i % 3 {
 				case 0:
-					l.Insert(tid, k, k)
+					l.Insert(h, k, k)
 				case 1:
-					l.Contains(tid, k)
+					l.Contains(h, k)
 				case 2:
-					l.Remove(tid, k)
+					l.Remove(h, k)
 				}
 			}
 		}(w)
@@ -152,12 +152,12 @@ func TestPublicInstrument(t *testing.T) {
 	type node struct{ v uint64 }
 	arena := repro.NewArena[node]()
 	dom := repro.NewHazardEras(arena, repro.Config{MaxThreads: 2, Slots: 1, Instrument: ins})
-	tid := dom.Register()
+	h := dom.Register()
 	ref, _ := arena.Alloc()
 	dom.OnAlloc(ref)
 	cell := newCell(uint64(ref))
 	for i := 0; i < 10; i++ {
-		dom.Protect(tid, 0, cell)
+		dom.Protect(h, 0, cell)
 	}
 	if s := ins.Snapshot(); s.Visits != 10 {
 		t.Fatalf("snapshot: %+v", s)
@@ -166,20 +166,20 @@ func TestPublicInstrument(t *testing.T) {
 
 func TestPublicSkipListRange(t *testing.T) {
 	s := repro.NewSkipList(heFactory)
-	tid := s.Domain().Register()
-	defer s.Domain().Unregister(tid)
+	h := s.Domain().Register()
+	defer s.Domain().Unregister(h)
 	for k := uint64(0); k < 20; k++ {
-		s.Insert(tid, k, k*2)
+		s.Insert(h, k, k*2)
 	}
 	var got []uint64
-	n := s.Range(tid, 5, 15, func(k, v uint64) bool {
+	n := s.Range(h, 5, 15, func(k, v uint64) bool {
 		got = append(got, k)
 		return true
 	})
 	if n != 10 || len(got) != 10 || got[0] != 5 || got[9] != 14 {
 		t.Fatalf("Range = %d, %v", n, got)
 	}
-	if v, ok := s.Get(tid, 7); !ok || v != 14 {
+	if v, ok := s.Get(h, 7); !ok || v != 14 {
 		t.Fatalf("Get = %d,%v", v, ok)
 	}
 	s.Drain()

@@ -14,6 +14,8 @@ echo "== tests =="
 go test ./...
 echo "== race (reclamation core) =="
 go test -race ./internal/core/... ./internal/reclaim/... ./internal/mem/...
+echo "== race (registry growth + session churn, every scheme) =="
+go test -race -run 'TestRegistry|TestAcquireReleasePool|TestConformanceHandleChurn' ./internal/reclaim/
 if [ "$mode" = "full" ]; then
   echo "== race =="
   go test -race ./...
