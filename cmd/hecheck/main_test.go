@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestDomainSuiteClean is the no-mutation half of the acceptance gate:
+// every scheme must pass the shared-cell safety workload with zero oracle
+// violations and zero arena faults across a handful of seeds.
+func TestDomainSuiteClean(t *testing.T) {
+	for _, sch := range bench.AllSchemes() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			if vs := runDomainSeed(sch, core.MutNone, seed); len(vs) != 0 {
+				t.Errorf("%s seed=%d: %v", sch.Name, seed, vs)
+			}
+		}
+	}
+}
+
+// TestStructSuiteSmoke runs a spread of (structure, scheme) pairs through
+// the bounded linearizability workload. The full matrix runs in CI via the
+// hecheck binary; this keeps `go test ./...` fast while still exercising
+// all four structures and four distinct schemes.
+func TestStructSuiteSmoke(t *testing.T) {
+	pairs := []struct {
+		structName string
+		scheme     bench.Scheme
+	}{
+		{"list", bench.HE()},
+		{"map", bench.URCU()},
+		{"queue", bench.EBR()},
+		{"stack", bench.RC()},
+	}
+	for _, p := range pairs {
+		for seed := uint64(1); seed <= 2; seed++ {
+			if vs := runStructSeed(p.scheme, p.structName, seed); len(vs) != 0 {
+				t.Errorf("%s/%s seed=%d: %v", p.structName, p.scheme.Name, seed, vs)
+			}
+		}
+	}
+}
+
+// TestMutationKillCheck is the acceptance-criteria mutation gate: with a
+// deliberately broken Hazard Eras variant armed, the domain suite must
+// deterministically report a freed-while-protected or generation-mismatch
+// violation within the bounded seed budget, and replaying the violating
+// seed must reproduce the identical report.
+func TestMutationKillCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  core.TestingMutation
+	}{
+		{"skip-publish", core.MutSkipPublish},
+		{"invert-lifespan", core.MutInvertLifespan},
+	}
+	he := bench.HE()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var killedSeed uint64
+			var first []string
+			for seed := uint64(1); seed <= 8; seed++ {
+				if vs := runDomainSeed(he, tc.mut, seed); len(vs) != 0 {
+					killedSeed, first = seed, vs
+					break
+				}
+			}
+			if killedSeed == 0 {
+				t.Fatalf("mutation %s survived 8 seeds — oracles failed the kill-check", tc.name)
+			}
+			found := false
+			for _, v := range first {
+				if strings.Contains(v, "freed-while-protected") || strings.Contains(v, "reclaimed slot") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("mutation %s detected but not by a safety oracle: %v", tc.name, first)
+			}
+			replay := runDomainSeed(he, tc.mut, killedSeed)
+			if len(replay) != len(first) {
+				t.Fatalf("replay of seed %d not deterministic: %d violations vs %d", killedSeed, len(replay), len(first))
+			}
+			for i := range replay {
+				if replay[i] != first[i] {
+					t.Fatalf("replay of seed %d diverged:\n  first:  %s\n  replay: %s", killedSeed, first[i], replay[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestRCExclusionSetPinned is a regression pin on the rcUnsafe markings:
+// Valois slot-level reference counting is re-usage-only on structures with
+// frozen interior cells (list-shaped traversals, paper §1 on [28]) and on
+// the wait-free queue, whose helping protocol hands descriptor refs across
+// threads through the announcement array (FAULT-WFQ-RC-001, reproduced as
+// a bounded schedule in internal/wfqueue). Removing any of these markings
+// would re-admit a known-unsound combination into the stress matrix.
+func TestRCExclusionSetPinned(t *testing.T) {
+	want := map[string]bool{
+		"list":     true,
+		"map":      true,
+		"queue":    false,
+		"stack":    false,
+		"bst":      true,
+		"wfq":      true,
+		"skiplist": true,
+	}
+	targets := stressTargets()
+	if len(targets) != len(want) {
+		t.Fatalf("stress roster has %d targets, want %d", len(targets), len(want))
+	}
+	for _, tgt := range targets {
+		unsafe, ok := want[tgt.name]
+		if !ok {
+			t.Errorf("unexpected stress target %q", tgt.name)
+			continue
+		}
+		if tgt.rcUnsafe != unsafe {
+			t.Errorf("target %q: rcUnsafe = %v, want %v", tgt.name, tgt.rcUnsafe, unsafe)
+		}
+	}
+	if !want["wfq"] {
+		t.Fatal("wfq must stay RC-excluded (FAULT-WFQ-RC-001)")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // noneEra is the paper's NONE: the value published when a slot protects
@@ -77,7 +78,31 @@ type Eras struct {
 
 	advanceEvery uint64
 	minMax       bool
+	mutation     TestingMutation
 }
+
+// TestingMutation selects a deliberately introduced defect for
+// cmd/hecheck's mutation kill-check: the harness must detect each of these
+// as a safety violation within its bounded schedule budget. Production
+// code never sets one.
+type TestingMutation int
+
+const (
+	// MutNone is the correct algorithm.
+	MutNone TestingMutation = iota
+	// MutSkipPublish makes publish update only the owner-side Held mirror
+	// and skip the seq-cst store of the protection cell: readers believe
+	// they are protected while scanners see an idle slot.
+	MutSkipPublish
+	// MutInvertLifespan inverts scan's protected() predicate: a scan frees
+	// exactly the objects whose lifespans ARE covered by published eras.
+	MutInvertLifespan
+)
+
+// EnableMutation installs a kill-check defect (construction/setup time
+// only). Test-only: it exists so the detection machinery itself can be
+// validated against a scheme known to be broken.
+func (d *Eras) EnableMutation(m TestingMutation) { d.mutation = m }
 
 var _ reclaim.Domain = (*Eras)(nil)
 
@@ -160,6 +185,9 @@ func (d *Eras) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref
 	for {
 		ptr := mem.Ref(src.Load())
 		h.InsLoad()
+		// The window this gate exposes: the reference is read but the era
+		// that will protect it is not yet validated/published.
+		schedtest.Point(schedtest.PointProtect)
 		era := d.eraClock.Load()
 		h.InsLoad()
 		if era == prevEra {
@@ -179,6 +207,12 @@ func (d *Eras) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.Ref
 // conservatively low until Clear.
 func (d *Eras) publish(h *reclaim.Handle, index int, era uint64) {
 	h.Held[index] = era
+	if d.mutation == MutSkipPublish {
+		// Kill-check defect: the owner-side mirror advances, the published
+		// cell does not — Protect's fast path now returns references no
+		// scan will ever see as protected.
+		return
+	}
 	if !d.minMax {
 		h.Words[index].Store(era)
 		h.InsStore()
@@ -224,6 +258,7 @@ func (d *Eras) Retire(h *reclaim.Handle, ref mem.Ref) {
 
 	h.RetireCount++
 	if h.RetireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+		schedtest.Point(schedtest.PointEra)
 		// Benign race, exactly as the paper's line 51: two threads may both
 		// advance, which only makes eras pass faster.
 		d.eraClock.Add(1)
@@ -266,6 +301,7 @@ func (d *Eras) scan(h *reclaim.Handle) {
 		snap := h.IntervalScratch()
 		snap.Begin()
 		for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+			schedtest.Point(schedtest.PointScan)
 			slots := blk.Slots()
 			for t := range slots {
 				w := slots[t].Words()
@@ -284,15 +320,16 @@ func (d *Eras) scan(h *reclaim.Handle) {
 			}
 		}
 		snap.Seal()
-		h.ReclaimUnprotected(func(obj mem.Ref) bool {
+		h.ReclaimUnprotected(d.mutated(func(obj mem.Ref) bool {
 			hdr := d.Alloc.Header(obj)
 			return snap.Intersects(hdr.BirthEra, hdr.RetireEra)
-		})
+		}))
 		return
 	}
 	snap := h.EraScratch()
 	snap.Begin()
 	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		schedtest.Point(schedtest.PointScan)
 		slots := blk.Slots()
 		for t := range slots {
 			w := slots[t].Words()
@@ -304,10 +341,20 @@ func (d *Eras) scan(h *reclaim.Handle) {
 		}
 	}
 	snap.Seal()
-	h.ReclaimUnprotected(func(obj mem.Ref) bool {
+	h.ReclaimUnprotected(d.mutated(func(obj mem.Ref) bool {
 		hdr := d.Alloc.Header(obj)
 		return snap.CoversRange(hdr.BirthEra, hdr.RetireEra)
-	})
+	}))
+}
+
+// mutated wraps a scan's protected() predicate with the MutInvertLifespan
+// kill-check defect when it is enabled; otherwise the predicate is
+// returned untouched.
+func (d *Eras) mutated(protected func(mem.Ref) bool) func(mem.Ref) bool {
+	if d.mutation != MutInvertLifespan {
+		return protected
+	}
+	return func(obj mem.Ref) bool { return !protected(obj) }
 }
 
 // protected reports whether any session has published an era within

@@ -28,6 +28,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Reader announcement encoding: epoch<<1 | activeBit. A quiescent session
@@ -67,6 +68,9 @@ func (d *Domain) OnAlloc(ref mem.Ref) {}
 // *operation* (not per node), the "minor" synchronization row of Table 1.
 func (d *Domain) BeginOp(h *reclaim.Handle) {
 	e := d.globalEpoch.Load()
+	// The window this gate exposes: the epoch is read but the activity
+	// announcement that pins it is not yet published.
+	schedtest.Point(schedtest.PointProtect)
 	h.Words[0].Store(e<<1 | activeBit)
 }
 
@@ -113,6 +117,7 @@ func (d *Domain) tryAdvance(observed uint64) {
 		}
 	}
 	// CAS so concurrent retirers advance at most once per observation.
+	schedtest.Point(schedtest.PointEra)
 	d.globalEpoch.CompareAndSwap(observed, observed+1)
 }
 

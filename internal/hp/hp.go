@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // nonePtr marks an empty hazard-pointer slot (mem.NilRef encodes as 0).
@@ -103,6 +104,9 @@ func (d *Pointers) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem
 			// will be overwritten by the next Protect or by Clear).
 			return ptr
 		}
+		// The window this gate exposes: the reference is read but the
+		// hazard that will protect it is not yet published.
+		schedtest.Point(schedtest.PointProtect)
 		slot.Store(uint64(ptr.Unmarked()))
 		h.InsStore()
 		if mem.Ref(src.Load()) == ptr {
@@ -142,6 +146,7 @@ func (d *Pointers) scan(h *reclaim.Handle) {
 	snap := h.EraScratch() // holds pointer bits here, not eras
 	snap.Begin()
 	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		schedtest.Point(schedtest.PointScan)
 		slots := blk.Slots()
 		for t := range slots {
 			w := slots[t].Words()

@@ -35,6 +35,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // inactive marks a session with no open operation (era 0 is never issued;
@@ -93,6 +94,9 @@ func (d *Domain) OnAlloc(ref mem.Ref) {
 // BeginOp opens the interval: both bounds seeded with the current era.
 func (d *Domain) BeginOp(h *reclaim.Handle) {
 	e := d.eraClock.Load()
+	// The window this gate exposes: the era is read but the interval that
+	// pins it is not yet published (and the two bound stores can tear).
+	schedtest.Point(schedtest.PointProtect)
 	h.Lo, h.Hi = e, e
 	h.Words[0].Store(e)
 	h.Words[1].Store(e)
@@ -117,6 +121,9 @@ func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.R
 	for {
 		ptr := mem.Ref(src.Load())
 		h.InsLoad()
+		// The window this gate exposes: the reference is read but the
+		// interval's upper bound does not yet cover its era.
+		schedtest.Point(schedtest.PointProtect)
 		era := d.eraClock.Load()
 		h.InsLoad()
 		if era == h.Hi {
@@ -140,6 +147,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 
 	h.RetireCount++
 	if h.RetireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
+		schedtest.Point(schedtest.PointEra)
 		d.eraClock.Add(1)
 	}
 	if h.ScanDue() {
@@ -168,6 +176,7 @@ func (d *Domain) scan(h *reclaim.Handle) {
 	snap := h.IntervalScratch()
 	snap.Begin()
 	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		schedtest.Point(schedtest.PointScan)
 		slots := blk.Slots()
 		for t := range slots {
 			w := slots[t].Words()

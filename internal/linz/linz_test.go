@@ -1,0 +1,173 @@
+package linz
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetLinearizable(t *testing.T) {
+	// Two overlapping inserts of the same key: exactly one may succeed.
+	h := []Entry{
+		{Proc: 0, Op: OpInsert, Arg: 7, Ok: true, Call: 1, Ret: 4},
+		{Proc: 1, Op: OpInsert, Arg: 7, Ok: false, Call: 2, Ret: 3},
+		{Proc: 0, Op: OpContains, Arg: 7, Ok: true, Call: 5, Ret: 6},
+		{Proc: 1, Op: OpRemove, Arg: 7, Ok: true, Call: 7, Ret: 8},
+		{Proc: 1, Op: OpContains, Arg: 7, Ok: false, Call: 9, Ret: 10},
+	}
+	if !Check(h, NewSetModel()) {
+		t.Fatal("valid set history rejected")
+	}
+}
+
+func TestSetNotLinearizable(t *testing.T) {
+	// Contains observes a key after its only successful insert was removed,
+	// with no overlap excusing it.
+	h := []Entry{
+		{Proc: 0, Op: OpInsert, Arg: 7, Ok: true, Call: 1, Ret: 2},
+		{Proc: 0, Op: OpRemove, Arg: 7, Ok: true, Call: 3, Ret: 4},
+		{Proc: 1, Op: OpContains, Arg: 7, Ok: true, Call: 5, Ret: 6},
+	}
+	if Check(h, NewSetModel()) {
+		t.Fatal("invalid set history accepted")
+	}
+}
+
+func TestSetBothInsertsSucceed(t *testing.T) {
+	// Two successful inserts of the same key with no intervening remove
+	// cannot both be legal, even overlapping.
+	h := []Entry{
+		{Proc: 0, Op: OpInsert, Arg: 7, Ok: true, Call: 1, Ret: 4},
+		{Proc: 1, Op: OpInsert, Arg: 7, Ok: true, Call: 2, Ret: 3},
+	}
+	if Check(h, NewSetModel()) {
+		t.Fatal("double successful insert accepted")
+	}
+}
+
+func TestQueueLinearizable(t *testing.T) {
+	// Overlapping enqueues may commit in either order; the dequeues pin one.
+	h := []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 5},
+		{Proc: 1, Op: OpPush, Arg: 2, Ok: true, Call: 2, Ret: 4},
+		{Proc: 0, Op: OpPop, Out: 2, Ok: true, Call: 6, Ret: 7},
+		{Proc: 1, Op: OpPop, Out: 1, Ok: true, Call: 8, Ret: 9},
+		{Proc: 1, Op: OpPop, Ok: false, Call: 10, Ret: 11},
+	}
+	if !Check(h, NewQueueModel()) {
+		t.Fatal("valid queue history rejected")
+	}
+}
+
+func TestQueueNotLinearizable(t *testing.T) {
+	// FIFO violation: 1 enqueued strictly before 2, but 2 dequeued first
+	// while 1 is still in the queue and nothing overlaps.
+	h := []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 2},
+		{Proc: 0, Op: OpPush, Arg: 2, Ok: true, Call: 3, Ret: 4},
+		{Proc: 1, Op: OpPop, Out: 2, Ok: true, Call: 5, Ret: 6},
+	}
+	if Check(h, NewQueueModel()) {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestQueueEmptyPopDuringEnqueue(t *testing.T) {
+	// A failed pop overlapping the only enqueue is fine (pop first) …
+	h := []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 4},
+		{Proc: 1, Op: OpPop, Ok: false, Call: 2, Ret: 3},
+	}
+	if !Check(h, NewQueueModel()) {
+		t.Fatal("overlapping empty pop rejected")
+	}
+	// … but not after the enqueue completed with the value still present.
+	h = []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 2},
+		{Proc: 1, Op: OpPop, Ok: false, Call: 3, Ret: 4},
+	}
+	if Check(h, NewQueueModel()) {
+		t.Fatal("empty pop on non-empty queue accepted")
+	}
+}
+
+func TestStackLinearizable(t *testing.T) {
+	h := []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 2},
+		{Proc: 0, Op: OpPush, Arg: 2, Ok: true, Call: 3, Ret: 4},
+		{Proc: 1, Op: OpPop, Out: 2, Ok: true, Call: 5, Ret: 6},
+		{Proc: 1, Op: OpPop, Out: 1, Ok: true, Call: 7, Ret: 8},
+	}
+	if !Check(h, NewStackModel()) {
+		t.Fatal("valid stack history rejected")
+	}
+}
+
+func TestStackNotLinearizable(t *testing.T) {
+	// LIFO violation: both pushes complete before either pop, yet the pops
+	// return FIFO order.
+	h := []Entry{
+		{Proc: 0, Op: OpPush, Arg: 1, Ok: true, Call: 1, Ret: 2},
+		{Proc: 0, Op: OpPush, Arg: 2, Ok: true, Call: 3, Ret: 4},
+		{Proc: 1, Op: OpPop, Out: 1, Ok: true, Call: 5, Ret: 6},
+		{Proc: 1, Op: OpPop, Out: 2, Ok: true, Call: 7, Ret: 8},
+	}
+	if Check(h, NewStackModel()) {
+		t.Fatal("LIFO violation accepted")
+	}
+}
+
+func TestRecorderRealTimeOrder(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				op := r.Call(p, OpPush, uint64(p*8+i))
+				op.Return(0, true)
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != 32 {
+		t.Fatalf("recorded %d entries, want 32", len(h))
+	}
+	seen := make(map[int64]bool)
+	for _, e := range h {
+		if e.Call >= e.Ret {
+			t.Fatalf("entry %+v: call not before return", e)
+		}
+		for _, ts := range []int64{e.Call, e.Ret} {
+			if seen[ts] {
+				t.Fatalf("timestamp %d assigned twice", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestCheckBacktracking(t *testing.T) {
+	// n fully-overlapping pushes of distinct values whose pops demand the
+	// REVERSE of index order: the search must backtrack out of every wrong
+	// push interleaving (its first DFS choice is index order) before
+	// finding the one legal linearization. Exercises undo correctness and
+	// the minimal-op (minRet) gating that holds pops back until every push
+	// has linearized.
+	var h []Entry
+	ts := int64(1)
+	const n = 6
+	for i := 0; i < n; i++ {
+		h = append(h, Entry{Proc: i % 2, Op: OpPush, Arg: uint64(i), Ok: true, Call: ts, Ret: ts + int64(n)})
+		ts++
+	}
+	ts += int64(n)
+	for i := n - 1; i >= 0; i-- {
+		h = append(h, Entry{Proc: 0, Op: OpPop, Out: uint64(i), Ok: true, Call: ts, Ret: ts + 1})
+		ts += 2
+	}
+	if !Check(h, NewQueueModel()) {
+		t.Fatal("valid wide history rejected")
+	}
+}

@@ -1,0 +1,157 @@
+package linz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Opcodes shared by the sequential models. A structure's recorder emits
+// these; the model decides which transitions are legal for each.
+const (
+	OpInsert   uint8 = iota // set: Insert(Arg) -> Ok
+	OpRemove                // set: Remove(Arg) -> Ok
+	OpContains              // set: Contains(Arg) -> Ok
+	OpPush                  // queue/stack: Enqueue/Push(Arg)
+	OpPop                   // queue/stack: Dequeue/Pop() -> (Out, Ok)
+)
+
+// SetModel is the sequential specification shared by the Harris-Michael
+// list and the hash map built on it: a set of uint64 keys with Insert,
+// Remove and Contains.
+type SetModel struct {
+	m map[uint64]bool
+}
+
+// NewSetModel returns an empty set.
+func NewSetModel() *SetModel { return &SetModel{m: make(map[uint64]bool)} }
+
+func (s *SetModel) Apply(e Entry) (func(), bool) {
+	present := s.m[e.Arg]
+	switch e.Op {
+	case OpInsert:
+		if e.Ok == present {
+			return nil, false
+		}
+		if e.Ok {
+			s.m[e.Arg] = true
+			arg := e.Arg
+			return func() { delete(s.m, arg) }, true
+		}
+		return func() {}, true
+	case OpRemove:
+		if e.Ok != present {
+			return nil, false
+		}
+		if e.Ok {
+			delete(s.m, e.Arg)
+			arg := e.Arg
+			return func() { s.m[arg] = true }, true
+		}
+		return func() {}, true
+	case OpContains:
+		if e.Ok != present {
+			return nil, false
+		}
+		return func() {}, true
+	}
+	return nil, false
+}
+
+func (s *SetModel) Key() string {
+	keys := make([]uint64, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d,", k)
+	}
+	return b.String()
+}
+
+// QueueModel is a FIFO sequence of uint64 values (OpPush enqueues at the
+// tail, OpPop dequeues at the head; a failed OpPop asserts emptiness).
+type QueueModel struct {
+	q []uint64
+}
+
+// NewQueueModel returns an empty queue.
+func NewQueueModel() *QueueModel { return &QueueModel{} }
+
+func (q *QueueModel) Apply(e Entry) (func(), bool) {
+	switch e.Op {
+	case OpPush:
+		if !e.Ok {
+			// The MS queue's enqueue cannot fail.
+			return nil, false
+		}
+		q.q = append(q.q, e.Arg)
+		return func() { q.q = q.q[:len(q.q)-1] }, true
+	case OpPop:
+		if !e.Ok {
+			if len(q.q) != 0 {
+				return nil, false
+			}
+			return func() {}, true
+		}
+		if len(q.q) == 0 || q.q[0] != e.Out {
+			return nil, false
+		}
+		head := q.q[0]
+		q.q = q.q[1:]
+		return func() { q.q = append([]uint64{head}, q.q...) }, true
+	}
+	return nil, false
+}
+
+func (q *QueueModel) Key() string {
+	var b strings.Builder
+	for _, v := range q.q {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// StackModel is a LIFO sequence of uint64 values (OpPush pushes, OpPop
+// pops the most recent; a failed OpPop asserts emptiness).
+type StackModel struct {
+	s []uint64
+}
+
+// NewStackModel returns an empty stack.
+func NewStackModel() *StackModel { return &StackModel{} }
+
+func (s *StackModel) Apply(e Entry) (func(), bool) {
+	switch e.Op {
+	case OpPush:
+		if !e.Ok {
+			return nil, false
+		}
+		s.s = append(s.s, e.Arg)
+		return func() { s.s = s.s[:len(s.s)-1] }, true
+	case OpPop:
+		if !e.Ok {
+			if len(s.s) != 0 {
+				return nil, false
+			}
+			return func() {}, true
+		}
+		if len(s.s) == 0 || s.s[len(s.s)-1] != e.Out {
+			return nil, false
+		}
+		top := s.s[len(s.s)-1]
+		s.s = s.s[:len(s.s)-1]
+		return func() { s.s = append(s.s, top) }, true
+	}
+	return nil, false
+}
+
+func (s *StackModel) Key() string {
+	var b strings.Builder
+	for _, v := range s.s {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}

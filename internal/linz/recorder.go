@@ -1,0 +1,60 @@
+package linz
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder collects a concurrent history. Workers bracket each operation
+// with Call/Return; timestamps come from a shared logical clock, so the
+// recorded precedence order is exactly the real-time order the checker
+// must respect.
+//
+// Under a schedtest schedule the clock is still advanced atomically — the
+// recorder itself must not perturb the interleaving being explored, so it
+// takes no locks on the Call path and appends to per-worker slices.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Call starts an operation and returns a token holding its invocation
+// timestamp. The token is completed (and the entry recorded) by Return.
+func (r *Recorder) Call(proc int, op uint8, arg uint64) PendingOp {
+	return PendingOp{r: r, e: Entry{Proc: proc, Op: op, Arg: arg, Call: r.clock.Add(1)}}
+}
+
+// PendingOp is an invoked-but-unreturned operation.
+type PendingOp struct {
+	r *Recorder
+	e Entry
+}
+
+// Return completes the operation with its observed result and records it.
+func (p PendingOp) Return(out uint64, ok bool) {
+	p.e.Out = out
+	p.e.Ok = ok
+	p.e.Ret = p.r.clock.Add(1)
+	p.r.mu.Lock()
+	p.r.entries = append(p.r.entries, p.e)
+	p.r.mu.Unlock()
+}
+
+// History returns the recorded entries (call after all workers returned).
+func (r *Recorder) History() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.entries...)
+}
+
+// Len returns the number of completed operations recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Protection slot count for list traversals (the paper's three hazard eras).
@@ -94,6 +95,7 @@ retry:
 			if next.Marked() {
 				// curr is logically deleted: attempt the physical unlink.
 				target := next.Unmarked()
+				schedtest.Point(schedtest.PointCAS)
 				if !prev.CompareAndSwap(uint64(curr), uint64(target)) {
 					continue retry
 				}
@@ -150,6 +152,7 @@ func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bo
 		// node becomes visible (paper §3: "before the object is made
 		// visible to other threads").
 		dom.OnAlloc(newRef)
+		schedtest.Point(schedtest.PointCAS)
 		if prev.CompareAndSwap(uint64(curr), uint64(newRef)) {
 			ok = true
 			break
@@ -177,12 +180,14 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 		cn := o.Arena.Get(curr)
 		// Logical deletion: mark the next word. Failure means a racing
 		// insert/remove at this node: retry from find.
+		schedtest.Point(schedtest.PointCAS)
 		if !cn.Next.CompareAndSwap(uint64(next), uint64(next.WithMark())) {
 			continue
 		}
 		ok = true
 		// Physical unlink; on failure a helping traversal will unlink (and
 		// retire) the node instead.
+		schedtest.Point(schedtest.PointCAS)
 		if prev.CompareAndSwap(uint64(curr), uint64(next)) {
 			unlinked = append(unlinked, curr)
 		}
@@ -327,7 +332,9 @@ func (l *List) Domain() reclaim.Domain { return l.ops.Dom }
 func (l *List) Arena() *mem.Arena[Node] { return l.ops.Arena }
 
 // Insert adds key->val; false if already present.
-func (l *List) Insert(h *reclaim.Handle, key, val uint64) bool { return l.ops.Insert(&l.head, h, key, val) }
+func (l *List) Insert(h *reclaim.Handle, key, val uint64) bool {
+	return l.ops.Insert(&l.head, h, key, val)
+}
 
 // Remove deletes key; false if absent.
 func (l *List) Remove(h *reclaim.Handle, key uint64) bool { return l.ops.Remove(&l.head, h, key) }

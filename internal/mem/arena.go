@@ -76,9 +76,10 @@ type shard struct {
 // All methods are safe for concurrent use. See the package comment for why
 // this exists.
 type Arena[T any] struct {
-	checked bool
-	poison  func(*T)
-	onFault func(string)
+	checked     bool
+	poison      func(*T)
+	poisonCheck func(*T) bool
+	onFault     func(string)
 
 	slabs  [maxSlabs]atomic.Pointer[[slabSize]slot[T]]
 	growMu sync.Mutex
@@ -118,6 +119,14 @@ func WithPoison[T any](poison func(*T)) Option[T] {
 // tests that assert a violation is detected rather than crash.
 func WithFaultHandler[T any](h func(msg string)) Option[T] {
 	return func(a *Arena[T]) { a.onFault = h }
+}
+
+// WithPoisonCheck installs the inverse of WithPoison: a predicate that
+// reports whether a payload still carries the poison pattern. CheckAccess
+// uses it to catch reads of recycled-then-poisoned memory even when the
+// slot's generation happens to have wrapped back to the ref's.
+func WithPoisonCheck[T any](poisoned func(*T) bool) Option[T] {
+	return func(a *Arena[T]) { a.poisonCheck = poisoned }
 }
 
 // WithShards sets the number of per-thread allocation shards (magazines)
@@ -413,6 +422,35 @@ func (a *Arena[T]) Get(ref Ref) *T {
 // slots are type-stable by construction.
 func (a *Arena[T]) Header(ref Ref) *Header {
 	return &a.slotAt(ref.Unmarked().Index()).hdr
+}
+
+// CheckAccess is the assertion-mode promotion of the generation and poison
+// detectors: it asserts that ref names the live incarnation of its slot and
+// that the payload does not carry the poison pattern, reporting a fault
+// (regardless of checked mode — the caller opted in by asserting) and
+// returning false on violation. Unlike Get it never hands back a payload
+// pointer, so harnesses can probe suspect refs without touching freed
+// memory; unlike Validate it treats a mismatch as a detected fault rather
+// than a benign answer.
+func (a *Arena[T]) CheckAccess(ref Ref) bool {
+	ref = ref.Unmarked()
+	if ref.IsNil() {
+		a.fault("access through nil ref")
+		return false
+	}
+	s := a.slotAt(ref.Index())
+	if s == nil {
+		return false
+	}
+	if s.hdr.Gen() != ref.Gen() {
+		a.fault(fmt.Sprintf("access to reclaimed slot: %v, slot generation %d", ref, s.hdr.Gen()))
+		return false
+	}
+	if a.poisonCheck != nil && a.poisonCheck(&s.val) {
+		a.fault(fmt.Sprintf("poisoned payload behind live ref %v", ref))
+		return false
+	}
+	return true
 }
 
 // Validate reports whether ref still names the live incarnation of its slot.

@@ -35,6 +35,47 @@ func FuzzRefPacking(f *testing.F) {
 	})
 }
 
+// FuzzRefPack drives MakeRef with RAW, unmasked inputs — unlike
+// FuzzRefPacking above, which reduces them first — so it pins the packing
+// discipline at and past the field boundaries: a generation at or beyond
+// the 23-bit GenModulus must wrap (MakeRef masks it, exactly the identity
+// the arena relies on when a slot's generation counter wraps after ~8.4M
+// reuses), an index past MaxIndex must truncate to its low 40 bits, and
+// the mark bit must never leak into either field in any combination.
+func FuzzRefPack(f *testing.F) {
+	f.Add(uint64(0), uint32(0))
+	f.Add(uint64(MaxIndex), uint32(GenModulus-1))
+	f.Add(uint64(MaxIndex+1), uint32(GenModulus))       // both fields wrap
+	f.Add(uint64(1)<<63, uint32(0xFFFFFFFF))            // far past both boundaries
+	f.Add(uint64(123456789), uint32(GenModulus+424242)) // wrapped gen, plain index
+	f.Fuzz(func(t *testing.T, index uint64, gen uint32) {
+		wantIndex := index & MaxIndex
+		wantGen := gen % GenModulus
+		r := MakeRef(index, gen)
+		if r.Marked() {
+			t.Fatalf("MakeRef(%d, %d) set the mark bit", index, gen)
+		}
+		if r.Index() != wantIndex {
+			t.Fatalf("index: got %d want %d (raw %d)", r.Index(), wantIndex, index)
+		}
+		if r.Gen() != wantGen {
+			t.Fatalf("gen: got %d want %d (raw %d, modulus %d)", r.Gen(), wantGen, gen, GenModulus)
+		}
+		m := r.WithMark()
+		if !m.Marked() || m.Index() != wantIndex || m.Gen() != wantGen {
+			t.Fatalf("mark bit leaked into a field: %v vs %v", m, r)
+		}
+		if u := m.Unmarked(); u != r {
+			t.Fatalf("Unmarked(WithMark(r)) != r: %v vs %v", u, r)
+		}
+		// Wrap identity: a ref made from the wrapped values is bit-identical
+		// to one made from the raw values.
+		if rr := MakeRef(wantIndex, wantGen); rr != r {
+			t.Fatalf("wrapped remake differs: %v vs %v", rr, r)
+		}
+	})
+}
+
 // FuzzArenaAllocFree interprets the input as an alloc/free script and
 // checks the arena's accounting invariants throughout.
 func FuzzArenaAllocFree(f *testing.F) {

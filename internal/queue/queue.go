@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Slots is the number of protection indices the queue needs.
@@ -106,12 +107,15 @@ func (q *Queue) Enqueue(h *reclaim.Handle, v uint64) {
 		}
 		if next != 0 {
 			// Tail is lagging: help advance it.
+			schedtest.Point(schedtest.PointCAS)
 			q.tail.CompareAndSwap(uint64(tailRef), next)
 			continue
 		}
 		// Stamp the birth era immediately before publication (paper §3).
 		q.dom.OnAlloc(ref)
+		schedtest.Point(schedtest.PointCAS)
 		if tn.Next.CompareAndSwap(0, uint64(ref)) {
+			schedtest.Point(schedtest.PointCAS)
 			q.tail.CompareAndSwap(uint64(tailRef), uint64(ref))
 			break
 		}
@@ -142,11 +146,13 @@ func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
 		}
 		if uint64(headRef) == tailRaw {
 			// Tail is lagging behind a half-finished enqueue: help.
+			schedtest.Point(schedtest.PointCAS)
 			q.tail.CompareAndSwap(tailRaw, uint64(next))
 			continue
 		}
 		nn := q.arena.Get(next)
 		val := nn.Val // read before the swing; next is protected
+		schedtest.Point(schedtest.PointCAS)
 		if q.head.CompareAndSwap(uint64(headRef), uint64(next)) {
 			v, ok = val, true
 			victim = headRef

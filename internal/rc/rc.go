@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Domain is the reference-counting domain.
@@ -75,6 +76,9 @@ func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.R
 			return ptr
 		}
 		hdr := d.Alloc.Header(target)
+		// The window this gate exposes: the reference is read but its count
+		// is not yet acquired.
+		schedtest.Point(schedtest.PointProtect)
 		hdr.RC.Add(1)
 		h.InsRMW()
 		if mem.Ref(src.Load()) == ptr {
@@ -125,6 +129,7 @@ func (d *Domain) release(h *reclaim.Handle, ref mem.Ref) {
 // finds) its count at zero. Wait-free: no retries, no scanning.
 func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
+	schedtest.Point(schedtest.PointRetire)
 	h.NoteRetired()
 	hdr := d.Alloc.Header(ref)
 	hdr.Retired.Store(true)

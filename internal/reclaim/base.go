@@ -106,7 +106,18 @@ type Base struct {
 	orphanMu   sync.Mutex
 	orphans    []mem.Ref
 	orphanLoad atomic.Int64
+
+	// freeGuard, when non-nil, observes every ref the domain is about to
+	// free on its reclamation paths (scan passes and inline frees, not
+	// quiescent DrainAll teardown). schedtest's freed-while-protected
+	// oracle installs itself here; production domains leave it nil.
+	freeGuard func(mem.Ref)
 }
+
+// SetFreeGuard installs (or, with nil, removes) the reclamation-path free
+// observer. Construction/setup time only — the field is read without
+// synchronization by every freeing session.
+func (b *Base) SetFreeGuard(g func(mem.Ref)) { b.freeGuard = g }
 
 // NewBase initializes the shared state for a scheme. wordsPerSlot is the
 // number of published cells per session slot (protection indices for HE/HP,
@@ -231,8 +242,20 @@ func (b *Base) Acquire() *Handle {
 // Release drops h's protections (via the scheme's EndOp) and parks the live
 // session in the pool for Acquire. The retired list stays with the slot; a
 // future owner's scans will drain it, and DrainAll reaches it regardless.
+//
+// The owner-only scratch (Held, Lo/Hi, RetireCount) is cleared here, not
+// left for the next Acquire: EndOp resets the *published* cells but not
+// their owner-side mirrors, and a stale mirror poisons the next session —
+// an HE min/max envelope would extend protection to eras the new owner
+// never held, and a leftover RetireCount skews its k-advance cadence. This
+// matches Register, whose fresh handles start zeroed.
 func (b *Base) Release(h *Handle) {
 	b.Dom.EndOp(h)
+	for i := range h.Held {
+		h.Held[i] = 0
+	}
+	h.Lo, h.Hi = 0, 0
+	h.RetireCount = 0
 	b.mu.Lock()
 	b.pool = append(b.pool, h)
 	b.active.Add(-1)

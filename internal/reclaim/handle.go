@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/schedtest"
 )
 
 // This file implements the session layer: the dynamically growing slot
@@ -163,6 +164,7 @@ func (h *Handle) Unregister() { h.dom.Unregister(h) }
 // retire stripe. The high-water fold happens at scan/stats time, keeping
 // this hot path free of shared cache lines.
 func (h *Handle) PushRetired(ref mem.Ref) {
+	schedtest.Point(schedtest.PointRetire)
 	rl := &h.slot.rl.retiredListState
 	rl.refs = append(rl.refs, ref.Unmarked())
 	h.retStripe.Add(1)
@@ -200,6 +202,10 @@ func (h *Handle) IntervalScratch() *IntervalSnapshot { return &h.slot.rl.ivals }
 // magazine when the allocator is sharded — and bumps the freed stripe.
 func (h *Handle) FreeRetired(ref mem.Ref) {
 	b := h.base
+	schedtest.Point(schedtest.PointFree)
+	if g := b.freeGuard; g != nil {
+		g(ref)
+	}
 	if b.sharded != nil {
 		b.sharded.FreeAt(h.slot.id, ref)
 	} else {
@@ -231,6 +237,12 @@ func (h *Handle) ReclaimUnprotected(protected func(ref mem.Ref) bool) {
 		return
 	}
 	b := h.base
+	schedtest.Point(schedtest.PointFree)
+	if g := b.freeGuard; g != nil {
+		for _, ref := range toFree {
+			g(ref)
+		}
+	}
 	if b.sharded != nil {
 		b.sharded.FreeBatchAt(h.slot.id, toFree)
 	} else {

@@ -1,0 +1,155 @@
+package reclaim_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// TestAcquireReleaseScratchReset pins the Release-side scratch clearing:
+// EndOp resets a session's PUBLISHED cells, but the owner-only mirrors
+// (Held eras, the Lo/Hi min/max envelope, RetireCount) live on the Handle
+// and survive it. A handle recycled through the Acquire/Release pool into
+// a fresh logical session must not inherit them — a stale min/max
+// envelope would make the next session's first Protect skip its
+// publication store, and a leftover RetireCount skews k-advance cadence.
+// The regression is exercised across two domains sharing no state: work
+// done under one domain's session must leave nothing behind that the
+// pool hands to the other's.
+func TestAcquireReleaseScratchReset(t *testing.T) {
+	domains := map[string]func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain{
+		"HE": func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+			return core.New(a, c)
+		},
+		"HE-minmax": func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+			return core.New(a, c, core.WithMinMax(true))
+		},
+	}
+	for name, mk := range domains {
+		t.Run(name, func(t *testing.T) {
+			arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+			d := mk(arena, reclaim.Config{MaxThreads: 2, Slots: 2})
+
+			var cell atomic.Uint64
+			ref, n := arena.Alloc()
+			n.val = 42
+			d.OnAlloc(ref)
+			cell.Store(uint64(ref))
+
+			// Dirty every scratch field: protections fill Held (and the
+			// min/max envelope in Lo/Hi), a retire bumps RetireCount.
+			h := d.Acquire()
+			d.BeginOp(h)
+			d.Protect(h, 0, &cell)
+			d.Protect(h, 1, &cell)
+			nref, nn := arena.Alloc()
+			nn.val = 42
+			d.OnAlloc(nref)
+			d.Retire(h, mem.Ref(cell.Swap(uint64(nref))))
+			d.Release(h)
+
+			// The pool is LIFO: Acquire must hand back the same handle,
+			// and it must arrive with virgin scratch.
+			h2 := d.Acquire()
+			if h2 != h {
+				t.Fatalf("pool did not recycle the released handle")
+			}
+			for i, v := range h2.Held {
+				if v != 0 {
+					t.Errorf("recycled handle inherited Held[%d] = %d", i, v)
+				}
+			}
+			if h2.Lo != 0 || h2.Hi != 0 {
+				t.Errorf("recycled handle inherited min/max envelope [%d, %d]", h2.Lo, h2.Hi)
+			}
+			if h2.RetireCount != 0 {
+				t.Errorf("recycled handle inherited RetireCount = %d", h2.RetireCount)
+			}
+			d.Unregister(h2)
+
+			final := d.Register()
+			d.Retire(final, mem.Ref(cell.Swap(0)))
+			d.Unregister(final)
+			d.Drain()
+			if f := arena.Stats().Faults; f != 0 {
+				t.Fatalf("%d memory faults", f)
+			}
+		})
+	}
+}
+
+// TestMinMaxScanDuringGrowth grows the registry's slot-block chain while
+// scans are in flight, under -race: a writer continuously retires (every
+// retire scans the published min/max envelopes) while growers register
+// waves of fresh sessions — far past the initial two slots, so the chain
+// gains blocks mid-scan — and validate reads through them. The min/max
+// interval semantics must hold throughout: no validated read observes a
+// reclaimed node, and the checked arena stays fault-free.
+func TestMinMaxScanDuringGrowth(t *testing.T) {
+	const (
+		growers  = 4
+		wave     = 8 // handles held live per grower per round => chain >= 32 slots
+		rounds   = 30
+		writerN  = 400
+		nodeMark = 42
+	)
+	arena := mem.NewArena[cnode](mem.Checked[cnode](true))
+	d := core.New(arena, reclaim.Config{MaxThreads: 2, Slots: 2}, core.WithMinMax(true))
+
+	var cell atomic.Uint64
+	ref, n := arena.Alloc()
+	n.val = nodeMark
+	d.OnAlloc(ref)
+	cell.Store(uint64(ref))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		defer d.Unregister(h)
+		for i := 0; i < writerN; i++ {
+			nref, nn := arena.Alloc()
+			nn.val = nodeMark
+			d.OnAlloc(nref)
+			d.Retire(h, mem.Ref(cell.Swap(uint64(nref))))
+		}
+	}()
+	for g := 0; g < growers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				hs := make([]*reclaim.Handle, wave)
+				for i := range hs {
+					hs[i] = d.Register()
+					d.BeginOp(hs[i])
+					got := d.Protect(hs[i], 0, &cell)
+					if v := arena.Get(got).val; v != nodeMark {
+						panic("validated read observed a reclaimed node during registry growth")
+					}
+				}
+				for _, h := range hs {
+					d.EndOp(h)
+					d.Unregister(h)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := d.Register()
+	d.Retire(final, mem.Ref(cell.Swap(0)))
+	d.Unregister(final)
+	d.Drain()
+	if f := arena.Stats().Faults; f != 0 {
+		t.Fatalf("%d memory faults during growth-under-scan", f)
+	}
+	if s := d.Stats(); s.Pending != 0 {
+		t.Fatalf("%d retired nodes stranded", s.Pending)
+	}
+}

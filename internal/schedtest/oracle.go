@@ -1,0 +1,131 @@
+package schedtest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Oracle is the freed-while-protected invariant checker: a shadow copy of
+// the protection state kept at ref granularity, cross-checked against
+// every Free the reclamation domain performs.
+//
+// The published protection slots hold eras (HE/IBR), epochs (EBR),
+// versions (URCU) or pointer bits (HP); the shadow instead records which
+// REF each worker's protection index is currently guarding — registered by
+// the workload right after it has validated a Protect result (re-read the
+// source and observed it unchanged). Validation is what makes the check
+// sound for every scheme: a ref whose source still named it at the
+// validation instant was not yet unlinked, hence not yet retired, so the
+// scheme is obligated to keep it live until the hold is dropped. If the
+// domain frees a ref while the shadow still holds it, the scheme's
+// protect/retire/scan chain let a live protection slip through — exactly
+// the §3.3 property ("a node is freed only when no era in its lifespan is
+// protected") made observable.
+//
+// Install the check with reclaim's Base.SetFreeGuard(o.FreeGuard); the
+// guard runs on the scheme's own free paths (scan reclamation, inline RC
+// frees, URCU post-grace frees) but not on quiescent teardown (DrainAll),
+// where outstanding holds are expected.
+type Oracle struct {
+	mu         sync.Mutex
+	held       map[mem.Ref][]holdKey
+	violations []string
+}
+
+type holdKey struct {
+	worker, index int
+}
+
+// NewOracle returns an empty shadow table.
+func NewOracle() *Oracle {
+	return &Oracle{held: make(map[mem.Ref][]holdKey)}
+}
+
+// Hold records that worker's protection index guards ref. Call it only
+// after validating the Protect result against its source; an unvalidated
+// hold can legitimately be freed and would report a false violation.
+// Holding a new ref at an index implicitly drops the previous one, exactly
+// like a Protect overwrite.
+func (o *Oracle) Hold(worker, index int, ref mem.Ref) {
+	ref = ref.Unmarked()
+	if ref.IsNil() {
+		o.Drop(worker, index)
+		return
+	}
+	o.mu.Lock()
+	o.dropLocked(worker, index)
+	o.held[ref] = append(o.held[ref], holdKey{worker, index})
+	o.mu.Unlock()
+}
+
+// Drop releases worker's hold at index (a Clear of one slot).
+func (o *Oracle) Drop(worker, index int) {
+	o.mu.Lock()
+	o.dropLocked(worker, index)
+	o.mu.Unlock()
+}
+
+// DropAll releases every hold of worker (an EndOp).
+func (o *Oracle) DropAll(worker int) {
+	o.mu.Lock()
+	for ref, keys := range o.held {
+		kept := keys[:0]
+		for _, k := range keys {
+			if k.worker != worker {
+				kept = append(kept, k)
+			}
+		}
+		if len(kept) == 0 {
+			delete(o.held, ref)
+		} else {
+			o.held[ref] = kept
+		}
+	}
+	o.mu.Unlock()
+}
+
+func (o *Oracle) dropLocked(worker, index int) {
+	k := holdKey{worker, index}
+	for ref, keys := range o.held {
+		for i, have := range keys {
+			if have == k {
+				keys = append(keys[:i], keys[i+1:]...)
+				if len(keys) == 0 {
+					delete(o.held, ref)
+				} else {
+					o.held[ref] = keys
+				}
+				return
+			}
+		}
+	}
+}
+
+// FreeGuard is the hook for reclaim's Base.SetFreeGuard: it records a
+// violation when the domain frees a ref the shadow table still holds. The
+// message names the schedule seed when a controller is installed, so the
+// failure replays.
+func (o *Oracle) FreeGuard(ref mem.Ref) {
+	ref = ref.Unmarked()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys, ok := o.held[ref]
+	if !ok {
+		return
+	}
+	msg := fmt.Sprintf("freed-while-protected: %v freed while held by %d validated protection(s) (first: worker %d index %d)",
+		ref, len(keys), keys[0].worker, keys[0].index)
+	if c := Active(); c != nil {
+		msg += fmt.Sprintf("; seed=%d step=%d", c.Seed(), c.Steps())
+	}
+	o.violations = append(o.violations, msg)
+}
+
+// Violations returns every freed-while-protected report so far.
+func (o *Oracle) Violations() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.violations...)
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Slots is the number of protection indices the stack needs.
@@ -91,6 +92,7 @@ func (s *Stack) Push(h *reclaim.Handle, v uint64) {
 		top := s.top.Load()
 		n.Next.Store(top)
 		s.dom.OnAlloc(ref) // birth stamp immediately before publication
+		schedtest.Point(schedtest.PointCAS)
 		if s.top.CompareAndSwap(top, uint64(ref)) {
 			return
 		}
@@ -110,6 +112,7 @@ func (s *Stack) Pop(h *reclaim.Handle) (v uint64, ok bool) {
 		n := s.arena.Get(topRef)
 		next := n.Next.Load()
 		val := n.Val // protected: safe even if the CAS below fails
+		schedtest.Point(schedtest.PointCAS)
 		if s.top.CompareAndSwap(uint64(topRef), next) {
 			v, ok = val, true
 			victim = topRef

@@ -32,6 +32,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // unassigned is published by quiescent readers; it compares greater than
@@ -63,7 +64,11 @@ func (d *Domain) OnAlloc(ref mem.Ref) {}
 
 // BeginOp is rcu_read_lock: publish the current updater version.
 func (d *Domain) BeginOp(h *reclaim.Handle) {
-	h.Words[0].Store(d.updaterVersion.Load())
+	v := d.updaterVersion.Load()
+	// The window this gate exposes: the version is read but the reader's
+	// announcement is not yet published.
+	schedtest.Point(schedtest.PointProtect)
+	h.Words[0].Store(v)
 }
 
 // EndOp is rcu_read_unlock: publish the unassigned sentinel.
@@ -89,15 +94,21 @@ func (d *Domain) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem.R
 // free slots publish unassigned and never delay it.
 func (d *Domain) Synchronize() {
 	waitFor := d.updaterVersion.Load() + 1
+	schedtest.Point(schedtest.PointEra)
 	// Grace sharing: only advance if nobody has reached waitFor yet.
 	if d.updaterVersion.Load() < waitFor {
 		d.updaterVersion.CompareAndSwap(waitFor-1, waitFor)
 	}
 	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
+		schedtest.Point(schedtest.PointScan)
 		slots := blk.Slots()
 		for i := range slots {
 			w := slots[i].Word(0)
 			for w.Load() < waitFor {
+				// Under a deterministic schedule the waited-on reader cannot
+				// run until this worker yields; a spin gate always hands the
+				// token over (and reports a deadlock when nobody can unlock).
+				schedtest.Point(schedtest.PointSpin)
 				runtime.Gosched()
 			}
 		}

@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/reclaim"
+	"repro/internal/schedtest"
 )
 
 // Protection slot counts for the two domains.
@@ -113,11 +114,11 @@ type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Dom
 // deferred-retire buffer. Obtain one with Queue.Register (or the pooled
 // Queue.Acquire) and pass it to Enqueue/Dequeue.
 type Handle struct {
-	q   *Queue
-	n   *reclaim.Handle // node-domain session
-	d   *reclaim.Handle // descriptor-domain session
-	idx int             // announcement index (stable for the handle's lifetime)
-	cell *atomic.Uint64 // cached announcement cell (= q.stateCell(idx))
+	q    *Queue
+	n    *reclaim.Handle // node-domain session
+	d    *reclaim.Handle // descriptor-domain session
+	idx  int             // announcement index (stable for the handle's lifetime)
+	cell *atomic.Uint64  // cached announcement cell (= q.stateCell(idx))
 
 	// deferred buffers descriptor retires issued inside this session's
 	// BeginOp..EndOp section. Retiring mid-section is unsound under
@@ -369,6 +370,7 @@ func (q *Queue) isStillPending(h *Handle, cell *atomic.Uint64, ph uint64) bool {
 // operation (see Handle.deferred) and directly freeing the never-published
 // newRef on failure. Returns success.
 func (q *Queue) replaceDesc(h *Handle, cell *atomic.Uint64, oldRef, newRef mem.Ref) bool {
+	schedtest.Point(schedtest.PointCAS)
 	if cell.CompareAndSwap(uint64(oldRef), uint64(newRef)) {
 		h.deferred = append(h.deferred, oldRef)
 		return true
@@ -435,6 +437,7 @@ func (q *Queue) helpEnq(h *Handle, cell *atomic.Uint64, ph uint64) {
 		if !d.Pending || d.Phase > ph || !d.Enqueue {
 			return
 		}
+		schedtest.Point(schedtest.PointCAS)
 		if last.Next.CompareAndSwap(0, uint64(d.Node)) {
 			q.helpFinishEnq(h)
 			return
@@ -466,6 +469,7 @@ func (q *Queue) helpFinishEnq(h *Handle) {
 		newRef := q.newDesc(h, d.Phase, false, true, d.Node, 0)
 		q.replaceDesc(h, cell, dref, newRef)
 	}
+	schedtest.Point(schedtest.PointCAS)
 	q.tail.CompareAndSwap(uint64(lastRef), uint64(nextRef))
 }
 
@@ -511,6 +515,7 @@ func (q *Queue) helpDeq(h *Handle, cell *atomic.Uint64, idx int, ph uint64) {
 				continue
 			}
 		}
+		schedtest.Point(schedtest.PointCAS)
 		first.DeqTid.CompareAndSwap(noDeqTid, int64(idx))
 		q.helpFinishDeq(h)
 	}
@@ -558,6 +563,7 @@ func (q *Queue) helpFinishDeq(h *Handle) {
 		newRef := q.newDesc(h, d.Phase, false, false, firstRef, val)
 		q.replaceDesc(h, cell, dref, newRef)
 	}
+	schedtest.Point(schedtest.PointCAS)
 	q.head.CompareAndSwap(uint64(firstRef), uint64(nextRef))
 }
 

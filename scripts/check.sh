@@ -15,7 +15,15 @@ go test ./...
 echo "== race (reclamation core) =="
 go test -race ./internal/core/... ./internal/reclaim/... ./internal/mem/...
 echo "== race (registry growth + session churn, every scheme) =="
-go test -race -run 'TestRegistry|TestAcquireReleasePool|TestConformanceHandleChurn' ./internal/reclaim/
+go test -race -run 'TestRegistry|TestAcquireReleasePool|TestConformanceHandleChurn|TestAcquireReleaseScratchReset|TestMinMaxScanDuringGrowth' ./internal/reclaim/
+echo "== fuzz smoke (ref packing + arena scripts, fixed budget) =="
+go test -run '^$' -fuzz '^FuzzRefPack$' -fuzztime 5s ./internal/mem/
+go test -run '^$' -fuzz '^FuzzRefPacking$' -fuzztime 5s ./internal/mem/
+go test -run '^$' -fuzz '^FuzzArenaAllocFree$' -fuzztime 5s ./internal/mem/
+echo "== schedule-injection suites (linearizability + safety oracles) =="
+go test -race ./internal/schedtest/ ./internal/linz/
+go run ./cmd/hecheck -seeds 2
+go run ./cmd/hecheck -mutate skip-publish -scheme HE -seeds 8 > /dev/null
 if [ "$mode" = "full" ]; then
   echo "== race =="
   go test -race ./...
