@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,8 +36,36 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "PRNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		grow    = flag.Bool("grow", false, "undersize every registry (initial capacity 2) so workers register through dynamically grown slot blocks")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (/metrics Prometheus text, /metrics.json, /events.json flight recorder, /debug/vars, /debug/pprof); e.g. :9090 or 127.0.0.1:0")
+		sample  = flag.String("sample", "", "append per-domain observability snapshots to this file as JSON lines")
+		every   = flag.Duration("sample-every", 100*time.Millisecond, "sampling interval for -sample")
+		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint alive this long after the experiments finish (so scrapers catch the final state)")
 	)
 	flag.Parse()
+
+	if *metrics != "" || *sample != "" {
+		hub := obs.NewHub()
+		bench.SetObsHub(hub)
+		if *metrics != "" {
+			addr, stopSrv, err := hub.Serve(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: http://%s/metrics\n", addr)
+			defer stopSrv()
+			defer time.Sleep(*hold)
+		}
+		if *sample != "" {
+			smp, err := obs.StartFileSampler(*sample, *every, hub.Domains)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sample: %v\n", err)
+				os.Exit(1)
+			}
+			defer smp.Stop()
+			defer func() { smp.Sample(hub.Domains()) }()
+		}
+	}
 
 	o := bench.Options{
 		Dur:     *dur,

@@ -1,0 +1,161 @@
+// Command hemon is a terminal monitor for the observability endpoint that
+// hebench/hestress serve with -metrics. It polls /metrics.json (and, with
+// -events, /events.json) and renders a per-scheme dashboard: reclamation
+// counters, the robustness gauges (pending, era lag, stalled sessions) and
+// sampled latency quantiles for the protect/retire/scan paths.
+//
+// Usage:
+//
+//	hebench -exp stalled -metrics 127.0.0.1:9200 -hold 1m &
+//	hemon -addr 127.0.0.1:9200
+//	hemon -addr 127.0.0.1:9200 -once -events 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9090", "host:port of a running -metrics endpoint")
+		every  = flag.Duration("every", time.Second, "poll interval")
+		once   = flag.Bool("once", false, "print one frame and exit")
+		events = flag.Int("events", 0, "also show the last N flight-recorder events per scheme")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		frame, err := render(client, *addr, *events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hemon: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			fmt.Print(frame)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*every)
+	}
+}
+
+func render(client *http.Client, addr string, events int) (string, error) {
+	var snaps []obs.DomainSnapshot
+	if err := getJSON(client, "http://"+addr+"/metrics.json", &snaps); err != nil {
+		return "", err
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Scheme < snaps[j].Scheme })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "smr observability — %s — %s\n\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %8s %9s %8s %8s\n",
+		"scheme", "retired", "freed", "pending", "pend-bytes", "scans", "era-clock", "lag-max", "stalled")
+	for _, s := range snaps {
+		lag, stalled := "-", "-"
+		if s.HasEras {
+			lag = fmt.Sprintf("%d", s.EraLagMax)
+			stalled = fmt.Sprintf("%d", s.Stalled)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12d %8d %9d %8s %8s\n",
+			s.Scheme, s.Retired, s.Freed, s.Pending, s.PendingBytes, s.Scans, s.EraClock, lag, stalled)
+	}
+
+	fmt.Fprintf(&b, "\n%-10s %-26s %-26s %-26s\n", "latency", "protect p50/p99/max", "retire p50/p99/max", "scan p50/p99/max")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%-10s %-26s %-26s %-26s\n",
+			s.Scheme, quantiles(s.Protect), quantiles(s.Retire), quantiles(s.Scan))
+	}
+
+	for _, s := range snaps {
+		var active []obs.SessionEra
+		for _, se := range s.Sessions {
+			if se.Lag > 0 {
+				active = append(active, se)
+			}
+		}
+		if len(active) > 0 {
+			sort.Slice(active, func(i, j int) bool { return active[i].Lag > active[j].Lag })
+			if len(active) > 8 {
+				active = active[:8]
+			}
+			fmt.Fprintf(&b, "\n%s lagging sessions:", s.Scheme)
+			for _, se := range active {
+				mark := ""
+				if se.Stalled {
+					mark = " STALLED"
+				}
+				fmt.Fprintf(&b, " [s%d lag=%d%s]", se.Session, se.Lag, mark)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+
+	if events > 0 {
+		var recorded []struct {
+			Scheme string      `json:"scheme"`
+			Events []obs.Event `json:"events"`
+		}
+		if err := getJSON(client, fmt.Sprintf("http://%s/events.json?max=%d", addr, events), &recorded); err != nil {
+			return "", err
+		}
+		for _, d := range recorded {
+			if len(d.Events) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n%s flight recorder (last %d):\n", d.Scheme, len(d.Events))
+			for _, e := range d.Events {
+				fmt.Fprintf(&b, "  %12.3fms  s%-3d %-10s %d\n",
+					float64(e.T)/1e6, e.Session, e.KindStr, e.Value)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+func quantiles(h obs.HistSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s/%s", ns(h.Quantile(0.5)), ns(h.Quantile(0.99)), ns(h.Max))
+}
+
+// ns renders a nanosecond reading with a compact unit.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

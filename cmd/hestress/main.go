@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bst"
+	"repro/internal/obs"
 	"repro/internal/hashmap"
 	"repro/internal/list"
 	"repro/internal/queue"
@@ -72,9 +73,35 @@ func main() {
 		threads = flag.Int("threads", 8, "concurrent workers")
 		dur     = flag.Duration("dur", time.Second, "stress duration per combination")
 		grow    = flag.Bool("grow", false, "undersize the registries (initial capacity 2) so every run exercises dynamic session growth")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (/metrics, /metrics.json, /events.json, /debug/pprof); e.g. :9090")
+		sample  = flag.String("sample", "", "append per-domain observability snapshots to this file as JSON lines")
+		every   = flag.Duration("sample-every", 100*time.Millisecond, "sampling interval for -sample")
 	)
 	flag.Parse()
 	growMode = *grow
+
+	if *metrics != "" || *sample != "" {
+		hub := obs.NewHub()
+		bench.SetObsHub(hub)
+		if *metrics != "" {
+			addr, stopSrv, err := hub.Serve(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: http://%s/metrics\n", addr)
+			defer stopSrv()
+		}
+		if *sample != "" {
+			smp, err := obs.StartFileSampler(*sample, *every, hub.Domains)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sample: %v\n", err)
+				os.Exit(1)
+			}
+			defer smp.Stop()
+			defer func() { smp.Sample(hub.Domains()) }()
+		}
+	}
 
 	roster := map[string]bench.Scheme{}
 	for _, s := range bench.AllSchemes() {

@@ -8,13 +8,26 @@
 // list grows with every update; under Hazard Eras only the nodes that were
 // alive when the reader stalled stay pinned — everything born later is
 // reclaimed, keeping memory bounded (Equation 1).
+//
+// With -sample the run records the pending-over-time curve through the
+// observability layer:
+//
+//	go run ./examples/stalledreader -sample pending.jsonl
+//
+// Each JSON line is an obs.DomainSnapshot; plotting pending against t_ms
+// grouped by scheme reproduces the shape of the paper's Figure 4 memory
+// panels — EBR's curve climbs without bound while HE's flattens.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/list"
+	"repro/internal/obs"
 )
 
 const (
@@ -22,7 +35,7 @@ const (
 	churnOps = 50_000
 )
 
-func churnWithStalledReader(s bench.Scheme) (pending, freed int64) {
+func churnWithStalledReader(s bench.Scheme, smp *obs.Sampler, hub *obs.Hub) (pending, freed int64) {
 	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(4))
 	dom := l.Domain()
 
@@ -46,16 +59,43 @@ func churnWithStalledReader(s bench.Scheme) (pending, freed int64) {
 			l.Insert(writer, k, k)
 		}
 	}
+	if smp != nil {
+		smp.Sample(hub.Domains()) // capture the final state of this scheme's curve
+	}
 	st := dom.Stats()
 	return st.Pending, st.Freed
 }
 
 func main() {
+	samplePath := flag.String("sample", "", "record obs.DomainSnapshot JSON lines (the Figure-4 pending-over-time curve) to this file")
+	every := flag.Duration("sample-every", 5*time.Millisecond, "sampling interval for -sample")
+	flag.Parse()
+
+	var (
+		hub *obs.Hub
+		smp *obs.Sampler
+	)
+	if *samplePath != "" {
+		hub = obs.NewHub()
+		bench.SetObsHub(hub)
+		var err error
+		smp, err = obs.StartFileSampler(*samplePath, *every, hub.Domains)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer smp.Stop()
+	}
+
 	fmt.Printf("list of %d nodes, %d churn updates, one reader asleep mid-traversal\n\n", listSize, churnOps)
 	fmt.Printf("%-8s %18s %12s\n", "scheme", "unreclaimed nodes", "nodes freed")
 	for _, s := range []bench.Scheme{bench.HE(), bench.HP(), bench.EBR()} {
-		pending, freed := churnWithStalledReader(s)
+		pending, freed := churnWithStalledReader(s, smp, hub)
 		fmt.Printf("%-8s %18d %12d\n", s.Name, pending, freed)
+	}
+	if *samplePath != "" {
+		fmt.Printf("\npending-over-time curve written to %s (JSON lines, one obs snapshot\n", *samplePath)
+		fmt.Println("per scheme per tick; plot pending vs t_ms grouped by scheme).")
 	}
 	fmt.Println("\nEBR frees nothing: the sleepy reader pins its epoch forever and the")
 	fmt.Println("limbo list grows with churn (unbounded). HE and HP keep reclaiming;")

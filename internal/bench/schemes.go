@@ -6,6 +6,7 @@ import (
 	"repro/internal/hp"
 	"repro/internal/ibr"
 	"repro/internal/leak"
+	"repro/internal/obs"
 	"repro/internal/rc"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
@@ -21,94 +22,129 @@ type Scheme struct {
 	Make Factory
 }
 
+// obsHub, when non-nil, receives an observability domain for every
+// reclamation domain the schemes below construct. Set it (SetObsHub) before
+// building structures; nil keeps every domain uninstrumented — the
+// zero-overhead default.
+var obsHub *obs.Hub
+
+// SetObsHub routes observability for all subsequently constructed scheme
+// domains to hub (nil turns it back off). Drivers call this once at startup
+// when -metrics/-sample is requested; it is not safe to flip while
+// structures are being built concurrently.
+func SetObsHub(hub *obs.Hub) { obsHub = hub }
+
+// ObsHub returns the hub installed by SetObsHub, or nil.
+func ObsHub() *obs.Hub { return obsHub }
+
+// obsCapable is satisfied by every scheme through the promoted
+// reclaim.Base.EnableObs.
+type obsCapable interface{ EnableObs(*obs.Domain) }
+
+// scheme builds a Scheme whose factory attaches observability when a hub is
+// installed. The display name (not Domain.Name) labels the obs domain so
+// parameterized variants (HE-R1, HE-k10) stay distinguishable.
+func scheme(name string, mk Factory) Scheme {
+	return Scheme{name, func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		d := mk(a, c)
+		if hub := obsHub; hub != nil {
+			if oc, ok := d.(obsCapable); ok {
+				od := obs.NewDomain(name, obs.Config{Sessions: c.Defaulted().MaxThreads})
+				oc.EnableObs(od)
+				hub.Attach(od)
+			}
+		}
+		return d
+	}}
+}
+
 // HE returns the Hazard Eras scheme (paper Algorithms 1-3).
 func HE() Scheme {
-	return Scheme{"HE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return core.New(a, c)
-	}}
+	})
 }
 
 // HEk returns Hazard Eras with the §3.4 k-advance option.
 func HEk(k int) Scheme {
-	name := "HE-k" + itoa(k)
-	return Scheme{name, func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HE-k"+itoa(k), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return core.New(a, c, core.WithAdvanceEvery(k))
-	}}
+	})
 }
 
 // HEMinMax returns Hazard Eras with the §3.4 min/max-publication option.
 func HEMinMax() Scheme {
-	return Scheme{"HE-minmax", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HE-minmax", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return core.New(a, c, core.WithMinMax(true))
-	}}
+	})
 }
 
 // HP returns the Hazard Pointers baseline.
 func HP() Scheme {
-	return Scheme{"HP", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HP", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return hp.New(a, c)
-	}}
+	})
 }
 
 // HPr returns Hazard Pointers with a custom scan threshold (R factor).
 func HPr(r int) Scheme {
-	return Scheme{"HP-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HP-R"+itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return hp.New(a, c, hp.WithScanThreshold(r))
-	}}
+	})
 }
 
 // HEr returns Hazard Eras with amortized batch scanning: a thread scans its
 // retired list only every r*MaxThreads*Slots retirements (this repo's
 // generalization of HP's §3.1 R factor to eras; see reclaim.Config.ScanR).
 func HEr(r int) Scheme {
-	return Scheme{"HE-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("HE-R"+itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		c.ScanR = r
 		return core.New(a, c)
-	}}
+	})
 }
 
 // IBRr returns 2GE-IBR with the same amortized batch scanning as HEr.
 func IBRr(r int) Scheme {
-	return Scheme{"IBR-R" + itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("IBR-R"+itoa(r), func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		c.ScanR = r
 		return ibr.New(a, c)
-	}}
+	})
 }
 
 // EBR returns the epoch-based baseline.
 func EBR() Scheme {
-	return Scheme{"EBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("EBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return ebr.New(a, c)
-	}}
+	})
 }
 
 // URCU returns the Grace-Version URCU baseline.
 func URCU() Scheme {
-	return Scheme{"URCU", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("URCU", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return urcu.New(a, c)
-	}}
+	})
 }
 
 // IBR returns 2GE interval-based reclamation (Wen et al. 2018), the
 // follow-on scheme Hazard Eras inspired.
 func IBR() Scheme {
-	return Scheme{"IBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("IBR", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return ibr.New(a, c)
-	}}
+	})
 }
 
 // RC returns the reference-counting baseline.
 func RC() Scheme {
-	return Scheme{"RC", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("RC", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return rc.New(a, c)
-	}}
+	})
 }
 
 // Leak returns the no-reclamation control.
 func Leak() Scheme {
-	return Scheme{"NONE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+	return scheme("NONE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 		return leak.New(a, c)
-	}}
+	})
 }
 
 // Figure4Schemes are the three schemes the paper's Figure 4 compares.

@@ -127,14 +127,14 @@ func (t *Tree) Contains(h *reclaim.Handle, key uint64) bool {
 // Get returns the value stored under key. Lock-free; protects the whole
 // root-to-leaf path, one slot per level.
 func (t *Tree) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
-	arena, dom := t.arena, t.dom
-	dom.BeginOp(h)
-	defer dom.EndOp(h)
+	arena := t.arena
+	h.BeginOp()
+	defer h.EndOp()
 retry:
 	for {
 		edge := &t.root
 		slot := 0
-		cur := dom.Protect(h, slot, edge)
+		cur := h.Protect(slot, edge)
 		if cur.IsNil() {
 			return 0, false
 		}
@@ -148,7 +148,7 @@ retry:
 			}
 			childEdge := &n.Child[bit(key, n.Bit)]
 			slot++
-			child := dom.Protect(h, slot, childEdge)
+			child := h.Protect(slot, childEdge)
 			// Anchor re-validation: if cur was unlinked, the edge that led
 			// to it changed and the protection on child may be stale.
 			if edge.Load() != uint64(cur) {
@@ -245,15 +245,15 @@ func (t *Tree) Remove(h *reclaim.Handle, key uint64) bool {
 	if parent.IsNil() {
 		// The leaf is the root.
 		t.root.Store(0)
-		t.dom.Retire(h, cur)
+		h.Retire(cur)
 		return true
 	}
 	pn := t.arena.Get(parent)
 	b := bit(key, pn.Bit)
 	sibling := pn.Child[1-b].Load()
 	gpEdge.Store(sibling) // unlink parent (and with it the leaf)
-	t.dom.Retire(h, parent)
-	t.dom.Retire(h, cur)
+	h.Retire(parent)
+	h.Retire(cur)
 	return true
 }
 

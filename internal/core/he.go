@@ -122,6 +122,17 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Eras {
 	d.Base = reclaim.NewBase(alloc, cfg, cfg.Slots, noneEra)
 	d.Base.Dom = d
 	d.eraClock.Store(1) // paper: eraClock = {1}
+	// Era view for the observability layer: a session's pinned era is the
+	// minimum over its published cells ([min, max] pair or per-index eras).
+	d.SetObsEraView(d.Era, func(words []atomicx.PaddedUint64) (uint64, bool) {
+		var low uint64
+		for i := range words {
+			if e := words[i].Load(); e != noneEra && (low == noneEra || e < low) {
+				low = e
+			}
+		}
+		return low, low != noneEra
+	})
 	return d
 }
 
@@ -261,7 +272,7 @@ func (d *Eras) Retire(h *reclaim.Handle, ref mem.Ref) {
 		schedtest.Point(schedtest.PointEra)
 		// Benign race, exactly as the paper's line 51: two threads may both
 		// advance, which only makes eras pass faster.
-		d.eraClock.Add(1)
+		h.ObsEra(d.eraClock.Add(1))
 	}
 	if h.ScanDue() {
 		d.scan(h)
@@ -285,6 +296,7 @@ func (d *Eras) Scan(h *reclaim.Handle) { d.scan(h) }
 // sessions that cannot hold the objects scanned here (see handle.go).
 func (d *Eras) scan(h *reclaim.Handle) {
 	h.NoteScan()
+	defer h.NoteScanEnd()
 	h.AdoptOrphans()
 	if len(h.Retired()) == 0 {
 		return

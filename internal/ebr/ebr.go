@@ -54,6 +54,12 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 1, 0)}
 	d.Base.Dom = d
 	d.globalEpoch.Store(gracePeriods) // start high enough that epoch-0 math never underflows
+	// Era view for the observability layer: an active announcement pins the
+	// epoch it carries; quiescent sessions (word 0) pin nothing.
+	d.SetObsEraView(d.globalEpoch.Load, func(words []atomicx.PaddedUint64) (uint64, bool) {
+		w := words[0].Load()
+		return w >> 1, w&activeBit != 0
+	})
 	return d
 }
 
@@ -97,7 +103,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	e := d.globalEpoch.Load()
 	d.Alloc.Header(ref).RetireEra = e
 	h.PushRetired(ref)
-	d.tryAdvance(e)
+	d.tryAdvance(h, e)
 	if h.ScanDue() {
 		d.scan(h)
 	}
@@ -106,7 +112,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 // tryAdvance bumps the global epoch iff every active session has announced
 // the current epoch. The walk covers every published slot block; quiescent
 // and free slots announce 0 and cannot block the advance.
-func (d *Domain) tryAdvance(observed uint64) {
+func (d *Domain) tryAdvance(h *reclaim.Handle, observed uint64) {
 	for blk := d.FirstBlock(); blk != nil; blk = blk.Next() {
 		slots := blk.Slots()
 		for i := range slots {
@@ -118,13 +124,16 @@ func (d *Domain) tryAdvance(observed uint64) {
 	}
 	// CAS so concurrent retirers advance at most once per observation.
 	schedtest.Point(schedtest.PointEra)
-	d.globalEpoch.CompareAndSwap(observed, observed+1)
+	if d.globalEpoch.CompareAndSwap(observed, observed+1) {
+		h.ObsEra(observed + 1)
+	}
 }
 
 // scan frees every retired object that has aged at least gracePeriods
 // epochs.
 func (d *Domain) scan(h *reclaim.Handle) {
 	h.NoteScan()
+	defer h.NoteScanEnd()
 	h.AdoptOrphans()
 	e := d.globalEpoch.Load()
 	h.ReclaimUnprotected(func(obj mem.Ref) bool {
@@ -139,7 +148,7 @@ func (d *Domain) scan(h *reclaim.Handle) {
 // scanning session to adopt.
 func (d *Domain) Unregister(h *reclaim.Handle) {
 	h.Words[0].Store(0)
-	d.tryAdvance(d.globalEpoch.Load())
+	d.tryAdvance(h, d.globalEpoch.Load())
 	d.scan(h)
 	h.Abandon()
 	d.Base.Unregister(h)

@@ -139,6 +139,7 @@ func (d *Pointers) Scan(h *reclaim.Handle) { d.scan(h) }
 // slots hold nonePtr and are skipped by value.
 func (d *Pointers) scan(h *reclaim.Handle) {
 	h.NoteScan()
+	defer h.NoteScanEnd()
 	h.AdoptOrphans()
 	if len(h.Retired()) == 0 {
 		return

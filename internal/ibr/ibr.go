@@ -77,6 +77,12 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Domain {
 	for _, o := range opts {
 		o(d)
 	}
+	// Era view for the observability layer: the interval's lower bound is
+	// the oldest era the session pins; inactive sessions publish 0.
+	d.SetObsEraView(d.Era, func(words []atomicx.PaddedUint64) (uint64, bool) {
+		lo := words[0].Load()
+		return lo, lo != inactive
+	})
 	return d
 }
 
@@ -148,7 +154,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	h.RetireCount++
 	if h.RetireCount%d.advanceEvery == 0 && d.eraClock.Load() == currEra {
 		schedtest.Point(schedtest.PointEra)
-		d.eraClock.Add(1)
+		h.ObsEra(d.eraClock.Add(1))
 	}
 	if h.ScanDue() {
 		d.scan(h)
@@ -169,6 +175,7 @@ func (d *Domain) Scan(h *reclaim.Handle) { d.scan(h) }
 // slots publish 0 and are skipped by value.
 func (d *Domain) scan(h *reclaim.Handle) {
 	h.NoteScan()
+	defer h.NoteScanEnd()
 	h.AdoptOrphans()
 	if len(h.Retired()) == 0 {
 		return

@@ -75,12 +75,12 @@ const (
 // from prev is compared for identity — any unlink OR logical deletion of
 // prev's node changes that word and forces a restart.
 func (o *Ops) find(head *atomic.Uint64, h *reclaim.Handle, key uint64, unlinked *[]mem.Ref) (found bool, prev *atomic.Uint64, curr, next mem.Ref) {
-	arena, dom := o.Arena, o.Dom
+	arena := o.Arena
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev = head
-		curr = dom.Protect(h, ic, prev)
+		curr = h.Protect(ic, prev)
 		for {
 			if curr.Unmarked().IsNil() {
 				return false, prev, mem.NilRef, mem.NilRef
@@ -88,7 +88,7 @@ retry:
 			// The head cell is never marked; interior prev cells were
 			// validated unmarked when adopted, so curr is unmarked here.
 			cn := arena.Get(curr)
-			next = dom.Protect(h, in, &cn.Next)
+			next = h.Protect(in, &cn.Next)
 			if prev.Load() != uint64(curr) {
 				continue retry
 			}
@@ -121,7 +121,7 @@ retry:
 // retireAll retires every helped-off node after the read-side section ended.
 func (o *Ops) retireAll(h *reclaim.Handle, unlinked []mem.Ref) {
 	for _, ref := range unlinked {
-		o.Dom.Retire(h, ref)
+		h.Retire(ref)
 	}
 }
 
@@ -130,7 +130,7 @@ func (o *Ops) retireAll(h *reclaim.Handle, unlinked []mem.Ref) {
 func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bool {
 	dom := o.Dom
 	var unlinked []mem.Ref
-	dom.BeginOp(h)
+	h.BeginOp()
 
 	var newRef mem.Ref
 	var newNode *Node
@@ -158,7 +158,7 @@ func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bo
 			break
 		}
 	}
-	dom.EndOp(h)
+	h.EndOp()
 	o.retireAll(h, unlinked)
 	return ok
 }
@@ -167,9 +167,8 @@ func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bo
 // present. The deleting thread marks the node; whichever thread physically
 // unlinks it (this one, or a helping traversal) retires it exactly once.
 func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
-	dom := o.Dom
 	var unlinked []mem.Ref
-	dom.BeginOp(h)
+	h.BeginOp()
 
 	ok := false
 	for {
@@ -193,7 +192,7 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 		}
 		break
 	}
-	dom.EndOp(h)
+	h.EndOp()
 	o.retireAll(h, unlinked)
 	return ok
 }
@@ -209,21 +208,21 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 // cells — a marked next word is immutable, so validating against it is
 // stable); curr is its unmarked form for dereference.
 func (o *Ops) lookup(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
-	arena, dom := o.Arena, o.Dom
-	dom.BeginOp(h)
-	defer dom.EndOp(h)
+	arena := o.Arena
+	h.BeginOp()
+	defer h.EndOp()
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev := head
-		expect := dom.Protect(h, ic, prev) // head cell is never marked
+		expect := h.Protect(ic, prev) // head cell is never marked
 		for {
 			curr := expect.Unmarked()
 			if curr.IsNil() {
 				return 0, false
 			}
 			cn := arena.Get(curr)
-			nextRaw := dom.Protect(h, in, &cn.Next)
+			nextRaw := h.Protect(in, &cn.Next)
 			if prev.Load() != uint64(expect) {
 				continue retry
 			}
@@ -353,12 +352,12 @@ func (l *List) Len() int { return l.ops.Len(&l.head) }
 // is the paper's "sleepy reader" (Appendix A) — the adversary for every
 // reclamation scheme. Call Unpin to resume.
 func (l *List) Pin(h *reclaim.Handle) {
-	l.ops.Dom.BeginOp(h)
-	l.ops.Dom.Protect(h, slotCurr, &l.head)
+	h.BeginOp()
+	h.Protect(slotCurr, &l.head)
 }
 
 // Unpin ends a Pin'd critical section.
-func (l *List) Unpin(h *reclaim.Handle) { l.ops.Dom.EndOp(h) }
+func (l *List) Unpin(h *reclaim.Handle) { h.EndOp() }
 
 // Drain tears the structure down, freeing linked nodes and pending retirees.
 func (l *List) Drain() {

@@ -157,6 +157,11 @@ func NewArena[T any](opts ...Option[T]) *Arena[T] {
 // Checked reports whether generation validation is enabled.
 func (a *Arena[T]) Checked() bool { return a.checked }
 
+// SlotBytes returns the memory footprint of one arena slot (header +
+// freelist link + value, including alignment padding). The observability
+// layer multiplies pending node counts by it to report pending bytes.
+func (a *Arena[T]) SlotBytes() uintptr { return unsafe.Sizeof(slot[T]{}) }
+
 func (a *Arena[T]) slotAt(index uint64) *slot[T] {
 	sl := a.slabs[index>>slabShift].Load()
 	if sl == nil {

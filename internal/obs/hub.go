@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Hub aggregates the observability domains of a process and exports them
+// over HTTP: Prometheus text format on /metrics, snapshot JSON on
+// /metrics.json, the merged flight recorder on /events.json, expvar on
+// /debug/vars and the standard pprof handlers under /debug/pprof/.
+type Hub struct {
+	mu      sync.Mutex
+	domains []*Domain
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+// Attach registers a domain, replacing any previous domain with the same
+// name (benchmark drivers rebuild per-scheme domains between phases).
+func (h *Hub) Attach(d *Domain) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, old := range h.domains {
+		if old.Name() == d.Name() {
+			h.domains[i] = d
+			return
+		}
+	}
+	h.domains = append(h.domains, d)
+}
+
+// Domains returns the attached domains in attach order.
+func (h *Hub) Domains() []*Domain {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Domain(nil), h.domains...)
+}
+
+// Snapshots folds every attached domain.
+func (h *Hub) Snapshots() []DomainSnapshot {
+	doms := h.Domains()
+	out := make([]DomainSnapshot, 0, len(doms))
+	for _, d := range doms {
+		out = append(out, d.Snapshot())
+	}
+	return out
+}
+
+// Handler returns the hub's HTTP mux.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.serveMetrics)
+	mux.HandleFunc("/metrics.json", h.serveJSON)
+	mux.HandleFunc("/events.json", h.serveEvents)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (host:port; port 0 picks a free one) and serves the
+// hub in a background goroutine. It returns the bound address and a stop
+// function. The hub also registers its snapshots under the expvar name
+// "smr" the first time any hub serves.
+func (h *Hub) Serve(addr string) (string, func(), error) {
+	publishExpvar(h)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() { _ = srv.Close() }
+	return ln.Addr().String(), stop, nil
+}
+
+// expvar's registry is append-only and process-global, so the "smr" var is
+// published once and fans out to every hub that ever served.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarHubs []*Hub
+)
+
+func publishExpvar(h *Hub) {
+	expvarMu.Lock()
+	expvarHubs = append(expvarHubs, h)
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("smr", expvar.Func(func() any {
+			expvarMu.Lock()
+			hubs := append([]*Hub(nil), expvarHubs...)
+			expvarMu.Unlock()
+			var all []DomainSnapshot
+			for _, hub := range hubs {
+				all = append(all, hub.Snapshots()...)
+			}
+			return all
+		}))
+	})
+}
+
+func (h *Hub) serveJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.Snapshots())
+}
+
+func (h *Hub) serveEvents(w http.ResponseWriter, r *http.Request) {
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		max, _ = strconv.Atoi(v)
+	}
+	type domainEvents struct {
+		Scheme string  `json:"scheme"`
+		Events []Event `json:"events"`
+	}
+	var out []domainEvents
+	for _, d := range h.Domains() {
+		out = append(out, domainEvents{Scheme: d.Name(), Events: d.Events(max)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (h *Hub) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, h.Snapshots())
+}
+
+// WriteMetrics renders snapshots in the Prometheus text exposition format.
+// Hand-rolled on purpose: the repo is stdlib-only, and the format is four
+// line shapes (HELP, TYPE, sample, histogram sample).
+func WriteMetrics(w io.Writer, snaps []DomainSnapshot) {
+	counter := func(name, help string, val func(DomainSnapshot) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range snaps {
+			fmt.Fprintf(w, "%s{scheme=%q} %d\n", name, s.Scheme, val(s))
+		}
+	}
+	gauge := func(name, help string, val func(DomainSnapshot) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, s := range snaps {
+			fmt.Fprintf(w, "%s{scheme=%q} %d\n", name, s.Scheme, val(s))
+		}
+	}
+	counter("smr_retired_total", "Nodes retired into reclamation domains.", func(s DomainSnapshot) int64 { return s.Retired })
+	counter("smr_freed_total", "Nodes returned to the allocator.", func(s DomainSnapshot) int64 { return s.Freed })
+	counter("smr_scans_total", "Reclamation scans executed.", func(s DomainSnapshot) int64 { return s.Scans })
+	counter("smr_pool_hits_total", "Session acquires served from the handle pool.", func(s DomainSnapshot) int64 { return s.PoolHits })
+	counter("smr_pool_misses_total", "Session acquires that registered a fresh slot.", func(s DomainSnapshot) int64 { return s.PoolMisses })
+	gauge("smr_pending", "Nodes retired but not yet freed.", func(s DomainSnapshot) int64 { return s.Pending })
+	gauge("smr_pending_bytes", "Bytes retired but not yet freed.", func(s DomainSnapshot) int64 { return s.PendingBytes })
+	gauge("smr_peak_pending", "High-water mark of pending nodes.", func(s DomainSnapshot) int64 { return s.PeakPending })
+	gauge("smr_era_clock", "Global era/epoch clock reading.", func(s DomainSnapshot) int64 { return int64(s.EraClock) })
+
+	fmt.Fprintf(w, "# HELP smr_era_lag_max Largest published-era lag across sessions.\n# TYPE smr_era_lag_max gauge\n")
+	for _, s := range snaps {
+		if s.HasEras {
+			fmt.Fprintf(w, "smr_era_lag_max{scheme=%q} %d\n", s.Scheme, s.EraLagMax)
+		}
+	}
+	fmt.Fprintf(w, "# HELP smr_stalled_sessions Sessions pinning an era older than the stall threshold.\n# TYPE smr_stalled_sessions gauge\n")
+	for _, s := range snaps {
+		if s.HasEras {
+			fmt.Fprintf(w, "smr_stalled_sessions{scheme=%q} %d\n", s.Scheme, s.Stalled)
+		}
+	}
+	fmt.Fprintf(w, "# HELP smr_era_lag Published-era lag behind the global clock, per active session.\n# TYPE smr_era_lag gauge\n")
+	for _, s := range snaps {
+		for _, se := range s.Sessions {
+			fmt.Fprintf(w, "smr_era_lag{scheme=%q,session=\"%d\"} %d\n", s.Scheme, se.Session, se.Lag)
+		}
+	}
+
+	writeHist(w, "smr_protect_latency_ns", "Sampled protect-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Protect })
+	writeHist(w, "smr_retire_latency_ns", "Sampled retire-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Retire })
+	writeHist(w, "smr_scan_latency_ns", "Reclamation scan latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Scan })
+}
+
+func writeHist(w io.Writer, name, help string, snaps []DomainSnapshot, sel func(DomainSnapshot) HistSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range snaps {
+		hs := sel(s)
+		var cum int64
+		for b, n := range hs.Buckets {
+			cum += n
+			fmt.Fprintf(w, "%s_bucket{scheme=%q,le=\"%d\"} %d\n", name, s.Scheme, BucketUpper(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{scheme=%q,le=\"+Inf\"} %d\n", name, s.Scheme, hs.Count)
+		fmt.Fprintf(w, "%s_sum{scheme=%q} %d\n", name, s.Scheme, hs.Sum)
+		fmt.Fprintf(w, "%s_count{scheme=%q} %d\n", name, s.Scheme, hs.Count)
+	}
+}

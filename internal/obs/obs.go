@@ -1,0 +1,318 @@
+// Package obs is the reclamation observability layer: a nil-gated,
+// allocation-free instrumentation substrate that turns the end-of-run
+// aggregate reclaim.Stats into the time-resolved signals the paper's
+// behavioural claims are actually about — pending-reclamation curves under a
+// stalled reader (Figure 4 / Appendix A), era lag per session, and the
+// latency tails of the protect, retire and scan paths.
+//
+// The enable/disable discipline mirrors internal/schedtest: production code
+// holds nil observability pointers and pays one untaken branch per hook;
+// a domain becomes observable only when reclaim.Base.EnableObs attaches a
+// *Domain built here, at construction time, before any session runs. Every
+// recording structure is striped or single-writer-biased so an enabled
+// domain adds no shared-cache-line traffic to the reclamation hot paths:
+//
+//   - Flight recorder (ring.go): per-session seqlock-entry rings of
+//     reclamation events (retire, scan start/end, free, era advance, session
+//     acquire/release/register/unregister), merged and time-ordered only at
+//     snapshot time.
+//   - Latency histograms (hist.go): HDR-style power-of-two log buckets for
+//     the protect, retire and scan paths, striped by session id exactly like
+//     atomicx.StripedCounter and folded on demand.
+//   - Robustness gauges (this file): pending nodes and bytes, per-session
+//     era lag against the scheme's global clock, and a stalled-session
+//     detector flagging sessions that pin an era older than a configurable
+//     threshold — the observable form of the paper's Equation 1.
+//   - Exporter (hub.go, sampler.go): Prometheus text format and expvar JSON
+//     over HTTP (with /debug/pprof mounted), plus a periodic sampler that
+//     appends JSON-lines time series for offline plotting.
+//
+// Hot-path recordings are sampled: each session keeps a private tick counter
+// and records one in every 2^SampleShift protect/retire brackets, so the
+// enabled overhead stays a small fraction of the ~50ns retire path while the
+// histograms still converge on the latency distribution. Scan events and
+// batch frees are recorded unconditionally — scans are already amortized to
+// one per ScanR·threads·slots retires.
+//
+// The package depends only on the standard library, so reclaim (and through
+// it every scheme) can import it without cycles; striping mirrors the
+// power-of-two masking of internal/atomicx.StripedCounter without importing
+// it.
+package obs
+
+import (
+	"math/bits"
+	"time"
+)
+
+// epoch anchors every timestamp this package produces; Now is monotonic
+// (time.Since uses the runtime monotonic clock) and allocation-free.
+var epoch = time.Now()
+
+// Now returns nanoseconds since the process observability epoch.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// Config sizes a Domain's recording structures. Zero values take defaults.
+type Config struct {
+	// Sessions is the striping hint: rings and histogram stripes are sized
+	// to the next power of two and indexed by session id & mask, exactly
+	// like atomicx.StripedCounter — ids past the hint share stripes, which
+	// costs a shared cache line, never correctness. Default 64 (matching
+	// reclaim.Config.MaxThreads' default).
+	Sessions int
+	// RingEvents is the flight-recorder capacity per session ring (rounded
+	// up to a power of two). Older events are overwritten. Default 256.
+	RingEvents int
+	// SampleShift gates the hot-path recordings: one protect/retire bracket
+	// in every 2^SampleShift is timed and recorded. 0 means the default of
+	// 6 (1 in 64); use SampleAll for exhaustive recording in tests.
+	SampleShift uint
+	// SampleAll disables sampling: every bracket is recorded. Test use.
+	SampleAll bool
+	// StallEras is the era-lag threshold of the stalled-session detector: a
+	// session whose published era trails the global clock by at least this
+	// many eras is counted in the Stalled gauge. Default 1024.
+	StallEras uint64
+}
+
+func (c Config) defaulted() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 64
+	}
+	if c.RingEvents <= 0 {
+		c.RingEvents = 256
+	}
+	if c.SampleShift == 0 && !c.SampleAll {
+		c.SampleShift = 6
+	}
+	if c.SampleAll {
+		c.SampleShift = 0
+	}
+	if c.StallEras == 0 {
+		c.StallEras = 1024
+	}
+	return c
+}
+
+// Stats mirrors reclaim.Stats (plus the pool counters) without importing
+// reclaim — the dependency points the other way. The wiring in reclaim
+// installs a closure that converts its Stats into this one.
+type Stats struct {
+	Retired     int64  `json:"retired"`
+	Freed       int64  `json:"freed"`
+	Pending     int64  `json:"pending"`
+	PeakPending int64  `json:"peak_pending"`
+	Scans       int64  `json:"scans"`
+	EraClock    uint64 `json:"era_clock"`
+	PoolHits    int64  `json:"pool_hits"`
+	PoolMisses  int64  `json:"pool_misses"`
+}
+
+// Domain is one reclamation domain's observability state. It is built by
+// NewDomain, configured by the reclaim wiring (SetStatsSource, SetEraSource,
+// SetObjectBytes) and attached to a Hub for export. All recording entry
+// points (Ring, stripe Record) are safe for concurrent use; all snapshot
+// entry points may run concurrently with recording.
+type Domain struct {
+	name string
+	cfg  Config
+
+	rings    []Ring
+	ringMask int
+
+	protect *Histogram
+	retire  *Histogram
+	scan    *Histogram
+
+	// Installed by reclaim.Base.EnableObs; read by snapshots only.
+	stats    func() Stats
+	clock    func() uint64
+	sessions func(yield func(session int, era uint64))
+	objBytes uint64
+}
+
+// NewDomain builds the observability state for one reclamation domain.
+// name is the scheme label every exported series carries.
+func NewDomain(name string, cfg Config) *Domain {
+	cfg = cfg.defaulted()
+	n := 1
+	for n < cfg.Sessions {
+		n <<= 1
+	}
+	d := &Domain{
+		name:     name,
+		cfg:      cfg,
+		rings:    make([]Ring, n),
+		ringMask: n - 1,
+		protect:  NewHistogram(cfg.Sessions),
+		retire:   NewHistogram(cfg.Sessions),
+		scan:     NewHistogram(cfg.Sessions),
+	}
+	for i := range d.rings {
+		d.rings[i].init(cfg.RingEvents)
+	}
+	return d
+}
+
+// Name returns the scheme label.
+func (d *Domain) Name() string { return d.name }
+
+// SampleMask returns the tick mask the hot-path sampling gate uses: a
+// bracket is recorded when tick&mask == 0.
+func (d *Domain) SampleMask() uint64 { return 1<<d.cfg.SampleShift - 1 }
+
+// Ring returns the flight-recorder ring session ids mapping to stripe i
+// write to. Sessions beyond the striping hint share rings; entries are
+// seqlock-protected, so sharing is safe.
+func (d *Domain) Ring(session int) *Ring { return &d.rings[session&d.ringMask] }
+
+// ProtectStripe returns the session's protect-latency histogram stripe for
+// hot-path caching (the reclaim.Handle holds the pointer).
+func (d *Domain) ProtectStripe(session int) *LatencyStripe { return d.protect.Stripe(session) }
+
+// RetireStripe returns the session's retire-latency histogram stripe.
+func (d *Domain) RetireStripe(session int) *LatencyStripe { return d.retire.Stripe(session) }
+
+// ScanStripe returns the session's scan-latency histogram stripe.
+func (d *Domain) ScanStripe(session int) *LatencyStripe { return d.scan.Stripe(session) }
+
+// SetStatsSource installs the reclamation-statistics closure (wiring time
+// only; called by reclaim.Base.EnableObs).
+func (d *Domain) SetStatsSource(fn func() Stats) { d.stats = fn }
+
+// SetEraSource installs the era-clock and per-session published-era walk
+// for schemes with a global clock (HE, IBR, EBR, URCU). Schemes without one
+// (HP, RC, leak) leave it nil and export no era-lag gauges.
+func (d *Domain) SetEraSource(clock func() uint64, sessions func(yield func(session int, era uint64))) {
+	d.clock = clock
+	d.sessions = sessions
+}
+
+// SetObjectBytes records the per-object footprint (the arena slot size) so
+// pending counts convert to pending bytes.
+func (d *Domain) SetObjectBytes(n uint64) { d.objBytes = n }
+
+// SessionEra is one session's published-era reading in a snapshot.
+type SessionEra struct {
+	Session int    `json:"session"`
+	Era     uint64 `json:"era"`
+	Lag     uint64 `json:"lag"`
+	Stalled bool   `json:"stalled,omitempty"`
+}
+
+// DomainSnapshot is the point-in-time, export-ready view of a Domain: the
+// folded statistics, the derived robustness gauges and the folded latency
+// histograms. It is what /metrics.json serves and the sampler appends.
+type DomainSnapshot struct {
+	Scheme  string `json:"scheme"`
+	TMillis int64  `json:"t_ms"`
+	Stats
+
+	PendingBytes int64 `json:"pending_bytes"`
+
+	// Era-lag gauges; present only for schemes with a global clock.
+	HasEras   bool         `json:"has_eras"`
+	EraLagMax uint64       `json:"era_lag_max"`
+	Stalled   int          `json:"stalled_sessions"`
+	Sessions  []SessionEra `json:"sessions,omitempty"`
+
+	Protect HistSnapshot `json:"protect_ns"`
+	Retire  HistSnapshot `json:"retire_ns"`
+	Scan    HistSnapshot `json:"scan_ns"`
+}
+
+// Snapshot assembles the current DomainSnapshot. Safe to call concurrently
+// with recording; counters fold with StripedCounter semantics (exact in
+// quiescence, momentarily skewed under fire).
+func (d *Domain) Snapshot() DomainSnapshot {
+	s := DomainSnapshot{
+		Scheme:  d.name,
+		TMillis: Now() / int64(time.Millisecond),
+		Protect: d.protect.Snapshot(),
+		Retire:  d.retire.Snapshot(),
+		Scan:    d.scan.Snapshot(),
+	}
+	if d.stats != nil {
+		s.Stats = d.stats()
+	}
+	s.PendingBytes = s.Pending * int64(d.objBytes)
+	if d.clock != nil && d.sessions != nil {
+		s.HasEras = true
+		clock := d.clock()
+		d.sessions(func(session int, era uint64) {
+			var lag uint64
+			if era < clock {
+				lag = clock - era
+			}
+			stalled := lag >= d.cfg.StallEras
+			if stalled {
+				s.Stalled++
+			}
+			if lag > s.EraLagMax {
+				s.EraLagMax = lag
+			}
+			s.Sessions = append(s.Sessions, SessionEra{Session: session, Era: era, Lag: lag, Stalled: stalled})
+		})
+	}
+	return s
+}
+
+// Events returns up to max flight-recorder events merged across all session
+// rings, oldest first. max <= 0 returns everything currently readable.
+func (d *Domain) Events(max int) []Event {
+	var out []Event
+	for i := range d.rings {
+		out = d.rings[i].appendEvents(out)
+	}
+	sortEvents(out)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// sortEvents orders by timestamp, tie-breaking on (session, seq) so merge
+// order is deterministic for events stamped in the same nanosecond.
+func sortEvents(ev []Event) {
+	// Insertion-friendly ordering: rings yield events in per-ring order, so
+	// the merged slice is nearly sorted; use a simple binary-insertion sort
+	// to avoid pulling in package sort's interface boxing for hot snapshots.
+	for i := 1; i < len(ev); i++ {
+		e := ev[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if eventLess(ev[mid], e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(ev[lo+1:i+1], ev[lo:i])
+		ev[lo] = e
+	}
+}
+
+func eventLess(a, b Event) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Session != b.Session {
+		return a.Session < b.Session
+	}
+	return a.Seq < b.Seq
+}
+
+// bucketOf maps a nanosecond latency to its power-of-two log bucket:
+// bucket 0 holds {0}, bucket b holds [2^(b-1), 2^b-1], and the final bucket
+// absorbs everything with 63 or more significant bits.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sampler periodically folds a set of domains and appends one JSON line per
+// domain per tick — the machine-readable form of the Figure-4 pending-over-
+// time curves. Lines are DomainSnapshot objects; plot pending against t_ms
+// grouped by scheme to reproduce the paper's stalled-reader figure.
+type Sampler struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	closer  io.Closer
+	done    chan struct{}
+	stopped sync.Once
+}
+
+// StartSampler samples domains() every interval, writing JSON lines to w.
+// The domains callback is re-evaluated each tick so late-attached domains
+// are picked up. Call Stop to flush and halt; if w is also an io.Closer it
+// is closed.
+func StartSampler(w io.Writer, interval time.Duration, domains func() []*Domain) *Sampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s := &Sampler{w: bufio.NewWriter(w), done: make(chan struct{})}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				s.sample(domains())
+			}
+		}
+	}()
+	return s
+}
+
+// StartFileSampler opens (creating/truncating) path and samples into it.
+func StartFileSampler(path string, interval time.Duration, domains func() []*Domain) (*Sampler, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return StartSampler(f, interval, domains), nil
+}
+
+func (s *Sampler) sample(doms []*Domain) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range doms {
+		line, err := json.Marshal(d.Snapshot())
+		if err != nil {
+			continue
+		}
+		s.w.Write(line)
+		s.w.WriteByte('\n')
+	}
+	s.w.Flush()
+}
+
+// Sample takes one immediate sample outside the ticker (drivers call it
+// right before Stop so short runs still record their final state).
+func (s *Sampler) Sample(doms []*Domain) { s.sample(doms) }
+
+// Stop halts the ticker, flushes, and closes the underlying file if any.
+func (s *Sampler) Stop() {
+	s.stopped.Do(func() {
+		close(s.done)
+		s.mu.Lock()
+		s.w.Flush()
+		s.mu.Unlock()
+		if s.closer != nil {
+			s.closer.Close()
+		}
+	})
+}

@@ -97,9 +97,9 @@ func (q *Queue) Enqueue(h *reclaim.Handle, v uint64) {
 	n.Val = v
 	n.Next.Store(0)
 
-	q.dom.BeginOp(h)
+	h.BeginOp()
 	for {
-		tailRef := q.dom.Protect(h, 0, &q.tail)
+		tailRef := h.Protect(0, &q.tail)
 		tn := q.arena.Get(tailRef)
 		next := tn.Next.Load()
 		if q.tail.Load() != uint64(tailRef) {
@@ -120,18 +120,18 @@ func (q *Queue) Enqueue(h *reclaim.Handle, v uint64) {
 			break
 		}
 	}
-	q.dom.EndOp(h)
+	h.EndOp()
 }
 
 // Dequeue removes and returns the oldest value; ok is false on empty.
 func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
-	q.dom.BeginOp(h)
+	h.BeginOp()
 	var victim mem.Ref
 	for {
-		headRef := q.dom.Protect(h, 0, &q.head)
+		headRef := h.Protect(0, &q.head)
 		tailRaw := q.tail.Load()
 		hn := q.arena.Get(headRef)
-		next := q.dom.Protect(h, 1, &hn.Next)
+		next := h.Protect(1, &hn.Next)
 		// Re-validate the anchor AFTER protecting the successor: if head
 		// still equals headRef here, the dummy had not been dequeued at
 		// this (seq-cst) point, hence its successor was still reachable —
@@ -141,7 +141,7 @@ func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
 			continue
 		}
 		if next.IsNil() {
-			q.dom.EndOp(h)
+			h.EndOp()
 			return 0, false
 		}
 		if uint64(headRef) == tailRaw {
@@ -159,8 +159,8 @@ func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
 			break
 		}
 	}
-	q.dom.EndOp(h)
-	q.dom.Retire(h, victim)
+	h.EndOp()
+	h.Retire(victim)
 	return v, ok
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Config carries the construction parameters common to all schemes,
@@ -112,12 +113,85 @@ type Base struct {
 	// quiescent DrainAll teardown). schedtest's freed-while-protected
 	// oracle installs itself here; production domains leave it nil.
 	freeGuard func(mem.Ref)
+
+	// poolHits/poolMisses count Acquire calls served from the handle pool
+	// versus falling through to a fresh Register. Cold-path counters (both
+	// sit under mu's shadow), so plain atomics rather than stripes.
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+
+	// obsDom, when non-nil, is the attached observability domain (same
+	// nil-gated discipline as Ins/freeGuard: attach at construction time,
+	// before any session registers, and the hot paths pay one untaken
+	// branch when it is nil). obsEraClock/obsEraDecode are the scheme's
+	// era view, installed by SetObsEraView for schemes that have a global
+	// clock; EnableObs turns them into the domain's era-lag gauges.
+	obsDom       *obs.Domain
+	obsEraClock  func() uint64
+	obsEraDecode func(words []atomicx.PaddedUint64) (era uint64, ok bool)
 }
 
 // SetFreeGuard installs (or, with nil, removes) the reclamation-path free
 // observer. Construction/setup time only — the field is read without
 // synchronization by every freeing session.
 func (b *Base) SetFreeGuard(g func(mem.Ref)) { b.freeGuard = g }
+
+// SetObsEraView installs the scheme's era view for the observability layer:
+// clock reads the global era/epoch/version clock, decode extracts the
+// oldest era a slot's published cells currently pin (ok=false for idle
+// slots). Scheme constructors with a global clock (HE, IBR, EBR, URCU) call
+// this; schemes without one (HP, RC, leak) skip it and export no era-lag
+// gauges. Construction time only.
+func (b *Base) SetObsEraView(clock func() uint64, decode func(words []atomicx.PaddedUint64) (era uint64, ok bool)) {
+	b.obsEraClock = clock
+	b.obsEraDecode = decode
+}
+
+// EnableObs attaches an observability domain: statistics, era-lag gauges
+// and per-object byte accounting flow out through d, and every session
+// registered from now on caches d's flight-recorder ring and latency
+// stripes (nil-gated on the hot paths). Call at construction time, before
+// the first Register/Acquire — handles made earlier stay uninstrumented.
+// The method is promoted through embedding, so any scheme satisfies
+// interface{ EnableObs(*obs.Domain) }.
+func (b *Base) EnableObs(d *obs.Domain) {
+	b.obsDom = d
+	if d == nil {
+		return
+	}
+	d.SetStatsSource(func() obs.Stats {
+		s := b.Dom.Stats()
+		return obs.Stats{
+			Retired:     s.Retired,
+			Freed:       s.Freed,
+			Pending:     s.Pending,
+			PeakPending: s.PeakPending,
+			Scans:       s.Scans,
+			EraClock:    s.EraClock,
+			PoolHits:    s.PoolHits,
+			PoolMisses:  s.PoolMisses,
+		}
+	})
+	if sb, ok := b.Alloc.(interface{ SlotBytes() uintptr }); ok {
+		d.SetObjectBytes(uint64(sb.SlotBytes()))
+	}
+	if b.obsEraClock != nil && b.obsEraDecode != nil {
+		d.SetEraSource(b.obsEraClock, func(yield func(session int, era uint64)) {
+			for blk := b.head; blk != nil; blk = blk.Next() {
+				slots := blk.Slots()
+				for i := range slots {
+					s := &slots[i]
+					if era, ok := b.obsEraDecode(s.words); ok {
+						yield(s.id, era)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Obs returns the attached observability domain, or nil.
+func (b *Base) Obs() *obs.Domain { return b.obsDom }
 
 // NewBase initializes the shared state for a scheme. wordsPerSlot is the
 // number of published cells per session slot (protection indices for HE/HP,
@@ -196,7 +270,11 @@ func (b *Base) Register() *Handle {
 	}
 	b.active.Add(1)
 	b.mu.Unlock()
-	return b.makeHandle(s)
+	h := b.makeHandle(s)
+	if h.obsRing != nil {
+		h.obsRing.Record(obs.EvRegister, s.id, uint64(s.id))
+	}
+	return h
 }
 
 // makeHandle builds a fresh Handle around s with every hot-path pointer
@@ -221,6 +299,13 @@ func (b *Base) makeHandle(s *Slot) *Handle {
 		h.insRMWs = b.Ins.rmws.Stripe(s.id)
 		h.insVisits = b.Ins.visits.Stripe(s.id)
 	}
+	if d := b.obsDom; d != nil {
+		h.obsRing = d.Ring(s.id)
+		h.obsProt = d.ProtectStripe(s.id)
+		h.obsRet = d.RetireStripe(s.id)
+		h.obsScan = d.ScanStripe(s.id)
+		h.obsMask = d.SampleMask()
+	}
 	return h
 }
 
@@ -233,9 +318,14 @@ func (b *Base) Acquire() *Handle {
 		b.pool = b.pool[:n-1]
 		b.active.Add(1)
 		b.mu.Unlock()
+		b.poolHits.Add(1)
+		if h.obsRing != nil {
+			h.obsRing.Record(obs.EvAcquire, h.slot.id, uint64(h.slot.id))
+		}
 		return h
 	}
 	b.mu.Unlock()
+	b.poolMisses.Add(1)
 	return b.Register()
 }
 
@@ -256,6 +346,9 @@ func (b *Base) Release(h *Handle) {
 	}
 	h.Lo, h.Hi = 0, 0
 	h.RetireCount = 0
+	if h.obsRing != nil {
+		h.obsRing.Record(obs.EvRelease, h.slot.id, uint64(h.slot.id))
+	}
 	b.mu.Lock()
 	b.pool = append(b.pool, h)
 	b.active.Add(-1)
@@ -270,6 +363,9 @@ func (b *Base) Unregister(h *Handle) {
 	s := h.slot
 	for w := range s.words {
 		s.words[w].Store(b.initWord)
+	}
+	if h.obsRing != nil {
+		h.obsRing.Record(obs.EvUnregister, s.id, uint64(s.id))
 	}
 	b.mu.Lock()
 	b.freeSlots = append(b.freeSlots, s)
@@ -301,9 +397,28 @@ func (b *Base) SetScanThreshold(n int) {
 	b.scanThreshold = n
 }
 
-// observePeak folds retired-freed and raises the high-water mark.
+// observePeak folds retired-freed and raises the high-water mark. Same
+// fold-order/clamp discipline as BaseStats: see pendingFold.
 func (b *Base) observePeak() {
-	b.peak.Observe(b.retired.Sum() - b.freed.Sum())
+	b.peak.Observe(b.pendingFold())
+}
+
+// pendingFold reads the freed stripes before the retired stripes and clamps
+// the difference at zero. The two folds are not atomic with respect to
+// concurrent sessions: with the old retired-then-freed order, a free
+// landing between the folds was counted while its (earlier) retire was not,
+// so Pending could read below its true value — and below zero near an empty
+// domain. Folding freed first inverts the race (a retire landing between
+// folds is counted while its free cannot be yet), which only ever biases
+// the transient reading high; the clamp covers the residual skew from
+// StripedCounter's own non-atomic stripe walk.
+func (b *Base) pendingFold() int64 {
+	freed := b.freed.Sum()
+	retired := b.retired.Sum()
+	if pending := retired - freed; pending > 0 {
+		return pending
+	}
+	return 0
 }
 
 // abandon moves s's remaining retired objects to the shared orphan pool.
@@ -355,15 +470,24 @@ func (b *Base) freeAt(id int, ref mem.Ref) {
 
 // BaseStats assembles the common statistics snapshot. The fold doubles as a
 // peak observation so PeakPending can never read below the Pending it
-// reports alongside.
+// reports alongside. Pending folds freed-before-retired and clamps at zero
+// (see pendingFold) so a concurrent retire/free landing between the stripe
+// folds can never drive the reading negative.
 func (b *Base) BaseStats() Stats {
-	retired, freed := b.retired.Sum(), b.freed.Sum()
-	b.peak.Observe(retired - freed)
+	freed := b.freed.Sum()
+	retired := b.retired.Sum()
+	pending := retired - freed
+	if pending < 0 {
+		pending = 0
+	}
+	b.peak.Observe(pending)
 	return Stats{
 		Retired:     retired,
 		Freed:       freed,
-		Pending:     retired - freed,
+		Pending:     pending,
 		PeakPending: b.peak.Max(),
 		Scans:       b.scans.Sum(),
+		PoolHits:    b.poolHits.Load(),
+		PoolMisses:  b.poolMisses.Load(),
 	}
 }

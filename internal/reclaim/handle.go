@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/schedtest"
 )
 
@@ -129,6 +130,22 @@ type Handle struct {
 	insStores *atomicx.PaddedInt64
 	insRMWs   *atomicx.PaddedInt64
 	insVisits *atomicx.PaddedInt64
+
+	// Observability caches; all nil when the domain has no obs attached, so
+	// the hot paths pay one untaken branch. The tick counters and scan
+	// scratch are owner-only plain fields (a Handle has one owner session).
+	obsRing *obs.Ring          // flight-recorder stripe
+	obsProt *obs.LatencyStripe // protect-latency histogram stripe
+	obsRet  *obs.LatencyStripe // retire-latency histogram stripe
+	obsScan *obs.LatencyStripe // scan-latency histogram stripe
+	obsMask uint64             // sample when tick&mask == 0
+
+	obsTickProt  uint64 // Protect-bracket sampling tick
+	obsTickRet   uint64 // Retire-bracket sampling tick
+	obsTickPush  uint64 // PushRetired EvRetire sampling tick
+	obsTickEra   uint64 // ObsEra EvEra sampling tick
+	obsScanT0    int64  // scan start timestamp (NoteScan..NoteScanEnd)
+	obsScanFreed int64  // freeStripe reading at scan start
 }
 
 // ID returns the session id (dense; doubles as the arena shard id).
@@ -144,13 +161,39 @@ func (h *Handle) BeginOp() { h.dom.BeginOp(h) }
 func (h *Handle) EndOp() { h.dom.EndOp(h) }
 
 // Protect loads *src under protection index i (the paper's
-// get_protected(tid, i, src) with the tid folded into the session).
+// get_protected(tid, i, src) with the tid folded into the session). With
+// observability attached, one bracket in every 2^SampleShift is timed into
+// the protect-latency histogram; with it off, the wrapper is the same
+// interface dispatch it always was behind one untaken nil check.
 func (h *Handle) Protect(index int, src *atomic.Uint64) mem.Ref {
+	if h.obsProt != nil {
+		h.obsTickProt++
+		if h.obsTickProt&h.obsMask == 0 {
+			t0 := obs.Now()
+			ref := h.dom.Protect(h, index, src)
+			h.obsProt.Record(obs.Now() - t0)
+			return ref
+		}
+	}
 	return h.dom.Protect(h, index, src)
 }
 
-// Retire declares ref unlinked and due for eventual reclamation.
-func (h *Handle) Retire(ref mem.Ref) { h.dom.Retire(h, ref) }
+// Retire declares ref unlinked and due for eventual reclamation. Sampled
+// brackets time the whole scheme Retire — including any scan it triggers —
+// into the retire-latency histogram, which is what makes the amortization
+// tail (one in threshold retires pays the scan) visible.
+func (h *Handle) Retire(ref mem.Ref) {
+	if h.obsRet != nil {
+		h.obsTickRet++
+		if h.obsTickRet&h.obsMask == 0 {
+			t0 := obs.Now()
+			h.dom.Retire(h, ref)
+			h.obsRet.Record(obs.Now() - t0)
+			return
+		}
+	}
+	h.dom.Retire(h, ref)
+}
 
 // Release parks the live session in the domain pool for Acquire to reuse.
 func (h *Handle) Release() { h.dom.Release(h) }
@@ -162,19 +205,36 @@ func (h *Handle) Unregister() { h.dom.Unregister(h) }
 
 // PushRetired appends ref to the session's retired list and bumps its
 // retire stripe. The high-water fold happens at scan/stats time, keeping
-// this hot path free of shared cache lines.
+// this hot path free of shared cache lines. With observability attached,
+// one push in every 2^SampleShift lands an EvRetire flight-recorder event
+// carrying the retired-list depth — sampled here (on its own tick, since
+// schemes reach this through d.Retire as well as h.Retire) so the recorder
+// rides every retire path without unsampled ring traffic on it.
 func (h *Handle) PushRetired(ref mem.Ref) {
 	schedtest.Point(schedtest.PointRetire)
 	rl := &h.slot.rl.retiredListState
 	rl.refs = append(rl.refs, ref.Unmarked())
 	h.retStripe.Add(1)
+	if h.obsRing != nil {
+		h.obsTickPush++
+		if h.obsTickPush&h.obsMask == 0 {
+			h.obsRing.Record(obs.EvRetire, h.slot.id, uint64(len(rl.refs)))
+		}
+	}
 }
 
 // NoteRetired updates retirement accounting without touching any retired
-// list — for schemes (reference counting) that reclaim inline.
+// list — for schemes (reference counting) that reclaim inline. The sampled
+// EvRetire event carries depth 0: inline schemes keep no retired list.
 func (h *Handle) NoteRetired() {
 	h.retStripe.Add(1)
 	h.base.observePeak()
+	if h.obsRing != nil {
+		h.obsTickPush++
+		if h.obsTickPush&h.obsMask == 0 {
+			h.obsRing.Record(obs.EvRetire, h.slot.id, 0)
+		}
+	}
 }
 
 // ScanDue reports whether the session's retired list has reached the scan
@@ -212,6 +272,9 @@ func (h *Handle) FreeRetired(ref mem.Ref) {
 		b.Alloc.Free(ref)
 	}
 	h.freeStripe.Add(1)
+	if h.obsRing != nil {
+		h.obsRing.Record(obs.EvFree, h.slot.id, 1)
+	}
 }
 
 // ReclaimUnprotected runs the free half of a scan pass: it partitions the
@@ -251,16 +314,45 @@ func (h *Handle) ReclaimUnprotected(protected func(ref mem.Ref) bool) {
 		}
 	}
 	h.freeStripe.Add(int64(len(toFree)))
+	if h.obsRing != nil {
+		// One event for the whole batch: scans are where frees cluster, and
+		// the batch size is the interesting number.
+		h.obsRing.Record(obs.EvFree, h.slot.id, uint64(len(toFree)))
+	}
 	st.spare = toFree[:0]
 }
 
 // NoteScan records one reclamation pass over a retired list and folds the
 // striped counters into the pending high-water mark. Scans sample the peak
 // immediately after the pushes that triggered them, preserving the
-// PeakPending semantics the scan-per-retire implementation had.
+// PeakPending semantics the scan-per-retire implementation had. With
+// observability attached it also opens the scan bracket: timestamp and
+// freed-stripe baseline for NoteScanEnd, plus an EvScanStart event carrying
+// the candidate count. Scans are amortized-rare, so these are unsampled.
 func (h *Handle) NoteScan() {
 	h.scanStripe.Add(1)
 	h.base.observePeak()
+	if h.obsRing != nil {
+		h.obsScanT0 = obs.Now()
+		h.obsScanFreed = h.freeStripe.Load()
+		h.obsRing.Record(obs.EvScanStart, h.slot.id, uint64(len(h.slot.rl.refs)))
+	}
+}
+
+// NoteScanEnd closes the bracket NoteScan opened: the elapsed time goes to
+// the scan-latency histogram and an EvScanEnd event carries the number of
+// nodes this session freed during the pass. Schemes call it at every exit
+// of their scan routine; it is a single untaken branch when obs is off.
+func (h *Handle) NoteScanEnd() {
+	if h.obsRing == nil {
+		return
+	}
+	h.obsScan.Record(obs.Now() - h.obsScanT0)
+	freed := h.freeStripe.Load() - h.obsScanFreed
+	if freed < 0 {
+		freed = 0
+	}
+	h.obsRing.Record(obs.EvScanEnd, h.slot.id, uint64(freed))
 }
 
 // Abandon moves the session's remaining retired objects to the shared
@@ -287,6 +379,21 @@ func (h *Handle) AdoptOrphans() {
 }
 
 // ---- instrumentation (cached stripes; nil-guarded, branch-only when off) -
+
+// ObsEra records an EvEra flight-recorder event when this session advances
+// the scheme's global era/epoch/version clock. HE and IBR advance the clock
+// on every retire by default, so the event is sampled on its own tick (the
+// recorded value is the clock reading itself, so gaps between samples lose
+// nothing — the progression is reconstructible); when obs is off this is
+// one untaken branch.
+func (h *Handle) ObsEra(clock uint64) {
+	if h.obsRing != nil {
+		h.obsTickEra++
+		if h.obsTickEra&h.obsMask == 0 {
+			h.obsRing.Record(obs.EvEra, h.slot.id, clock)
+		}
+	}
+}
 
 // InsVisit records one Protect call (one node visited) by this session.
 func (h *Handle) InsVisit() {

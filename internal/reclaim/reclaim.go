@@ -119,8 +119,10 @@ type Domain interface {
 type Stats struct {
 	Retired     int64  // total Retire calls
 	Freed       int64  // objects actually freed by the scheme
-	Pending     int64  // retired but not yet freed
+	Pending     int64  // retired but not yet freed (clamped at 0: the stripe folds race)
 	PeakPending int64  // high-water mark of Pending (Equation 1 subject)
 	Scans       int64  // reclamation scan passes over retired lists
 	EraClock    uint64 // current era/epoch/version clock (scheme-specific; 0 if none)
+	PoolHits    int64  // Acquire calls served from the handle pool
+	PoolMisses  int64  // Acquire calls that fell through to a fresh Register
 }

@@ -136,9 +136,9 @@ func (s *SkipList) randomLevel() int {
 // protects prev/curr/next with three rotating slots and validates the
 // incoming edge of prev after every successor protection.
 func (s *SkipList) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
-	arena, dom := s.arena, s.dom
-	dom.BeginOp(h)
-	defer dom.EndOp(h)
+	arena := s.arena
+	h.BeginOp()
+	defer h.EndOp()
 retry:
 	for {
 		sc, sn := 1, 2
@@ -147,7 +147,7 @@ retry:
 		var pEdge *atomic.Uint64 // incoming edge of prev (nil for the head)
 		var pExpect uint64
 		cell := &s.heads[level]
-		curr := dom.Protect(h, sc, cell) // head cells are never marked
+		curr := h.Protect(sc, cell) // head cells are never marked
 		for {
 			// Advance horizontally while curr.Key < key.
 			for !curr.IsNil() {
@@ -155,7 +155,7 @@ retry:
 				if cn.Key >= key {
 					break
 				}
-				next := dom.Protect(h, sn, &cn.Next[level])
+				next := h.Protect(sn, &cn.Next[level])
 				// A marked load means curr's tower is being (or has been)
 				// deleted: its cells will never change again, so only the
 				// mark reveals the staleness.
@@ -197,7 +197,7 @@ retry:
 			} else {
 				cell = &prev.Next[level]
 			}
-			curr = dom.Protect(h, sc, cell)
+			curr = h.Protect(sc, cell)
 			if curr.Marked() {
 				continue retry // prev's tower is being deleted
 			}
@@ -294,7 +294,7 @@ func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
 			preds[l].Store(uint64(mem.Ref(n.Next[l].Load()).Unmarked()))
 		}
 	}
-	s.dom.Retire(h, found)
+	h.Retire(found)
 	s.size--
 	return true
 }
@@ -306,15 +306,15 @@ func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
 // the scan from the current key (elements already reported are not
 // repeated — the cursor key only moves forward).
 func (s *SkipList) Range(h *reclaim.Handle, from, to uint64, fn func(key, val uint64) bool) int {
-	arena, dom := s.arena, s.dom
+	arena := s.arena
 	count := 0
 	cursor := from
 	for cursor < to {
 		// Locate the first key >= cursor with a protected descent, then
 		// walk level 0 until invalidated.
-		dom.BeginOp(h)
+		h.BeginOp()
 		visited, next, again := s.rangeSegment(h, cursor, to, fn, arena)
-		dom.EndOp(h)
+		h.EndOp()
 		count += visited
 		if !again {
 			return count
@@ -328,7 +328,6 @@ func (s *SkipList) Range(h *reclaim.Handle, from, to uint64, fn func(key, val ui
 // elements < to. It returns how many were reported, the key to resume from
 // after an invalidation, and whether the scan must continue.
 func (s *SkipList) rangeSegment(h *reclaim.Handle, cursor, to uint64, fn func(key, val uint64) bool, arena *mem.Arena[Node]) (int, uint64, bool) {
-	dom := s.dom
 retry:
 	for {
 		// Protected descent to the first candidate at level 0 (same
@@ -339,14 +338,14 @@ retry:
 		var pEdge *atomic.Uint64
 		var pExpect uint64
 		cell := &s.heads[level]
-		curr := dom.Protect(h, sc, cell)
+		curr := h.Protect(sc, cell)
 		for {
 			for !curr.IsNil() {
 				cn := arena.Get(curr)
 				if cn.Key >= cursor {
 					break
 				}
-				next := dom.Protect(h, sn, &cn.Next[level])
+				next := h.Protect(sn, &cn.Next[level])
 				if next.Marked() {
 					continue retry
 				}
@@ -368,7 +367,7 @@ retry:
 			} else {
 				cell = &prev.Next[level]
 			}
-			curr = dom.Protect(h, sc, cell)
+			curr = h.Protect(sc, cell)
 			if curr.Marked() {
 				continue retry
 			}
@@ -389,7 +388,7 @@ retry:
 			}
 			count++
 			resume := cn.Key + 1
-			next := dom.Protect(h, sn, &cn.Next[0])
+			next := h.Protect(sn, &cn.Next[0])
 			if next.Marked() || cell.Load() != uint64(curr) {
 				// Invalidated mid-scan: resume past the last reported key.
 				return count, resume, true

@@ -101,12 +101,12 @@ func (s *Stack) Push(h *reclaim.Handle, v uint64) {
 
 // Pop removes and returns the top value; ok is false on empty.
 func (s *Stack) Pop(h *reclaim.Handle) (v uint64, ok bool) {
-	s.dom.BeginOp(h)
+	h.BeginOp()
 	var victim mem.Ref
 	for {
-		topRef := s.dom.Protect(h, 0, &s.top)
+		topRef := h.Protect(0, &s.top)
 		if topRef.IsNil() {
-			s.dom.EndOp(h)
+			h.EndOp()
 			return 0, false
 		}
 		n := s.arena.Get(topRef)
@@ -119,8 +119,8 @@ func (s *Stack) Pop(h *reclaim.Handle) (v uint64, ok bool) {
 			break
 		}
 	}
-	s.dom.EndOp(h)
-	s.dom.Retire(h, victim)
+	h.EndOp()
+	h.Retire(victim)
 	return v, ok
 }
 

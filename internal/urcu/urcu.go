@@ -53,6 +53,12 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 	d := &Domain{Base: reclaim.NewBase(alloc, cfg, 1, unassigned)}
 	d.Base.Dom = d
 	d.updaterVersion.Store(1)
+	// Era view for the observability layer: a reader's announcement is the
+	// version it pins; quiescent sessions publish the unassigned sentinel.
+	d.SetObsEraView(d.updaterVersion.Load, func(words []atomicx.PaddedUint64) (uint64, bool) {
+		w := words[0].Load()
+		return w, w != unassigned
+	})
 	return d
 }
 
@@ -127,6 +133,9 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	h.Words[0].Store(unassigned)
 	h.PushRetired(ref)
 	d.Synchronize()
+	// Synchronize carries no session (tests call it directly), so the era
+	// advance it performed is attributed to the retiring session here.
+	h.ObsEra(d.updaterVersion.Load())
 	// After the grace period the object is unreachable by construction.
 	h.NoteScan()
 	rlist := h.Retired()
@@ -134,6 +143,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 		h.FreeRetired(obj)
 	}
 	h.SetRetired(rlist[:0])
+	h.NoteScanEnd()
 }
 
 // Drain implements reclaim.Domain.

@@ -348,7 +348,7 @@ func (q *Queue) maxPhase(h *Handle) uint64 {
 	var maxP uint64
 	for blk := q.stateHead; blk != nil; blk = blk.next.Load() {
 		for i := range blk.cells {
-			dref := q.ddom.Protect(h.d, 0, &blk.cells[i])
+			dref := h.d.Protect(0, &blk.cells[i])
 			if p := q.descs.Get(dref).Phase; p > maxP {
 				maxP = p
 			}
@@ -360,7 +360,7 @@ func (q *Queue) maxPhase(h *Handle) uint64 {
 // isStillPending re-reads announcement cell's descriptor and reports
 // whether an operation with phase <= ph is still in flight there.
 func (q *Queue) isStillPending(h *Handle, cell *atomic.Uint64, ph uint64) bool {
-	dref := q.ddom.Protect(h.d, 0, cell)
+	dref := h.d.Protect(0, cell)
 	d := q.descs.Get(dref)
 	return d.Pending && d.Phase <= ph
 }
@@ -386,7 +386,7 @@ func (q *Queue) endOp(h *Handle) {
 	q.ndom.EndOp(h.n)
 	q.ddom.EndOp(h.d)
 	for _, ref := range h.deferred {
-		q.ddom.Retire(h.d, ref)
+		h.d.Retire(ref)
 	}
 	h.deferred = h.deferred[:0]
 }
@@ -399,7 +399,7 @@ func (q *Queue) help(h *Handle, ph uint64) {
 	for blk := q.stateHead; blk != nil; blk = blk.next.Load() {
 		for i := range blk.cells {
 			cell := &blk.cells[i]
-			dref := q.ddom.Protect(h.d, 0, cell)
+			dref := h.d.Protect(0, cell)
 			d := q.descs.Get(dref)
 			if !d.Pending || d.Phase > ph {
 				continue
@@ -418,7 +418,7 @@ func (q *Queue) help(h *Handle, ph uint64) {
 // after the completing descriptor CAS), so the node is linked at most once.
 func (q *Queue) helpEnq(h *Handle, cell *atomic.Uint64, ph uint64) {
 	for q.isStillPending(h, cell, ph) {
-		lastRef := q.ndom.Protect(h.n, 0, &q.tail)
+		lastRef := h.n.Protect(0, &q.tail)
 		last := q.nodes.Get(lastRef)
 		next := mem.Ref(last.Next.Load())
 		if uint64(lastRef) != q.tail.Load() {
@@ -432,7 +432,7 @@ func (q *Queue) helpEnq(h *Handle, cell *atomic.Uint64, ph uint64) {
 		if !q.isStillPending(h, cell, ph) {
 			return
 		}
-		dref := q.ddom.Protect(h.d, 0, cell)
+		dref := h.d.Protect(0, cell)
 		d := q.descs.Get(dref)
 		if !d.Pending || d.Phase > ph || !d.Enqueue {
 			return
@@ -449,9 +449,9 @@ func (q *Queue) helpEnq(h *Handle, cell *atomic.Uint64, ph uint64) {
 // non-pending, THEN advance the tail (the order is what guarantees a node
 // is never linked twice).
 func (q *Queue) helpFinishEnq(h *Handle) {
-	lastRef := q.ndom.Protect(h.n, 2, &q.tail)
+	lastRef := h.n.Protect(2, &q.tail)
 	last := q.nodes.Get(lastRef)
-	nextRef := q.ndom.Protect(h.n, 3, &last.Next)
+	nextRef := h.n.Protect(3, &last.Next)
 	if uint64(lastRef) != q.tail.Load() {
 		return
 	}
@@ -463,7 +463,7 @@ func (q *Queue) helpFinishEnq(h *Handle) {
 	if cell == nil {
 		return
 	}
-	dref := q.ddom.Protect(h.d, 1, cell)
+	dref := h.d.Protect(1, cell)
 	d := q.descs.Get(dref)
 	if uint64(lastRef) == q.tail.Load() && d.Node == nextRef && d.Pending {
 		newRef := q.newDesc(h, d.Phase, false, true, d.Node, 0)
@@ -478,17 +478,17 @@ func (q *Queue) helpFinishEnq(h *Handle) {
 // then finish.
 func (q *Queue) helpDeq(h *Handle, cell *atomic.Uint64, idx int, ph uint64) {
 	for q.isStillPending(h, cell, ph) {
-		firstRef := q.ndom.Protect(h.n, 0, &q.head)
+		firstRef := h.n.Protect(0, &q.head)
 		lastRaw := q.tail.Load()
 		first := q.nodes.Get(firstRef)
-		nextRef := q.ndom.Protect(h.n, 1, &first.Next)
+		nextRef := h.n.Protect(1, &first.Next)
 		if uint64(firstRef) != q.head.Load() {
 			continue
 		}
 		if uint64(firstRef) == lastRaw {
 			if nextRef.IsNil() {
 				// Queue empty: complete the op with a nil node.
-				dref := q.ddom.Protect(h.d, 0, cell)
+				dref := h.d.Protect(0, cell)
 				d := q.descs.Get(dref)
 				if lastRaw != q.tail.Load() {
 					continue
@@ -503,7 +503,7 @@ func (q *Queue) helpDeq(h *Handle, cell *atomic.Uint64, idx int, ph uint64) {
 			q.helpFinishEnq(h)
 			continue
 		}
-		dref := q.ddom.Protect(h.d, 0, cell)
+		dref := h.d.Protect(0, cell)
 		d := q.descs.Get(dref)
 		if !d.Pending || d.Phase > ph || d.Enqueue {
 			return
@@ -533,9 +533,9 @@ func (q *Queue) helpDeq(h *Handle, cell *atomic.Uint64, idx int, ph uint64) {
 // computes the same value, and the unique winner of the descriptor CAS
 // publishes it.
 func (q *Queue) helpFinishDeq(h *Handle) {
-	firstRef := q.ndom.Protect(h.n, 2, &q.head)
+	firstRef := h.n.Protect(2, &q.head)
 	first := q.nodes.Get(firstRef)
-	nextRef := q.ndom.Protect(h.n, 3, &first.Next)
+	nextRef := h.n.Protect(3, &first.Next)
 	if uint64(firstRef) != q.head.Load() {
 		return
 	}
@@ -554,7 +554,7 @@ func (q *Queue) helpFinishDeq(h *Handle) {
 	if cell == nil {
 		return
 	}
-	dref := q.ddom.Protect(h.d, 1, cell)
+	dref := h.d.Protect(1, cell)
 	d := q.descs.Get(dref)
 	if uint64(firstRef) != q.head.Load() {
 		return
@@ -611,7 +611,7 @@ func (q *Queue) Dequeue(h *Handle) (v uint64, ok bool) {
 	q.helpFinishDeq(h)
 
 	// Our descriptor is now complete; it names the sentinel we own.
-	dref := q.ddom.Protect(h.d, 0, h.cell)
+	dref := h.d.Protect(0, h.cell)
 	d := q.descs.Get(dref)
 	node := d.Node
 	if node.IsNil() {
@@ -627,7 +627,7 @@ func (q *Queue) Dequeue(h *Handle) (v uint64, ok bool) {
 	// We own the old sentinel: retire it. (Our completed descriptor still
 	// names it, but Node of a non-pending descriptor is only dereferenced
 	// by its owner, i.e. by this session's NEXT operation's Swap-retire.)
-	q.ndom.Retire(h.n, node)
+	h.n.Retire(node)
 	return v, true
 }
 

@@ -24,6 +24,45 @@ echo "== schedule-injection suites (linearizability + safety oracles) =="
 go test -race ./internal/schedtest/ ./internal/linz/
 go run ./cmd/hecheck -seeds 2
 go run ./cmd/hecheck -mutate skip-publish -scheme HE -seeds 8 > /dev/null
+echo "== observability (recorder/hub races, live scrape, sampler) =="
+go test -race ./internal/obs/
+go test -race -run 'TestObs|TestStatsPool|TestStatsPending' ./internal/reclaim/
+obstmp=$(mktemp -d)
+trap 'rm -rf "$obstmp"' EXIT
+go build -o "$obstmp/hebench" ./cmd/hebench
+"$obstmp/hebench" -exp stalled -dur 100ms -threads 2 \
+  -metrics 127.0.0.1:0 -hold 60s -sample "$obstmp/pending.jsonl" \
+  > "$obstmp/hebench.out" 2>&1 &
+obspid=$!
+addr=""
+for _ in $(seq 1 150); do
+  addr=$(sed -n 's|^metrics: http://\([^/]*\)/metrics$|\1|p' "$obstmp/hebench.out")
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "hebench never announced its metrics address"; cat "$obstmp/hebench.out"; exit 1; }
+# Let the stalled experiment populate the domains, then scrape.
+for _ in $(seq 1 150); do
+  curl -sf "http://$addr/metrics" 2>/dev/null | grep -q 'smr_retired_total{scheme="HE"}' && break
+  sleep 0.2
+done
+scrape=$(curl -sf "http://$addr/metrics")
+for series in \
+  'smr_retired_total{scheme="HE"}' \
+  'smr_freed_total{scheme="HE"}' \
+  'smr_pending{scheme="HE"}' \
+  'smr_era_lag_max{scheme="HE"}' \
+  'smr_scan_latency_ns_bucket{scheme="HE"' \
+  'smr_retired_total{scheme="EBR"}' \
+  'smr_retired_total{scheme="HP"}'; do
+  echo "$scrape" | grep -qF "$series" || { echo "missing series: $series"; exit 1; }
+done
+curl -sf "http://$addr/metrics.json" | grep -q '"scheme"' || { echo "/metrics.json empty"; exit 1; }
+kill "$obspid" 2>/dev/null || true
+wait "$obspid" 2>/dev/null || true
+grep -q '"scheme":"HE"' "$obstmp/pending.jsonl" || { echo "sampler JSONL empty"; exit 1; }
+echo "== observability overhead (enabled vs disabled) =="
+go test -run '^$' -bench 'RetireScanObs|HandleOpsObs' -benchtime 200ms -cpu 8 ./internal/reclaim/
 if [ "$mode" = "full" ]; then
   echo "== race =="
   go test -race ./...
