@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/reclaim"
 )
 
 func main() {
@@ -40,8 +41,14 @@ func main() {
 		sample  = flag.String("sample", "", "append per-domain observability snapshots to this file as JSON lines")
 		every   = flag.Duration("sample-every", 100*time.Millisecond, "sampling interval for -sample")
 		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint alive this long after the experiments finish (so scrapers catch the final state)")
+		offload = flag.Int("offload", 0, "background reclaimer goroutines per domain (0 = inline reclamation)")
+		offWm   = flag.Int64("offload-watermark", 0, "offload backpressure watermark in pending bytes (0 = 8x the inline scan-threshold footprint)")
 	)
 	flag.Parse()
+
+	if *offload > 0 {
+		bench.SetOffload(reclaim.OffloadConfig{Workers: *offload, WatermarkBytes: *offWm})
+	}
 
 	if *metrics != "" || *sample != "" {
 		hub := obs.NewHub()

@@ -32,6 +32,7 @@ import (
 	"repro/internal/list"
 	"repro/internal/queue"
 	"repro/internal/skiplist"
+	"repro/internal/reclaim"
 	"repro/internal/stack"
 	"repro/internal/wfqueue"
 )
@@ -76,9 +77,14 @@ func main() {
 		metrics = flag.String("metrics", "", "serve live metrics on this address (/metrics, /metrics.json, /events.json, /debug/pprof); e.g. :9090")
 		sample  = flag.String("sample", "", "append per-domain observability snapshots to this file as JSON lines")
 		every   = flag.Duration("sample-every", 100*time.Millisecond, "sampling interval for -sample")
+		offload = flag.Int("offload", 0, "background reclaimer goroutines per domain (0 = inline reclamation)")
 	)
 	flag.Parse()
 	growMode = *grow
+
+	if *offload > 0 {
+		bench.SetOffload(reclaim.OffloadConfig{Workers: *offload})
+	}
 
 	if *metrics != "" || *sample != "" {
 		hub := obs.NewHub()

@@ -17,6 +17,14 @@ import "sync/atomic"
 // costs performance, never correctness.
 const CacheLineSize = 64
 
+// CacheLinePad is an embeddable whole-line spacer for separating a hot field
+// from whatever precedes it in a struct. PaddedUint64 pads only *after* its
+// value, which isolates elements of a slice from each other but leaves the
+// first element sharing a line with the preceding struct fields; placing a
+// CacheLinePad before such a field (e.g. a global era clock following an
+// embedded registry header) completes the isolation.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
 // PaddedUint64 is an atomic uint64 that occupies an entire cache line, so
 // that adjacent per-thread slots (hazard-era entries, epoch announcements,
 // reader versions) never false-share.

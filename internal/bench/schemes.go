@@ -37,6 +37,21 @@ func SetObsHub(hub *obs.Hub) { obsHub = hub }
 // ObsHub returns the hub installed by SetObsHub, or nil.
 func ObsHub() *obs.Hub { return obsHub }
 
+// offloadCfg, when Workers > 0, is applied to every subsequently constructed
+// scheme domain: retired batches go to that many background reclaimer
+// goroutines per domain instead of being scanned inline (reclaim's offload
+// pipeline). Schemes without an on-demand scan (RC, leak) ignore it.
+var offloadCfg reclaim.OffloadConfig
+
+// SetOffload routes all subsequently constructed scheme domains through the
+// background reclamation pipeline (zero value turns it back off). Drivers
+// call this once at startup when -offload is requested; like SetObsHub it is
+// not safe to flip while structures are being built concurrently.
+func SetOffload(oc reclaim.OffloadConfig) { offloadCfg = oc }
+
+// Offload returns the pipeline configuration installed by SetOffload.
+func Offload() reclaim.OffloadConfig { return offloadCfg }
+
 // obsCapable is satisfied by every scheme through the promoted
 // reclaim.Base.EnableObs.
 type obsCapable interface{ EnableObs(*obs.Domain) }
@@ -46,6 +61,9 @@ type obsCapable interface{ EnableObs(*obs.Domain) }
 // parameterized variants (HE-R1, HE-k10) stay distinguishable.
 func scheme(name string, mk Factory) Scheme {
 	return Scheme{name, func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		if c.Offload.Workers == 0 {
+			c.Offload = offloadCfg
+		}
 		d := mk(a, c)
 		if hub := obsHub; hub != nil {
 			if oc, ok := d.(obsCapable); ok {

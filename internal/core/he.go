@@ -74,6 +74,11 @@ func WithMinMax(on bool) Option {
 type Eras struct {
 	reclaim.Base
 
+	// The leading pad gives the clock a cache line of its own: PaddedUint64
+	// pads only after its value, so without it the hottest word in the
+	// domain (bumped on every retire) would share a line with the embedded
+	// Base's trailing fields.
+	_        atomicx.CacheLinePad
 	eraClock atomicx.PaddedUint64
 
 	advanceEvery uint64
@@ -274,7 +279,7 @@ func (d *Eras) Retire(h *reclaim.Handle, ref mem.Ref) {
 		// advance, which only makes eras pass faster.
 		h.ObsEra(d.eraClock.Add(1))
 	}
-	if h.ScanDue() {
+	if h.ScanDue() && !h.TryOffload() {
 		d.scan(h)
 	}
 }

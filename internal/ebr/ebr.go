@@ -44,6 +44,9 @@ const gracePeriods = 2
 type Domain struct {
 	reclaim.Base
 
+	// Leading pad: keep the epoch clock off the line holding the embedded
+	// Base's trailing fields (PaddedUint64 pads only after).
+	_           atomicx.CacheLinePad
 	globalEpoch atomicx.PaddedUint64
 }
 
@@ -104,7 +107,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	d.Alloc.Header(ref).RetireEra = e
 	h.PushRetired(ref)
 	d.tryAdvance(h, e)
-	if h.ScanDue() {
+	if h.ScanDue() && !h.TryOffload() {
 		d.scan(h)
 	}
 }
@@ -128,6 +131,11 @@ func (d *Domain) tryAdvance(h *reclaim.Handle, observed uint64) {
 		h.ObsEra(observed + 1)
 	}
 }
+
+// Scan runs one reclamation pass over the session's retired list regardless
+// of the threshold — the ScanNow escape hatch, and the entry point the
+// background reclamation pipeline dispatches through.
+func (d *Domain) Scan(h *reclaim.Handle) { d.scan(h) }
 
 // scan frees every retired object that has aged at least gracePeriods
 // epochs.

@@ -122,7 +122,7 @@ func (d *Pointers) Protect(h *reclaim.Handle, index int, src *atomic.Uint64) mem
 // every session exactly once.
 func (d *Pointers) Retire(h *reclaim.Handle, ref mem.Ref) {
 	h.PushRetired(ref)
-	if h.ScanDue() {
+	if h.ScanDue() && !h.TryOffload() {
 		d.scan(h)
 	}
 }

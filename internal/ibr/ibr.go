@@ -46,6 +46,9 @@ const inactive = 0
 type Domain struct {
 	reclaim.Base
 
+	// Leading pad: keep the per-retire clock off the line holding the
+	// embedded Base's trailing fields (PaddedUint64 pads only after).
+	_        atomicx.CacheLinePad
 	eraClock atomicx.PaddedUint64
 
 	advanceEvery uint64
@@ -156,7 +159,7 @@ func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 		schedtest.Point(schedtest.PointEra)
 		h.ObsEra(d.eraClock.Add(1))
 	}
-	if h.ScanDue() {
+	if h.ScanDue() && !h.TryOffload() {
 		d.scan(h)
 	}
 }

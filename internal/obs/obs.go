@@ -108,6 +108,19 @@ type Stats struct {
 	PoolMisses  int64  `json:"pool_misses"`
 }
 
+// OffloadStats are the background-reclamation pipeline gauges a domain with
+// offloading enabled exports: queue depth (refs and bytes), the backpressure
+// watermark, and the handoff/inline-fallback counters. Mirrored here rather
+// than imported for the same reason as Stats — reclaim depends on obs.
+type OffloadStats struct {
+	Workers        int64 `json:"workers"`
+	QueuedRefs     int64 `json:"queued_refs"`
+	QueuedBytes    int64 `json:"queued_bytes"`
+	WatermarkBytes int64 `json:"watermark_bytes"`
+	Handoffs       int64 `json:"handoffs"`
+	Fallbacks      int64 `json:"fallbacks"`
+}
+
 // Domain is one reclamation domain's observability state. It is built by
 // NewDomain, configured by the reclaim wiring (SetStatsSource, SetEraSource,
 // SetObjectBytes) and attached to a Hub for export. All recording entry
@@ -123,11 +136,13 @@ type Domain struct {
 	protect *Histogram
 	retire  *Histogram
 	scan    *Histogram
+	offload *Histogram // handoff-to-reclaimed latency (offload pipeline)
 
 	// Installed by reclaim.Base.EnableObs; read by snapshots only.
 	stats    func() Stats
 	clock    func() uint64
 	sessions func(yield func(session int, era uint64))
+	offStats func() OffloadStats
 	objBytes uint64
 }
 
@@ -147,6 +162,7 @@ func NewDomain(name string, cfg Config) *Domain {
 		protect:  NewHistogram(cfg.Sessions),
 		retire:   NewHistogram(cfg.Sessions),
 		scan:     NewHistogram(cfg.Sessions),
+		offload:  NewHistogram(cfg.Sessions),
 	}
 	for i := range d.rings {
 		d.rings[i].init(cfg.RingEvents)
@@ -176,6 +192,10 @@ func (d *Domain) RetireStripe(session int) *LatencyStripe { return d.retire.Stri
 // ScanStripe returns the session's scan-latency histogram stripe.
 func (d *Domain) ScanStripe(session int) *LatencyStripe { return d.scan.Stripe(session) }
 
+// OffloadStripe returns the offload-latency histogram stripe for a
+// background-reclaimer session: it records handoff-to-reclaimed time.
+func (d *Domain) OffloadStripe(session int) *LatencyStripe { return d.offload.Stripe(session) }
+
 // SetStatsSource installs the reclamation-statistics closure (wiring time
 // only; called by reclaim.Base.EnableObs).
 func (d *Domain) SetStatsSource(fn func() Stats) { d.stats = fn }
@@ -191,6 +211,12 @@ func (d *Domain) SetEraSource(clock func() uint64, sessions func(yield func(sess
 // SetObjectBytes records the per-object footprint (the arena slot size) so
 // pending counts convert to pending bytes.
 func (d *Domain) SetObjectBytes(n uint64) { d.objBytes = n }
+
+// SetOffloadSource installs the background-reclamation gauge closure for
+// domains with the offload pipeline enabled (wiring time only; called by
+// reclaim.Base.EnableObs). Domains without offloading leave it nil and
+// export no smr_offload_* series.
+func (d *Domain) SetOffloadSource(fn func() OffloadStats) { d.offStats = fn }
 
 // SessionEra is one session's published-era reading in a snapshot.
 type SessionEra struct {
@@ -219,6 +245,11 @@ type DomainSnapshot struct {
 	Protect HistSnapshot `json:"protect_ns"`
 	Retire  HistSnapshot `json:"retire_ns"`
 	Scan    HistSnapshot `json:"scan_ns"`
+
+	// Background-reclamation gauges; present only when the domain has the
+	// offload pipeline enabled.
+	Offload    *OffloadStats `json:"offload,omitempty"`
+	OffloadLat HistSnapshot  `json:"offload_latency_ns"`
 }
 
 // Snapshot assembles the current DomainSnapshot. Safe to call concurrently
@@ -234,6 +265,11 @@ func (d *Domain) Snapshot() DomainSnapshot {
 	}
 	if d.stats != nil {
 		s.Stats = d.stats()
+	}
+	if d.offStats != nil {
+		off := d.offStats()
+		s.Offload = &off
+		s.OffloadLat = d.offload.Snapshot()
 	}
 	s.PendingBytes = s.Pending * int64(d.objBytes)
 	if d.clock != nil && d.sessions != nil {

@@ -30,6 +30,11 @@ type Config struct {
 	ScanR int
 	// Instrument, when non-nil, enables reader-side atomic-op counting.
 	Instrument *Instrument
+	// Offload, when Workers > 0, enables the background reclamation
+	// pipeline: sessions hand retired batches to N reclaimer goroutines
+	// instead of scanning inline, falling back to inline scan when the
+	// pending-bytes watermark is reached (see offload.go).
+	Offload OffloadConfig
 }
 
 // Defaulted returns cfg with zero fields replaced by sane defaults.
@@ -129,6 +134,10 @@ type Base struct {
 	obsDom       *obs.Domain
 	obsEraClock  func() uint64
 	obsEraDecode func(words []atomicx.PaddedUint64) (era uint64, ok bool)
+
+	// off, when non-nil, is the background reclamation pipeline
+	// (Config.Offload; see offload.go). Hot paths pay one nil check.
+	off *offloader
 }
 
 // SetFreeGuard installs (or, with nil, removes) the reclamation-path free
@@ -175,6 +184,9 @@ func (b *Base) EnableObs(d *obs.Domain) {
 	if sb, ok := b.Alloc.(interface{ SlotBytes() uintptr }); ok {
 		d.SetObjectBytes(uint64(sb.SlotBytes()))
 	}
+	if o := b.off; o != nil {
+		d.SetOffloadSource(o.stats)
+	}
 	if b.obsEraClock != nil && b.obsEraDecode != nil {
 		d.SetEraSource(b.obsEraClock, func(yield func(session int, era uint64)) {
 			for blk := b.head; blk != nil; blk = blk.Next() {
@@ -220,6 +232,10 @@ func NewBase(alloc Allocator, cfg Config, wordsPerSlot int, initWord uint64) Bas
 		retired:       atomicx.NewStripedCounter(cfg.MaxThreads),
 		freed:         atomicx.NewStripedCounter(cfg.MaxThreads),
 		scans:         atomicx.NewStripedCounter(cfg.MaxThreads),
+		// The offloader is heap-allocated and holds no *Base (workers
+		// resolve the domain lazily at the first handoff), so the Base
+		// value the caller embeds shares it safely.
+		off: newOffloader(cfg.Offload, alloc, threshold, cfg.MaxThreads),
 	}
 }
 
@@ -437,7 +453,18 @@ func (b *Base) abandon(s *Slot) {
 // DrainAll unconditionally frees every pending retired object in every
 // slot's list (registered, pooled, or recycled) and the orphan pool. Only
 // safe at quiescence (the paper's destructor).
+//
+// The background reclamation pipeline (if any) is shut down first: its
+// workers run a final drain+scan and unregister — abandoning survivors to
+// the orphan pool — and any still-queued segment is flushed directly, so
+// the registry walk below observes every outstanding object and Pending
+// reads 0 afterwards. Pooled handles need no special casing: Release keeps
+// the retired list with the slot, and the walk visits every slot whether
+// its session is registered, pooled, or recycled.
 func (b *Base) DrainAll() {
+	if o := b.off; o != nil {
+		o.shutdown(b)
+	}
 	for blk := b.head; blk != nil; blk = blk.Next() {
 		for i := range blk.slots {
 			s := &blk.slots[i]

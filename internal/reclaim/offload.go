@@ -1,0 +1,476 @@
+package reclaim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/schedtest"
+)
+
+// This file implements the background reclamation offload: an opt-in
+// per-domain pipeline that takes scan+free work off application threads.
+//
+// The retire path's remaining cost after amortization (PR 1) is the scan
+// itself: every scanThreshold-th retire stalls its caller for a full
+// sorted-snapshot walk plus a batch of frees. With offload enabled, that
+// session instead hands its full retired batch to a background reclaimer
+// through a lock-free MPSC segment queue and returns immediately; N worker
+// goroutines — each a registered session of the same domain, so the scheme's
+// existing scan pass and FreeBatchAt frees (and the SetFreeGuard oracle
+// hook) apply unchanged — partition the handoffs and reclaim in parallel.
+//
+// # Handoff protocol and memory ordering
+//
+// Each worker owns one Treiber-style intrusive stack of fixed-size segments
+// (offStack). Producers CAS-push; ONLY the owning worker ever removes, and
+// it removes everything at once with a single Swap(nil). Single-consumer
+// detach-all is what makes recycled segments safe: the classic Treiber ABA
+// hazard needs a concurrent pop to observe a stale head/next pair, and a
+// Swap has no expected-value to be stale about. Segment recycling goes
+// through a small mutex-guarded pool — one lock round-trip per ~threshold
+// retires is cold by construction, and it keeps the steady state
+// allocation-free without reintroducing a CAS-pop anywhere.
+//
+// Publication is the standard Go-atomics (seq-cst) argument: a producer
+// fully writes seg.{refs,n,t0} before the head CAS publishes the segment,
+// and the consumer's Swap(nil) load of head synchronizes with that CAS, so
+// every segment the consumer walks is complete. The queuedRefs gauge is
+// incremented before the push and decremented by the worker only after its
+// scan returns, so the watermark check conservatively over-counts in-flight
+// work — backpressure can only trip early, never late.
+//
+// # Backpressure (robustness)
+//
+// TryOffload refuses a handoff once queuedRefs×slotBytes reaches the
+// watermark, bumping the fallback counter; the caller then scans inline
+// exactly as in offload-disabled mode. Bounded-memory guarantee: pending
+// bytes never exceed the watermark plus what inline mode itself would hold,
+// so the paper's Equation 1 bound degrades to a configurable factor of
+// itself rather than growing without bound when the reclaimer lags. The
+// default watermark is WatermarkFactor × the Equation 1 scan threshold ×
+// MaxThreads × the arena slot size.
+//
+// # Shutdown
+//
+// Drain/DrainAll (quiescence only, like the paper's destructor) stops the
+// pipeline deterministically: mark stopped (new handoffs fall back inline
+// forever), close the stop channel, and wait for workers — each drains its
+// queue a final time, scans, and unregisters, abandoning survivors to the
+// orphan pool. Any segment pushed after a worker's last drain is flushed
+// directly by DrainAll before the registry walk, so Stats.Pending reads 0.
+
+// OffloadConfig configures a domain's background reclamation pipeline.
+// The zero value disables offloading entirely (no goroutines, no queues;
+// TryOffload is a nil check).
+type OffloadConfig struct {
+	// Workers is the number of background reclaimer goroutines. 0 disables
+	// offloading; negative values are treated as 0.
+	Workers int
+	// WatermarkBytes is the backpressure threshold: when the bytes queued
+	// for background reclamation (queued refs × arena slot size) reach it,
+	// TryOffload fails and the retiring session scans inline. 0 derives the
+	// default from WatermarkFactor.
+	WatermarkBytes int64
+	// WatermarkFactor scales the default watermark: factor × scan threshold
+	// × MaxThreads × slot bytes, i.e. the offload pipeline may hold at most
+	// `factor` times the retired-list memory the inline Equation 1 bound
+	// already tolerates. 0 means 8. Ignored when WatermarkBytes is set.
+	WatermarkFactor int
+}
+
+// Scanner is the scheme-side entry point the background reclaimers dispatch
+// through: one reclamation pass over h's retired list, keeping survivors in
+// place. Every scheme with a retired list exports it (HE, HP, EBR, URCU,
+// IBR); schemes without one (RC, leak) don't, and their domains never
+// offload.
+type Scanner interface {
+	Scan(h *Handle)
+}
+
+// offSegCap is the segment payload size. 64 refs = 512 bytes of payload per
+// segment; a handoff of one scan threshold's worth of refs uses a handful.
+const offSegCap = 64
+
+// offSpinNs bounds the post-batch poll window of a reclaimer before it
+// parks on its notify channel (see the spin loop in run).
+const offSpinNs = 100_000
+
+// offSegment is one queue link. All fields except next are written only
+// before publication (CAS into a queue) and read only after detach.
+type offSegment struct {
+	next atomic.Pointer[offSegment]
+	n    int
+	t0   int64 // obs.Now() at handoff, for the offload-latency histogram
+	refs [offSegCap]mem.Ref
+}
+
+// offStack is one worker's MPSC handoff queue: multi-producer CAS push,
+// single-consumer Swap(nil) detach-all. Padded so adjacent workers' heads
+// never false-share.
+type offStack struct {
+	head atomic.Pointer[offSegment]
+	_    atomicx.CacheLinePad
+}
+
+// push publishes seg and reports whether the queue was empty, i.e. whether
+// the consumer may be parked and needs a wake. Pushes onto a non-empty queue
+// are covered by the wake (or the active drain) of the push that emptied it.
+func (q *offStack) push(seg *offSegment) (wasEmpty bool) {
+	for {
+		old := q.head.Load()
+		seg.next.Store(old)
+		if q.head.CompareAndSwap(old, seg) {
+			return old == nil
+		}
+		schedtest.Point(schedtest.PointCAS)
+	}
+}
+
+func (q *offStack) detach() *offSegment { return q.head.Swap(nil) }
+
+// offloader is the per-domain background reclamation state, owned by Base.
+type offloader struct {
+	workers   int
+	watermark int64
+	slotBytes int64
+
+	queues []offStack
+	notify []chan struct{} // 1-buffered wakeup semaphores, one per worker
+
+	// queuedRefs counts refs handed off but not yet reclaimed by a worker
+	// (incremented before push, decremented after the worker's scan).
+	queuedRefs atomic.Int64
+	handoffs   atomic.Int64
+	fallbacks  atomic.Int64
+
+	// Segment recycling pool. Mutex-guarded on purpose: one push+pop pair
+	// per ~threshold retires is cold, and a lock-free pop would reintroduce
+	// the Treiber ABA problem the queue design just avoided.
+	segMu   sync.Mutex
+	segPool []*offSegment
+
+	// Lazy start: workers launch on the first successful TryOffload, by
+	// which time the scheme constructor has set Base.Dom (NewBase returns
+	// Base by value, so the offloader cannot capture the domain earlier).
+	startMu sync.Mutex
+	started atomic.Bool
+	stopped atomic.Bool // terminal; set by shutdown or a non-Scanner domain
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// newOffloader builds the pipeline state (no goroutines yet). Returns nil
+// when cfg disables offloading.
+func newOffloader(cfg OffloadConfig, alloc Allocator, scanThreshold, maxThreads int) *offloader {
+	if cfg.Workers <= 0 {
+		return nil
+	}
+	slotBytes := int64(1)
+	if sb, ok := alloc.(interface{ SlotBytes() uintptr }); ok {
+		if n := int64(sb.SlotBytes()); n > 0 {
+			slotBytes = n
+		}
+	}
+	watermark := cfg.WatermarkBytes
+	if watermark <= 0 {
+		factor := cfg.WatermarkFactor
+		if factor <= 0 {
+			factor = 8
+		}
+		watermark = int64(factor) * int64(scanThreshold) * int64(maxThreads) * slotBytes
+	}
+	o := &offloader{
+		workers:   cfg.Workers,
+		watermark: watermark,
+		slotBytes: slotBytes,
+		queues:    make([]offStack, cfg.Workers),
+		notify:    make([]chan struct{}, cfg.Workers),
+	}
+	for i := range o.notify {
+		o.notify[i] = make(chan struct{}, 1)
+	}
+	return o
+}
+
+// tryOffload hands h's entire retired list to the pipeline. It returns
+// false — caller must scan inline — when the pipeline is stopped, the
+// domain is not a Scanner, or the watermark is reached (backpressure).
+func (o *offloader) tryOffload(h *Handle) bool {
+	if o.stopped.Load() {
+		return false
+	}
+	if o.queuedRefs.Load()*o.slotBytes >= o.watermark {
+		o.fallbacks.Add(1)
+		return false
+	}
+	if !o.started.Load() && !o.ensureStarted(h.base) {
+		return false
+	}
+	refs := h.Retired()
+	if len(refs) == 0 {
+		return true
+	}
+	// Count the whole batch as queued before the first push so a concurrent
+	// watermark check can only over-estimate the backlog.
+	o.queuedRefs.Add(int64(len(refs)))
+	var t0 int64
+	if h.base.obsDom != nil {
+		t0 = obs.Now() // only the offload-latency histogram reads it
+	}
+	for len(refs) > 0 {
+		seg := o.getSegment()
+		n := copy(seg.refs[:], refs)
+		seg.n = n
+		seg.t0 = t0
+		refs = refs[n:]
+		// Session affinity: one session's handoffs always land on the same
+		// worker, so a burst batches into a single detach and the selection
+		// costs no shared atomic.
+		i := h.slot.id % o.workers
+		if o.queues[i].push(seg) {
+			o.wake(i)
+		}
+	}
+	o.handoffs.Add(1)
+	h.SetRetired(h.Retired()[:0])
+	return true
+}
+
+// ensureStarted launches the worker goroutines once. Returns false when the
+// pipeline cannot run (already shut down, or the domain has no Scan).
+func (o *offloader) ensureStarted(b *Base) bool {
+	o.startMu.Lock()
+	defer o.startMu.Unlock()
+	if o.stopped.Load() {
+		return false
+	}
+	if o.started.Load() {
+		return true
+	}
+	sc, ok := b.Dom.(Scanner)
+	if !ok {
+		// The scheme cannot scan on demand (RC, leak): offloading is
+		// permanently inline for this domain.
+		o.stopped.Store(true)
+		return false
+	}
+	o.stop = make(chan struct{})
+	for i := 0; i < o.workers; i++ {
+		o.wg.Add(1)
+		go o.run(b, sc, i)
+	}
+	o.started.Store(true)
+	return true
+}
+
+// wake nudges worker i; the 1-buffered channel coalesces bursts and the
+// non-blocking send can never lose a wakeup (a full buffer already
+// guarantees a future drain that follows this push in the seq-cst order).
+func (o *offloader) wake(i int) {
+	select {
+	case o.notify[i] <- struct{}{}:
+	default:
+	}
+}
+
+func (o *offloader) getSegment() *offSegment {
+	o.segMu.Lock()
+	if n := len(o.segPool); n > 0 {
+		seg := o.segPool[n-1]
+		o.segPool = o.segPool[:n-1]
+		o.segMu.Unlock()
+		seg.next.Store(nil)
+		return seg
+	}
+	o.segMu.Unlock()
+	return &offSegment{}
+}
+
+func (o *offloader) putSegment(seg *offSegment) {
+	o.segMu.Lock()
+	o.segPool = append(o.segPool, seg)
+	o.segMu.Unlock()
+}
+
+// run is one background reclaimer: a registered session of the domain that
+// folds handed-off batches into its own retired list and runs the scheme's
+// ordinary scan pass — same snapshot walk, same FreeBatchAt frees, same
+// freeGuard oracle hook as an inline scan. Survivors stay in the worker's
+// list and are retried on the next batch; Unregister's final scan + Abandon
+// handles the tail at shutdown.
+func (o *offloader) run(b *Base, sc Scanner, i int) {
+	defer o.wg.Done()
+	schedtest.BeginBystander()
+	defer schedtest.EndBystander()
+	h := b.Register()
+	defer b.Dom.Unregister(h)
+	var lat *obs.LatencyStripe
+	if d := b.obsDom; d != nil {
+		lat = d.OffloadStripe(h.ID())
+	}
+	q := &o.queues[i]
+	// Adaptive spin: after each batch the worker polls its queue for a short
+	// window before parking on the notify channel. Waking a parked goroutine
+	// costs the producer ~1µs in the scheduler — paid on the retire path,
+	// exactly the latency this pipeline exists to remove. While the worker
+	// spins, the producer's wake is elided entirely (the queue stays
+	// non-empty through the spin, so pushes see no empty→non-empty
+	// transition), and sustained traffic never parks. Spinning only helps
+	// when the reclaimers have processors of their own; without that
+	// headroom a yielding spinner just context-switches against the
+	// producers it is supposed to unburden, so the window collapses to zero
+	// and workers park immediately.
+	spin := int64(offSpinNs)
+	if runtime.GOMAXPROCS(0) <= o.workers {
+		spin = 0
+	}
+	for {
+		deadline := obs.Now() + spin
+		for {
+			if q.head.Load() != nil {
+				o.drainQueue(h, sc, q, lat)
+				deadline = obs.Now() + offSpinNs
+				continue
+			}
+			if o.stopped.Load() {
+				o.drainQueue(h, sc, q, lat)
+				return
+			}
+			if obs.Now() >= deadline {
+				break
+			}
+			runtime.Gosched()
+		}
+		select {
+		case <-o.notify[i]:
+			o.drainQueue(h, sc, q, lat)
+		case <-o.stop:
+			o.drainQueue(h, sc, q, lat)
+			return
+		}
+	}
+}
+
+// drainQueue detaches everything queued for this worker, merges it into the
+// worker session's retired list, and runs one scan pass over the union.
+func (o *offloader) drainQueue(h *Handle, sc Scanner, q *offStack, lat *obs.LatencyStripe) {
+	seg := q.detach()
+	if seg == nil {
+		return
+	}
+	total := 0
+	oldest := int64(-1)
+	rl := h.Retired()
+	for seg != nil {
+		next := seg.next.Load()
+		rl = append(rl, seg.refs[:seg.n]...)
+		total += seg.n
+		if oldest < 0 || seg.t0 < oldest {
+			oldest = seg.t0
+		}
+		o.putSegment(seg)
+		seg = next
+	}
+	h.SetRetired(rl)
+	sc.Scan(h)
+	o.queuedRefs.Add(int64(-total))
+	if lat != nil && oldest > 0 {
+		// Handoff-to-reclaimed latency of the oldest segment in the batch —
+		// the figure backpressure tuning cares about. (oldest is 0 when the
+		// batch was handed off before obs was attached.)
+		lat.Record(obs.Now() - oldest)
+	}
+}
+
+// shutdown stops the pipeline deterministically: new handoffs fall back
+// inline, workers drain their queues a final time and unregister, and any
+// segment that slipped in after a worker's last detach is flushed here.
+// Quiescence only (called from DrainAll).
+func (o *offloader) shutdown(b *Base) {
+	o.startMu.Lock()
+	o.stopped.Store(true)
+	// started is cleared so a later Drain (shutdown is re-entered on every
+	// DrainAll) does not close stop twice; stopped stays set, so the
+	// pipeline never restarts.
+	wasStarted := o.started.Swap(false)
+	o.startMu.Unlock()
+	if wasStarted {
+		close(o.stop)
+		o.wg.Wait()
+	}
+	for i := range o.queues {
+		for seg := o.queues[i].detach(); seg != nil; {
+			next := seg.next.Load()
+			for _, ref := range seg.refs[:seg.n] {
+				b.freeAt(0, ref)
+			}
+			o.queuedRefs.Add(int64(-seg.n))
+			o.putSegment(seg)
+			seg = next
+		}
+	}
+}
+
+// stats snapshots the pipeline gauges for the observability layer.
+func (o *offloader) stats() obs.OffloadStats {
+	q := o.queuedRefs.Load()
+	if q < 0 {
+		q = 0
+	}
+	return obs.OffloadStats{
+		Workers:        int64(o.workers),
+		QueuedRefs:     q,
+		QueuedBytes:    q * o.slotBytes,
+		WatermarkBytes: o.watermark,
+		Handoffs:       o.handoffs.Load(),
+		Fallbacks:      o.fallbacks.Load(),
+	}
+}
+
+// ---- Handle / Base surface ----------------------------------------------
+
+// TryOffload hands the session's retired batch to the domain's background
+// reclamation pipeline. It returns false when the caller must reclaim
+// inline instead: offloading disabled (the common case — one nil check),
+// pipeline stopped, or watermark backpressure. Schemes call it at the scan
+// trigger:
+//
+//	if h.ScanDue() && !h.TryOffload() {
+//		d.scan(h)
+//	}
+func (h *Handle) TryOffload() bool {
+	o := h.base.off
+	if o == nil {
+		return false
+	}
+	return o.tryOffload(h)
+}
+
+// Offloading reports whether the domain's background reclamation pipeline
+// is configured and still accepting handoffs. Schemes whose inline path is
+// not a scan (URCU synchronizes and frees on every retire) use it to decide
+// whether to accumulate batches for handoff instead.
+func (h *Handle) Offloading() bool {
+	o := h.base.off
+	return o != nil && !o.stopped.Load()
+}
+
+// OffloadStats returns the pipeline gauges, or zeros when offloading is
+// disabled.
+func (b *Base) OffloadStats() obs.OffloadStats {
+	if b.off == nil {
+		return obs.OffloadStats{}
+	}
+	return b.off.stats()
+}
+
+// Close shuts the domain down at quiescence: it stops the background
+// reclamation pipeline (if any) and frees every pending retired object,
+// leaving Stats().Pending == 0. It is the paper's destructor under its
+// conventional name; promoted through embedding, every scheme satisfies
+// interface{ Close() }.
+func (b *Base) Close() { b.Dom.Drain() }

@@ -1,0 +1,150 @@
+package reclaim_test
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/reclaim"
+)
+
+// Benchmarks for the background reclamation pipeline. Two axes:
+//
+//   - BenchmarkRetireScanOffload: raw retire throughput, inline vs offload,
+//     on the same workload as BenchmarkRetireScan. Run with -cpu 1,4,8 —
+//     the acceptance criteria are "no worse at 1 goroutine, better with
+//     parallelism available".
+//   - BenchmarkRetireP99Offload: the retire-path latency distribution on a
+//     read-mostly mixed workload, timed exactly (every retire bracketed
+//     with the monotonic clock, true quantiles computed from the samples —
+//     the obs histograms' log2 buckets would quantize the comparison).
+//     Inline, the p99 retire carries a full scan (the 1-in-threshold
+//     amortization spike); offloaded, the scan runs on a background
+//     reclaimer and the spike collapses to a segment handoff.
+//
+// Modes: "offload" uses the default watermark, so on a saturated machine it
+// honestly falls back inline; "offload-hiwm" raises the watermark so the
+// pipeline has headroom, which isolates the handoff cost (on a single-core
+// host the workers only run on the producer's yielded timeslices, so the
+// default watermark saturates almost immediately — that regime measures
+// backpressure, not the pipeline).
+
+func offloadBenchModes() []struct {
+	name string
+	oc   reclaim.OffloadConfig
+} {
+	return []struct {
+		name string
+		oc   reclaim.OffloadConfig
+	}{
+		{"inline", reclaim.OffloadConfig{}},
+		{"offload", reclaim.OffloadConfig{Workers: 2}},
+		{"offload-hiwm", reclaim.OffloadConfig{Workers: 2, WatermarkBytes: 1 << 30}},
+	}
+}
+
+func BenchmarkRetireScanOffload(b *testing.B) {
+	for _, m := range offloadBenchModes() {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Offload = m.oc
+			arena := mem.NewArena[bnode]()
+			d := core.New(arena, cfg)
+			b.RunParallel(func(pb *testing.PB) {
+				h := d.Register()
+				defer d.Unregister(h)
+				for pb.Next() {
+					ref, _ := arena.AllocAt(h.ID())
+					d.OnAlloc(ref)
+					d.Retire(h, ref)
+				}
+			})
+			b.StopTimer()
+			d.Drain()
+		})
+	}
+}
+
+func BenchmarkRetireP99Offload(b *testing.B) {
+	const (
+		numCells   = 64
+		updateK    = 8       // 1 update per 8 operations: a read-mostly mix
+		maxSamples = 1 << 21 // per-goroutine cap on recorded retire timings
+	)
+	for _, m := range offloadBenchModes() {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Offload = m.oc
+			arena := mem.NewArena[bnode]()
+			d := core.New(arena, cfg)
+
+			var cells [numCells]atomic.Uint64
+			setup := d.Register()
+			for i := range cells {
+				ref, _ := arena.AllocAt(setup.ID())
+				d.OnAlloc(ref)
+				cells[i].Store(uint64(ref))
+			}
+			d.Unregister(setup)
+
+			var (
+				mu      sync.Mutex
+				samples []int64
+				gctr    atomic.Uint64
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := d.Register()
+				defer d.Unregister(h)
+				local := make([]int64, 0, maxSamples)
+				rng := gctr.Add(1) * 0x9E3779B97F4A7C15
+				k := 0
+				for pb.Next() {
+					ci := int(offSplitmix(&rng) % numCells)
+					if k++; k%updateK != 0 {
+						h.BeginOp()
+						h.Protect(0, &cells[ci])
+						h.EndOp()
+						continue
+					}
+					ref, _ := arena.AllocAt(h.ID())
+					d.OnAlloc(ref)
+					old := mem.Ref(cells[ci].Swap(uint64(ref)))
+					if old.IsNil() {
+						continue
+					}
+					t0 := obs.Now()
+					d.Retire(h, old)
+					if dt := obs.Now() - t0; len(local) < maxSamples {
+						local = append(local, dt)
+					}
+				}
+				mu.Lock()
+				samples = append(samples, local...)
+				mu.Unlock()
+			})
+			b.StopTimer()
+			if m.oc.Workers > 0 {
+				off := d.OffloadStats()
+				b.ReportMetric(float64(off.Handoffs), "handoffs")
+				b.ReportMetric(float64(off.Fallbacks), "fallbacks")
+			}
+			if len(samples) > 0 {
+				sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+				q := func(p float64) float64 {
+					i := int(p * float64(len(samples)-1))
+					return float64(samples[i])
+				}
+				b.ReportMetric(q(0.50), "p50-ns")
+				b.ReportMetric(q(0.99), "p99-ns")
+				b.ReportMetric(q(0.999), "p999-ns")
+				b.ReportMetric(float64(samples[len(samples)-1]), "max-ns")
+			}
+			d.Drain()
+		})
+	}
+}

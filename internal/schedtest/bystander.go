@@ -1,0 +1,73 @@
+package schedtest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Bystander registration: long-lived goroutines that are NOT part of a
+// cooperative schedule (the background reclaimers of reclaim's offload
+// pipeline) still execute library code threaded with Point gates. The token
+// protocol assumes Point is only ever called by the worker currently holding
+// the run token — a call from any other goroutine would mutate the step
+// counter unsynchronized and could hand the token to a worker that never
+// yielded it. Such goroutines declare themselves bystanders: while a
+// controller is installed, their Point calls return immediately without
+// touching the schedule, exactly as if no controller existed.
+//
+// The production fast path is untouched: Point consults the bystander table
+// only when a controller is active AND at least one bystander is registered,
+// so ordinary runs still pay one atomic load per gate.
+
+var (
+	// bystanderN is the fast-path gate: zero means no bystanders exist and
+	// Point skips the table lookup entirely.
+	bystanderN atomic.Int64
+	// bystanders maps goroutine id -> struct{}{} for registered bystanders.
+	bystanders sync.Map
+)
+
+// BeginBystander marks the calling goroutine as outside any cooperative
+// schedule: its Point calls become no-ops while a controller is installed.
+// Pair with EndBystander (defer it) before the goroutine exits — goroutine
+// ids are reused by the runtime.
+func BeginBystander() {
+	bystanders.Store(curGID(), struct{}{})
+	bystanderN.Add(1)
+}
+
+// EndBystander removes the calling goroutine's bystander registration.
+func EndBystander() {
+	if _, ok := bystanders.LoadAndDelete(curGID()); ok {
+		bystanderN.Add(-1)
+	}
+}
+
+// isBystander reports whether the calling goroutine registered itself.
+// Callers must have checked bystanderN != 0 first (the cheap gate).
+func isBystander() bool {
+	_, ok := bystanders.Load(curGID())
+	return ok
+}
+
+// curGID returns the calling goroutine's id, parsed from the runtime.Stack
+// header ("goroutine N [...]"). This is a cold path: it runs only on
+// bystander registration and, during schedule runs that coexist with
+// bystanders, at gates — never in production (bystanderN == 0 whenever the
+// offload pipeline is idle and no controller is installed, and Point checks
+// the controller first).
+func curGID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " and accumulate digits.
+	var id uint64
+	for i := len("goroutine "); i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

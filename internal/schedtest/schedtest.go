@@ -87,9 +87,14 @@ var runMu sync.Mutex
 // Point is the yield gate. Library code calls it at linearization points;
 // with no controller installed it costs one atomic load and an untaken
 // branch. Under a controller it may pass the run token to another worker,
-// i.e. context-switch the cooperative schedule.
+// i.e. context-switch the cooperative schedule. Goroutines registered via
+// BeginBystander (background reclaimers) bypass the schedule entirely — only
+// the token holder may touch the controller.
 func Point(k Kind) {
 	if c := active.Load(); c != nil {
+		if bystanderN.Load() != 0 && isBystander() {
+			return
+		}
 		c.point(k)
 	}
 }
