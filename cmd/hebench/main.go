@@ -43,12 +43,20 @@ func main() {
 		hold    = flag.Duration("hold", 0, "keep the -metrics endpoint alive this long after the experiments finish (so scrapers catch the final state)")
 		offload = flag.Int("offload", 0, "background reclaimer goroutines per domain (0 = inline reclamation)")
 		offWm   = flag.Int64("offload-watermark", 0, "offload backpressure watermark in pending bytes (0 = 8x the inline scan-threshold footprint)")
+		valsize = flag.String("valsize", "0", "per-key []byte payload size: 0 = word values (off), N = fixed N bytes, zipf:N = skewed sizes in [8,N]")
 	)
 	flag.Parse()
 
 	if *offload > 0 {
 		bench.SetOffload(reclaim.OffloadConfig{Workers: *offload, WatermarkBytes: *offWm})
 	}
+
+	sizer, err := bench.ParseValSizer(*valsize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bench.SetValSizer(sizer)
 
 	if *metrics != "" || *sample != "" {
 		hub := obs.NewHub()
@@ -86,6 +94,9 @@ func main() {
 
 	fmt.Printf("hazard-eras benchmark harness — GOMAXPROCS=%d, NumCPU=%d\n",
 		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if sizer != nil {
+		fmt.Printf("byte-value mode: every key carries a -valsize=%s payload through the size-class arena\n", *valsize)
+	}
 	if runtime.NumCPU() < 4 {
 		fmt.Println("note: few cores available; thread counts above NumCPU measure the")
 		fmt.Println("oversubscribed regime (also part of the paper's evaluation).")

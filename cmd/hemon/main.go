@@ -100,6 +100,28 @@ func render(client *http.Client, addr string, events int) (string, error) {
 		}
 	}
 
+	// Size-class occupancy: only domains whose arena exposes class accounting
+	// (byte-value mode) carry the gauges. Class 0 is the typed node slab;
+	// classes 1+ are the byte-payload ladder. Idle classes are elided.
+	for _, s := range snaps {
+		var active []obs.ArenaClass
+		for _, c := range s.Classes {
+			if c.Live != 0 || c.Allocs != 0 {
+				active = append(active, c)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s arena size classes:\n", s.Scheme)
+		fmt.Fprintf(&b, "  %5s %6s %10s %12s %10s %6s %10s %10s %8s %8s\n",
+			"class", "size", "live", "live-bytes", "capacity", "slabs", "allocs", "frees", "spills", "refills")
+		for _, c := range active {
+			fmt.Fprintf(&b, "  %5d %6d %10d %12d %10d %6d %10d %10d %8d %8d\n",
+				c.Class, c.Size, c.Live, c.Live*c.Footprint, c.Capacity, c.Slabs, c.Allocs, c.Frees, c.Spills, c.Refills)
+		}
+	}
+
 	for _, s := range snaps {
 		var active []obs.SessionEra
 		for _, se := range s.Sessions {

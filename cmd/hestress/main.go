@@ -9,11 +9,14 @@
 //	hestress -struct all -scheme all -dur 1s
 //	hestress -struct all -scheme all -dur 1s -grow
 //
-// Structures: list, map, queue, stack, bst, all. Schemes: HE, HE-minmax,
-// HP, EBR, URCU, RC, NONE, all. -grow undersizes every registry so the
-// dynamic session-growth path (Register past the initial capacity) is
-// exercised under full contention; registration never fails either way.
-// Exit status 1 if any fault was detected.
+// Structures: list, map, queue, stack, bst, wfq, skiplist, all. Schemes:
+// HE, HE-minmax, HP, EBR, URCU, RC, NONE, all. -grow undersizes every
+// registry so the dynamic session-growth path (Register past the initial
+// capacity) is exercised under full contention; registration never fails
+// either way. -valsize N (or zipf:N) attaches a variable-size []byte
+// payload to every key of the set-like structures, stressing the byte-class
+// sub-allocator's recycle path alongside node reclamation. Exit status 1 if
+// any fault was detected.
 package main
 
 import (
@@ -78,12 +81,20 @@ func main() {
 		sample  = flag.String("sample", "", "append per-domain observability snapshots to this file as JSON lines")
 		every   = flag.Duration("sample-every", 100*time.Millisecond, "sampling interval for -sample")
 		offload = flag.Int("offload", 0, "background reclaimer goroutines per domain (0 = inline reclamation)")
+		valsize = flag.String("valsize", "0", "per-key []byte payload size for set-like structures: 0 = word values (off), N = fixed N bytes, zipf:N = skewed sizes in [8,N]")
 	)
 	flag.Parse()
 	growMode = *grow
 
 	if *offload > 0 {
 		bench.SetOffload(reclaim.OffloadConfig{Workers: *offload})
+	}
+
+	var err error
+	byteSizer, err = bench.ParseValSizer(*valsize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *metrics != "" || *sample != "" {
@@ -173,6 +184,12 @@ func main() {
 // either way Register never fails — growth is the tentpole guarantee.
 var growMode bool
 
+// byteSizer, when non-nil (-valsize), switches the set-like structures into
+// byte-value mode: every key carries a variable-size payload through the
+// checked byte-class sub-allocator, so payload use-after-free and overruns
+// surface as faults alongside the node-level ones.
+var byteSizer func(key uint64) int
+
 // capFor picks the initial session capacity for a stress run.
 func capFor(threads int) int {
 	if growMode {
@@ -192,10 +209,18 @@ func guard(panics *atomic.Int64, stop *atomic.Bool) {
 	}
 }
 
+// byteGetter is the payload-read entry point the set-like structures expose
+// in byte-value mode; churnSet drives it so stale payload protection (not
+// just stale node protection) is under test.
+type byteGetter interface {
+	GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool)
+}
+
 // churnSet drives a bench.Set with the paper's update workload and constant
 // lookups under a checked arena.
 func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration) (int64, int64) {
 	const keyRange = 256
+	bg, _ := s.(byteGetter)
 	setup := s.Domain().Register()
 	for k := uint64(0); k < keyRange; k++ {
 		s.Insert(setup, k, k)
@@ -218,11 +243,14 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
 				k := rng.Intn(keyRange)
-				if rng.Intn(100) < 30 {
+				switch {
+				case rng.Intn(100) < 30:
 					if s.Remove(h, k) {
 						s.Insert(h, k, k)
 					}
-				} else {
+				case byteSizer != nil && bg != nil && rng.Intn(2) == 0:
+					bg.GetBytes(h, k)
+				default:
 					s.Contains(h, k)
 				}
 				local++
@@ -236,22 +264,34 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 }
 
 func stressList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	l := list.New(list.DomainFactory(s.Make), list.WithChecked(true), list.WithMaxThreads(capFor(threads)))
+	opts := []list.Option{list.WithChecked(true), list.WithMaxThreads(capFor(threads))}
+	if byteSizer != nil {
+		opts = append(opts, list.WithByteValues(byteSizer))
+	}
+	l := list.New(list.DomainFactory(s.Make), opts...)
 	faults, ops := churnSet(l, func() int64 { return l.Arena().Stats().Faults }, threads, dur)
 	l.Drain()
 	return faults, ops
 }
 
 func stressMap(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	m := hashmap.New(list.DomainFactory(s.Make), hashmap.WithChecked(true),
-		hashmap.WithMaxThreads(capFor(threads)), hashmap.WithBuckets(32))
+	opts := []hashmap.Option{hashmap.WithChecked(true),
+		hashmap.WithMaxThreads(capFor(threads)), hashmap.WithBuckets(32)}
+	if byteSizer != nil {
+		opts = append(opts, hashmap.WithByteValues(byteSizer))
+	}
+	m := hashmap.New(list.DomainFactory(s.Make), opts...)
 	faults, ops := churnSet(m, func() int64 { return m.Arena().Stats().Faults }, threads, dur)
 	m.Drain()
 	return faults, ops
 }
 
 func stressBST(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	t := bst.New(bst.DomainFactory(s.Make), bst.WithChecked(true), bst.WithMaxThreads(capFor(threads)))
+	opts := []bst.Option{bst.WithChecked(true), bst.WithMaxThreads(capFor(threads))}
+	if byteSizer != nil {
+		opts = append(opts, bst.WithByteValues(byteSizer))
+	}
+	t := bst.New(bst.DomainFactory(s.Make), opts...)
 	faults, ops := churnSet(t, func() int64 { return t.Arena().Stats().Faults }, threads, dur)
 	t.Drain()
 	return faults, ops
@@ -357,7 +397,11 @@ func stressWFQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64
 }
 
 func stressSkipList(s bench.Scheme, threads int, dur time.Duration) (int64, int64) {
-	sl := skiplist.New(skiplist.DomainFactory(s.Make), skiplist.WithChecked(true), skiplist.WithMaxThreads(capFor(threads)))
+	opts := []skiplist.Option{skiplist.WithChecked(true), skiplist.WithMaxThreads(capFor(threads))}
+	if byteSizer != nil {
+		opts = append(opts, skiplist.WithByteValues(byteSizer))
+	}
+	sl := skiplist.New(skiplist.DomainFactory(s.Make), opts...)
 	faults, ops := churnSet(sl, func() int64 { return sl.Arena().Stats().Faults }, threads, dur)
 	sl.Drain()
 	return faults, ops

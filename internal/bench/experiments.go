@@ -96,7 +96,11 @@ func maxThreadsOf(threads []int) int {
 }
 
 func newList(s Scheme, threads int) *list.List {
-	return list.New(list.DomainFactory(s.Make), list.WithMaxThreads(threads))
+	opts := []list.Option{list.WithMaxThreads(threads)}
+	if valSizer != nil {
+		opts = append(opts, list.WithByteValues(valSizer))
+	}
+	return list.New(list.DomainFactory(s.Make), opts...)
 }
 
 // RunCell builds a fresh list under scheme s, pre-fills it, runs one cell
@@ -340,7 +344,11 @@ func MinMax(w io.Writer, o Options) {
 		t := NewTable("scheme", "Mops", "ratio vs HP", "peak pending")
 		var hpMops float64
 		for _, s := range []Scheme{HP(), HE(), HEMinMax()} {
-			tr := bst.New(bst.DomainFactory(s.Make), bst.WithMaxThreads(o.capFor(th+2)))
+			trOpts := []bst.Option{bst.WithMaxThreads(o.capFor(th + 2))}
+			if valSizer != nil {
+				trOpts = append(trOpts, bst.WithByteValues(valSizer))
+			}
+			tr := bst.New(bst.DomainFactory(s.Make), trOpts...)
 			Prefill(tr, size)
 			res := RunSet(tr, Workload{Size: size, UpdatePercent: upd, Threads: th}, o.Dur, o.Seed)
 			tr.Drain()

@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+func TestParseValSizerOff(t *testing.T) {
+	for _, spec := range []string{"", "0", " 0 "} {
+		fn, err := ParseValSizer(spec)
+		if err != nil || fn != nil {
+			t.Fatalf("ParseValSizer(%q): fn=%t err=%v; want nil, nil", spec, fn != nil, err)
+		}
+	}
+}
+
+func TestParseValSizerFixed(t *testing.T) {
+	fn, err := ParseValSizer("128")
+	if err != nil || fn == nil {
+		t.Fatalf("ParseValSizer(128): %v", err)
+	}
+	for _, key := range []uint64{0, 1, 1 << 40} {
+		if got := fn(key); got != 128 {
+			t.Fatalf("fixed sizer(%d) = %d", key, got)
+		}
+	}
+}
+
+func TestParseValSizerZipf(t *testing.T) {
+	const max = 4096
+	fn, err := ParseValSizer("zipf:4096")
+	if err != nil || fn == nil {
+		t.Fatalf("ParseValSizer(zipf:4096): %v", err)
+	}
+	buckets := map[int]int{}
+	for key := uint64(0); key < 4096; key++ {
+		s := fn(key)
+		if s < 8 || s > max {
+			t.Fatalf("zipf sizer(%d) = %d out of [8,%d]", key, s, max)
+		}
+		if fn(key) != s {
+			t.Fatalf("zipf sizer not deterministic for key %d", key)
+		}
+		buckets[s]++
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("zipf sizer produced only %d distinct sizes: %v", len(buckets), buckets)
+	}
+	// The top octave (max itself) must dominate: it absorbs every key whose
+	// mix has a leading zero bit, i.e. about half of them.
+	if buckets[max] < 4096/3 {
+		t.Fatalf("top octave underpopulated: %d of 4096", buckets[max])
+	}
+}
+
+func TestParseValSizerErrors(t *testing.T) {
+	for _, spec := range []string{"-1", "nope", "zipf:", "zipf:4", "zipf:x"} {
+		if _, err := ParseValSizer(spec); err == nil {
+			t.Fatalf("ParseValSizer(%q) accepted", spec)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/payload"
 	"repro/internal/reclaim"
 )
 
@@ -45,12 +46,14 @@ const (
 )
 
 // Node is a tree cell: a leaf carries Key/Val; an internal routes on bit
-// index Bit (LSB-first) and always has two non-nil children.
+// index Bit (LSB-first) and always has two non-nil children. Val is atomic
+// because in byte-value mode it names a size-class payload block that
+// readers protect through it.
 type Node struct {
 	Kind  uint64
 	Bit   uint64 // internal: the key bit this node routes on
 	Key   uint64 // leaf: full key
-	Val   uint64 // leaf: value
+	Val   atomic.Uint64
 	Child [2]atomic.Uint64
 }
 
@@ -59,6 +62,7 @@ func PoisonNode(n *Node) {
 	n.Key = 0xDEADDEADDEADDEAD
 	n.Kind = 0xDEAD
 	bad := uint64(mem.MakeRef(mem.MaxIndex, 0))
+	n.Val.Store(bad)
 	n.Child[0].Store(bad)
 	n.Child[1].Store(bad)
 }
@@ -69,15 +73,20 @@ type Tree struct {
 	dom   reclaim.Domain
 	root  atomic.Uint64
 	mu    sync.Mutex // serializes writers only; readers never take it
+
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // Option configures a Tree.
 type Option func(*config)
 
 type config struct {
-	checked bool
-	threads int
-	ins     *reclaim.Instrument
+	checked  bool
+	threads  int
+	ins      *reclaim.Instrument
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // WithChecked enables the checked (generation-validated, poisoned) arena.
@@ -89,6 +98,13 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
 func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// WithByteValues stores leaf values as variable-size payload blocks in the
+// arena's size-class space (see list.WithByteValues); sizer maps a key to
+// its payload size.
+func WithByteValues(sizer func(key uint64) int) Option {
+	return func(c *config) { c.byteVals = true; c.valSizer = sizer }
+}
 
 // DomainFactory mirrors list.DomainFactory.
 type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
@@ -105,9 +121,12 @@ func New(mk DomainFactory, opts ...Option) *Tree {
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
+	if c.byteVals {
+		arenaOpts = append(arenaOpts, mem.WithByteClasses[Node]())
+	}
 	arena := mem.NewArena[Node](arenaOpts...)
 	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
-	return &Tree{arena: arena, dom: dom}
+	return &Tree{arena: arena, dom: dom, byteVals: c.byteVals, valSizer: c.valSizer}
 }
 
 // Domain exposes the reclamation domain.
@@ -120,13 +139,33 @@ func bit(key uint64, i uint64) int { return int(key >> i & 1) }
 
 // Contains reports membership of key.
 func (t *Tree) Contains(h *reclaim.Handle, key uint64) bool {
-	_, ok := t.Get(h, key)
+	_, _, ok := t.get(h, key, readNone)
 	return ok
 }
 
-// Get returns the value stored under key. Lock-free; protects the whole
+// Get returns the value stored under key (in byte-value mode, the decoded
+// value word of the payload block). Lock-free; protects the whole
 // root-to-leaf path, one slot per level.
 func (t *Tree) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
+	v, _, ok := t.get(h, key, readVal)
+	return v, ok
+}
+
+// GetBytes returns a copy of key's payload block (byte-value mode only);
+// the copy is taken while the payload is still protected.
+func (t *Tree) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
+	_, buf, ok := t.get(h, key, readCopy)
+	return buf, ok
+}
+
+// get read modes: membership only, decoded value word, payload copy.
+const (
+	readNone = iota
+	readVal
+	readCopy
+)
+
+func (t *Tree) get(h *reclaim.Handle, key uint64, mode int) (val uint64, buf []byte, ok bool) {
 	arena := t.arena
 	h.BeginOp()
 	defer h.EndOp()
@@ -136,15 +175,45 @@ retry:
 		slot := 0
 		cur := h.Protect(slot, edge)
 		if cur.IsNil() {
-			return 0, false
+			return 0, nil, false
 		}
+		// Anchor of cur's parent: the edge Remove's unlink rewrites when it
+		// retires cur (gpEdge in Remove). Tracked for the payload read.
+		var prevEdge *atomic.Uint64
+		var prevExpect uint64
 		for {
 			n := arena.Get(cur)
 			if n.Kind == kindLeaf {
-				if n.Key == key {
-					return n.Val, true
+				if n.Key != key {
+					return 0, nil, false
 				}
-				return 0, false
+				if mode == readNone {
+					return 0, nil, true
+				}
+				if !t.byteVals {
+					return n.Val.Load(), nil, true
+				}
+				// Byte mode: the payload is a separate block that Remove
+				// retires, so it needs its own protection. Publish at
+				// slot+1 (never used by the path itself: a leaf sits at
+				// slot <= MaxDepth-1, and Slots = MaxDepth+1), then
+				// re-validate the edge the unlink rewrites — the one that
+				// led to the leaf's PARENT, or the leaf's own edge when the
+				// leaf is the root. If the anchor still holds, the publish
+				// preceded the unlink and therefore the payload's
+				// retirement, so the retirer's scan must honor this hold.
+				pRef := h.Protect(slot+1, &n.Val)
+				if prevEdge != nil && prevEdge.Load() != prevExpect {
+					continue retry
+				}
+				if edge.Load() != uint64(cur) {
+					continue retry
+				}
+				p := arena.Bytes(pRef)
+				if mode == readCopy {
+					buf = append([]byte(nil), p...)
+				}
+				return payload.Decode(p), buf, true
 			}
 			childEdge := &n.Child[bit(key, n.Bit)]
 			slot++
@@ -154,19 +223,32 @@ retry:
 			if edge.Load() != uint64(cur) {
 				continue retry
 			}
+			prevEdge, prevExpect = edge, uint64(cur)
 			edge = childEdge
 			cur = child
 		}
 	}
 }
 
-// Insert adds key->val; false if already present. Writer-serialized.
+// Insert adds key->val; false if already present. Writer-serialized. In
+// byte-value mode the value is materialized as a valSizer(key)-byte
+// payload block.
 func (t *Tree) Insert(h *reclaim.Handle, key, val uint64) bool {
+	return t.insert(h, key, val, nil)
+}
+
+// InsertBytes adds key->raw, storing a copy of raw as the payload block.
+// Byte-value mode only; the arena faults otherwise.
+func (t *Tree) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
+	return t.insert(h, key, 0, raw)
+}
+
+func (t *Tree) insert(h *reclaim.Handle, key, val uint64, raw []byte) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
 	if mem.Ref(t.root.Load()).IsNil() {
-		leaf := t.newLeaf(h, key, val)
+		leaf := t.newLeaf(h, key, val, raw)
 		t.root.Store(uint64(leaf))
 		return true
 	}
@@ -191,7 +273,7 @@ func (t *Tree) Insert(h *reclaim.Handle, key, val uint64) bool {
 		cur := mem.Ref(edge.Load())
 		n := t.arena.Get(cur)
 		if n.Kind == kindLeaf || n.Bit > diff {
-			leaf := t.newLeaf(h, key, val)
+			leaf := t.newLeaf(h, key, val, raw)
 			inner, in := t.arena.AllocAt(h.ID())
 			in.Kind = kindInternal
 			in.Bit = diff
@@ -205,10 +287,24 @@ func (t *Tree) Insert(h *reclaim.Handle, key, val uint64) bool {
 	}
 }
 
-func (t *Tree) newLeaf(h *reclaim.Handle, key, val uint64) mem.Ref {
+func (t *Tree) newLeaf(h *reclaim.Handle, key, val uint64, raw []byte) mem.Ref {
 	ref, n := t.arena.AllocAt(h.ID())
 	n.Kind = kindLeaf
-	n.Key, n.Val = key, val
+	n.Key = key
+	if t.byteVals || raw != nil {
+		var pRef mem.Ref
+		if raw != nil {
+			pRef = t.arena.PutBytesAt(h.ID(), raw)
+		} else {
+			var p []byte
+			pRef, p = t.arena.AllocBytesAt(h.ID(), payload.SizeFor(t.valSizer, key))
+			payload.Encode(p, val)
+		}
+		n.Val.Store(uint64(pRef))
+		t.dom.OnAlloc(pRef) // payload birth stamp before it becomes reachable
+	} else {
+		n.Val.Store(val)
+	}
 	t.dom.OnAlloc(ref)
 	return ref
 }
@@ -245,7 +341,7 @@ func (t *Tree) Remove(h *reclaim.Handle, key uint64) bool {
 	if parent.IsNil() {
 		// The leaf is the root.
 		t.root.Store(0)
-		h.Retire(cur)
+		t.retireLeaf(h, cur)
 		return true
 	}
 	pn := t.arena.Get(parent)
@@ -253,8 +349,18 @@ func (t *Tree) Remove(h *reclaim.Handle, key uint64) bool {
 	sibling := pn.Child[1-b].Load()
 	gpEdge.Store(sibling) // unlink parent (and with it the leaf)
 	h.Retire(parent)
-	h.Retire(cur)
+	t.retireLeaf(h, cur)
 	return true
+}
+
+// retireLeaf retires a leaf through the domain; in byte-value mode its
+// payload goes first — the ref must be read while the leaf is still
+// allocated, and retiring it ahead keeps the free order payload-then-node.
+func (t *Tree) retireLeaf(h *reclaim.Handle, leaf mem.Ref) {
+	if t.byteVals {
+		h.Retire(mem.Ref(t.arena.Get(leaf).Val.Load()))
+	}
+	h.Retire(leaf)
 }
 
 // Len counts leaves; quiescent use only.
@@ -305,6 +411,10 @@ func (t *Tree) drain(ref mem.Ref) {
 	if n.Kind == kindInternal {
 		t.drain(mem.Ref(n.Child[0].Load()))
 		t.drain(mem.Ref(n.Child[1].Load()))
+	} else if t.byteVals {
+		if pRef := mem.Ref(n.Val.Load()); !pRef.IsNil() {
+			t.arena.Free(pRef)
+		}
 	}
 	t.arena.Free(ref)
 }

@@ -38,10 +38,12 @@ type Map struct {
 type Option func(*config)
 
 type config struct {
-	checked bool
-	threads int
-	buckets int
-	ins     *reclaim.Instrument
+	checked  bool
+	threads  int
+	buckets  int
+	ins      *reclaim.Instrument
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // WithChecked enables the checked (generation-validated, poisoned) arena.
@@ -58,6 +60,13 @@ func WithBuckets(n int) Option { return func(c *config) { c.buckets = n } }
 // WithInstrument attaches reader-side op counting to the domain.
 func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
 
+// WithByteValues stores values as variable-size payload blocks in the
+// shared arena's size-class space (see list.WithByteValues); sizer maps a
+// key to its payload size.
+func WithByteValues(sizer func(key uint64) int) Option {
+	return func(c *config) { c.byteVals = true; c.valSizer = sizer }
+}
+
 // New builds an empty map whose nodes are reclaimed through the domain
 // produced by mk.
 func New(mk list.DomainFactory, opts ...Option) *Map {
@@ -73,10 +82,13 @@ func New(mk list.DomainFactory, opts ...Option) *Map {
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[list.Node](true), mem.WithPoison[list.Node](list.PoisonNode))
 	}
+	if c.byteVals {
+		arenaOpts = append(arenaOpts, mem.WithByteClasses[list.Node]())
+	}
 	arena := mem.NewArena[list.Node](arenaOpts...)
 	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: list.Slots, Instrument: c.ins})
 	return &Map{
-		ops:     list.Ops{Arena: arena, Dom: dom},
+		ops:     list.Ops{Arena: arena, Dom: dom, ByteVals: c.byteVals, ValSizer: c.valSizer},
 		buckets: make([]bucket, n),
 		mask:    uint64(n - 1),
 	}
@@ -119,6 +131,16 @@ func (m *Map) Contains(h *reclaim.Handle, key uint64) bool {
 // Get returns the value stored under key.
 func (m *Map) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
 	return m.ops.Get(m.bucketFor(key), h, key)
+}
+
+// InsertBytes adds key->raw (byte-value mode only); false if present.
+func (m *Map) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
+	return m.ops.InsertBytes(m.bucketFor(key), h, key, raw)
+}
+
+// GetBytes returns a copy of key's payload block (byte-value mode only).
+func (m *Map) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
+	return m.ops.GetBytes(m.bucketFor(key), h, key)
 }
 
 // Len counts elements across all buckets; quiescent use only.

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/payload"
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 )
@@ -31,28 +32,41 @@ import (
 // Protection slot count for list traversals (the paper's three hazard eras).
 const Slots = 3
 
-// Node is a list cell. Key and Val are immutable after insertion; Next holds
-// a mem.Ref with the Harris mark bit.
+// Node is a list cell. Key is immutable after insertion; Next holds a
+// mem.Ref with the Harris mark bit. Val is stored atomically because in
+// byte-value mode it names a size-class payload block that readers protect
+// through it (word mode stores the value itself; it never changes after
+// publication either way).
 type Node struct {
 	Key  uint64
-	Val  uint64
+	Val  atomic.Uint64
 	Next atomic.Uint64
 }
 
 // PoisonNode smashes a freed node so that any use-after-free traversal is
 // conspicuous: the key becomes an improbable sentinel and Next becomes a ref
 // into an unallocated slab, which the checked arena faults on dereference.
+// Val gets the same unallocated ref so a stale payload read faults too.
 func PoisonNode(n *Node) {
 	n.Key = 0xDEADDEADDEADDEAD
+	n.Val.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
 	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
 }
 
 // Ops bundles an arena and a reclamation domain and implements the
 // Harris-Michael set operations over any head cell. The single-head List
 // below and the hash map's per-bucket lists both build on it.
+//
+// With ByteVals set, values live in the arena's size-class space instead of
+// the node word: Node.Val holds the payload's mem.Ref, Insert synthesizes
+// blocks of ValSizer(key) bytes (payload.Encode), readers protect the
+// payload before touching it, and the payload is retired through the same
+// domain as its node (payload first, then the node that names it).
 type Ops struct {
-	Arena *mem.Arena[Node]
-	Dom   reclaim.Domain
+	Arena    *mem.Arena[Node]
+	Dom      reclaim.Domain
+	ByteVals bool
+	ValSizer func(key uint64) int
 }
 
 // protection slot roles; they rotate as the traversal advances.
@@ -126,31 +140,67 @@ func (o *Ops) retireAll(h *reclaim.Handle, unlinked []mem.Ref) {
 }
 
 // Insert adds key->val to the set rooted at head. It returns false (and
-// leaves the set unchanged) when the key is already present.
+// leaves the set unchanged) when the key is already present. In byte-value
+// mode the value is materialized as a ValSizer(key)-byte payload block.
 func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bool {
+	return o.insert(head, h, key, val, nil)
+}
+
+// InsertBytes adds key->raw, storing a copy of raw as the payload block.
+// Byte-value mode only; the arena faults otherwise.
+func (o *Ops) InsertBytes(head *atomic.Uint64, h *reclaim.Handle, key uint64, raw []byte) bool {
+	return o.insert(head, h, key, 0, raw)
+}
+
+// allocPayload materializes the value block for a new node: a copy of raw
+// when given (InsertBytes), else ValSizer(key) bytes synthesized from val.
+func (o *Ops) allocPayload(h *reclaim.Handle, key, val uint64, raw []byte) mem.Ref {
+	if raw != nil {
+		return o.Arena.PutBytesAt(h.ID(), raw)
+	}
+	ref, p := o.Arena.AllocBytesAt(h.ID(), payload.SizeFor(o.ValSizer, key))
+	payload.Encode(p, val)
+	return ref
+}
+
+func (o *Ops) insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64, raw []byte) bool {
 	dom := o.Dom
 	var unlinked []mem.Ref
 	h.BeginOp()
 
-	var newRef mem.Ref
+	var newRef, pRef mem.Ref
 	var newNode *Node
 	ok := false
 	for {
 		found, prev, curr, _ := o.find(head, h, key, &unlinked)
 		if found {
 			if !newRef.IsNil() {
-				o.Arena.FreeAt(h.ID(), newRef) // never published: direct free is safe
+				// Never published: direct frees are safe. Payload first,
+				// then the node that names it.
+				if !pRef.IsNil() {
+					o.Arena.FreeAt(h.ID(), pRef)
+				}
+				o.Arena.FreeAt(h.ID(), newRef)
 			}
 			break
 		}
 		if newRef.IsNil() {
 			newRef, newNode = o.Arena.AllocAt(h.ID())
-			newNode.Key, newNode.Val = key, val
+			newNode.Key = key
+			if o.ByteVals || raw != nil {
+				pRef = o.allocPayload(h, key, val, raw)
+				newNode.Val.Store(uint64(pRef))
+			} else {
+				newNode.Val.Store(val)
+			}
 		}
 		newNode.Next.Store(uint64(curr))
-		// Stamp the birth era on every attempt so it is current when the
-		// node becomes visible (paper §3: "before the object is made
-		// visible to other threads").
+		// Stamp the birth eras on every attempt so they are current when
+		// the node (and through it, the payload) becomes visible (paper §3:
+		// "before the object is made visible to other threads").
+		if !pRef.IsNil() {
+			dom.OnAlloc(pRef)
+		}
 		dom.OnAlloc(newRef)
 		schedtest.Point(schedtest.PointCAS)
 		if prev.CompareAndSwap(uint64(curr), uint64(newRef)) {
@@ -184,6 +234,14 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 			continue
 		}
 		ok = true
+		if o.ByteVals {
+			// Winning the mark CAS makes this thread the unique logical
+			// deleter, so it uniquely owns the payload's retirement; the
+			// node itself may be retired by whoever physically unlinks it.
+			// Read the ref while curr is still protected, and retire the
+			// payload ahead of the node (both land in unlinked, in order).
+			unlinked = append(unlinked, mem.Ref(cn.Val.Load()))
+		}
 		// Physical unlink; on failure a helping traversal will unlink (and
 		// retire) the node instead.
 		schedtest.Point(schedtest.PointCAS)
@@ -207,7 +265,22 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 // expect holds the raw word read from prev (possibly marked for interior
 // cells — a marked next word is immutable, so validating against it is
 // stable); curr is its unmarked form for dereference.
-func (o *Ops) lookup(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
+//
+// In byte-value mode the value is a separate block that the remover retires
+// the instant it wins the mark CAS, so it needs its own protection before
+// the read: slot ip is stolen for it — prev's validation read has already
+// happened and the traversal ends here. Publish, then re-check the node is
+// still unmarked: unmarked after the publish means the mark (and therefore
+// the payload's retirement) had not yet happened, so the retirer's scan is
+// obligated to honor this hold.
+// lookup read modes: membership only, decoded value word, payload copy.
+const (
+	readNone = iota
+	readVal
+	readCopy
+)
+
+func (o *Ops) lookup(head *atomic.Uint64, h *reclaim.Handle, key uint64, mode int) (val uint64, buf []byte, ok bool) {
 	arena := o.Arena
 	h.BeginOp()
 	defer h.EndOp()
@@ -219,7 +292,7 @@ retry:
 		for {
 			curr := expect.Unmarked()
 			if curr.IsNil() {
-				return 0, false
+				return 0, nil, false
 			}
 			cn := arena.Get(curr)
 			nextRaw := h.Protect(in, &cn.Next)
@@ -228,10 +301,24 @@ retry:
 			}
 			k := cn.Key
 			if k > key {
-				return 0, false
+				return 0, nil, false
 			}
 			if k == key && !nextRaw.Marked() {
-				return cn.Val, true
+				if mode == readNone {
+					return 0, nil, true
+				}
+				if !o.ByteVals {
+					return cn.Val.Load(), nil, true
+				}
+				pRef := h.Protect(ip, &cn.Val)
+				if mem.Ref(cn.Next.Load()).Marked() {
+					continue retry
+				}
+				p := arena.Bytes(pRef)
+				if mode == readCopy {
+					buf = append([]byte(nil), p...)
+				}
+				return payload.Decode(p), buf, true
 			}
 			// Advance (skipping marked nodes without helping); the three
 			// slots rotate so prev's node stays protected for the next
@@ -245,13 +332,22 @@ retry:
 
 // Contains reports whether key is in the set rooted at head.
 func (o *Ops) Contains(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
-	_, ok := o.lookup(head, h, key)
+	_, _, ok := o.lookup(head, h, key, readNone)
 	return ok
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key (in byte-value mode, the decoded
+// value word of the payload block).
 func (o *Ops) Get(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
-	return o.lookup(head, h, key)
+	v, _, ok := o.lookup(head, h, key, readVal)
+	return v, ok
+}
+
+// GetBytes returns a copy of the payload block stored under key. Byte-value
+// mode only; the copy is taken while the payload is still protected.
+func (o *Ops) GetBytes(head *atomic.Uint64, h *reclaim.Handle, key uint64) ([]byte, bool) {
+	_, buf, ok := o.lookup(head, h, key, readCopy)
+	return buf, ok
 }
 
 // Len counts unmarked nodes; quiescent use only (tests, reporting).
@@ -269,13 +365,22 @@ func (o *Ops) Len(head *atomic.Uint64) int {
 }
 
 // DrainList frees every node still linked from head; quiescent teardown.
+// A marked-but-still-linked node keeps its node ownership here, but its
+// payload was already retired by whoever won the mark CAS (and will be
+// freed by the domain's Drain) — freeing it again would double-free.
 func (o *Ops) DrainList(head *atomic.Uint64) {
 	ref := mem.Ref(head.Load()).Unmarked()
 	head.Store(0)
 	for !ref.IsNil() {
-		next := mem.Ref(o.Arena.Get(ref).Next.Load()).Unmarked()
+		n := o.Arena.Get(ref)
+		raw := mem.Ref(n.Next.Load())
+		if o.ByteVals && !raw.Marked() {
+			if pRef := mem.Ref(n.Val.Load()); !pRef.IsNil() {
+				o.Arena.Free(pRef)
+			}
+		}
 		o.Arena.Free(ref)
-		ref = next
+		ref = raw.Unmarked()
 	}
 }
 
@@ -289,9 +394,11 @@ type List struct {
 type Option func(*config)
 
 type config struct {
-	checked bool
-	threads int
-	ins     *reclaim.Instrument
+	checked  bool
+	threads  int
+	ins      *reclaim.Instrument
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // WithChecked enables the checked (generation-validated, poisoned) arena.
@@ -303,6 +410,15 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
 func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+
+// WithByteValues stores values as variable-size payload blocks in the
+// arena's size-class space instead of inline uint64 words. sizer maps a
+// key to its payload size (nil, or anything below payload.MinSize, means
+// payload.MinSize). Insert synthesizes the block from the value;
+// InsertBytes/GetBytes expose the raw []byte surface.
+func WithByteValues(sizer func(key uint64) int) Option {
+	return func(c *config) { c.byteVals = true; c.valSizer = sizer }
+}
 
 // DomainFactory constructs a reclamation domain over an allocator — e.g.
 // func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) }.
@@ -319,9 +435,12 @@ func New(mk DomainFactory, opts ...Option) *List {
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
+	if c.byteVals {
+		arenaOpts = append(arenaOpts, mem.WithByteClasses[Node]())
+	}
 	arena := mem.NewArena[Node](arenaOpts...)
 	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
-	return &List{ops: Ops{Arena: arena, Dom: dom}}
+	return &List{ops: Ops{Arena: arena, Dom: dom, ByteVals: c.byteVals, ValSizer: c.valSizer}}
 }
 
 // Domain exposes the reclamation domain (Register/Unregister, Stats).
@@ -343,6 +462,16 @@ func (l *List) Contains(h *reclaim.Handle, key uint64) bool { return l.ops.Conta
 
 // Get returns the value stored under key.
 func (l *List) Get(h *reclaim.Handle, key uint64) (uint64, bool) { return l.ops.Get(&l.head, h, key) }
+
+// InsertBytes adds key->raw (byte-value mode only); false if present.
+func (l *List) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
+	return l.ops.InsertBytes(&l.head, h, key, raw)
+}
+
+// GetBytes returns a copy of key's payload block (byte-value mode only).
+func (l *List) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
+	return l.ops.GetBytes(&l.head, h, key)
+}
 
 // Len counts elements; quiescent use only.
 func (l *List) Len() int { return l.ops.Len(&l.head) }

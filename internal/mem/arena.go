@@ -2,7 +2,6 @@ package mem
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -80,15 +79,23 @@ type Arena[T any] struct {
 	poison      func(*T)
 	poisonCheck func(*T) bool
 	onFault     func(string)
+	wantBytes   bool
 
-	slabs  [maxSlabs]atomic.Pointer[[slabSize]slot[T]]
-	growMu sync.Mutex
+	// slabs is CAS-published: allocFresh builds a slab off to the side and
+	// installs it with a single CompareAndSwap, so growth is lock-free (see
+	// the publication-protocol comment in class.go — the byte classes use
+	// the identical scheme).
+	slabs [maxSlabs]atomic.Pointer[[slabSize]slot[T]]
 
 	cursor   atomic.Uint64 // last never-recycled index handed out
 	freeHead atomic.Uint64 // Ref-encoded head of the lock-free freelist
 
 	// shards holds the per-thread magazines used by AllocAt/FreeAt.
 	shards []shard
+
+	// bytes is the byte-payload size-class ladder, nil unless enabled with
+	// WithByteClasses. Refs with non-zero class bits route here.
+	bytes *byteClasses
 
 	allocs   atomic.Int64
 	frees    atomic.Int64
@@ -142,6 +149,15 @@ func WithShards[T any](n int) Option[T] {
 	}
 }
 
+// WithByteClasses enables the byte-payload size-class ladder (class.go):
+// AllocBytesAt/PutBytesAt/Bytes become usable and refs with non-zero class
+// bits are accepted by Free/Header/CheckAccess. Arenas without this option
+// pay nothing for the ladder — the dispatch is a nil-pointer check on a
+// field that is always nil, and class-0 refs never take it.
+func WithByteClasses[T any]() Option[T] {
+	return func(a *Arena[T]) { a.wantBytes = true }
+}
+
 // NewArena constructs an empty arena.
 func NewArena[T any](opts ...Option[T]) *Arena[T] {
 	a := &Arena[T]{shards: make([]shard, 64)}
@@ -150,6 +166,11 @@ func NewArena[T any](opts ...Option[T]) *Arena[T] {
 	}
 	if a.onFault == nil {
 		a.onFault = func(msg string) { panic("mem: " + msg) }
+	}
+	if a.wantBytes {
+		// Built after all options so the ladder inherits the final shard
+		// count, checked mode and fault handler.
+		a.bytes = newByteClasses(len(a.shards), a.checked, a.fault)
 	}
 	return a
 }
@@ -224,12 +245,11 @@ func (a *Arena[T]) allocFresh() (Ref, *T) {
 	if slabIdx >= maxSlabs {
 		a.fault("arena slab table exhausted")
 	}
+	// Lock-free growth: build the slab completely, publish with one CAS.
+	// Losers discard their slab and adopt the winner's; seq-cst publication
+	// means any thread holding an index into the slab sees it initialized.
 	if a.slabs[slabIdx].Load() == nil {
-		a.growMu.Lock()
-		if a.slabs[slabIdx].Load() == nil {
-			a.slabs[slabIdx].Store(new([slabSize]slot[T]))
-		}
-		a.growMu.Unlock()
+		a.slabs[slabIdx].CompareAndSwap(nil, new([slabSize]slot[T]))
 	}
 	s := a.slotAt(index)
 	s.hdr.resetForAlloc()
@@ -275,6 +295,10 @@ func (a *Arena[T]) AllocAt(shard int) (Ref, *T) {
 // generation bump and poisoning are identical to Free, so stale frees and
 // use-after-free detection behave the same on both paths.
 func (a *Arena[T]) FreeAt(shard int, ref Ref) {
+	if ref.Class() != 0 {
+		a.bytes.freeAt(shard, ref, true)
+		return
+	}
 	if shard < 0 || shard >= len(a.shards) {
 		a.Free(ref)
 		return
@@ -308,6 +332,10 @@ func (a *Arena[T]) FreeBatchAt(shard int, refs []Ref) {
 	sh := &a.shards[shard].shardState
 	released := int64(0)
 	for _, ref := range refs {
+		if ref.Class() != 0 {
+			a.bytes.freeAt(shard, ref, true)
+			continue
+		}
 		newRef, ok := a.releaseSlot(ref)
 		if !ok {
 			continue
@@ -395,6 +423,10 @@ func (a *Arena[T]) releaseSlot(ref Ref) (Ref, bool) {
 // (double free or free of a reused slot) is a detected fault in checked
 // mode.
 func (a *Arena[T]) Free(ref Ref) {
+	if ref.Class() != 0 {
+		a.bytes.free(ref)
+		return
+	}
 	newRef, ok := a.releaseSlot(ref)
 	if !ok {
 		return
@@ -426,6 +458,9 @@ func (a *Arena[T]) Get(ref Ref) *T {
 // for the reference-counting baseline, even transiently freed) slots — the
 // slots are type-stable by construction.
 func (a *Arena[T]) Header(ref Ref) *Header {
+	if ref.Class() != 0 {
+		return a.bytes.header(ref)
+	}
 	return &a.slotAt(ref.Unmarked().Index()).hdr
 }
 
@@ -442,6 +477,9 @@ func (a *Arena[T]) CheckAccess(ref Ref) bool {
 	if ref.IsNil() {
 		a.fault("access through nil ref")
 		return false
+	}
+	if ref.Class() != 0 {
+		return a.bytes.checkAccess(ref)
 	}
 	s := a.slotAt(ref.Index())
 	if s == nil {
@@ -464,6 +502,9 @@ func (a *Arena[T]) Validate(ref Ref) bool {
 	if ref.IsNil() {
 		return false
 	}
+	if ref.Class() != 0 {
+		return a.bytes.validate(ref)
+	}
 	return a.slotAt(ref.Index()).hdr.Gen() == ref.Gen()
 }
 
@@ -480,6 +521,14 @@ func (a *Arena[T]) Stats() Stats {
 		frees += sh.frees.Load()
 		reuses += shAllocs - sh.fresh.Load()
 	}
+	if a.bytes != nil {
+		for c := 1; c <= NumByteClasses; c++ {
+			cs := a.bytes.stats(c)
+			allocs += cs.Allocs
+			frees += cs.Frees
+			reuses += cs.Reuses
+		}
+	}
 	a.peakLive.Observe(allocs - frees)
 	return Stats{
 		Allocs:   allocs,
@@ -489,4 +538,111 @@ func (a *Arena[T]) Stats() Stats {
 		PeakLive: a.peakLive.Max(),
 		Faults:   a.faults.Load(),
 	}
+}
+
+// AllocBytesAt allocates a byte payload of n bytes from shard's per-class
+// magazine and returns its Ref (class bits set) plus the n-byte payload
+// slice, capped at the class capacity so writes past len(p) cannot cross
+// into the neighbouring block. Requires WithByteClasses; n must be in
+// [0, MaxPayload].
+func (a *Arena[T]) AllocBytesAt(shard, n int) (Ref, []byte) {
+	if a.bytes == nil {
+		a.fault("byte allocation on an arena without WithByteClasses")
+		return NilRef, nil
+	}
+	class := SizeToClass(n)
+	if class == 0 {
+		a.fault(fmt.Sprintf("byte allocation of %d bytes exceeds MaxPayload %d", n, MaxPayload))
+		return NilRef, nil
+	}
+	return a.bytes.allocAt(shard, class, n)
+}
+
+// PutBytesAt allocates a byte payload holding a copy of p.
+func (a *Arena[T]) PutBytesAt(shard int, p []byte) Ref {
+	ref, dst := a.AllocBytesAt(shard, len(p))
+	copy(dst, p)
+	return ref
+}
+
+// PutStringAt allocates a byte payload holding a copy of s.
+func (a *Arena[T]) PutStringAt(shard int, s string) Ref {
+	ref, dst := a.AllocBytesAt(shard, len(s))
+	copy(dst, s)
+	return ref
+}
+
+// Bytes dereferences a byte-class ref to its logical payload (length as
+// allocated, capacity capped at the class size). In checked mode a
+// generation mismatch is a detected fault, exactly like Get.
+func (a *Arena[T]) Bytes(ref Ref) []byte {
+	if ref.Class() == 0 {
+		a.fault(fmt.Sprintf("Bytes on non-byte ref %v", ref))
+		return nil
+	}
+	return a.bytes.bytes(ref)
+}
+
+// RefBytes returns the memory footprint of the block ref names: header plus
+// full class extent for byte refs, SlotBytes for typed refs. Reclamation
+// uses it for class-aware pending-bytes accounting.
+func (a *Arena[T]) RefBytes(ref Ref) uintptr {
+	if c := ref.Class(); c != 0 {
+		return slotHdrBytes + uintptr(ClassSize(c))
+	}
+	return a.SlotBytes()
+}
+
+// ClassFootprints returns the per-class block footprint table, indexed by
+// class id (index 0 is the typed slot class), or nil when the arena has no
+// byte classes — every ref then weighs exactly SlotBytes and reclamation
+// keeps its zero-cost uniform accounting instead of per-ref class lookups.
+func (a *Arena[T]) ClassFootprints() []uintptr {
+	if a.bytes == nil {
+		return nil
+	}
+	fp := make([]uintptr, NumClasses)
+	fp[0] = a.SlotBytes()
+	for c := 1; c <= NumByteClasses; c++ {
+		fp[c] = slotHdrBytes + uintptr(ClassSize(c))
+	}
+	return fp
+}
+
+// ClassStats snapshots per-size-class accounting: entry 0 is the typed slot
+// class, entries 1..NumByteClasses the byte ladder (empty unless
+// WithByteClasses). The observability layer exports these as
+// smr_arena_class_* series.
+func (a *Arena[T]) ClassStats() []ClassStat {
+	allocs, frees, reuses := a.allocs.Load(), a.frees.Load(), a.reuses.Load()
+	for i := range a.shards {
+		sh := &a.shards[i].shardState
+		shAllocs := sh.allocs.Load()
+		allocs += shAllocs
+		frees += sh.frees.Load()
+		reuses += shAllocs - sh.fresh.Load()
+	}
+	slabs := int64(0)
+	for i := range a.slabs {
+		if a.slabs[i].Load() != nil {
+			slabs++
+		}
+	}
+	out := []ClassStat{{
+		Class:     0,
+		Size:      int(unsafe.Sizeof(*new(T))),
+		Footprint: int64(a.SlotBytes()),
+		Allocs:    allocs,
+		Frees:     frees,
+		Reuses:    reuses,
+		Live:      allocs - frees,
+		Slabs:     slabs,
+		Capacity:  slabs * slabSize,
+	}}
+	if a.bytes != nil {
+		for c := 1; c <= NumByteClasses; c++ {
+			out = append(out, a.bytes.stats(c))
+		}
+	}
+	return out
 }

@@ -1,0 +1,447 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type classPayload struct{ v uint64 }
+
+func newByteArena(t *testing.T) (*Arena[classPayload], *[]string) {
+	t.Helper()
+	var faults []string
+	a := NewArena[classPayload](
+		Checked[classPayload](true),
+		WithByteClasses[classPayload](),
+		WithFaultHandler[classPayload](func(msg string) { faults = append(faults, msg) }),
+	)
+	return a, &faults
+}
+
+func TestSizeClassLadder(t *testing.T) {
+	// Exact boundaries: each class serves (prevSize, size]; 0 shares the
+	// smallest class.
+	prev := 0
+	for c := 1; c <= NumByteClasses; c++ {
+		size := ClassSize(c)
+		if size <= prev {
+			t.Fatalf("ladder not strictly increasing at class %d: %d after %d", c, size, prev)
+		}
+		lo := prev + 1
+		if c == 1 {
+			lo = 0
+		}
+		for _, n := range []int{lo, size} {
+			if got := SizeToClass(n); got != c {
+				t.Errorf("SizeToClass(%d) = %d, want %d", n, got, c)
+			}
+		}
+		if prev > 0 {
+			if got := SizeToClass(prev); got != c-1 {
+				t.Errorf("SizeToClass(%d) = %d, want %d", prev, got, c-1)
+			}
+		}
+		prev = size
+	}
+	if prev != MaxPayload {
+		t.Fatalf("ladder tops out at %d, want MaxPayload %d", prev, MaxPayload)
+	}
+	if SizeToClass(MaxPayload+1) != 0 || SizeToClass(-1) != 0 {
+		t.Error("out-of-range sizes must map to class 0")
+	}
+	if ClassSize(0) != 0 || ClassSize(NumByteClasses+1) != 0 {
+		t.Error("out-of-range class ids must size to 0")
+	}
+}
+
+func TestByteAllocRoundTrip(t *testing.T) {
+	a, faults := newByteArena(t)
+	// One payload per distinct size up to MaxPayload, written with a
+	// size-specific pattern, then read back through Bytes.
+	type rec struct {
+		ref Ref
+		n   int
+	}
+	var live []rec
+	for n := 0; n <= MaxPayload; n += 97 {
+		ref, p := a.AllocBytesAt(0, n)
+		if len(p) != n {
+			t.Fatalf("AllocBytesAt(%d): payload length %d", n, len(p))
+		}
+		if want := SizeToClass(n); ref.Class() != want {
+			t.Fatalf("AllocBytesAt(%d): class %d, want %d", n, ref.Class(), want)
+		}
+		if cap(p) != ClassSize(ref.Class()) {
+			t.Fatalf("AllocBytesAt(%d): cap %d, want class capacity %d", n, cap(p), ClassSize(ref.Class()))
+		}
+		for i := range p {
+			p[i] = byte(n + i)
+		}
+		live = append(live, rec{ref, n})
+	}
+	for _, r := range live {
+		got := a.Bytes(r.ref)
+		if len(got) != r.n {
+			t.Fatalf("Bytes(%v): length %d, want %d", r.ref, len(got), r.n)
+		}
+		for i, b := range got {
+			if b != byte(r.n+i) {
+				t.Fatalf("Bytes(%v)[%d] = %#x, want %#x", r.ref, i, b, byte(r.n+i))
+			}
+		}
+		if !a.CheckAccess(r.ref) {
+			t.Fatalf("CheckAccess(%v) failed for live byte ref", r.ref)
+		}
+		a.FreeAt(0, r.ref)
+	}
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("leak after freeing everything: %+v", st)
+	}
+	if len(*faults) != 0 {
+		t.Fatalf("unexpected faults: %v", *faults)
+	}
+}
+
+func TestByteStringHelpers(t *testing.T) {
+	a, faults := newByteArena(t)
+	ref := a.PutStringAt(0, "hazard eras")
+	if got := string(a.Bytes(ref)); got != "hazard eras" {
+		t.Fatalf("PutStringAt round-trip: %q", got)
+	}
+	ref2 := a.PutBytesAt(0, []byte{1, 2, 3})
+	if got := a.Bytes(ref2); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("PutBytesAt round-trip: %v", got)
+	}
+	a.FreeAt(0, ref)
+	a.FreeAt(0, ref2)
+	if len(*faults) != 0 {
+		t.Fatalf("unexpected faults: %v", *faults)
+	}
+}
+
+func TestByteRecycleBumpsGeneration(t *testing.T) {
+	a, _ := newByteArena(t)
+	ref, _ := a.AllocBytesAt(0, 100)
+	a.FreeAt(0, ref)
+	ref2, _ := a.AllocBytesAt(0, 100)
+	if ref2.ClassIndex() != ref.ClassIndex() || ref2.Class() != ref.Class() {
+		t.Fatalf("recycle did not reuse the block: %v then %v", ref, ref2)
+	}
+	if ref2.Gen() == ref.Gen() {
+		t.Fatalf("generation not bumped on recycle: %v then %v", ref, ref2)
+	}
+	if a.Validate(ref) {
+		t.Error("stale ref validates after recycle")
+	}
+	if !a.Validate(ref2) {
+		t.Error("live ref does not validate")
+	}
+}
+
+func TestByteUseAfterFreeDetected(t *testing.T) {
+	a, faults := newByteArena(t)
+	ref, _ := a.AllocBytesAt(0, 64)
+	a.FreeAt(0, ref)
+	_ = a.Bytes(ref)
+	if len(*faults) == 0 {
+		t.Fatal("use-after-free dereference not detected")
+	}
+	*faults = (*faults)[:0]
+	if a.CheckAccess(ref) {
+		t.Fatal("CheckAccess passed a freed byte ref")
+	}
+	if len(*faults) == 0 {
+		t.Fatal("CheckAccess did not report the stale access")
+	}
+}
+
+func TestByteDoubleFreeDetected(t *testing.T) {
+	a, faults := newByteArena(t)
+	ref, _ := a.AllocBytesAt(0, 64)
+	a.FreeAt(0, ref)
+	a.FreeAt(0, ref)
+	if len(*faults) == 0 {
+		t.Fatal("double free not detected")
+	}
+	if st := a.Stats(); st.Faults == 0 {
+		t.Fatal("fault not counted in Stats")
+	}
+}
+
+// TestBytePoisonFullExtent pins the satellite requirement: Free poisons the
+// ENTIRE class extent, not just the logical length, so a write through a
+// stale ref anywhere in the block is caught at the next recycle.
+func TestBytePoisonFullExtent(t *testing.T) {
+	a, _ := newByteArena(t)
+	ref, p := a.AllocBytesAt(0, 100) // class 128
+	for i := range p {
+		p[i] = 0xAA
+	}
+	ext := p[:cap(p)]
+	a.FreeAt(0, ref)
+	for i, b := range ext {
+		if b != poisonByte {
+			t.Fatalf("extent byte %d not poisoned after free: %#x (class capacity %d, logical length 100)",
+				i, b, cap(p))
+		}
+	}
+}
+
+// TestByteOverrunCanaryRegression is the one-byte-overrun regression test:
+// a single byte written one past a live payload's class extent lands in the
+// NEXT block's poisoned extent while that block sits on the freelist, and
+// must be reported as a fault when the victim is recycled.
+func TestByteOverrunCanaryRegression(t *testing.T) {
+	a, faults := newByteArena(t)
+	// Two adjacent blocks in the same slab: allocate both fresh, free the
+	// second (poisoning its extent), then overrun the first by one byte.
+	ref1, p1 := a.AllocBytesAt(0, 16)
+	ref2, _ := a.AllocBytesAt(0, 16)
+	if ref2.ClassIndex() != ref1.ClassIndex()+1 {
+		t.Fatalf("test precondition: blocks not adjacent (%v, %v)", ref1, ref2)
+	}
+	a.FreeAt(0, ref2)
+
+	// The overrun: one byte past ref1's class extent = first byte of ref2's
+	// freed, poisoned extent. Reconstruct the raw slice to bypass the
+	// capacity cap (a real overrun comes from unsafe code or an
+	// out-of-bounds index computation; the cap protects slice users, the
+	// canary protects everyone else).
+	c := a.bytes.class(ref1)
+	sl := a.bytes.slabFor(c, ref1.ClassIndex())
+	off := int(ref1.ClassIndex()&c.mask) * c.size
+	sl.data[off+c.size] = 0x42 // one byte past ref1's extent
+	_ = p1
+
+	// Recycling ref2's block must trip the canary check. Drain the shard
+	// magazine by allocating until the poisoned block comes back.
+	for i := 0; i < ByteMagazineSize+1 && len(*faults) == 0; i++ {
+		r, _ := a.AllocBytesAt(0, 16)
+		_ = r
+	}
+	if len(*faults) == 0 {
+		t.Fatal("one-byte overrun into freed neighbour not detected at recycle")
+	}
+	if msg := (*faults)[0]; msg == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+// TestByteSlabGrowthRace is the alloc storm racing slab growth (the byte
+// analogue of TestMinMaxScanDuringGrowth): many goroutines bump-allocate
+// across slab boundaries in several classes at once, exercising the CAS
+// publication path under -race.
+func TestByteSlabGrowthRace(t *testing.T) {
+	a, _ := newByteArena(t)
+	const goroutines = 8
+	classes := []int{16, 768, 4096} // small, mid, large: different slab geometries
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			perClass := 1 << 10
+			if testing.Short() {
+				perClass = 1 << 8
+			}
+			var refs []Ref
+			for i := 0; i < perClass; i++ {
+				for _, n := range classes {
+					ref, p := a.AllocBytesAt(shard, n)
+					p[0] = byte(shard)
+					p[n-1] = byte(i)
+					refs = append(refs, ref)
+				}
+			}
+			for _, ref := range refs {
+				a.FreeAt(shard, ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Live != 0 || st.Faults != 0 {
+		t.Fatalf("after storm: %+v", st)
+	}
+	// 4096B class: slabs hold 256 blocks, 8 goroutines × 1024 allocs force
+	// dozens of growth races.
+	for _, cs := range a.ClassStats() {
+		if cs.Size == 4096 && cs.Slabs < 2 {
+			t.Fatalf("growth path not exercised: %+v", cs)
+		}
+	}
+}
+
+// TestByteMagazineChurnRace hammers spill/refill: goroutines run tight
+// alloc/free loops that overflow and drain their magazines, moving batches
+// through the shared per-class freelists concurrently.
+func TestByteMagazineChurnRace(t *testing.T) {
+	a, _ := newByteArena(t)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			rounds := 200
+			if testing.Short() {
+				rounds = 50
+			}
+			for r := 0; r < rounds; r++ {
+				// Allocate a burst larger than a magazine, free it all:
+				// the frees overflow the magazine (spills), the next
+				// burst drains it and refills from the shared list.
+				var refs []Ref
+				for i := 0; i < ByteMagazineSize+8; i++ {
+					ref, p := a.AllocBytesAt(shard, 48)
+					p[0] = byte(r)
+					refs = append(refs, ref)
+				}
+				a.FreeBatchAt(shard, refs)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Live != 0 || st.Faults != 0 {
+		t.Fatalf("after churn: %+v", st)
+	}
+	for _, cs := range a.ClassStats() {
+		if cs.Size == 48 {
+			if cs.Spills == 0 || cs.Refills == 0 {
+				t.Fatalf("spill/refill path not exercised: %+v", cs)
+			}
+			if cs.Reuses == 0 {
+				t.Fatalf("no recycling under churn: %+v", cs)
+			}
+		}
+	}
+}
+
+func TestRefBytesAndFootprints(t *testing.T) {
+	a, _ := newByteArena(t)
+	fp := a.ClassFootprints()
+	if len(fp) != NumClasses {
+		t.Fatalf("ClassFootprints length %d, want %d", len(fp), NumClasses)
+	}
+	if fp[0] != a.SlotBytes() {
+		t.Fatalf("class 0 footprint %d, want SlotBytes %d", fp[0], a.SlotBytes())
+	}
+	for c := 1; c <= NumByteClasses; c++ {
+		want := slotHdrBytes + uintptr(ClassSize(c))
+		if fp[c] != want {
+			t.Fatalf("class %d footprint %d, want %d", c, fp[c], want)
+		}
+	}
+	typedRef, _ := a.AllocAt(0)
+	if a.RefBytes(typedRef) != a.SlotBytes() {
+		t.Error("RefBytes of typed ref != SlotBytes")
+	}
+	byteRef, _ := a.AllocBytesAt(0, 300) // class 384
+	if got, want := a.RefBytes(byteRef), slotHdrBytes+384; got != uintptr(want) {
+		t.Errorf("RefBytes of 300B payload = %d, want %d", got, want)
+	}
+	a.FreeAt(0, typedRef)
+	a.FreeAt(0, byteRef)
+}
+
+func TestClassStatsAccounting(t *testing.T) {
+	a, _ := newByteArena(t)
+	// 3 allocs in 64B, 2 in 1024B, free one of each.
+	var r64 []Ref
+	for i := 0; i < 3; i++ {
+		ref, _ := a.AllocBytesAt(0, 64)
+		r64 = append(r64, ref)
+	}
+	rk1, _ := a.AllocBytesAt(0, 1000)
+	rk2, _ := a.AllocBytesAt(0, 1000)
+	a.FreeAt(0, r64[0])
+	a.FreeAt(0, rk1)
+
+	stats := a.ClassStats()
+	if len(stats) != 1+NumByteClasses {
+		t.Fatalf("ClassStats length %d, want %d", len(stats), 1+NumByteClasses)
+	}
+	bySize := map[int]ClassStat{}
+	for _, cs := range stats {
+		bySize[cs.Size] = cs
+	}
+	if cs := bySize[64]; cs.Allocs != 3 || cs.Frees != 1 || cs.Live != 2 {
+		t.Errorf("64B class: %+v", cs)
+	}
+	if cs := bySize[1024]; cs.Allocs != 2 || cs.Frees != 1 || cs.Live != 1 {
+		t.Errorf("1024B class: %+v", cs)
+	}
+	// Arena Stats folds the byte classes.
+	if st := a.Stats(); st.Allocs != 5 || st.Frees != 2 || st.Live != 3 {
+		t.Errorf("folded Stats: %+v", st)
+	}
+	a.FreeAt(0, r64[1])
+	a.FreeAt(0, r64[2])
+	a.FreeAt(0, rk2)
+	if st := a.Stats(); st.Live != 0 {
+		t.Errorf("leak: %+v", st)
+	}
+}
+
+func TestByteHeaderSharedWithSMR(t *testing.T) {
+	a, _ := newByteArena(t)
+	ref, _ := a.AllocBytesAt(0, 200)
+	h := a.Header(ref)
+	h.BirthEra = 7
+	h.RetireEra = 9
+	if h2 := a.Header(ref); h2.BirthEra != 7 || h2.RetireEra != 9 {
+		t.Fatal("byte header not stable across Header calls")
+	}
+	if h.Gen() != ref.Gen() {
+		t.Fatalf("header gen %d != ref gen %d", h.Gen(), ref.Gen())
+	}
+	a.FreeAt(0, ref)
+}
+
+func TestByteAllocWithoutOptionFaults(t *testing.T) {
+	var faults []string
+	a := NewArena[classPayload](WithFaultHandler[classPayload](func(msg string) { faults = append(faults, msg) }))
+	if ref, _ := a.AllocBytesAt(0, 64); !ref.IsNil() || len(faults) == 0 {
+		t.Fatal("byte alloc without WithByteClasses must fault")
+	}
+}
+
+func TestByteAllocOversizeFaults(t *testing.T) {
+	a, faults := newByteArena(t)
+	if ref, _ := a.AllocBytesAt(0, MaxPayload+1); !ref.IsNil() || len(*faults) == 0 {
+		t.Fatal("oversize byte alloc must fault")
+	}
+}
+
+func TestByteSharedPathFallback(t *testing.T) {
+	// Out-of-range shard ids must fall back to the shared freelist path and
+	// still recycle correctly.
+	a, faults := newByteArena(t)
+	ref, p := a.AllocBytesAt(-1, 256)
+	p[0] = 1
+	a.FreeAt(-1, ref)
+	ref2, _ := a.AllocBytesAt(10_000, 256)
+	if ref2.ClassIndex() != ref.ClassIndex() {
+		t.Fatalf("shared path did not recycle: %v then %v", ref, ref2)
+	}
+	a.Free(ref2)
+	if st := a.Stats(); st.Live != 0 {
+		t.Fatalf("leak: %+v", st)
+	}
+	if len(*faults) != 0 {
+		t.Fatalf("unexpected faults: %v", *faults)
+	}
+}
+
+func TestByteRefString(t *testing.T) {
+	ref := MakeClassRef(5, 42, 7)
+	if got, want := ref.String(), "ref<c5:42.g7>"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := ref.WithMark().String(), "ref<c5:42.g7*>"; got != want {
+		t.Errorf("marked String() = %q, want %q", got, want)
+	}
+	if got, want := fmt.Sprint(MakeRef(42, 7)), "ref<42.g7>"; got != want {
+		t.Errorf("legacy String() = %q, want %q", got, want)
+	}
+}

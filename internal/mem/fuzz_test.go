@@ -35,34 +35,43 @@ func FuzzRefPacking(f *testing.F) {
 	})
 }
 
-// FuzzRefPack drives MakeRef with RAW, unmasked inputs — unlike
+// FuzzRefPack drives MakeClassRef with RAW, unmasked inputs — unlike
 // FuzzRefPacking above, which reduces them first — so it pins the packing
-// discipline at and past the field boundaries: a generation at or beyond
+// discipline at and past every field boundary: a generation at or beyond
 // the 23-bit GenModulus must wrap (MakeRef masks it, exactly the identity
 // the arena relies on when a slot's generation counter wraps after ~8.4M
-// reuses), an index past MaxIndex must truncate to its low 40 bits, and
-// the mark bit must never leak into either field in any combination.
+// reuses), an index past MaxIndex must truncate to its low 36 bits, a class
+// id past NumClasses must truncate to its low 4 bits, and the mark bit must
+// never leak into any field in any combination.
 func FuzzRefPack(f *testing.F) {
-	f.Add(uint64(0), uint32(0))
-	f.Add(uint64(MaxIndex), uint32(GenModulus-1))
-	f.Add(uint64(MaxIndex+1), uint32(GenModulus))       // both fields wrap
-	f.Add(uint64(1)<<63, uint32(0xFFFFFFFF))            // far past both boundaries
-	f.Add(uint64(123456789), uint32(GenModulus+424242)) // wrapped gen, plain index
-	f.Fuzz(func(t *testing.T, index uint64, gen uint32) {
+	f.Add(uint64(0), uint32(0), 0)
+	f.Add(uint64(MaxIndex), uint32(GenModulus-1), NumClasses-1)
+	f.Add(uint64(MaxIndex+1), uint32(GenModulus), NumClasses)    // all fields wrap
+	f.Add(uint64(1)<<63, uint32(0xFFFFFFFF), -1)                 // far past every boundary
+	f.Add(uint64(123456789), uint32(GenModulus+424242), 3)       // wrapped gen, plain index
+	f.Add(uint64(MaxIndex)+(uint64(5)<<indexBits), uint32(7), 0) // index bits bleeding into class space must mask off
+	f.Fuzz(func(t *testing.T, index uint64, gen uint32, class int) {
 		wantIndex := index & MaxIndex
 		wantGen := gen % GenModulus
-		r := MakeRef(index, gen)
+		wantClass := class & (NumClasses - 1)
+		r := MakeClassRef(class, index, gen)
 		if r.Marked() {
-			t.Fatalf("MakeRef(%d, %d) set the mark bit", index, gen)
+			t.Fatalf("MakeClassRef(%d, %d, %d) set the mark bit", class, index, gen)
 		}
-		if r.Index() != wantIndex {
-			t.Fatalf("index: got %d want %d (raw %d)", r.Index(), wantIndex, index)
+		if r.ClassIndex() != wantIndex {
+			t.Fatalf("index: got %d want %d (raw %d)", r.ClassIndex(), wantIndex, index)
+		}
+		if wantClass == 0 && r.Index() != wantIndex {
+			t.Fatalf("class-0 bare index: got %d want %d (raw %d)", r.Index(), wantIndex, index)
 		}
 		if r.Gen() != wantGen {
 			t.Fatalf("gen: got %d want %d (raw %d, modulus %d)", r.Gen(), wantGen, gen, GenModulus)
 		}
+		if r.Class() != wantClass {
+			t.Fatalf("class: got %d want %d (raw %d)", r.Class(), wantClass, class)
+		}
 		m := r.WithMark()
-		if !m.Marked() || m.Index() != wantIndex || m.Gen() != wantGen {
+		if !m.Marked() || m.ClassIndex() != wantIndex || m.Gen() != wantGen || m.Class() != wantClass {
 			t.Fatalf("mark bit leaked into a field: %v vs %v", m, r)
 		}
 		if u := m.Unmarked(); u != r {
@@ -70,10 +79,69 @@ func FuzzRefPack(f *testing.F) {
 		}
 		// Wrap identity: a ref made from the wrapped values is bit-identical
 		// to one made from the raw values.
-		if rr := MakeRef(wantIndex, wantGen); rr != r {
+		if rr := MakeClassRef(wantClass, wantIndex, wantGen); rr != r {
 			t.Fatalf("wrapped remake differs: %v vs %v", rr, r)
 		}
+		// Class 0 is the plain MakeRef layout — the two constructors must
+		// agree bit for bit.
+		if wantClass == 0 {
+			if rr := MakeRef(index, gen); rr != r {
+				t.Fatalf("MakeClassRef(0,...) != MakeRef: %v vs %v", r, rr)
+			}
+		}
+		// IsNil is a single shift-compare over the index+class field: the
+		// canonical nil (index 0, class 0) is nil regardless of gen or mark,
+		// and any ref with a class or an index is not. (A class ref with
+		// index 0 is never minted — index 0 is reserved in every class — so
+		// the shift form never has to decide about one that matters.)
+		if wantNil := wantIndex == 0 && wantClass == 0; wantNil != r.IsNil() {
+			t.Fatalf("IsNil: got %v for index %d class %d", r.IsNil(), wantIndex, wantClass)
+		}
+		if wantClass != 0 && r.WithMark().IsNil() {
+			t.Fatalf("class ref reported nil: %v", r)
+		}
 	})
+}
+
+// TestLegacyRefLayoutPinned pins that the class-bit carve-out did not move
+// any pre-existing field: a class-0 Ref with index < 2^36 is bit-identical
+// to the original mark|gen(23)|index layout (mark bit 0, gen bits 1..23,
+// index from bit 24), so every ref the typed arena ever handed out decodes
+// unchanged under the new layout.
+func TestLegacyRefLayoutPinned(t *testing.T) {
+	cases := []struct {
+		index uint64
+		gen   uint32
+		mark  bool
+	}{
+		{0, 0, false},
+		{1, 0, false},
+		{1, 1, true},
+		{123456789, 424242, false},
+		{MaxIndex, GenModulus - 1, true},
+	}
+	for _, c := range cases {
+		legacy := c.index<<24 | uint64(c.gen)<<1
+		if c.mark {
+			legacy |= 1
+		}
+		r := MakeRef(c.index, c.gen)
+		if c.mark {
+			r = r.WithMark()
+		}
+		if uint64(r) != legacy {
+			t.Errorf("layout moved: MakeRef(%d, %d) mark=%v = %#x, legacy %#x",
+				c.index, c.gen, c.mark, uint64(r), legacy)
+		}
+		if r.Class() != 0 {
+			t.Errorf("legacy ref %v decodes with class %d", r, r.Class())
+		}
+	}
+	// And the reverse direction: raw legacy words decode to the same fields.
+	raw := Ref(uint64(987654)<<24 | uint64(777)<<1 | 1)
+	if raw.Index() != 987654 || raw.Gen() != 777 || !raw.Marked() || raw.Class() != 0 {
+		t.Errorf("legacy word misdecoded: %v", raw)
+	}
 }
 
 // FuzzArenaAllocFree interprets the input as an alloc/free script and

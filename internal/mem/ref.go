@@ -30,7 +30,14 @@ import "fmt"
 //
 //	bit  0      mark bit (Harris logical-deletion tag)
 //	bits 1..23  slot generation (23 bits, bumped on every Free)
-//	bits 24..63 slot index (40 bits; index 0 is reserved as nil)
+//	bits 24..59 slot index (36 bits; index 0 is reserved as nil)
+//	bits 60..63 size class (0 = the arena's typed slot class; 1..NumByteClasses
+//	            address the byte-payload size-class ladder, see class.go)
+//
+// The class bits are carved from the top of what used to be a 40-bit index
+// space: a class-0 Ref with index < 2^36 is bit-identical under both layouts,
+// so every ref the typed arena ever handed out decodes unchanged (pinned by
+// TestLegacyRefLayoutPinned).
 //
 // The zero Ref is the nil reference.
 type Ref uint64
@@ -38,15 +45,20 @@ type Ref uint64
 const (
 	markBits  = 1
 	genBits   = 23
-	indexBits = 64 - markBits - genBits
+	classBits = 4
+	indexBits = 64 - markBits - genBits - classBits
 
-	markMask Ref = 1
-	genShift     = markBits
-	genMask  Ref = ((1 << genBits) - 1) << genShift
-	idxShift     = markBits + genBits
+	markMask   Ref = 1
+	genShift       = markBits
+	genMask    Ref = ((1 << genBits) - 1) << genShift
+	idxShift       = markBits + genBits
+	classShift     = idxShift + indexBits
 
-	// MaxIndex is the largest representable slot index.
+	// MaxIndex is the largest representable slot index (per class).
 	MaxIndex = (1 << indexBits) - 1
+	// NumClasses is the number of addressable size classes (class 0 is the
+	// arena's typed slot class).
+	NumClasses = 1 << classBits
 	// GenModulus is the number of distinct generation values; generations
 	// wrap modulo this value after ~8.4M reuses of a single slot.
 	GenModulus = 1 << genBits
@@ -55,17 +67,38 @@ const (
 // NilRef is the null reference.
 const NilRef Ref = 0
 
-// MakeRef packs an index and generation into an unmarked Ref.
+// MakeRef packs an index and generation into an unmarked class-0 Ref.
 func MakeRef(index uint64, gen uint32) Ref {
-	return Ref(index)<<idxShift | (Ref(gen)<<genShift)&genMask
+	return Ref(index&MaxIndex)<<idxShift | (Ref(gen)<<genShift)&genMask
 }
 
-// IsNil reports whether r refers to no slot (the mark bit is ignored, so a
-// marked nil — which never occurs in well-formed structures — is still nil).
+// MakeClassRef packs a size class, index and generation into an unmarked
+// Ref. MakeClassRef(0, i, g) == MakeRef(i, g).
+func MakeClassRef(class int, index uint64, gen uint32) Ref {
+	return Ref(class&(NumClasses-1))<<classShift | MakeRef(index, gen)
+}
+
+// IsNil reports whether r refers to no slot. Index 0 is reserved as nil in
+// every class and no ref with a class but no index is ever minted, so a
+// single shift-compare covers all layouts — the class nibble rides along in
+// the high bits and is zero exactly when the whole field is. The mark bit
+// is ignored, so a marked nil — which never occurs in well-formed
+// structures — is still nil.
 func (r Ref) IsNil() bool { return r>>idxShift == 0 }
 
-// Index extracts the slot index.
+// Index extracts the slot index of a class-0 (typed arena) ref. It is a
+// bare shift — the class nibble is zero for every ref the typed arena
+// mints, so the typed hot paths pay no masking. For byte-class refs the
+// shift alone would fold the class bits into the result: decode those with
+// ClassIndex instead.
 func (r Ref) Index() uint64 { return uint64(r >> idxShift) }
+
+// ClassIndex extracts the slot index with the class nibble masked off —
+// the correct decode for refs of any class, at the cost of the mask.
+func (r Ref) ClassIndex() uint64 { return uint64(r>>idxShift) & MaxIndex }
+
+// Class extracts the size class (0 for typed arena slots).
+func (r Ref) Class() int { return int(r >> classShift) }
 
 // Gen extracts the generation stamp carried by the reference.
 func (r Ref) Gen() uint32 { return uint32((r & genMask) >> genShift) }
@@ -88,6 +121,9 @@ func (r Ref) String() string {
 	m := ""
 	if r.Marked() {
 		m = "*"
+	}
+	if c := r.Class(); c != 0 {
+		return fmt.Sprintf("ref<c%d:%d.g%d%s>", c, r.ClassIndex(), r.Gen(), m)
 	}
 	return fmt.Sprintf("ref<%d.g%d%s>", r.Index(), r.Gen(), m)
 }

@@ -206,6 +206,25 @@ func WriteMetrics(w io.Writer, snaps []DomainSnapshot) {
 	offGauge("smr_offload_handoffs_total", "Retired batches handed to the background reclaimer.", "counter", func(o *OffloadStats) int64 { return o.Handoffs })
 	offGauge("smr_offload_fallback_total", "Handoffs refused at the watermark (inline scan fallback).", "counter", func(o *OffloadStats) int64 { return o.Fallbacks })
 
+	// Per-size-class arena series: emitted only for domains whose allocator
+	// exposes class accounting. Labelled by class id and payload size.
+	classGauge := func(name, help, kind string, val func(ArenaClass) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, s := range snaps {
+			for _, c := range s.Classes {
+				fmt.Fprintf(w, "%s{scheme=%q,class=\"%d\",size=\"%d\"} %d\n", name, s.Scheme, c.Class, c.Size, val(c))
+			}
+		}
+	}
+	classGauge("smr_arena_class_live", "Live blocks per arena size class.", "gauge", func(c ArenaClass) int64 { return c.Live })
+	classGauge("smr_arena_class_live_bytes", "Live bytes per arena size class (blocks x footprint).", "gauge", func(c ArenaClass) int64 { return c.Live * c.Footprint })
+	classGauge("smr_arena_class_capacity", "Blocks addressable through published slabs per size class.", "gauge", func(c ArenaClass) int64 { return c.Capacity })
+	classGauge("smr_arena_class_slabs", "Published slabs per size class.", "gauge", func(c ArenaClass) int64 { return c.Slabs })
+	classGauge("smr_arena_class_allocs_total", "Block allocations per size class.", "counter", func(c ArenaClass) int64 { return c.Allocs })
+	classGauge("smr_arena_class_frees_total", "Block frees per size class.", "counter", func(c ArenaClass) int64 { return c.Frees })
+	classGauge("smr_arena_class_spills_total", "Magazine-to-freelist batch spills per size class.", "counter", func(c ArenaClass) int64 { return c.Spills })
+	classGauge("smr_arena_class_refills_total", "Freelist-to-magazine batch refills per size class.", "counter", func(c ArenaClass) int64 { return c.Refills })
+
 	writeHist(w, "smr_protect_latency_ns", "Sampled protect-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Protect })
 	writeHist(w, "smr_retire_latency_ns", "Sampled retire-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Retire })
 	writeHist(w, "smr_scan_latency_ns", "Reclamation scan latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Scan })

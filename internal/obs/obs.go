@@ -106,6 +106,26 @@ type Stats struct {
 	EraClock    uint64 `json:"era_clock"`
 	PoolHits    int64  `json:"pool_hits"`
 	PoolMisses  int64  `json:"pool_misses"`
+	// PendingBytes is the domain's true class-aware pending footprint; 0
+	// when the scheme predates byte accounting (the snapshot then falls back
+	// to Pending × objBytes). Not serialized here — DomainSnapshot exports
+	// the resolved value.
+	PendingBytes int64 `json:"-"`
+}
+
+// ArenaClass mirrors mem.ClassStat without importing mem — one size class's
+// occupancy and magazine-traffic gauges, exported as smr_arena_class_*.
+type ArenaClass struct {
+	Class     int   `json:"class"`
+	Size      int   `json:"size"`
+	Footprint int64 `json:"footprint"`
+	Allocs    int64 `json:"allocs"`
+	Frees     int64 `json:"frees"`
+	Live      int64 `json:"live"`
+	Slabs     int64 `json:"slabs"`
+	Capacity  int64 `json:"capacity"`
+	Spills    int64 `json:"spills"`
+	Refills   int64 `json:"refills"`
 }
 
 // OffloadStats are the background-reclamation pipeline gauges a domain with
@@ -143,6 +163,7 @@ type Domain struct {
 	clock    func() uint64
 	sessions func(yield func(session int, era uint64))
 	offStats func() OffloadStats
+	classes  func() []ArenaClass
 	objBytes uint64
 }
 
@@ -218,6 +239,11 @@ func (d *Domain) SetObjectBytes(n uint64) { d.objBytes = n }
 // export no smr_offload_* series.
 func (d *Domain) SetOffloadSource(fn func() OffloadStats) { d.offStats = fn }
 
+// SetClassSource installs the per-size-class arena gauge closure (wiring
+// time only; called by reclaim.Base.EnableObs when the allocator exposes
+// ClassStats). Domains without one export no smr_arena_class_* series.
+func (d *Domain) SetClassSource(fn func() []ArenaClass) { d.classes = fn }
+
 // SessionEra is one session's published-era reading in a snapshot.
 type SessionEra struct {
 	Session int    `json:"session"`
@@ -250,6 +276,10 @@ type DomainSnapshot struct {
 	// offload pipeline enabled.
 	Offload    *OffloadStats `json:"offload,omitempty"`
 	OffloadLat HistSnapshot  `json:"offload_latency_ns"`
+
+	// Per-size-class arena gauges; present only when the allocator exposes
+	// class accounting (mem arenas with WithByteClasses, plus class 0).
+	Classes []ArenaClass `json:"classes,omitempty"`
 }
 
 // Snapshot assembles the current DomainSnapshot. Safe to call concurrently
@@ -271,7 +301,17 @@ func (d *Domain) Snapshot() DomainSnapshot {
 		s.Offload = &off
 		s.OffloadLat = d.offload.Snapshot()
 	}
-	s.PendingBytes = s.Pending * int64(d.objBytes)
+	if d.classes != nil {
+		s.Classes = d.classes()
+	}
+	// True class-aware pending bytes when the scheme reports them; the
+	// Pending × objBytes approximation otherwise (both read 0 at quiescence,
+	// so a zero PendingBytes with non-zero Pending means "no byte source").
+	if s.Stats.PendingBytes > 0 {
+		s.PendingBytes = s.Stats.PendingBytes
+	} else {
+		s.PendingBytes = s.Pending * int64(d.objBytes)
+	}
 	if d.clock != nil && d.sessions != nil {
 		s.HasEras = true
 		clock := d.clock()

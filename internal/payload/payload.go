@@ -1,0 +1,65 @@
+// Package payload defines the byte-value convention shared by the
+// payload-carrying structures (list, hashmap, skiplist, bst) when they run
+// in byte-value mode: every structure still presents the uint64 Insert/Get
+// API the benchmarks drive, but the value physically lives in a size-class
+// arena block. The first 8 bytes of a block are the little-endian uint64
+// value; any remaining bytes carry a pattern derived from the value, so a
+// reader that lands on a stale or recycled block yields a decoded value
+// whose pattern check fails loudly in tests (and the checked arena's
+// generation check fails first).
+package payload
+
+import "encoding/binary"
+
+// MinSize is the smallest payload a structure allocates: room for the
+// encoded uint64 value.
+const MinSize = 8
+
+// SizeFor resolves the payload size for key under sizer (nil means
+// MinSize); the result is never below MinSize so Encode always has room
+// for the value word.
+func SizeFor(sizer func(key uint64) int, key uint64) int {
+	n := MinSize
+	if sizer != nil {
+		if s := sizer(key); s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+// Encode writes val into p: the value word first, then the deterministic
+// filler pattern over the tail. len(p) must be >= MinSize.
+func Encode(p []byte, val uint64) {
+	binary.LittleEndian.PutUint64(p, val)
+	for i := MinSize; i < len(p); i++ {
+		p[i] = byte(val) + byte(i)
+	}
+}
+
+// Decode reads the value word back out of p. Blocks shorter than MinSize
+// (possible through the explicit []byte APIs) decode their bytes
+// zero-extended.
+func Decode(p []byte) uint64 {
+	if len(p) >= MinSize {
+		return binary.LittleEndian.Uint64(p)
+	}
+	var b [MinSize]byte
+	copy(b[:], p)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Check reports whether p carries exactly Encode(p, val)'s bytes — the
+// deep-verification hook tests use to prove a payload survived
+// retire/scan/free intact.
+func Check(p []byte, val uint64) bool {
+	if len(p) < MinSize || Decode(p) != val {
+		return false
+	}
+	for i := MinSize; i < len(p); i++ {
+		if p[i] != byte(val)+byte(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package payload
+
+import "testing"
+
+func TestSizeFor(t *testing.T) {
+	if got := SizeFor(nil, 7); got != MinSize {
+		t.Fatalf("nil sizer: %d", got)
+	}
+	if got := SizeFor(func(uint64) int { return 3 }, 7); got != MinSize {
+		t.Fatalf("undersized sizer not clamped: %d", got)
+	}
+	if got := SizeFor(func(k uint64) int { return int(k) }, 100); got != 100 {
+		t.Fatalf("sizer ignored: %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{8, 9, 16, 100, 4096} {
+		p := make([]byte, n)
+		Encode(p, 0xABCDEF0123456789)
+		if got := Decode(p); got != 0xABCDEF0123456789 {
+			t.Fatalf("n=%d: decode %x", n, got)
+		}
+		if !Check(p, 0xABCDEF0123456789) {
+			t.Fatalf("n=%d: pattern check failed on fresh encode", n)
+		}
+		if Check(p, 0xABCDEF0123456788) {
+			t.Fatalf("n=%d: pattern check passed for wrong value", n)
+		}
+	}
+}
+
+func TestCheckDetectsTailCorruption(t *testing.T) {
+	p := make([]byte, 64)
+	Encode(p, 42)
+	p[63] ^= 0x01
+	if Check(p, 42) {
+		t.Fatal("corrupted tail not detected")
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if got := Decode([]byte{0x05, 0x00, 0x01}); got != 0x010005 {
+		t.Fatalf("short decode: %x", got)
+	}
+	if got := Decode(nil); got != 0 {
+		t.Fatalf("nil decode: %x", got)
+	}
+}

@@ -120,7 +120,7 @@ func (d *Domain) release(h *reclaim.Handle, ref mem.Ref) {
 	hdr := d.Alloc.Header(ref)
 	if hdr.RC.Add(-1) == 0 && hdr.Retired.Load() {
 		if hdr.Retired.CompareAndSwap(true, false) {
-			h.FreeRetired(mem.MakeRef(ref.Index(), hdr.Gen()))
+			h.FreeRetired(mem.MakeClassRef(ref.Class(), ref.ClassIndex(), hdr.Gen()))
 		}
 	}
 }
@@ -130,7 +130,7 @@ func (d *Domain) release(h *reclaim.Handle, ref mem.Ref) {
 func (d *Domain) Retire(h *reclaim.Handle, ref mem.Ref) {
 	ref = ref.Unmarked()
 	schedtest.Point(schedtest.PointRetire)
-	h.NoteRetired()
+	h.NoteRetired(ref)
 	hdr := d.Alloc.Header(ref)
 	hdr.Retired.Store(true)
 	if hdr.RC.Load() == 0 {

@@ -106,6 +106,27 @@ type Base struct {
 	scans   *atomicx.StripedCounter
 	peak    atomicx.HighWaterMark
 
+	// Byte-granular companions to retired/freed, active ONLY for class-aware
+	// allocators (arenas with byte classes, where footprints vary per ref):
+	// every retire/free then also adds the object's class footprint, so
+	// Pending×SlotBytes approximations are replaced by true per-class byte
+	// accounting (Equation 1 is a bound on bytes, not objects, once payloads
+	// vary in size). Both are nil for single-class allocators — the common
+	// fast path — where PendingBytes is computed as Pending×uniformBytes at
+	// snapshot time and the retire/free paths pay nothing.
+	retiredBytes *atomicx.StripedCounter
+	freedBytes   *atomicx.StripedCounter
+
+	// uniformBytes is the per-object footprint when every ref weighs the
+	// same (retiredBytes == nil); 0 when class-aware stripes are active.
+	uniformBytes int64
+
+	// classBytes maps Ref.Class() to the block footprint in bytes, resolved
+	// once at construction from the allocator (ClassFootprints when the
+	// allocator has byte classes, SlotBytes for every class otherwise, 1 as
+	// a last resort so the accounting still counts objects).
+	classBytes [mem.NumClasses]int64
+
 	// orphans holds retired objects abandoned by unregistered sessions that
 	// were still protected at exit time; the next scanning session adopts
 	// them. orphanLoad lets scanners skip the lock when the pool is empty.
@@ -171,18 +192,40 @@ func (b *Base) EnableObs(d *obs.Domain) {
 	d.SetStatsSource(func() obs.Stats {
 		s := b.Dom.Stats()
 		return obs.Stats{
-			Retired:     s.Retired,
-			Freed:       s.Freed,
-			Pending:     s.Pending,
-			PeakPending: s.PeakPending,
-			Scans:       s.Scans,
-			EraClock:    s.EraClock,
-			PoolHits:    s.PoolHits,
-			PoolMisses:  s.PoolMisses,
+			Retired:      s.Retired,
+			Freed:        s.Freed,
+			Pending:      s.Pending,
+			PendingBytes: s.PendingBytes,
+			PeakPending:  s.PeakPending,
+			Scans:        s.Scans,
+			EraClock:     s.EraClock,
+			PoolHits:     s.PoolHits,
+			PoolMisses:   s.PoolMisses,
 		}
 	})
 	if sb, ok := b.Alloc.(interface{ SlotBytes() uintptr }); ok {
 		d.SetObjectBytes(uint64(sb.SlotBytes()))
+	}
+	if cs, ok := b.Alloc.(interface{ ClassStats() []mem.ClassStat }); ok {
+		d.SetClassSource(func() []obs.ArenaClass {
+			stats := cs.ClassStats()
+			out := make([]obs.ArenaClass, len(stats))
+			for i, c := range stats {
+				out[i] = obs.ArenaClass{
+					Class:     c.Class,
+					Size:      c.Size,
+					Footprint: c.Footprint,
+					Allocs:    c.Allocs,
+					Frees:     c.Frees,
+					Live:      c.Live,
+					Slabs:     c.Slabs,
+					Capacity:  c.Capacity,
+					Spills:    c.Spills,
+					Refills:   c.Refills,
+				}
+			}
+			return out
+		})
 	}
 	if o := b.off; o != nil {
 		d.SetOffloadSource(o.stats)
@@ -218,6 +261,34 @@ func NewBase(alloc Allocator, cfg Config, wordsPerSlot int, initWord uint64) Bas
 	}
 	sharded, _ := alloc.(shardedAllocator)
 	first := newSlotBlock(0, cfg.MaxThreads, wordsPerSlot, initWord)
+	// Resolve the byte-accounting mode: heterogeneous footprints (an arena
+	// with byte classes) activate the per-ref striped byte counters; a
+	// single-class allocator keeps them nil and derives PendingBytes as
+	// Pending×uniformBytes at snapshot time, costing the retire/free hot
+	// paths nothing.
+	var classBytes [mem.NumClasses]int64
+	uniform := int64(0)
+	if src, ok := alloc.(interface{ ClassFootprints() []uintptr }); ok {
+		for c, fp := range src.ClassFootprints() {
+			if c < len(classBytes) {
+				classBytes[c] = int64(fp)
+			}
+		}
+	}
+	if classBytes == ([mem.NumClasses]int64{}) {
+		uniform = 1
+		if src, ok := alloc.(interface{ SlotBytes() uintptr }); ok {
+			uniform = int64(src.SlotBytes())
+		}
+		for c := range classBytes {
+			classBytes[c] = uniform
+		}
+	}
+	var retiredBytes, freedBytes *atomicx.StripedCounter
+	if uniform == 0 {
+		retiredBytes = atomicx.NewStripedCounter(cfg.MaxThreads)
+		freedBytes = atomicx.NewStripedCounter(cfg.MaxThreads)
+	}
 	return Base{
 		Alloc:         alloc,
 		Cfg:           cfg,
@@ -232,10 +303,14 @@ func NewBase(alloc Allocator, cfg Config, wordsPerSlot int, initWord uint64) Bas
 		retired:       atomicx.NewStripedCounter(cfg.MaxThreads),
 		freed:         atomicx.NewStripedCounter(cfg.MaxThreads),
 		scans:         atomicx.NewStripedCounter(cfg.MaxThreads),
+		retiredBytes:  retiredBytes,
+		freedBytes:    freedBytes,
+		uniformBytes:  uniform,
+		classBytes:    classBytes,
 		// The offloader is heap-allocated and holds no *Base (workers
 		// resolve the domain lazily at the first handoff), so the Base
 		// value the caller embeds shares it safely.
-		off: newOffloader(cfg.Offload, alloc, threshold, cfg.MaxThreads),
+		off: newOffloader(cfg.Offload, alloc, threshold, cfg.MaxThreads, classBytes),
 	}
 }
 
@@ -305,6 +380,12 @@ func (b *Base) makeHandle(s *Slot) *Handle {
 		retStripe:  b.retired.Stripe(s.id),
 		freeStripe: b.freed.Stripe(s.id),
 		scanStripe: b.scans.Stripe(s.id),
+	}
+	// Byte stripes stay nil for uniform-footprint allocators — the hot paths
+	// nil-check and skip (same gating pattern as obsRing).
+	if b.retiredBytes != nil {
+		h.retBytesStripe = b.retiredBytes.Stripe(s.id)
+		h.freeBytesStripe = b.freedBytes.Stripe(s.id)
 	}
 	if b.Cfg.Slots > 0 {
 		h.Held = make([]uint64, b.Cfg.Slots)
@@ -484,8 +565,13 @@ func (b *Base) DrainAll() {
 	}
 }
 
+// refBytes returns the class-aware footprint of the block ref names.
+func (b *Base) refBytes(ref mem.Ref) int64 {
+	return b.classBytes[ref.Class()&(mem.NumClasses-1)]
+}
+
 // freeAt frees ref through the allocator (into shard's magazine when
-// sharded) and bumps the freed stripe for that id.
+// sharded) and bumps the freed stripes for that id.
 func (b *Base) freeAt(id int, ref mem.Ref) {
 	if b.sharded != nil {
 		b.sharded.FreeAt(id, ref)
@@ -493,6 +579,9 @@ func (b *Base) freeAt(id int, ref mem.Ref) {
 		b.Alloc.Free(ref)
 	}
 	b.freed.Inc(id)
+	if b.freedBytes != nil {
+		b.freedBytes.Add(id, b.refBytes(ref))
+	}
 }
 
 // BaseStats assembles the common statistics snapshot. The fold doubles as a
@@ -507,14 +596,28 @@ func (b *Base) BaseStats() Stats {
 	if pending < 0 {
 		pending = 0
 	}
+	// Byte pending: exact product for uniform footprints, striped fold (same
+	// freed-before-retired order and clamp) when class-aware.
+	var pendingBytes int64
+	if b.retiredBytes == nil {
+		pendingBytes = pending * b.uniformBytes
+	} else {
+		freedBytes := b.freedBytes.Sum()
+		retiredBytes := b.retiredBytes.Sum()
+		pendingBytes = retiredBytes - freedBytes
+		if pendingBytes < 0 {
+			pendingBytes = 0
+		}
+	}
 	b.peak.Observe(pending)
 	return Stats{
-		Retired:     retired,
-		Freed:       freed,
-		Pending:     pending,
-		PeakPending: b.peak.Max(),
-		Scans:       b.scans.Sum(),
-		PoolHits:    b.poolHits.Load(),
-		PoolMisses:  b.poolMisses.Load(),
+		Retired:      retired,
+		Freed:        freed,
+		Pending:      pending,
+		PendingBytes: pendingBytes,
+		PeakPending:  b.peak.Max(),
+		Scans:        b.scans.Sum(),
+		PoolHits:     b.poolHits.Load(),
+		PoolMisses:   b.poolMisses.Load(),
 	}
 }

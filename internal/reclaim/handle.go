@@ -126,6 +126,10 @@ type Handle struct {
 	freeStripe *atomicx.PaddedInt64
 	scanStripe *atomicx.PaddedInt64
 
+	// Byte-granular companions (class-aware footprints; see Base.classBytes).
+	retBytesStripe  *atomicx.PaddedInt64
+	freeBytesStripe *atomicx.PaddedInt64
+
 	insLoads  *atomicx.PaddedInt64 // nil when instrumentation is off
 	insStores *atomicx.PaddedInt64
 	insRMWs   *atomicx.PaddedInt64
@@ -215,6 +219,9 @@ func (h *Handle) PushRetired(ref mem.Ref) {
 	rl := &h.slot.rl.retiredListState
 	rl.refs = append(rl.refs, ref.Unmarked())
 	h.retStripe.Add(1)
+	if h.retBytesStripe != nil {
+		h.retBytesStripe.Add(h.base.refBytes(ref))
+	}
 	if h.obsRing != nil {
 		h.obsTickPush++
 		if h.obsTickPush&h.obsMask == 0 {
@@ -224,10 +231,15 @@ func (h *Handle) PushRetired(ref mem.Ref) {
 }
 
 // NoteRetired updates retirement accounting without touching any retired
-// list — for schemes (reference counting) that reclaim inline. The sampled
-// EvRetire event carries depth 0: inline schemes keep no retired list.
-func (h *Handle) NoteRetired() {
+// list — for schemes (reference counting) that reclaim inline. It takes the
+// retired ref so the byte accounting stays class-aware even without a list.
+// The sampled EvRetire event carries depth 0: inline schemes keep no
+// retired list.
+func (h *Handle) NoteRetired(ref mem.Ref) {
 	h.retStripe.Add(1)
+	if h.retBytesStripe != nil {
+		h.retBytesStripe.Add(h.base.refBytes(ref))
+	}
 	h.base.observePeak()
 	if h.obsRing != nil {
 		h.obsTickPush++
@@ -272,6 +284,9 @@ func (h *Handle) FreeRetired(ref mem.Ref) {
 		b.Alloc.Free(ref)
 	}
 	h.freeStripe.Add(1)
+	if h.freeBytesStripe != nil {
+		h.freeBytesStripe.Add(b.refBytes(ref))
+	}
 	if h.obsRing != nil {
 		h.obsRing.Record(obs.EvFree, h.slot.id, 1)
 	}
@@ -314,6 +329,13 @@ func (h *Handle) ReclaimUnprotected(protected func(ref mem.Ref) bool) {
 		}
 	}
 	h.freeStripe.Add(int64(len(toFree)))
+	if h.freeBytesStripe != nil {
+		freedBytes := int64(0)
+		for _, obj := range toFree {
+			freedBytes += h.base.refBytes(obj)
+		}
+		h.freeBytesStripe.Add(freedBytes)
+	}
 	if h.obsRing != nil {
 		// One event for the whole batch: scans are where frees cluster, and
 		// the batch size is the interesting number.

@@ -38,15 +38,17 @@ import (
 // Publication is the standard Go-atomics (seq-cst) argument: a producer
 // fully writes seg.{refs,n,t0} before the head CAS publishes the segment,
 // and the consumer's Swap(nil) load of head synchronizes with that CAS, so
-// every segment the consumer walks is complete. The queuedRefs gauge is
+// every segment the consumer walks is complete. The queued gauges are
 // incremented before the push and decremented by the worker only after its
 // scan returns, so the watermark check conservatively over-counts in-flight
 // work — backpressure can only trip early, never late.
 //
 // # Backpressure (robustness)
 //
-// TryOffload refuses a handoff once queuedRefs×slotBytes reaches the
-// watermark, bumping the fallback counter; the caller then scans inline
+// TryOffload refuses a handoff once the queued bytes (summed per ref from
+// the allocator's class footprints, so variable-size payloads weigh their
+// true size) reach the watermark, bumping the fallback counter; the caller
+// then scans inline
 // exactly as in offload-disabled mode. Bounded-memory guarantee: pending
 // bytes never exceed the watermark plus what inline mode itself would hold,
 // so the paper's Equation 1 bound degrades to a configurable factor of
@@ -71,9 +73,9 @@ type OffloadConfig struct {
 	// offloading; negative values are treated as 0.
 	Workers int
 	// WatermarkBytes is the backpressure threshold: when the bytes queued
-	// for background reclamation (queued refs × arena slot size) reach it,
-	// TryOffload fails and the retiring session scans inline. 0 derives the
-	// default from WatermarkFactor.
+	// for background reclamation (summed per ref from the allocator's
+	// class-aware footprints) reach it, TryOffload fails and the retiring
+	// session scans inline. 0 derives the default from WatermarkFactor.
 	WatermarkBytes int64
 	// WatermarkFactor scales the default watermark: factor × scan threshold
 	// × MaxThreads × slot bytes, i.e. the offload pipeline may hold at most
@@ -102,10 +104,11 @@ const offSpinNs = 100_000
 // offSegment is one queue link. All fields except next are written only
 // before publication (CAS into a queue) and read only after detach.
 type offSegment struct {
-	next atomic.Pointer[offSegment]
-	n    int
-	t0   int64 // obs.Now() at handoff, for the offload-latency histogram
-	refs [offSegCap]mem.Ref
+	next  atomic.Pointer[offSegment]
+	n     int
+	bytes int64 // class-aware footprint of refs[:n], for the byte gauge
+	t0    int64 // obs.Now() at handoff, for the offload-latency histogram
+	refs  [offSegCap]mem.Ref
 }
 
 // offStack is one worker's MPSC handoff queue: multi-producer CAS push,
@@ -138,14 +141,21 @@ type offloader struct {
 	watermark int64
 	slotBytes int64
 
+	// classBytes maps Ref.Class() to block footprint (same table as
+	// Base.classBytes); tryOffload sums it per segment so the watermark
+	// compares true queued bytes, not refs × a single slot size.
+	classBytes [mem.NumClasses]int64
+
 	queues []offStack
 	notify []chan struct{} // 1-buffered wakeup semaphores, one per worker
 
-	// queuedRefs counts refs handed off but not yet reclaimed by a worker
-	// (incremented before push, decremented after the worker's scan).
-	queuedRefs atomic.Int64
-	handoffs   atomic.Int64
-	fallbacks  atomic.Int64
+	// queuedRefs/queuedBytes count work handed off but not yet reclaimed by
+	// a worker (incremented before push, decremented after the worker's
+	// scan). queuedBytes is class-aware and drives the watermark check.
+	queuedRefs  atomic.Int64
+	queuedBytes atomic.Int64
+	handoffs    atomic.Int64
+	fallbacks   atomic.Int64
 
 	// Segment recycling pool. Mutex-guarded on purpose: one push+pop pair
 	// per ~threshold retires is cold, and a lock-free pop would reintroduce
@@ -165,10 +175,14 @@ type offloader struct {
 
 // newOffloader builds the pipeline state (no goroutines yet). Returns nil
 // when cfg disables offloading.
-func newOffloader(cfg OffloadConfig, alloc Allocator, scanThreshold, maxThreads int) *offloader {
+func newOffloader(cfg OffloadConfig, alloc Allocator, scanThreshold, maxThreads int, classBytes [mem.NumClasses]int64) *offloader {
 	if cfg.Workers <= 0 {
 		return nil
 	}
+	// slotBytes (the typed class-0 footprint) still anchors the DEFAULT
+	// watermark derivation — Equation 1 is stated in nodes, and the typed
+	// class is what structures retire at threshold cadence — while the
+	// queued-bytes gauge itself is class-aware via classBytes.
 	slotBytes := int64(1)
 	if sb, ok := alloc.(interface{ SlotBytes() uintptr }); ok {
 		if n := int64(sb.SlotBytes()); n > 0 {
@@ -184,11 +198,12 @@ func newOffloader(cfg OffloadConfig, alloc Allocator, scanThreshold, maxThreads 
 		watermark = int64(factor) * int64(scanThreshold) * int64(maxThreads) * slotBytes
 	}
 	o := &offloader{
-		workers:   cfg.Workers,
-		watermark: watermark,
-		slotBytes: slotBytes,
-		queues:    make([]offStack, cfg.Workers),
-		notify:    make([]chan struct{}, cfg.Workers),
+		workers:    cfg.Workers,
+		watermark:  watermark,
+		slotBytes:  slotBytes,
+		classBytes: classBytes,
+		queues:     make([]offStack, cfg.Workers),
+		notify:     make([]chan struct{}, cfg.Workers),
 	}
 	for i := range o.notify {
 		o.notify[i] = make(chan struct{}, 1)
@@ -203,7 +218,7 @@ func (o *offloader) tryOffload(h *Handle) bool {
 	if o.stopped.Load() {
 		return false
 	}
-	if o.queuedRefs.Load()*o.slotBytes >= o.watermark {
+	if o.queuedBytes.Load() >= o.watermark {
 		o.fallbacks.Add(1)
 		return false
 	}
@@ -216,7 +231,12 @@ func (o *offloader) tryOffload(h *Handle) bool {
 	}
 	// Count the whole batch as queued before the first push so a concurrent
 	// watermark check can only over-estimate the backlog.
+	batchBytes := int64(0)
+	for _, ref := range refs {
+		batchBytes += o.classBytes[ref.Class()&(mem.NumClasses-1)]
+	}
 	o.queuedRefs.Add(int64(len(refs)))
+	o.queuedBytes.Add(batchBytes)
 	var t0 int64
 	if h.base.obsDom != nil {
 		t0 = obs.Now() // only the offload-latency histogram reads it
@@ -225,6 +245,10 @@ func (o *offloader) tryOffload(h *Handle) bool {
 		seg := o.getSegment()
 		n := copy(seg.refs[:], refs)
 		seg.n = n
+		seg.bytes = 0
+		for _, ref := range seg.refs[:n] {
+			seg.bytes += o.classBytes[ref.Class()&(mem.NumClasses-1)]
+		}
 		seg.t0 = t0
 		refs = refs[n:]
 		// Session affinity: one session's handoffs always land on the same
@@ -363,12 +387,14 @@ func (o *offloader) drainQueue(h *Handle, sc Scanner, q *offStack, lat *obs.Late
 		return
 	}
 	total := 0
+	totalBytes := int64(0)
 	oldest := int64(-1)
 	rl := h.Retired()
 	for seg != nil {
 		next := seg.next.Load()
 		rl = append(rl, seg.refs[:seg.n]...)
 		total += seg.n
+		totalBytes += seg.bytes
 		if oldest < 0 || seg.t0 < oldest {
 			oldest = seg.t0
 		}
@@ -378,6 +404,7 @@ func (o *offloader) drainQueue(h *Handle, sc Scanner, q *offStack, lat *obs.Late
 	h.SetRetired(rl)
 	sc.Scan(h)
 	o.queuedRefs.Add(int64(-total))
+	o.queuedBytes.Add(-totalBytes)
 	if lat != nil && oldest > 0 {
 		// Handoff-to-reclaimed latency of the oldest segment in the batch —
 		// the figure backpressure tuning cares about. (oldest is 0 when the
@@ -409,6 +436,7 @@ func (o *offloader) shutdown(b *Base) {
 				b.freeAt(0, ref)
 			}
 			o.queuedRefs.Add(int64(-seg.n))
+			o.queuedBytes.Add(-seg.bytes)
 			o.putSegment(seg)
 			seg = next
 		}
@@ -421,10 +449,14 @@ func (o *offloader) stats() obs.OffloadStats {
 	if q < 0 {
 		q = 0
 	}
+	qb := o.queuedBytes.Load()
+	if qb < 0 {
+		qb = 0
+	}
 	return obs.OffloadStats{
 		Workers:        int64(o.workers),
 		QueuedRefs:     q,
-		QueuedBytes:    q * o.slotBytes,
+		QueuedBytes:    qb,
 		WatermarkBytes: o.watermark,
 		Handoffs:       o.handoffs.Load(),
 		Fallbacks:      o.fallbacks.Load(),

@@ -117,12 +117,13 @@ type Domain interface {
 
 // Stats is a snapshot of a domain's reclamation accounting.
 type Stats struct {
-	Retired     int64  // total Retire calls
-	Freed       int64  // objects actually freed by the scheme
-	Pending     int64  // retired but not yet freed (clamped at 0: the stripe folds race)
-	PeakPending int64  // high-water mark of Pending (Equation 1 subject)
-	Scans       int64  // reclamation scan passes over retired lists
-	EraClock    uint64 // current era/epoch/version clock (scheme-specific; 0 if none)
-	PoolHits    int64  // Acquire calls served from the handle pool
-	PoolMisses  int64  // Acquire calls that fell through to a fresh Register
+	Retired      int64  // total Retire calls
+	Freed        int64  // objects actually freed by the scheme
+	Pending      int64  // retired but not yet freed (clamped at 0: the stripe folds race)
+	PendingBytes int64  // class-aware bytes pending (same fold/clamp as Pending)
+	PeakPending  int64  // high-water mark of Pending (Equation 1 subject)
+	Scans        int64  // reclamation scan passes over retired lists
+	EraClock     uint64 // current era/epoch/version clock (scheme-specific; 0 if none)
+	PoolHits     int64  // Acquire calls served from the handle pool
+	PoolMisses   int64  // Acquire calls that fell through to a fresh Register
 }

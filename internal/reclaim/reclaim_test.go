@@ -248,12 +248,20 @@ func TestDrainAllReachesGrownBlocks(t *testing.T) {
 }
 
 func TestNoteRetired(t *testing.T) {
-	b := newTestBase(testArena(), Config{MaxThreads: 1})
+	arena := testArena()
+	b := newTestBase(arena, Config{MaxThreads: 1})
 	h := b.Register()
-	h.NoteRetired()
-	h.NoteRetired()
-	if s := b.BaseStats(); s.Retired != 2 || s.PeakPending != 2 {
+	r1, _ := arena.Alloc()
+	r2, _ := arena.Alloc()
+	h.NoteRetired(r1)
+	h.NoteRetired(r2)
+	s := b.BaseStats()
+	if s.Retired != 2 || s.PeakPending != 2 {
 		t.Fatalf("stats: %+v", s)
+	}
+	// NoteRetired carries the ref so byte accounting stays class-aware.
+	if want := 2 * int64(arena.SlotBytes()); s.PendingBytes != want {
+		t.Fatalf("PendingBytes = %d, want %d", s.PendingBytes, want)
 	}
 }
 

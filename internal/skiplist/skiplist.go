@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/payload"
 	"repro/internal/reclaim"
 )
 
@@ -41,10 +42,12 @@ const MaxLevel = 16
 const Slots = 3
 
 // Node is a skip-list tower. Key, Val and Level are immutable after
-// publication; Next[l] for l < Level are the per-level successor refs.
+// publication; Next[l] for l < Level are the per-level successor refs. Val
+// is atomic because in byte-value mode it names a size-class payload block
+// that readers protect through it.
 type Node struct {
 	Key   uint64
-	Val   uint64
+	Val   atomic.Uint64
 	Level int
 	Next  [MaxLevel]atomic.Uint64
 }
@@ -53,6 +56,7 @@ type Node struct {
 func PoisonNode(n *Node) {
 	n.Key = 0xDEADDEADDEADDEAD
 	bad := uint64(mem.MakeRef(mem.MaxIndex, 0))
+	n.Val.Store(bad)
 	for l := range n.Next {
 		n.Next[l].Store(bad)
 	}
@@ -70,16 +74,21 @@ type SkipList struct {
 	mu    sync.Mutex // serializes writers; readers never take it
 	rng   uint64     // level generator state, guarded by mu
 	size  int        // guarded by mu
+
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // Option configures a SkipList.
 type Option func(*config)
 
 type config struct {
-	checked bool
-	threads int
-	seed    uint64
-	ins     *reclaim.Instrument
+	checked  bool
+	threads  int
+	seed     uint64
+	ins      *reclaim.Instrument
+	byteVals bool
+	valSizer func(key uint64) int
 }
 
 // WithChecked enables the checked (generation-validated, poisoned) arena.
@@ -95,6 +104,13 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // WithInstrument attaches reader-side op counting to the domain.
 func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
 
+// WithByteValues stores values as variable-size payload blocks in the
+// arena's size-class space (see list.WithByteValues); sizer maps a key to
+// its payload size.
+func WithByteValues(sizer func(key uint64) int) Option {
+	return func(c *config) { c.byteVals = true; c.valSizer = sizer }
+}
+
 // New builds an empty skip list reclaimed through mk's domain.
 func New(mk DomainFactory, opts ...Option) *SkipList {
 	c := config{threads: 64, seed: 1}
@@ -105,9 +121,12 @@ func New(mk DomainFactory, opts ...Option) *SkipList {
 	if c.checked {
 		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
 	}
+	if c.byteVals {
+		arenaOpts = append(arenaOpts, mem.WithByteClasses[Node]())
+	}
 	arena := mem.NewArena[Node](arenaOpts...)
 	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
-	return &SkipList{arena: arena, dom: dom, rng: c.seed | 1}
+	return &SkipList{arena: arena, dom: dom, rng: c.seed | 1, byteVals: c.byteVals, valSizer: c.valSizer}
 }
 
 // Domain exposes the reclamation domain.
@@ -132,10 +151,30 @@ func (s *SkipList) randomLevel() int {
 	return level
 }
 
-// Get returns the value stored under key. Lock-free; the traversal
-// protects prev/curr/next with three rotating slots and validates the
-// incoming edge of prev after every successor protection.
+// Get returns the value stored under key (in byte-value mode, the decoded
+// value word of the payload block). Lock-free; the traversal protects
+// prev/curr/next with three rotating slots and validates the incoming edge
+// of prev after every successor protection.
 func (s *SkipList) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
+	v, _, ok := s.get(h, key, readVal)
+	return v, ok
+}
+
+// GetBytes returns a copy of key's payload block (byte-value mode only);
+// the copy is taken while the payload is still protected.
+func (s *SkipList) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
+	_, buf, ok := s.get(h, key, readCopy)
+	return buf, ok
+}
+
+// get read modes: membership only, decoded value word, payload copy.
+const (
+	readNone = iota
+	readVal
+	readCopy
+)
+
+func (s *SkipList) get(h *reclaim.Handle, key uint64, mode int) (val uint64, buf []byte, ok bool) {
 	arena := s.arena
 	h.BeginOp()
 	defer h.EndOp()
@@ -180,13 +219,34 @@ retry:
 			}
 			if level == 0 {
 				if curr.IsNil() {
-					return 0, false
+					return 0, nil, false
 				}
 				cn := arena.Get(curr)
-				if cn.Key == key {
-					return cn.Val, true
+				if cn.Key != key {
+					return 0, nil, false
 				}
-				return 0, false
+				if mode == readNone {
+					return 0, nil, true
+				}
+				if !s.byteVals {
+					return cn.Val.Load(), nil, true
+				}
+				// Byte mode: the payload is a separate block that Remove
+				// retires, so it needs its own protection. Slot sn is dead
+				// here (the traversal is over), so publish there, then
+				// re-check the level-0 cell is still unmarked: unmarked
+				// after the publish means the tower mark — which precedes
+				// the payload's retirement — had not yet happened, so the
+				// retirer's scan is obligated to honor this hold.
+				pRef := h.Protect(sn, &cn.Val)
+				if mem.Ref(cn.Next[0].Load()).Marked() {
+					continue retry
+				}
+				p := arena.Bytes(pRef)
+				if mode == readCopy {
+					buf = append([]byte(nil), p...)
+				}
+				return payload.Decode(p), buf, true
 			}
 			// Descend at prev: same owner, one level down. prev stays
 			// protected at its slot; its incoming edge is re-validated
@@ -210,7 +270,7 @@ retry:
 
 // Contains reports membership of key.
 func (s *SkipList) Contains(h *reclaim.Handle, key uint64) bool {
-	_, ok := s.Get(h, key)
+	_, _, ok := s.get(h, key, readNone)
 	return ok
 }
 
@@ -249,8 +309,19 @@ func (s *SkipList) findPreds(key uint64) (preds [MaxLevel]*atomic.Uint64, found 
 // Insert adds key->val; false if already present. Writer-serialized. The
 // tower is linked bottom-up, so the node appears atomically at level 0 —
 // its linearization point — and partially-linked upper levels are simply
-// not yet taken by readers.
+// not yet taken by readers. In byte-value mode the value is materialized
+// as a valSizer(key)-byte payload block.
 func (s *SkipList) Insert(h *reclaim.Handle, key, val uint64) bool {
+	return s.insert(h, key, val, nil)
+}
+
+// InsertBytes adds key->raw, storing a copy of raw as the payload block.
+// Byte-value mode only; the arena faults otherwise.
+func (s *SkipList) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
+	return s.insert(h, key, 0, raw)
+}
+
+func (s *SkipList) insert(h *reclaim.Handle, key, val uint64, raw []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	preds, found := s.findPreds(key)
@@ -259,11 +330,29 @@ func (s *SkipList) Insert(h *reclaim.Handle, key, val uint64) bool {
 	}
 	level := s.randomLevel()
 	ref, n := s.arena.AllocAt(h.ID())
-	n.Key, n.Val, n.Level = key, val, level
+	n.Key, n.Level = key, level
+	var pRef mem.Ref
+	if s.byteVals || raw != nil {
+		if raw != nil {
+			pRef = s.arena.PutBytesAt(h.ID(), raw)
+		} else {
+			var p []byte
+			pRef, p = s.arena.AllocBytesAt(h.ID(), payload.SizeFor(s.valSizer, key))
+			payload.Encode(p, val)
+		}
+		n.Val.Store(uint64(pRef))
+	} else {
+		n.Val.Store(val)
+	}
 	for l := 0; l < level; l++ {
 		n.Next[l].Store(preds[l].Load())
 	}
-	s.dom.OnAlloc(ref) // birth stamp before the node becomes visible
+	// Birth stamps before the node (and through it, the payload) becomes
+	// visible.
+	if !pRef.IsNil() {
+		s.dom.OnAlloc(pRef)
+	}
+	s.dom.OnAlloc(ref)
 	for l := 0; l < level; l++ {
 		preds[l].Store(uint64(ref))
 	}
@@ -293,6 +382,11 @@ func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
 		if mem.Ref(preds[l].Load()) == found {
 			preds[l].Store(uint64(mem.Ref(n.Next[l].Load()).Unmarked()))
 		}
+	}
+	// Payload before node: the ref must be read before the node can be
+	// freed, and retiring it first keeps the free order payload-then-node.
+	if s.byteVals {
+		h.Retire(mem.Ref(n.Val.Load()))
 	}
 	h.Retire(found)
 	s.size--
@@ -383,7 +477,21 @@ retry:
 			if cn.Key >= to {
 				return count, to, false
 			}
-			if !fn(cn.Key, cn.Val) {
+			val := uint64(0)
+			if s.byteVals {
+				// Protect the payload at sn — dead at this point; it is
+				// re-targeted at cn.Next[0] right after the report. A mark
+				// seen after the publish means the payload may already be
+				// retired: resume at cn.Key itself (not reported yet).
+				pRef := h.Protect(sn, &cn.Val)
+				if mem.Ref(cn.Next[0].Load()).Marked() {
+					return count, cn.Key, true
+				}
+				val = payload.Decode(arena.Bytes(pRef))
+			} else {
+				val = cn.Val.Load()
+			}
+			if !fn(cn.Key, val) {
 				return count, to, false
 			}
 			count++
@@ -425,7 +533,15 @@ func (s *SkipList) Drain() {
 		s.heads[l].Store(0)
 	}
 	for !ref.IsNil() {
-		next := mem.Ref(s.arena.Get(ref).Next[0].Load()).Unmarked()
+		n := s.arena.Get(ref)
+		next := mem.Ref(n.Next[0].Load()).Unmarked()
+		if s.byteVals {
+			// Linked towers are never marked (Remove unlinks under mu), so
+			// every linked node still owns its payload.
+			if pRef := mem.Ref(n.Val.Load()); !pRef.IsNil() {
+				s.arena.Free(pRef)
+			}
+		}
 		s.arena.Free(ref)
 		ref = next
 	}

@@ -93,6 +93,13 @@ kill "$offpid" 2>/dev/null || true
 wait "$offpid" 2>/dev/null || true
 echo "== observability overhead (enabled vs disabled) =="
 go test -run '^$' -bench 'RetireScanObs|HandleOpsObs' -benchtime 200ms -cpu 8 ./internal/reclaim/
+echo "== arena (size classes: slab growth + magazine churn races, byte-value structures) =="
+go test -race -run 'TestByteSlabGrowthRace|TestByteMagazineChurnRace' ./internal/mem/
+go test -race -run 'TestByteValues' ./internal/list/ ./internal/hashmap/ ./internal/bst/
+go test -run 'TestByteValues|TestParseValSizer' ./internal/skiplist/ ./internal/bench/
+echo "== arena overhead (typed single-class path vs byte-class ladder) =="
+go test -run '^$' -bench 'ArenaAllocFree$|ArenaAllocFreeClass' -benchtime 200ms -cpu 8 ./internal/mem/
+go run ./cmd/hestress -struct list,map -scheme HE -threads 4 -dur 300ms -valsize zipf:2048 > /dev/null
 if [ "$mode" = "full" ]; then
   echo "== race =="
   go test -race ./...
