@@ -39,8 +39,8 @@ func benchListWorkload(b *testing.B, s bench.Scheme, size uint64, updatePct int)
 	var seed atomic.Uint64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		h := dom.Register()
-		defer dom.Unregister(h)
+		h := l.Register()
+		defer h.Unregister()
 		rng := bench.NewSplitMix64(seed.Add(1) * 0x9E37)
 		for pb.Next() {
 			k := rng.Intn(size)
@@ -154,7 +154,7 @@ func BenchmarkEq1_BoundedChurn(b *testing.B) {
 			release := make(chan struct{})
 			bench.StalledReader(l, release)
 			dom := l.Domain()
-			h := dom.Register()
+			h := l.Register()
 			rng := bench.NewSplitMix64(1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -166,7 +166,7 @@ func BenchmarkEq1_BoundedChurn(b *testing.B) {
 			b.StopTimer()
 			st := dom.Stats()
 			b.ReportMetric(float64(st.PeakPending), "peak-pending")
-			dom.Unregister(h)
+			h.Unregister()
 			close(release)
 			l.Drain()
 		})
@@ -191,12 +191,11 @@ func BenchmarkAblation_MinMaxBST(b *testing.B) {
 		b.Run(s.Name, func(b *testing.B) {
 			tr := bst.New(bst.DomainFactory(s.Make), bst.WithMaxThreads(64))
 			bench.Prefill(tr, size)
-			dom := tr.Domain()
 			var seed atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
-				h := dom.Register()
-				defer dom.Unregister(h)
+				h := tr.Register()
+				defer h.Unregister()
 				rng := bench.NewSplitMix64(seed.Add(1))
 				for pb.Next() {
 					k := rng.Intn(size)
@@ -224,8 +223,8 @@ func BenchmarkExtension_WaitFreeQueue(b *testing.B) {
 		b.Run("MS-lockfree/"+s.Name, func(b *testing.B) {
 			q := queue.New(queue.DomainFactory(s.Make), queue.WithMaxThreads(64))
 			b.RunParallel(func(pb *testing.PB) {
-				h := q.Domain().Register()
-				defer q.Domain().Unregister(h)
+				h := q.Register()
+				defer h.Unregister()
 				i := 0
 				for pb.Next() {
 					if i%2 == 0 {

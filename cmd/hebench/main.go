@@ -10,7 +10,9 @@
 //	hebench -exp all -dur 500ms -csv
 //	hebench -exp fig4 -grow        # undersized registries: exercise slot-block growth
 //
-// Experiments: fig4, table1, bound, kadvance, minmax, stalled, all.
+// Experiments: fig4, table1, bound, kadvance, minmax, stalled, api, all.
+// The api experiment is the public-vs-internal overhead A/B over the smr
+// package; -api selects its sides (public|internal|both).
 package main
 
 import (
@@ -29,7 +31,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig4", "experiment: fig4|table1|bound|kadvance|minmax|stalled|oversub|rfactor|all")
+		exp     = flag.String("exp", "fig4", "experiment: fig4|table1|bound|kadvance|minmax|stalled|oversub|rfactor|api|all")
+		api     = flag.String("api", "both", "sides of the -exp api comparison: public|internal|both")
 		dur     = flag.Duration("dur", 200*time.Millisecond, "measured duration per benchmark cell")
 		threads = flag.String("threads", "1,2,4,8", "comma-separated worker counts")
 		sizes   = flag.String("sizes", "100,1000,10000", "comma-separated list sizes (fig4)")
@@ -120,6 +123,8 @@ func main() {
 			bench.Oversubscription(os.Stdout, o)
 		case "rfactor":
 			bench.RFactor(os.Stdout, o)
+		case "api":
+			bench.APICompare(os.Stdout, o, *api)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			flag.Usage()
@@ -127,7 +132,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "bound", "kadvance", "rfactor", "minmax", "oversub", "stalled"} {
+		for _, name := range []string{"table1", "fig4", "bound", "kadvance", "rfactor", "minmax", "oversub", "stalled", "api"} {
 			run(name)
 		}
 		return

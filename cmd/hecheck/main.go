@@ -40,6 +40,7 @@ import (
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 	"repro/internal/stack"
+	"repro/smr"
 )
 
 var (
@@ -372,7 +373,7 @@ type structOps struct {
 	// update runs one randomized operation and records it; set-like
 	// structures insert/remove/contains over a small key range, LIFO/FIFO
 	// structures push unique values and pop.
-	step  func(h *reclaim.Handle, rec *linz.Recorder, w int, rng *uint64)
+	step  func(g *smr.Guard, rec *linz.Recorder, w int, rng *uint64)
 	dom   reclaim.Domain
 	drain func()
 }
@@ -382,9 +383,9 @@ func makeStruct(name string, sch bench.Scheme) structOps {
 	switch name {
 	case "list", "map":
 		var (
-			insert   func(h *reclaim.Handle, k, v uint64) bool
-			remove   func(h *reclaim.Handle, k uint64) bool
-			contains func(h *reclaim.Handle, k uint64) bool
+			insert   func(g *smr.Guard, k, v uint64) bool
+			remove   func(g *smr.Guard, k uint64) bool
+			contains func(g *smr.Guard, k uint64) bool
 			dom      reclaim.Domain
 			drain    func()
 		)
@@ -402,18 +403,18 @@ func makeStruct(name string, sch bench.Scheme) structOps {
 			model: linz.NewSetModel(),
 			dom:   dom,
 			drain: drain,
-			step: func(h *reclaim.Handle, rec *linz.Recorder, w int, rng *uint64) {
+			step: func(g *smr.Guard, rec *linz.Recorder, w int, rng *uint64) {
 				key := splitmix(rng) % keyRange
 				switch splitmix(rng) % 4 {
 				case 0, 1:
 					op := rec.Call(w, linz.OpInsert, key)
-					op.Return(0, insert(h, key, key))
+					op.Return(0, insert(g, key, key))
 				case 2:
 					op := rec.Call(w, linz.OpRemove, key)
-					op.Return(0, remove(h, key))
+					op.Return(0, remove(g, key))
 				default:
 					op := rec.Call(w, linz.OpContains, key)
-					op.Return(0, contains(h, key))
+					op.Return(0, contains(g, key))
 				}
 			},
 		}
@@ -423,15 +424,15 @@ func makeStruct(name string, sch bench.Scheme) structOps {
 			model: linz.NewQueueModel(),
 			dom:   q.Domain(),
 			drain: q.Drain,
-			step: func(h *reclaim.Handle, rec *linz.Recorder, w int, rng *uint64) {
+			step: func(g *smr.Guard, rec *linz.Recorder, w int, rng *uint64) {
 				if splitmix(rng)%2 == 0 {
 					v := uint64(w)<<32 | splitmix(rng)&0xFFFF
 					op := rec.Call(w, linz.OpPush, v)
-					q.Enqueue(h, v)
+					q.Enqueue(g, v)
 					op.Return(0, true)
 				} else {
 					op := rec.Call(w, linz.OpPop, 0)
-					v, ok := q.Dequeue(h)
+					v, ok := q.Dequeue(g)
 					op.Return(v, ok)
 				}
 			},
@@ -442,15 +443,15 @@ func makeStruct(name string, sch bench.Scheme) structOps {
 			model: linz.NewStackModel(),
 			dom:   s.Domain(),
 			drain: s.Drain,
-			step: func(h *reclaim.Handle, rec *linz.Recorder, w int, rng *uint64) {
+			step: func(g *smr.Guard, rec *linz.Recorder, w int, rng *uint64) {
 				if splitmix(rng)%2 == 0 {
 					v := uint64(w)<<32 | splitmix(rng)&0xFFFF
 					op := rec.Call(w, linz.OpPush, v)
-					s.Push(h, v)
+					s.Push(g, v)
 					op.Return(0, true)
 				} else {
 					op := rec.Call(w, linz.OpPop, 0)
-					v, ok := s.Pop(h)
+					v, ok := s.Pop(g)
 					op.Return(v, ok)
 				}
 			},
@@ -470,9 +471,9 @@ func runStructSeed(sch bench.Scheme, structName string, seed uint64) []string {
 	ops := *flagOps
 
 	rec := linz.NewRecorder()
-	handles := make([]*reclaim.Handle, workers)
+	handles := make([]*smr.Guard, workers)
 	for w := range handles {
-		handles[w] = so.dom.Register()
+		handles[w] = smr.Adopt(so.dom.Register())
 	}
 	fns := make([]func(), workers)
 	for w := 0; w < workers; w++ {

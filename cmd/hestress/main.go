@@ -30,14 +30,15 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bst"
-	"repro/internal/obs"
 	"repro/internal/hashmap"
 	"repro/internal/list"
+	"repro/internal/obs"
 	"repro/internal/queue"
-	"repro/internal/skiplist"
 	"repro/internal/reclaim"
+	"repro/internal/skiplist"
 	"repro/internal/stack"
 	"repro/internal/wfqueue"
+	"repro/smr"
 )
 
 type stressTarget struct {
@@ -213,7 +214,7 @@ func guard(panics *atomic.Int64, stop *atomic.Bool) {
 // in byte-value mode; churnSet drives it so stale payload protection (not
 // just stale node protection) is under test.
 type byteGetter interface {
-	GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool)
+	GetBytes(g *smr.Guard, key uint64) ([]byte, bool)
 }
 
 // churnSet drives a bench.Set with the paper's update workload and constant
@@ -221,11 +222,11 @@ type byteGetter interface {
 func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration) (int64, int64) {
 	const keyRange = 256
 	bg, _ := s.(byteGetter)
-	setup := s.Domain().Register()
+	setup := smr.Adopt(s.Domain().Register())
 	for k := uint64(0); k < keyRange; k++ {
 		s.Insert(setup, k, k)
 	}
-	s.Domain().Unregister(setup)
+	setup.Unregister()
 
 	var stop atomic.Bool
 	var panics atomic.Int64
@@ -236,8 +237,8 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 		go func(seed uint64) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			h := s.Domain().Register()
-			defer s.Domain().Unregister(h)
+			h := smr.Adopt(s.Domain().Register())
+			defer h.Unregister()
 			rng := bench.NewSplitMix64(seed)
 			var local int64
 			defer func() { ops.Add(local) }()
@@ -308,8 +309,8 @@ func stressQueue(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 		go func(producer bool) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			h := q.Domain().Register()
-			defer q.Domain().Unregister(h)
+			h := q.Register()
+			defer h.Unregister()
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {
@@ -341,8 +342,8 @@ func stressStack(s bench.Scheme, threads int, dur time.Duration) (int64, int64) 
 		go func(w int) {
 			defer wg.Done()
 			defer guard(&panics, &stop)
-			h := st.Domain().Register()
-			defer st.Domain().Unregister(h)
+			h := st.Register()
+			defer h.Unregister()
 			var local int64
 			defer func() { ops.Add(local) }()
 			for !stop.Load() {

@@ -13,6 +13,7 @@
 //
 // Layout (see DESIGN.md for the full inventory and experiment index):
 //
+//	smr               the public reclamation API: Domain[T], Guard, Atomic[T]
 //	internal/core     Hazard Eras itself (paper Algorithms 1-3, §3.4 options)
 //	internal/hp       Hazard Pointers baseline
 //	internal/ebr      epoch-based reclamation baseline
@@ -42,10 +43,18 @@
 //
 // Where the paper's C++ API threads an integer tid through every call and
 // fixes maxThreads at construction, this reproduction hands each
-// participating goroutine a session Handle (Domain.Register, or the pooled
-// Domain.Acquire) carrying its protection cells, retired list and counter
-// stripes; the registry grows by publishing chained slot blocks, so
-// registration never fails. See examples/goroutinepool.
+// participating goroutine a Guard (a structure's Register/Acquire, or
+// smr.Domain.Register) — a session carrying its protection cells, retired
+// list and counter stripes; the registry grows by publishing chained slot
+// blocks, so registration never fails. See examples/goroutinepool.
+//
+// This package is the structure-level face: aliases for the smr names plus
+// constructors for the schemes and the ported data structures, so `go doc
+// repro` reads as the structure reference and `go doc repro/smr` as the
+// reclamation reference. The typed reclamation API itself — Domain[T],
+// Guard, Atomic[T] — lives in the smr package; internal/list and
+// internal/queue are written entirely against it, and BENCH_api.json records
+// that the public path measures within noise of the internal one.
 //
 // The benchmarks in bench_test.go mirror cmd/hebench as go-test benchmarks:
 // one Benchmark per paper table/figure.

@@ -13,8 +13,8 @@ func ExampleNewList() {
 	l := repro.NewList(func(a repro.Allocator, c repro.Config) repro.Domain {
 		return repro.NewHazardEras(a, c)
 	})
-	h := l.Domain().Register()
-	defer l.Domain().Unregister(h)
+	h := l.Register()
+	defer h.Unregister()
 
 	l.Insert(h, 42, 4200)
 	if v, ok := l.Get(h, 42); ok {
@@ -53,8 +53,8 @@ func ExampleNewSkipList() {
 	s := repro.NewSkipList(func(a repro.Allocator, c repro.Config) repro.Domain {
 		return repro.NewHazardEras(a, c)
 	})
-	h := s.Domain().Register()
-	defer s.Domain().Unregister(h)
+	h := s.Register()
+	defer h.Unregister()
 
 	for _, k := range []uint64{30, 10, 20, 40} {
 		s.Insert(h, k, k*100)

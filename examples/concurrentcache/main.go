@@ -40,19 +40,19 @@ func run(s bench.Scheme) (mops float64, pending int64) {
 		hashmap.WithBuckets(256))
 	dom := cache.Domain()
 
-	setup := dom.Register()
+	setup := cache.Register()
 	for k := uint64(0); k < entries; k++ {
 		cache.Insert(setup, k, k^0xABCD)
 	}
-	dom.Unregister(setup)
+	setup.Unregister()
 
 	var stop atomic.Bool
 	var ops atomic.Int64
 	var wg sync.WaitGroup
 	worker := func(seed uint64, writer bool) {
 		defer wg.Done()
-		h := dom.Register()
-		defer dom.Unregister(h)
+		h := cache.Register()
+		defer h.Unregister()
 		rng := bench.NewSplitMix64(seed)
 		var local int64
 		for !stop.Load() {

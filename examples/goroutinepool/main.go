@@ -63,8 +63,8 @@ func part1() {
 		done.Add(1)
 		go func(g int) {
 			defer done.Done()
-			s := dom.Register() // 4 slots pre-exist; the rest are grown
-			defer dom.Unregister(s)
+			s := m.Register() // 4 slots pre-exist; the rest are grown
+			defer s.Unregister()
 			ready.Done()
 			proceed.Wait() // every session is simultaneously live here
 			base := uint64(g) * opsPerGoroutine
@@ -102,10 +102,10 @@ func part2() {
 			defer wg.Done()
 			base := uint64(g) * opsPerGoroutine
 			for i := uint64(0); i < opsPerGoroutine; i++ {
-				s := dom.Acquire() // pooled: no registry mutex on the warm path
+				s := m.Acquire() // pooled: no registry mutex on the warm path
 				m.Insert(s, base+i, i)
 				m.Remove(s, base+i)
-				dom.Release(s)
+				s.Release()
 			}
 		}(g)
 	}

@@ -40,8 +40,8 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			h := stage1.Domain().Register()
-			defer stage1.Domain().Unregister(h)
+			h := stage1.Register()
+			defer h.Unregister()
 			for i := 0; i < items/producers; i++ {
 				stage1.Enqueue(h, uint64(p*items+i))
 			}
@@ -55,10 +55,10 @@ func main() {
 		stage2Wg.Add(1)
 		go func() {
 			defer stage2Wg.Done()
-			in := stage1.Domain().Register()
-			out := stage2.Domain().Register()
-			defer stage1.Domain().Unregister(in)
-			defer stage2.Domain().Unregister(out)
+			in := stage1.Register()
+			out := stage2.Register()
+			defer in.Unregister()
+			defer out.Unregister()
 			for forwarded.Load() < items {
 				v, ok := stage1.Dequeue(in)
 				if !ok {
@@ -76,8 +76,8 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h := stage2.Domain().Register()
-		defer stage2.Domain().Unregister(h)
+		h := stage2.Register()
+		defer h.Unregister()
 		for count < items {
 			v, ok := stage2.Dequeue(h)
 			if !ok {

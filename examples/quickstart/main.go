@@ -1,49 +1,50 @@
-// Quickstart: a lock-free Harris-Michael list with Hazard Eras reclamation.
+// Quickstart: a lock-free Harris-Michael list with Hazard Eras reclamation,
+// written entirely against the public smr API.
 //
 // Run with: go run ./examples/quickstart
 //
 // The flow is the one the paper prescribes: construct a domain over the
-// node arena (HazardEras(maxHEs, maxThreads)), register each goroutine for
-// a session handle, and let the structure call get_protected/clear/retire/
-// getEra internally. Switching the factory to bench.HP().Make (or
-// EBR/URCU/RC) swaps the reclamation scheme without touching any
-// data-structure code — the paper's "drop-in replacement" claim.
+// node arena (HazardEras(maxHEs, maxThreads)), open a Guard per
+// participating goroutine, and let the structure call get_protected/clear/
+// retire/getEra internally. Switching smr.HE to smr.HP (or EBR/URCU/IBR)
+// swaps the reclamation scheme without touching any data-structure code —
+// the paper's "drop-in replacement" claim.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/bench"
 	"repro/internal/list"
+	"repro/smr"
 )
 
 func main() {
 	// A Harris-Michael set whose nodes are reclaimed with Hazard Eras.
-	l := list.New(list.DomainFactory(bench.HE().Make), list.WithMaxThreads(8))
-	dom := l.Domain()
+	l := list.New(smr.HE.Factory(), list.WithMaxThreads(8))
 
-	// Every participating goroutine registers a session handle (the role
-	// the paper's tid plays, with the per-thread state cached inside it).
-	h := dom.Register()
-	defer dom.Unregister(h)
+	// Every participating goroutine opens a Guard — its reclamation
+	// session (the role the paper's tid plays, with the per-thread state
+	// cached inside it).
+	g := l.Register()
+	defer g.Unregister()
 
 	for k := uint64(1); k <= 5; k++ {
-		l.Insert(h, k, k*100)
+		l.Insert(g, k, k*100)
 	}
 	fmt.Println("inserted 1..5, list length:", l.Len())
 
-	if v, ok := l.Get(h, 3); ok {
+	if v, ok := l.Get(g, 3); ok {
 		fmt.Println("Get(3) =", v)
 	}
 
 	// Remove + re-insert churns nodes through retire(): the old node is
 	// reclaimed as soon as no published era covers its lifetime.
 	for i := 0; i < 1000; i++ {
-		l.Remove(h, 3)
-		l.Insert(h, 3, 300)
+		l.Remove(g, 3)
+		l.Insert(g, 3, 300)
 	}
 
-	s := dom.Stats()
+	s := l.SMR().Stats()
 	fmt.Printf("after churn: retired=%d freed=%d pending=%d eraClock=%d\n",
 		s.Retired, s.Freed, s.Pending, s.EraClock)
 	fmt.Printf("arena: allocs=%d frees=%d live=%d (recycled %d slots)\n",

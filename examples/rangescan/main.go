@@ -33,11 +33,11 @@ func heFactory(a repro.Allocator, c repro.Config) repro.Domain {
 
 func main() {
 	index := repro.NewSkipList(heFactory)
-	setup := index.Domain().Register()
+	setup := index.Register()
 	for k := uint64(0); k < keys; k++ {
 		index.Insert(setup, k, k*10)
 	}
-	index.Domain().Unregister(setup)
+	setup.Unregister()
 
 	var stop atomic.Bool
 	var scans, scanned, churned atomic.Int64
@@ -47,8 +47,8 @@ func main() {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
-			h := index.Domain().Register()
-			defer index.Domain().Unregister(h)
+			h := index.Register()
+			defer h.Unregister()
 			rngState := seed
 			for !stop.Load() {
 				rngState = rngState*6364136223846793005 + 1442695040888963407
@@ -68,8 +68,8 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h := index.Domain().Register()
-		defer index.Domain().Unregister(h)
+		h := index.Register()
+		defer h.Unregister()
 		rngState := uint64(99)
 		for !stop.Load() {
 			rngState = rngState*6364136223846793005 + 1442695040888963407

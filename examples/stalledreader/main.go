@@ -39,19 +39,19 @@ func churnWithStalledReader(s bench.Scheme, smp *obs.Sampler, hub *obs.Hub) (pen
 	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(4))
 	dom := l.Domain()
 
-	setup := dom.Register()
+	setup := l.Register()
 	for k := uint64(0); k < listSize; k++ {
 		l.Insert(setup, k, k)
 	}
-	dom.Unregister(setup)
+	setup.Unregister()
 
 	// The sleepy reader: pinned mid-operation, never finishes.
 	release := make(chan struct{})
 	bench.StalledReader(l, release)
 	defer close(release)
 
-	writer := dom.Register()
-	defer dom.Unregister(writer)
+	writer := l.Register()
+	defer writer.Unregister()
 	rng := bench.NewSplitMix64(7)
 	for i := 0; i < churnOps; i++ {
 		k := rng.Intn(listSize)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/queue"
 	"repro/internal/wfqueue"
+	"repro/smr"
 )
 
 func helpedCompletion() {
@@ -47,9 +48,9 @@ func helpedCompletion() {
 const workers = 4
 const dur = 500 * time.Millisecond
 
-// run drives either queue through its session-handle API; H is
-// *reclaim.Handle for the Michael-Scott queue and *wfqueue.Handle (two
-// domain sessions plus an announcement cell) for the wait-free one.
+// run drives either queue through its session API; H is *smr.Guard for
+// the Michael-Scott queue and *wfqueue.Handle (two domain sessions plus an
+// announcement cell) for the wait-free one.
 func run[H any](enq func(H, uint64), deq func(H) (uint64, bool),
 	register func() H, unregister func(H)) float64 {
 	var stop atomic.Bool
@@ -82,7 +83,7 @@ func run[H any](enq func(H, uint64), deq func(H) (uint64, bool),
 
 func throughput() {
 	lf := queue.New(queue.DomainFactory(bench.HE().Make), queue.WithMaxThreads(workers+1))
-	lfMops := run(lf.Enqueue, lf.Dequeue, lf.Domain().Register, lf.Domain().Unregister)
+	lfMops := run(lf.Enqueue, lf.Dequeue, lf.Register, (*smr.Guard).Unregister)
 	lf.Drain()
 
 	wf := wfqueue.New(wfqueue.DomainFactory(bench.HE().Make), wfqueue.WithMaxThreads(workers+1))

@@ -9,7 +9,7 @@ import (
 
 	"repro/internal/bst"
 	"repro/internal/list"
-	"repro/internal/reclaim"
+	"repro/smr"
 )
 
 // Options controls the experiment drivers. Zero values are replaced by the
@@ -210,18 +210,17 @@ func Table1(w io.Writer, o Options) {
 // churnPercent > 0 a second thread performs remove+reinsert churn so the
 // era clock advances (degrading HE's fast path exactly as §4 describes).
 func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmws float64, visits int64) {
-	ins := reclaim.NewInstrument(8)
+	ins := smr.NewInstrument(8)
 	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(8), list.WithInstrument(ins))
 	Prefill(l, size)
-	dom := l.Domain()
 
 	stop := make(chan struct{})
 	churnDone := make(chan struct{})
 	if churnPercent > 0 {
 		go func() {
 			defer close(churnDone)
-			h := dom.Register()
-			defer dom.Unregister(h)
+			g := l.Register()
+			defer g.Unregister()
 			rng := NewSplitMix64(7)
 			for {
 				select {
@@ -230,8 +229,8 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 				default:
 				}
 				k := rng.Intn(size)
-				if l.Remove(h, k) {
-					l.Insert(h, k, k)
+				if l.Remove(g, k) {
+					l.Insert(g, k, k)
 				}
 				// Yield after every update so reader and churn interleave
 				// finely even on one core.
@@ -242,11 +241,11 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 		close(churnDone)
 	}
 
-	h := dom.Register()
+	g := l.Register()
 	rng := NewSplitMix64(3)
 	ins.Reset()
 	for i := 0; i < 2000; i++ {
-		l.Contains(h, rng.Intn(size))
+		l.Contains(g, rng.Intn(size))
 		if churnPercent > 0 && i%4 == 0 {
 			// Yield so the churn thread interleaves even on a single core;
 			// otherwise the whole measurement can finish inside one
@@ -255,7 +254,7 @@ func measurePerNode(s Scheme, size uint64, churnPercent int) (loads, stores, rmw
 		}
 	}
 	snap := ins.Snapshot()
-	dom.Unregister(h)
+	g.Unregister()
 	close(stop)
 	<-churnDone
 	l.Drain()
@@ -273,12 +272,12 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	StalledReader(l, release)
 
 	dom := l.Domain()
-	h := dom.Register()
+	g := l.Register()
 	rng := NewSplitMix64(11)
 	for i := 0; i < churnOps; i++ {
 		k := rng.Intn(size)
-		if l.Remove(h, k) {
-			l.Insert(h, k, k)
+		if l.Remove(g, k) {
+			l.Insert(g, k, k)
 		}
 	}
 	st := dom.Stats()
@@ -291,7 +290,7 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	default:
 		verdict = "grows"
 	}
-	dom.Unregister(h)
+	g.Unregister()
 	close(release)
 	time.Sleep(time.Millisecond)
 	l.Drain()

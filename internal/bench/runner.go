@@ -7,15 +7,16 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/reclaim"
+	"repro/smr"
 )
 
 // Set is the structure interface the harness drives — satisfied by
 // list.List, hashmap.Map and bst.Tree.
 type Set interface {
-	Insert(h *reclaim.Handle, key, val uint64) bool
-	Remove(h *reclaim.Handle, key uint64) bool
-	Contains(h *reclaim.Handle, key uint64) bool
-	Domain() reclaim.Domain
+	Insert(g *smr.Guard, key, val uint64) bool
+	Remove(g *smr.Guard, key uint64) bool
+	Contains(g *smr.Guard, key uint64) bool
+	Domain() smr.Backend
 }
 
 // Result is the outcome of one benchmark cell.
@@ -50,8 +51,8 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 		done.Add(1)
 		go func(worker int) {
 			defer done.Done()
-			h := dom.Register()
-			defer dom.Unregister(h)
+			g := smr.Adopt(dom.Register())
+			defer g.Unregister()
 			rng := NewSplitMix64(seed + uint64(worker)*0x9E37)
 			ready.Done()
 			<-start
@@ -63,16 +64,16 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 						// Paper: remove; if successful, re-insert the same
 						// item, keeping the size at Size minus ongoing
 						// removals.
-						if s.Remove(h, key) {
-							s.Insert(h, key, key)
+						if s.Remove(g, key) {
+							s.Insert(g, key, key)
 						}
 					} else {
-						s.Contains(h, key)
+						s.Contains(g, key)
 					}
 					local++
 				}
 			}
-			ops.Add(h.ID(), local)
+			ops.Add(g.ID(), local)
 		}(t)
 	}
 
@@ -100,19 +101,19 @@ func RunSet(s Set, w Workload, dur time.Duration, seed uint64) Result {
 // insert lands at the head of a sorted list: O(n) total instead of O(n^2).
 func Prefill(s Set, size uint64) {
 	dom := s.Domain()
-	h := dom.Register()
+	g := smr.Adopt(dom.Register())
 	for k := size; k > 0; k-- {
-		s.Insert(h, k-1, k-1)
+		s.Insert(g, k-1, k-1)
 	}
-	dom.Unregister(h)
+	g.Unregister()
 }
 
 // Pinnable is implemented by structures that can park a reader inside a
 // read-side critical section (list.List).
 type Pinnable interface {
 	Set
-	Pin(h *reclaim.Handle)
-	Unpin(h *reclaim.Handle)
+	Pin(g *smr.Guard)
+	Unpin(g *smr.Guard)
 }
 
 // StalledReader parks one registered reader mid-operation until release is
@@ -123,12 +124,12 @@ func StalledReader(s Pinnable, release <-chan struct{}) {
 	dom := s.Domain()
 	parked := make(chan struct{})
 	go func() {
-		h := dom.Register()
-		s.Pin(h)
+		g := smr.Adopt(dom.Register())
+		s.Pin(g)
 		close(parked)
 		<-release
-		s.Unpin(h)
-		dom.Unregister(h)
+		s.Unpin(g)
+		g.Unregister()
 	}()
 	<-parked
 }

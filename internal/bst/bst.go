@@ -31,6 +31,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/payload"
 	"repro/internal/reclaim"
+	"repro/smr"
 )
 
 // MaxDepth bounds a root-to-leaf path: 64 key bits plus the root edge.
@@ -107,7 +108,7 @@ func WithByteValues(sizer func(key uint64) int) Option {
 }
 
 // DomainFactory mirrors list.DomainFactory.
-type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+type DomainFactory = smr.Factory
 
 // New builds an empty tree reclaimed through mk's domain. The domain is
 // configured with Slots protection indices — one per path level — which is
@@ -135,26 +136,32 @@ func (t *Tree) Domain() reclaim.Domain { return t.dom }
 // Arena exposes the node arena.
 func (t *Tree) Arena() *mem.Arena[Node] { return t.arena }
 
+// Register opens a session on the tree's domain.
+func (t *Tree) Register() *smr.Guard { return smr.Adopt(t.dom.Register()) }
+
+// Acquire returns a pooled session on the tree's domain.
+func (t *Tree) Acquire() *smr.Guard { return smr.Adopt(t.dom.Acquire()) }
+
 func bit(key uint64, i uint64) int { return int(key >> i & 1) }
 
 // Contains reports membership of key.
-func (t *Tree) Contains(h *reclaim.Handle, key uint64) bool {
-	_, _, ok := t.get(h, key, readNone)
+func (t *Tree) Contains(g *smr.Guard, key uint64) bool {
+	_, _, ok := t.get(g.Handle(), key, readNone)
 	return ok
 }
 
 // Get returns the value stored under key (in byte-value mode, the decoded
 // value word of the payload block). Lock-free; protects the whole
 // root-to-leaf path, one slot per level.
-func (t *Tree) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
-	v, _, ok := t.get(h, key, readVal)
+func (t *Tree) Get(g *smr.Guard, key uint64) (uint64, bool) {
+	v, _, ok := t.get(g.Handle(), key, readVal)
 	return v, ok
 }
 
 // GetBytes returns a copy of key's payload block (byte-value mode only);
 // the copy is taken while the payload is still protected.
-func (t *Tree) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
-	_, buf, ok := t.get(h, key, readCopy)
+func (t *Tree) GetBytes(g *smr.Guard, key uint64) ([]byte, bool) {
+	_, buf, ok := t.get(g.Handle(), key, readCopy)
 	return buf, ok
 }
 
@@ -233,14 +240,14 @@ retry:
 // Insert adds key->val; false if already present. Writer-serialized. In
 // byte-value mode the value is materialized as a valSizer(key)-byte
 // payload block.
-func (t *Tree) Insert(h *reclaim.Handle, key, val uint64) bool {
-	return t.insert(h, key, val, nil)
+func (t *Tree) Insert(g *smr.Guard, key, val uint64) bool {
+	return t.insert(g.Handle(), key, val, nil)
 }
 
 // InsertBytes adds key->raw, storing a copy of raw as the payload block.
 // Byte-value mode only; the arena faults otherwise.
-func (t *Tree) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
-	return t.insert(h, key, 0, raw)
+func (t *Tree) InsertBytes(g *smr.Guard, key uint64, raw []byte) bool {
+	return t.insert(g.Handle(), key, 0, raw)
 }
 
 func (t *Tree) insert(h *reclaim.Handle, key, val uint64, raw []byte) bool {
@@ -313,7 +320,8 @@ func (t *Tree) newLeaf(h *reclaim.Handle, key, val uint64, raw []byte) mem.Ref {
 // and its parent internal node are retired through the domain — these are
 // the retirements that exercise HP's O(threads x Slots) scan versus
 // HE-minmax's O(threads x 2).
-func (t *Tree) Remove(h *reclaim.Handle, key uint64) bool {
+func (t *Tree) Remove(g *smr.Guard, key uint64) bool {
+	h := g.Handle()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 

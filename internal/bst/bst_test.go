@@ -29,7 +29,7 @@ func heTree(t *testing.T) *Tree {
 
 func TestEmptyTree(t *testing.T) {
 	tr := heTree(t)
-	h := tr.Domain().Register()
+	h := tr.Register()
 	if tr.Contains(h, 1) {
 		t.Fatal("empty tree contains 1")
 	}
@@ -43,7 +43,7 @@ func TestEmptyTree(t *testing.T) {
 
 func TestInsertGetRemove(t *testing.T) {
 	tr := heTree(t)
-	h := tr.Domain().Register()
+	h := tr.Register()
 	keys := []uint64{5, 1, 9, 0, 12, 7, ^uint64(0)}
 	for _, k := range keys {
 		if !tr.Insert(h, k, k*2) {
@@ -79,7 +79,7 @@ func TestInsertGetRemove(t *testing.T) {
 
 func TestRemoveRetiresParentAndLeaf(t *testing.T) {
 	tr := heTree(t)
-	h := tr.Domain().Register()
+	h := tr.Register()
 	tr.Insert(h, 1, 1)
 	tr.Insert(h, 2, 2)
 	tr.Remove(h, 1) // removes leaf + its parent internal
@@ -94,7 +94,7 @@ func TestRemoveRetiresParentAndLeaf(t *testing.T) {
 
 func TestRootLeafRemoval(t *testing.T) {
 	tr := heTree(t)
-	h := tr.Domain().Register()
+	h := tr.Register()
 	tr.Insert(h, 42, 1)
 	if !tr.Remove(h, 42) {
 		t.Fatal("root-leaf remove failed")
@@ -111,7 +111,7 @@ func TestRootLeafRemoval(t *testing.T) {
 
 func TestPatriciaInvariantDepth(t *testing.T) {
 	tr := heTree(t)
-	h := tr.Domain().Register()
+	h := tr.Register()
 	const n = 1024
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < n; i++ {
@@ -131,7 +131,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		tr := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		h := tr.Domain().Register()
+		h := tr.Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key)
@@ -179,11 +179,11 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 	for name, mk := range factories() {
 		t.Run(name, func(t *testing.T) {
 			tr := New(mk, WithChecked(true), WithMaxThreads(8))
-			setup := tr.Domain().Register()
+			setup := tr.Register()
 			for k := uint64(0); k < keyRange; k++ {
 				tr.Insert(setup, k*2654435761, k)
 			}
-			tr.Domain().Unregister(setup)
+			setup.Unregister()
 
 			var stop atomic.Bool
 			var wg sync.WaitGroup
@@ -191,8 +191,8 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					h := tr.Domain().Register()
-					defer tr.Domain().Unregister(h)
+					h := tr.Register()
+					defer h.Unregister()
 					rng := rand.New(rand.NewSource(seed))
 					for !stop.Load() {
 						k := uint64(rng.Intn(keyRange)) * 2654435761
@@ -203,8 +203,8 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				h := tr.Domain().Register()
-				defer tr.Domain().Unregister(h)
+				h := tr.Register()
+				defer h.Unregister()
 				rng := rand.New(rand.NewSource(99))
 				for i := 0; i < iters; i++ {
 					k := uint64(rng.Intn(keyRange)) * 2654435761

@@ -20,7 +20,7 @@ func byteTree(t *testing.T, name string) *Tree {
 
 func TestByteValuesRoundTrip(t *testing.T) {
 	tr := byteTree(t, "HE")
-	h := tr.Domain().Register()
+	h := tr.Register()
 
 	for key := uint64(0); key < 200; key++ {
 		if !tr.Insert(h, key, ^key) {
@@ -86,7 +86,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					h := tr.Domain().Register()
+					h := tr.Register()
 					defer h.Unregister()
 					rng := uint64(w)*0x6C62272E07BB0142 + 11
 					for !stop.Load() {
@@ -111,7 +111,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				h := tr.Domain().Register()
+				h := tr.Register()
 				defer h.Unregister()
 				rng := uint64(0xFEEDFACE) | 1
 				for i := 0; i < ops; i++ {

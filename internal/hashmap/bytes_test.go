@@ -20,7 +20,7 @@ func byteMap(t *testing.T, name string) *Map {
 
 func TestByteValuesRoundTrip(t *testing.T) {
 	m := byteMap(t, "HE")
-	h := m.Domain().Register()
+	h := m.Register()
 
 	for key := uint64(0); key < 300; key++ {
 		if !m.Insert(h, key, key<<8|5) {
@@ -83,7 +83,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					h := m.Domain().Register()
+					h := m.Register()
 					defer h.Unregister()
 					rng := uint64(w)*0x2545F4914F6CDD1D + 7
 					for i := 0; i < ops; i++ {
@@ -138,7 +138,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 // size-class space: per-class stats aggregate across buckets.
 func TestByteValuesSharedArenaClasses(t *testing.T) {
 	m := byteMap(t, "HE")
-	h := m.Domain().Register()
+	h := m.Register()
 	for key := uint64(0); key < 64; key++ {
 		m.Insert(h, key, key)
 	}

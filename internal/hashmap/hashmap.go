@@ -3,7 +3,7 @@
 // (SPAA 2002) — the second structure of the paper this repository's list
 // package implements, and the natural scale-out workload for a reclamation
 // scheme: a fixed array of bucket heads, each the root of a Harris-Michael
-// list.
+// list. Like the list it builds on, it speaks only the public smr API.
 //
 // All buckets share one arena and one reclamation domain, so reclamation
 // pressure aggregates across buckets exactly as it would in C++ where all
@@ -11,18 +11,15 @@
 package hashmap
 
 import (
-	"sync/atomic"
-
 	"repro/internal/atomicx"
 	"repro/internal/list"
-	"repro/internal/mem"
-	"repro/internal/reclaim"
+	"repro/smr"
 )
 
 // bucket pads each head cell to its own cache line: bucket heads are the
 // hottest CAS targets in the structure.
 type bucket struct {
-	head atomic.Uint64
+	head smr.Atomic[list.Node]
 	_    [atomicx.CacheLineSize - 8]byte
 }
 
@@ -41,7 +38,7 @@ type config struct {
 	checked  bool
 	threads  int
 	buckets  int
-	ins      *reclaim.Instrument
+	ins      *smr.Instrument
 	byteVals bool
 	valSizer func(key uint64) int
 }
@@ -58,7 +55,7 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 func WithBuckets(n int) Option { return func(c *config) { c.buckets = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
-func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+func WithInstrument(ins *smr.Instrument) Option { return func(c *config) { c.ins = ins } }
 
 // WithByteValues stores values as variable-size payload blocks in the
 // shared arena's size-class space (see list.WithByteValues); sizer maps a
@@ -78,17 +75,16 @@ func New(mk list.DomainFactory, opts ...Option) *Map {
 	for n < c.buckets {
 		n <<= 1
 	}
-	arenaOpts := []mem.Option[list.Node]{mem.WithShards[list.Node](c.threads)}
+	var arenaOpts []smr.ArenaOption[list.Node]
 	if c.checked {
-		arenaOpts = append(arenaOpts, mem.Checked[list.Node](true), mem.WithPoison[list.Node](list.PoisonNode))
+		arenaOpts = append(arenaOpts, smr.Checked[list.Node](true), smr.WithPoison(list.PoisonNode))
 	}
 	if c.byteVals {
-		arenaOpts = append(arenaOpts, mem.WithByteClasses[list.Node]())
+		arenaOpts = append(arenaOpts, smr.WithByteValues[list.Node]())
 	}
-	arena := mem.NewArena[list.Node](arenaOpts...)
-	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: list.Slots, Instrument: c.ins})
+	d := smr.NewWith[list.Node](mk, smr.Config{MaxThreads: c.threads, Slots: list.Slots, Instrument: c.ins}, arenaOpts...)
 	return &Map{
-		ops:     list.Ops{Arena: arena, Dom: dom, ByteVals: c.byteVals, ValSizer: c.valSizer},
+		ops:     list.Ops{D: d, ByteVals: c.byteVals, ValSizer: c.valSizer},
 		buckets: make([]bucket, n),
 		mask:    uint64(n - 1),
 	}
@@ -100,47 +96,56 @@ func (m *Map) hash(key uint64) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> 32 & m.mask
 }
 
-func (m *Map) bucketFor(key uint64) *atomic.Uint64 {
+func (m *Map) bucketFor(key uint64) *smr.Atomic[list.Node] {
 	return &m.buckets[m.hash(key)].head
 }
 
-// Domain exposes the reclamation domain.
-func (m *Map) Domain() reclaim.Domain { return m.ops.Dom }
+// SMR exposes the typed reclamation domain (sessions, stats, teardown).
+func (m *Map) SMR() *smr.Domain[list.Node] { return m.ops.D }
+
+// Domain exposes the scheme-level backend for generic drivers.
+func (m *Map) Domain() smr.Backend { return m.ops.D.Backend() }
 
 // Arena exposes the node arena.
-func (m *Map) Arena() *mem.Arena[list.Node] { return m.ops.Arena }
+func (m *Map) Arena() *smr.Arena[list.Node] { return m.ops.D.Arena() }
+
+// Register opens a session on the map's domain.
+func (m *Map) Register() *smr.Guard { return m.ops.D.Register() }
+
+// Acquire returns a pooled session on the map's domain.
+func (m *Map) Acquire() *smr.Guard { return m.ops.D.Acquire() }
 
 // Buckets reports the bucket count.
 func (m *Map) Buckets() int { return len(m.buckets) }
 
 // Insert adds key->val; false if already present.
-func (m *Map) Insert(h *reclaim.Handle, key, val uint64) bool {
-	return m.ops.Insert(m.bucketFor(key), h, key, val)
+func (m *Map) Insert(g *smr.Guard, key, val uint64) bool {
+	return m.ops.Insert(m.bucketFor(key), g, key, val)
 }
 
 // Remove deletes key; false if absent.
-func (m *Map) Remove(h *reclaim.Handle, key uint64) bool {
-	return m.ops.Remove(m.bucketFor(key), h, key)
+func (m *Map) Remove(g *smr.Guard, key uint64) bool {
+	return m.ops.Remove(m.bucketFor(key), g, key)
 }
 
 // Contains reports membership of key.
-func (m *Map) Contains(h *reclaim.Handle, key uint64) bool {
-	return m.ops.Contains(m.bucketFor(key), h, key)
+func (m *Map) Contains(g *smr.Guard, key uint64) bool {
+	return m.ops.Contains(m.bucketFor(key), g, key)
 }
 
 // Get returns the value stored under key.
-func (m *Map) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
-	return m.ops.Get(m.bucketFor(key), h, key)
+func (m *Map) Get(g *smr.Guard, key uint64) (uint64, bool) {
+	return m.ops.Get(m.bucketFor(key), g, key)
 }
 
 // InsertBytes adds key->raw (byte-value mode only); false if present.
-func (m *Map) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
-	return m.ops.InsertBytes(m.bucketFor(key), h, key, raw)
+func (m *Map) InsertBytes(g *smr.Guard, key uint64, raw []byte) bool {
+	return m.ops.InsertBytes(m.bucketFor(key), g, key, raw)
 }
 
 // GetBytes returns a copy of key's payload block (byte-value mode only).
-func (m *Map) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
-	return m.ops.GetBytes(m.bucketFor(key), h, key)
+func (m *Map) GetBytes(g *smr.Guard, key uint64) ([]byte, bool) {
+	return m.ops.GetBytes(m.bucketFor(key), g, key)
 }
 
 // Len counts elements across all buckets; quiescent use only.
@@ -157,5 +162,5 @@ func (m *Map) Drain() {
 	for i := range m.buckets {
 		m.ops.DrainList(&m.buckets[i].head)
 	}
-	m.ops.Dom.Drain()
+	m.ops.D.Drain()
 }

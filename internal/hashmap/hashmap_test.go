@@ -37,7 +37,7 @@ func TestBucketCountRoundsToPowerOfTwo(t *testing.T) {
 
 func TestBasicOps(t *testing.T) {
 	m := heMap(t, 64)
-	h := m.Domain().Register()
+	h := m.Register()
 	if m.Contains(h, 1) {
 		t.Fatal("empty map contains 1")
 	}
@@ -57,7 +57,7 @@ func TestBasicOps(t *testing.T) {
 
 func TestCollidingKeysShareBucketCorrectly(t *testing.T) {
 	m := heMap(t, 1) // single bucket: everything collides
-	h := m.Domain().Register()
+	h := m.Register()
 	for k := uint64(0); k < 40; k++ {
 		if !m.Insert(h, k, k*3) {
 			t.Fatalf("insert %d", k)
@@ -100,7 +100,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		m := New(factories()["HE"], WithChecked(true), WithMaxThreads(2), WithBuckets(8))
-		h := m.Domain().Register()
+		h := m.Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 128)
@@ -146,19 +146,19 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 	for name, mk := range factories() {
 		t.Run(name, func(t *testing.T) {
 			m := New(mk, WithChecked(true), WithMaxThreads(threads), WithBuckets(64))
-			setup := m.Domain().Register()
+			setup := m.Register()
 			for k := uint64(0); k < keyRange; k++ {
 				m.Insert(setup, k, k)
 			}
-			m.Domain().Unregister(setup)
+			setup.Unregister()
 
 			var wg sync.WaitGroup
 			for w := 0; w < threads; w++ {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					h := m.Domain().Register()
-					defer m.Domain().Unregister(h)
+					h := m.Register()
+					defer h.Unregister()
 					rng := rand.New(rand.NewSource(seed))
 					for i := 0; i < iters; i++ {
 						k := uint64(rng.Intn(keyRange))

@@ -19,7 +19,7 @@ func byteList(t *testing.T, name string) *List {
 
 func TestByteValuesRoundTrip(t *testing.T) {
 	l := byteList(t, "HE")
-	h := l.Domain().Register()
+	h := l.Register()
 
 	for key := uint64(0); key < 100; key++ {
 		if !l.Insert(h, key, key*3+1) {
@@ -63,7 +63,7 @@ func TestByteValuesRoundTrip(t *testing.T) {
 
 func TestByteValuesInsertBytes(t *testing.T) {
 	l := byteList(t, "HE")
-	h := l.Domain().Register()
+	h := l.Register()
 
 	raw := []byte("hazard eras store real payloads now")
 	if !l.InsertBytes(h, 42, raw) {
@@ -115,7 +115,7 @@ func TestByteValuesChurnAllSchemes(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					h := l.Domain().Register()
+					h := l.Register()
 					defer h.Unregister()
 					rng := uint64(w)*0x9E3779B9 + 1
 					for i := 0; i < ops; i++ {
@@ -165,7 +165,7 @@ func TestByteValuesFreeGuardExactlyOnce(t *testing.T) {
 		mu.Unlock()
 	})
 
-	h := l.Domain().Register()
+	h := l.Register()
 	const keys = 200
 	for round := 0; round < 3; round++ {
 		for key := uint64(0); key < keys; key++ {

@@ -1,16 +1,18 @@
 // Package list implements the Maged-Harris lock-free linked-list set
 // (T. Harris 2001, as refined by M. M. Michael 2002 for compatibility with
 // pointer-based reclamation) — the data structure the Hazard Eras paper uses
-// for its entire evaluation (§4). It is written once against
-// reclaim.Domain, so the identical code runs under HE, HP, EBR, URCU, RC
-// and the leaky control, mirroring the paper's shared-code methodology.
+// for its entire evaluation (§4). It is written once against the public smr
+// API, so the identical code runs under HE, HP, EBR, URCU and IBR,
+// mirroring the paper's shared-code methodology — and doubles as the
+// library's own proof that the typed Guard surface expresses a real
+// lock-free structure with no internal escape hatches.
 //
 // Exactly as the paper states, traversals use three protection slots
 // ("on the Maged-Harris list, three hazard pointers are required to track
 // traversals on the list and therefore, three hazard eras will be required
 // as well", §2); the slots rotate roles (prev/curr/next) as the traversal
 // advances, so no republication is needed on advance beyond the one
-// Protect per visited node.
+// protected Load per visited node.
 //
 // Deletion protocol (required by every pointer-based scheme, §2): a node is
 // first logically deleted by setting the Harris mark bit on its next word,
@@ -21,26 +23,22 @@
 package list
 
 import (
-	"sync/atomic"
-
-	"repro/internal/mem"
-	"repro/internal/payload"
-	"repro/internal/reclaim"
 	"repro/internal/schedtest"
+	"repro/smr"
 )
 
 // Protection slot count for list traversals (the paper's three hazard eras).
 const Slots = 3
 
-// Node is a list cell. Key is immutable after insertion; Next holds a
-// mem.Ref with the Harris mark bit. Val is stored atomically because in
-// byte-value mode it names a size-class payload block that readers protect
-// through it (word mode stores the value itself; it never changes after
-// publication either way).
+// Node is a list cell. Key is immutable after insertion; Next holds the
+// typed successor link with the Harris mark bit. Val is an atomic value
+// cell because in byte-value mode it names a size-class payload block that
+// readers protect through it (word mode stores the value itself; it never
+// changes after publication either way).
 type Node struct {
 	Key  uint64
-	Val  atomic.Uint64
-	Next atomic.Uint64
+	Val  smr.AtomicBytes
+	Next smr.Atomic[Node]
 }
 
 // PoisonNode smashes a freed node so that any use-after-free traversal is
@@ -49,22 +47,21 @@ type Node struct {
 // Val gets the same unallocated ref so a stale payload read faults too.
 func PoisonNode(n *Node) {
 	n.Key = 0xDEADDEADDEADDEAD
-	n.Val.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
-	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
+	n.Val.Store(smr.BytesOf(smr.InvalidRef()))
+	n.Next.Store(smr.PtrOf[Node](smr.InvalidRef()))
 }
 
-// Ops bundles an arena and a reclamation domain and implements the
-// Harris-Michael set operations over any head cell. The single-head List
-// below and the hash map's per-bucket lists both build on it.
+// Ops bundles a typed reclamation domain and implements the Harris-Michael
+// set operations over any head cell. The single-head List below and the
+// hash map's per-bucket lists both build on it.
 //
 // With ByteVals set, values live in the arena's size-class space instead of
-// the node word: Node.Val holds the payload's mem.Ref, Insert synthesizes
-// blocks of ValSizer(key) bytes (payload.Encode), readers protect the
-// payload before touching it, and the payload is retired through the same
-// domain as its node (payload first, then the node that names it).
+// the node word: Node.Val holds the payload's ref, Insert synthesizes
+// blocks of ValSizer(key) bytes, readers protect the payload before
+// touching it, and the payload is retired through the same domain as its
+// node (payload first, then the node that names it).
 type Ops struct {
-	Arena    *mem.Arena[Node]
-	Dom      reclaim.Domain
+	D        *smr.Domain[Node]
 	ByteVals bool
 	ValSizer func(key uint64) int
 }
@@ -77,43 +74,43 @@ const (
 )
 
 // find locates the first node with key >= key starting at head. On return,
-// prev is the cell whose CAS links/unlinks at the position, currRaw the raw
-// (unmarked) ref read from prev, and next the raw successor word of curr.
+// prev is the cell whose CAS links/unlinks at the position, curr the
+// (unmarked) ptr read from prev, and next the raw successor word of curr.
 // Marked nodes encountered on the way are helped off the list; their refs
 // are appended to *unlinked for the caller to retire after EndOp (deferring
 // retirement keeps URCU's blocking synchronize out of the read-side
 // critical section).
 //
 // Protection invariant at every point: prev's node (when not head) is
-// protected at slot ip, curr at ic, next at in, and the raw word loaded
-// from prev is compared for identity — any unlink OR logical deletion of
-// prev's node changes that word and forces a restart.
-func (o *Ops) find(head *atomic.Uint64, h *reclaim.Handle, key uint64, unlinked *[]mem.Ref) (found bool, prev *atomic.Uint64, curr, next mem.Ref) {
-	arena := o.Arena
+// protected at slot ip, curr at ic, next at in, and the word loaded from
+// prev is compared for identity — any unlink OR logical deletion of prev's
+// node changes that word and forces a restart.
+func (o *Ops) find(head *smr.Atomic[Node], g *smr.Guard, key uint64, unlinked *[]smr.Ref) (found bool, prev *smr.Atomic[Node], curr, next smr.Ptr[Node]) {
+	d := o.D
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev = head
-		curr = h.Protect(ic, prev)
+		curr = head.Load(g, ic)
 		for {
-			if curr.Unmarked().IsNil() {
-				return false, prev, mem.NilRef, mem.NilRef
+			if curr.IsNil() {
+				return false, prev, smr.Ptr[Node]{}, smr.Ptr[Node]{}
 			}
 			// The head cell is never marked; interior prev cells were
 			// validated unmarked when adopted, so curr is unmarked here.
-			cn := arena.Get(curr)
-			next = h.Protect(in, &cn.Next)
-			if prev.Load() != uint64(curr) {
+			cn := d.Deref(g, curr)
+			next = cn.Next.Load(g, in)
+			if prev.Peek() != curr {
 				continue retry
 			}
 			if next.Marked() {
 				// curr is logically deleted: attempt the physical unlink.
 				target := next.Unmarked()
 				schedtest.Point(schedtest.PointCAS)
-				if !prev.CompareAndSwap(uint64(curr), uint64(target)) {
+				if !prev.CompareAndSwap(curr, target) {
 					continue retry
 				}
-				*unlinked = append(*unlinked, curr)
+				*unlinked = append(*unlinked, curr.Ref())
 				// next (now curr) keeps its protection at in; recycle ic.
 				ic, in = in, ic
 				curr = target
@@ -133,104 +130,105 @@ retry:
 }
 
 // retireAll retires every helped-off node after the read-side section ended.
-func (o *Ops) retireAll(h *reclaim.Handle, unlinked []mem.Ref) {
+func (o *Ops) retireAll(g *smr.Guard, unlinked []smr.Ref) {
 	for _, ref := range unlinked {
-		h.Retire(ref)
+		g.Retire(ref)
 	}
 }
 
 // Insert adds key->val to the set rooted at head. It returns false (and
 // leaves the set unchanged) when the key is already present. In byte-value
 // mode the value is materialized as a ValSizer(key)-byte payload block.
-func (o *Ops) Insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64) bool {
-	return o.insert(head, h, key, val, nil)
+func (o *Ops) Insert(head *smr.Atomic[Node], g *smr.Guard, key, val uint64) bool {
+	return o.insert(head, g, key, val, nil)
 }
 
 // InsertBytes adds key->raw, storing a copy of raw as the payload block.
 // Byte-value mode only; the arena faults otherwise.
-func (o *Ops) InsertBytes(head *atomic.Uint64, h *reclaim.Handle, key uint64, raw []byte) bool {
-	return o.insert(head, h, key, 0, raw)
+func (o *Ops) InsertBytes(head *smr.Atomic[Node], g *smr.Guard, key uint64, raw []byte) bool {
+	return o.insert(head, g, key, 0, raw)
 }
 
 // allocPayload materializes the value block for a new node: a copy of raw
 // when given (InsertBytes), else ValSizer(key) bytes synthesized from val.
-func (o *Ops) allocPayload(h *reclaim.Handle, key, val uint64, raw []byte) mem.Ref {
+func (o *Ops) allocPayload(g *smr.Guard, key, val uint64, raw []byte) smr.Bytes {
 	if raw != nil {
-		return o.Arena.PutBytesAt(h.ID(), raw)
+		return o.D.PutBytes(g, raw)
 	}
-	ref, p := o.Arena.AllocBytesAt(h.ID(), payload.SizeFor(o.ValSizer, key))
-	payload.Encode(p, val)
-	return ref
+	b, p := o.D.AllocBytes(g, smr.PayloadSize(o.ValSizer, key))
+	smr.EncodePayload(p, val)
+	return b
 }
 
-func (o *Ops) insert(head *atomic.Uint64, h *reclaim.Handle, key, val uint64, raw []byte) bool {
-	dom := o.Dom
-	var unlinked []mem.Ref
-	h.BeginOp()
+func (o *Ops) insert(head *smr.Atomic[Node], g *smr.Guard, key, val uint64, raw []byte) bool {
+	d := o.D
+	var unlinked []smr.Ref
+	g.BeginOp()
 
-	var newRef, pRef mem.Ref
+	var newPtr smr.Ptr[Node]
+	var pRef smr.Bytes
 	var newNode *Node
 	ok := false
 	for {
-		found, prev, curr, _ := o.find(head, h, key, &unlinked)
+		found, prev, curr, _ := o.find(head, g, key, &unlinked)
 		if found {
-			if !newRef.IsNil() {
+			if !newPtr.IsNil() {
 				// Never published: direct frees are safe. Payload first,
 				// then the node that names it.
 				if !pRef.IsNil() {
-					o.Arena.FreeAt(h.ID(), pRef)
+					d.Free(g, pRef.Ref())
 				}
-				o.Arena.FreeAt(h.ID(), newRef)
+				d.Free(g, newPtr.Ref())
 			}
 			break
 		}
-		if newRef.IsNil() {
-			newRef, newNode = o.Arena.AllocAt(h.ID())
+		if newPtr.IsNil() {
+			newPtr, newNode = d.Alloc(g)
 			newNode.Key = key
 			if o.ByteVals || raw != nil {
-				pRef = o.allocPayload(h, key, val, raw)
-				newNode.Val.Store(uint64(pRef))
+				pRef = o.allocPayload(g, key, val, raw)
+				newNode.Val.Store(pRef)
 			} else {
-				newNode.Val.Store(val)
+				newNode.Val.StoreWord(val)
 			}
 		}
-		newNode.Next.Store(uint64(curr))
+		newNode.Next.Store(curr)
 		// Stamp the birth eras on every attempt so they are current when
 		// the node (and through it, the payload) becomes visible (paper §3:
 		// "before the object is made visible to other threads").
 		if !pRef.IsNil() {
-			dom.OnAlloc(pRef)
+			d.Publish(pRef.Ref())
 		}
-		dom.OnAlloc(newRef)
+		d.Publish(newPtr.Ref())
 		schedtest.Point(schedtest.PointCAS)
-		if prev.CompareAndSwap(uint64(curr), uint64(newRef)) {
+		if prev.CompareAndSwap(curr, newPtr) {
 			ok = true
 			break
 		}
 	}
-	h.EndOp()
-	o.retireAll(h, unlinked)
+	g.EndOp()
+	o.retireAll(g, unlinked)
 	return ok
 }
 
 // Remove deletes key from the set rooted at head, returning whether it was
 // present. The deleting thread marks the node; whichever thread physically
 // unlinks it (this one, or a helping traversal) retires it exactly once.
-func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
-	var unlinked []mem.Ref
-	h.BeginOp()
+func (o *Ops) Remove(head *smr.Atomic[Node], g *smr.Guard, key uint64) bool {
+	var unlinked []smr.Ref
+	g.BeginOp()
 
 	ok := false
 	for {
-		found, prev, curr, next := o.find(head, h, key, &unlinked)
+		found, prev, curr, next := o.find(head, g, key, &unlinked)
 		if !found {
 			break
 		}
-		cn := o.Arena.Get(curr)
+		cn := o.D.Deref(g, curr)
 		// Logical deletion: mark the next word. Failure means a racing
 		// insert/remove at this node: retry from find.
 		schedtest.Point(schedtest.PointCAS)
-		if !cn.Next.CompareAndSwap(uint64(next), uint64(next.WithMark())) {
+		if !cn.Next.CompareAndSwap(next, next.WithMark()) {
 			continue
 		}
 		ok = true
@@ -240,18 +238,18 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 			// node itself may be retired by whoever physically unlinks it.
 			// Read the ref while curr is still protected, and retire the
 			// payload ahead of the node (both land in unlinked, in order).
-			unlinked = append(unlinked, mem.Ref(cn.Val.Load()))
+			unlinked = append(unlinked, cn.Val.Peek().Ref())
 		}
 		// Physical unlink; on failure a helping traversal will unlink (and
 		// retire) the node instead.
 		schedtest.Point(schedtest.PointCAS)
-		if prev.CompareAndSwap(uint64(curr), uint64(next)) {
-			unlinked = append(unlinked, curr)
+		if prev.CompareAndSwap(curr, next) {
+			unlinked = append(unlinked, curr.Ref())
 		}
 		break
 	}
-	h.EndOp()
-	o.retireAll(h, unlinked)
+	g.EndOp()
+	o.retireAll(g, unlinked)
 	return ok
 }
 
@@ -262,7 +260,7 @@ func (o *Ops) Remove(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
 // URCU is blocking ... while all other methods for all three
 // implementations are non-blocking", §4).
 //
-// expect holds the raw word read from prev (possibly marked for interior
+// expect holds the word read from prev (possibly marked for interior
 // cells — a marked next word is immutable, so validating against it is
 // stable); curr is its unmarked form for dereference.
 //
@@ -280,23 +278,23 @@ const (
 	readCopy
 )
 
-func (o *Ops) lookup(head *atomic.Uint64, h *reclaim.Handle, key uint64, mode int) (val uint64, buf []byte, ok bool) {
-	arena := o.Arena
-	h.BeginOp()
-	defer h.EndOp()
+func (o *Ops) lookup(head *smr.Atomic[Node], g *smr.Guard, key uint64, mode int) (val uint64, buf []byte, ok bool) {
+	d := o.D
+	g.BeginOp()
+	defer g.EndOp()
 retry:
 	for {
 		ip, ic, in := slotPrev, slotCurr, slotNext
 		prev := head
-		expect := h.Protect(ic, prev) // head cell is never marked
+		expect := head.Load(g, ic) // head cell is never marked
 		for {
 			curr := expect.Unmarked()
 			if curr.IsNil() {
 				return 0, nil, false
 			}
-			cn := arena.Get(curr)
-			nextRaw := h.Protect(in, &cn.Next)
-			if prev.Load() != uint64(expect) {
+			cn := d.Deref(g, curr)
+			nextRaw := cn.Next.Load(g, in)
+			if prev.Peek() != expect {
 				continue retry
 			}
 			k := cn.Key
@@ -308,17 +306,17 @@ retry:
 					return 0, nil, true
 				}
 				if !o.ByteVals {
-					return cn.Val.Load(), nil, true
+					return cn.Val.LoadWord(), nil, true
 				}
-				pRef := h.Protect(ip, &cn.Val)
-				if mem.Ref(cn.Next.Load()).Marked() {
+				pRef := cn.Val.Load(g, ip)
+				if cn.Next.Peek().Marked() {
 					continue retry
 				}
-				p := arena.Bytes(pRef)
+				p := d.DerefBytes(g, pRef)
 				if mode == readCopy {
 					buf = append([]byte(nil), p...)
 				}
-				return payload.Decode(p), buf, true
+				return smr.DecodePayload(p), buf, true
 			}
 			// Advance (skipping marked nodes without helping); the three
 			// slots rotate so prev's node stays protected for the next
@@ -331,35 +329,35 @@ retry:
 }
 
 // Contains reports whether key is in the set rooted at head.
-func (o *Ops) Contains(head *atomic.Uint64, h *reclaim.Handle, key uint64) bool {
-	_, _, ok := o.lookup(head, h, key, readNone)
+func (o *Ops) Contains(head *smr.Atomic[Node], g *smr.Guard, key uint64) bool {
+	_, _, ok := o.lookup(head, g, key, readNone)
 	return ok
 }
 
 // Get returns the value stored under key (in byte-value mode, the decoded
 // value word of the payload block).
-func (o *Ops) Get(head *atomic.Uint64, h *reclaim.Handle, key uint64) (uint64, bool) {
-	v, _, ok := o.lookup(head, h, key, readVal)
+func (o *Ops) Get(head *smr.Atomic[Node], g *smr.Guard, key uint64) (uint64, bool) {
+	v, _, ok := o.lookup(head, g, key, readVal)
 	return v, ok
 }
 
 // GetBytes returns a copy of the payload block stored under key. Byte-value
 // mode only; the copy is taken while the payload is still protected.
-func (o *Ops) GetBytes(head *atomic.Uint64, h *reclaim.Handle, key uint64) ([]byte, bool) {
-	_, buf, ok := o.lookup(head, h, key, readCopy)
+func (o *Ops) GetBytes(head *smr.Atomic[Node], g *smr.Guard, key uint64) ([]byte, bool) {
+	_, buf, ok := o.lookup(head, g, key, readCopy)
 	return buf, ok
 }
 
 // Len counts unmarked nodes; quiescent use only (tests, reporting).
-func (o *Ops) Len(head *atomic.Uint64) int {
+func (o *Ops) Len(head *smr.Atomic[Node]) int {
 	n := 0
-	for ref := mem.Ref(head.Load()); !ref.Unmarked().IsNil(); {
-		node := o.Arena.Get(ref)
-		raw := mem.Ref(node.Next.Load())
+	for p := head.Peek(); !p.IsNil(); {
+		node := o.D.DerefQuiescent(p)
+		raw := node.Next.Peek()
 		if !raw.Marked() {
 			n++
 		}
-		ref = raw.Unmarked()
+		p = raw.Unmarked()
 	}
 	return n
 }
@@ -368,26 +366,27 @@ func (o *Ops) Len(head *atomic.Uint64) int {
 // A marked-but-still-linked node keeps its node ownership here, but its
 // payload was already retired by whoever won the mark CAS (and will be
 // freed by the domain's Drain) — freeing it again would double-free.
-func (o *Ops) DrainList(head *atomic.Uint64) {
-	ref := mem.Ref(head.Load()).Unmarked()
-	head.Store(0)
-	for !ref.IsNil() {
-		n := o.Arena.Get(ref)
-		raw := mem.Ref(n.Next.Load())
+func (o *Ops) DrainList(head *smr.Atomic[Node]) {
+	d := o.D
+	p := head.Peek().Unmarked()
+	head.Store(smr.Ptr[Node]{})
+	for !p.IsNil() {
+		n := d.DerefQuiescent(p)
+		raw := n.Next.Peek()
 		if o.ByteVals && !raw.Marked() {
-			if pRef := mem.Ref(n.Val.Load()); !pRef.IsNil() {
-				o.Arena.Free(pRef)
+			if pb := n.Val.Peek(); !pb.IsNil() {
+				d.Drop(pb.Ref())
 			}
 		}
-		o.Arena.Free(ref)
-		ref = raw.Unmarked()
+		d.Drop(p.Ref())
+		p = raw.Unmarked()
 	}
 }
 
 // List is the single-head Harris-Michael set.
 type List struct {
 	ops  Ops
-	head atomic.Uint64
+	head smr.Atomic[Node]
 }
 
 // Option configures a List.
@@ -396,7 +395,7 @@ type Option func(*config)
 type config struct {
 	checked  bool
 	threads  int
-	ins      *reclaim.Instrument
+	ins      *smr.Instrument
 	byteVals bool
 	valSizer func(key uint64) int
 }
@@ -409,20 +408,21 @@ func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
-func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+func WithInstrument(ins *smr.Instrument) Option { return func(c *config) { c.ins = ins } }
 
 // WithByteValues stores values as variable-size payload blocks in the
 // arena's size-class space instead of inline uint64 words. sizer maps a
-// key to its payload size (nil, or anything below payload.MinSize, means
-// payload.MinSize). Insert synthesizes the block from the value;
+// key to its payload size (nil, or anything below smr.MinPayload, means
+// smr.MinPayload). Insert synthesizes the block from the value;
 // InsertBytes/GetBytes expose the raw []byte surface.
 func WithByteValues(sizer func(key uint64) int) Option {
 	return func(c *config) { c.byteVals = true; c.valSizer = sizer }
 }
 
-// DomainFactory constructs a reclamation domain over an allocator — e.g.
-// func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) }.
-type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+// DomainFactory constructs a reclamation backend over an allocator — e.g.
+// smr.HE.Factory(), or any of the parameterized factories in
+// internal/bench.
+type DomainFactory = smr.Factory
 
 // New builds an empty list whose nodes are reclaimed through the domain
 // produced by mk.
@@ -431,46 +431,54 @@ func New(mk DomainFactory, opts ...Option) *List {
 	for _, o := range opts {
 		o(&c)
 	}
-	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
+	var arenaOpts []smr.ArenaOption[Node]
 	if c.checked {
-		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+		arenaOpts = append(arenaOpts, smr.Checked[Node](true), smr.WithPoison(PoisonNode))
 	}
 	if c.byteVals {
-		arenaOpts = append(arenaOpts, mem.WithByteClasses[Node]())
+		arenaOpts = append(arenaOpts, smr.WithByteValues[Node]())
 	}
-	arena := mem.NewArena[Node](arenaOpts...)
-	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
-	return &List{ops: Ops{Arena: arena, Dom: dom, ByteVals: c.byteVals, ValSizer: c.valSizer}}
+	d := smr.NewWith[Node](mk, smr.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins}, arenaOpts...)
+	return &List{ops: Ops{D: d, ByteVals: c.byteVals, ValSizer: c.valSizer}}
 }
 
-// Domain exposes the reclamation domain (Register/Unregister, Stats).
-func (l *List) Domain() reclaim.Domain { return l.ops.Dom }
+// SMR exposes the typed reclamation domain (sessions, stats, teardown).
+func (l *List) SMR() *smr.Domain[Node] { return l.ops.D }
+
+// Domain exposes the scheme-level backend for generic drivers.
+func (l *List) Domain() smr.Backend { return l.ops.D.Backend() }
 
 // Arena exposes the node arena (stats, fault counters).
-func (l *List) Arena() *mem.Arena[Node] { return l.ops.Arena }
+func (l *List) Arena() *smr.Arena[Node] { return l.ops.D.Arena() }
+
+// Register opens a session on the list's domain.
+func (l *List) Register() *smr.Guard { return l.ops.D.Register() }
+
+// Acquire returns a pooled session on the list's domain.
+func (l *List) Acquire() *smr.Guard { return l.ops.D.Acquire() }
 
 // Insert adds key->val; false if already present.
-func (l *List) Insert(h *reclaim.Handle, key, val uint64) bool {
-	return l.ops.Insert(&l.head, h, key, val)
+func (l *List) Insert(g *smr.Guard, key, val uint64) bool {
+	return l.ops.Insert(&l.head, g, key, val)
 }
 
 // Remove deletes key; false if absent.
-func (l *List) Remove(h *reclaim.Handle, key uint64) bool { return l.ops.Remove(&l.head, h, key) }
+func (l *List) Remove(g *smr.Guard, key uint64) bool { return l.ops.Remove(&l.head, g, key) }
 
 // Contains reports membership of key.
-func (l *List) Contains(h *reclaim.Handle, key uint64) bool { return l.ops.Contains(&l.head, h, key) }
+func (l *List) Contains(g *smr.Guard, key uint64) bool { return l.ops.Contains(&l.head, g, key) }
 
 // Get returns the value stored under key.
-func (l *List) Get(h *reclaim.Handle, key uint64) (uint64, bool) { return l.ops.Get(&l.head, h, key) }
+func (l *List) Get(g *smr.Guard, key uint64) (uint64, bool) { return l.ops.Get(&l.head, g, key) }
 
 // InsertBytes adds key->raw (byte-value mode only); false if present.
-func (l *List) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
-	return l.ops.InsertBytes(&l.head, h, key, raw)
+func (l *List) InsertBytes(g *smr.Guard, key uint64, raw []byte) bool {
+	return l.ops.InsertBytes(&l.head, g, key, raw)
 }
 
 // GetBytes returns a copy of key's payload block (byte-value mode only).
-func (l *List) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
-	return l.ops.GetBytes(&l.head, h, key)
+func (l *List) GetBytes(g *smr.Guard, key uint64) ([]byte, bool) {
+	return l.ops.GetBytes(&l.head, g, key)
 }
 
 // Len counts elements; quiescent use only.
@@ -480,16 +488,16 @@ func (l *List) Len() int { return l.ops.Len(&l.head) }
 // is opened and the first node protected, but EndOp is never called. This
 // is the paper's "sleepy reader" (Appendix A) — the adversary for every
 // reclamation scheme. Call Unpin to resume.
-func (l *List) Pin(h *reclaim.Handle) {
-	h.BeginOp()
-	h.Protect(slotCurr, &l.head)
+func (l *List) Pin(g *smr.Guard) {
+	g.BeginOp()
+	l.head.Load(g, slotCurr)
 }
 
 // Unpin ends a Pin'd critical section.
-func (l *List) Unpin(h *reclaim.Handle) { h.EndOp() }
+func (l *List) Unpin(g *smr.Guard) { g.EndOp() }
 
 // Drain tears the structure down, freeing linked nodes and pending retirees.
 func (l *List) Drain() {
 	l.ops.DrainList(&l.head)
-	l.ops.Dom.Drain()
+	l.ops.D.Drain()
 }

@@ -12,7 +12,6 @@ import (
 	"repro/internal/hp"
 	"repro/internal/ibr"
 	"repro/internal/leak"
-	"repro/internal/mem"
 	"repro/internal/rc"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
@@ -40,7 +39,7 @@ func heList(t *testing.T) *List {
 
 func TestEmptyList(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	if l.Contains(h, 5) {
 		t.Fatal("empty list contains 5")
 	}
@@ -54,7 +53,7 @@ func TestEmptyList(t *testing.T) {
 
 func TestInsertContainsRemove(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	if !l.Insert(h, 5, 50) {
 		t.Fatal("insert failed")
 	}
@@ -80,7 +79,7 @@ func TestInsertContainsRemove(t *testing.T) {
 
 func TestSortedOrderMaintained(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	for _, k := range []uint64{5, 1, 9, 3, 7, 2, 8} {
 		l.Insert(h, k, k*10)
 	}
@@ -90,19 +89,19 @@ func TestSortedOrderMaintained(t *testing.T) {
 	// Walk the raw list and check strict ascending order.
 	prev := uint64(0)
 	first := true
-	for ref := mem.Ref(l.head.Load()).Unmarked(); !ref.IsNil(); {
+	for ref := l.head.Peek().Unmarked().Ref(); !ref.IsNil(); {
 		n := l.Arena().Get(ref)
 		if !first && n.Key <= prev {
 			t.Fatalf("order violated: %d after %d", n.Key, prev)
 		}
 		prev, first = n.Key, false
-		ref = mem.Ref(n.Next.Load()).Unmarked()
+		ref = n.Next.Peek().Unmarked().Ref()
 	}
 }
 
 func TestBoundaryKeys(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	for _, k := range []uint64{0, 1, ^uint64(0) >> 1, ^uint64(0)} {
 		if !l.Insert(h, k, k) {
 			t.Fatalf("insert %d failed", k)
@@ -123,7 +122,7 @@ func TestBoundaryKeys(t *testing.T) {
 
 func TestRemoveHeadMiddleTail(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	for k := uint64(1); k <= 5; k++ {
 		l.Insert(h, k, k)
 	}
@@ -147,7 +146,7 @@ func TestReinsertionAllocatesNewNode(t *testing.T) {
 	// the lock-free list will have to retire the old node and create a new
 	// node" (§4). Verify churn actually allocates.
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	l.Insert(h, 7, 7)
 	a0 := l.Arena().Stats().Allocs
 	for i := 0; i < 10; i++ {
@@ -173,7 +172,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		l := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		h := l.Domain().Register()
+		h := l.Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 32)
@@ -239,11 +238,11 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			l := New(mk, WithChecked(true), WithMaxThreads(threads))
-			setup := l.Domain().Register()
+			setup := l.Register()
 			for k := uint64(0); k < keyRange; k++ {
 				l.Insert(setup, k, k)
 			}
-			l.Domain().Unregister(setup)
+			setup.Unregister()
 
 			var wg sync.WaitGroup
 			errs := make(chan string, threads)
@@ -251,8 +250,8 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					h := l.Domain().Register()
-					defer l.Domain().Unregister(h)
+					h := l.Register()
+					defer h.Unregister()
 					rng := rand.New(rand.NewSource(seed))
 					for i := 0; i < iters; i++ {
 						k := uint64(rng.Intn(keyRange))
@@ -294,19 +293,18 @@ func TestConcurrentChurnAllSchemes(t *testing.T) {
 // unlinked by a different traversal and confirm single retirement.
 func TestHelpingUnlinkRetiresExactlyOnce(t *testing.T) {
 	l := heList(t)
-	h := l.Domain().Register()
+	h := l.Register()
 	l.Insert(h, 1, 1)
 	l.Insert(h, 2, 2)
 	l.Insert(h, 3, 3)
 
 	// Mark node 2 manually (logical delete without physical unlink).
-	var prev = &l.head
-	ref := mem.Ref(prev.Load())
+	ref := l.head.Peek().Ref()
 	n1 := l.Arena().Get(ref) // key 1
-	ref2 := mem.Ref(n1.Next.Load())
+	ref2 := n1.Next.Peek().Ref()
 	n2 := l.Arena().Get(ref2) // key 2
-	raw := n2.Next.Load()
-	if !n2.Next.CompareAndSwap(raw, uint64(mem.Ref(raw).WithMark())) {
+	raw := n2.Next.Peek()
+	if !n2.Next.CompareAndSwap(raw, raw.WithMark()) {
 		t.Fatal("marking failed")
 	}
 
@@ -331,14 +329,14 @@ func TestDrainFreesEverything(t *testing.T) {
 	for name, mk := range factories() {
 		t.Run(name, func(t *testing.T) {
 			l := New(mk, WithChecked(true), WithMaxThreads(4))
-			h := l.Domain().Register()
+			h := l.Register()
 			for k := uint64(0); k < 50; k++ {
 				l.Insert(h, k, k)
 			}
 			for k := uint64(0); k < 50; k += 2 {
 				l.Remove(h, k)
 			}
-			l.Domain().Unregister(h)
+			h.Unregister()
 			l.Drain()
 			if st := l.Arena().Stats(); st.Live != 0 {
 				t.Fatalf("%s: leaked %d (%+v)", name, st.Live, st)
@@ -364,7 +362,7 @@ func TestInstrumentedTraversalCosts(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ins := reclaim.NewInstrument(4)
 			l := New(factories()[tc.factory], WithChecked(true), WithMaxThreads(4), WithInstrument(ins))
-			h := l.Domain().Register()
+			h := l.Register()
 			for k := uint64(0); k < 100; k++ {
 				l.Insert(h, k, k)
 			}
@@ -407,7 +405,7 @@ func FuzzListModel(f *testing.F) {
 		l := New(func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
 			return core.New(a, c)
 		}, WithChecked(true), WithMaxThreads(2))
-		h := l.Domain().Register()
+		h := l.Register()
 		model := map[uint64]uint64{}
 		for i, b := range script {
 			k := uint64(b % 32)

@@ -2,7 +2,8 @@
 // 1996) with pointer-based reclamation as in M. M. Michael's Hazard
 // Pointers paper — one of the workloads the Hazard Eras paper's
 // introduction motivates (its authors' own wait-free queue, reference [26],
-// is built on exactly this reclamation API).
+// is built on exactly this reclamation API). Like internal/list, it is
+// written entirely against the public smr API.
 //
 // Two protection slots are used: one for the head/tail anchor node, one for
 // its successor. The dequeued dummy node is retired with its next pointer
@@ -13,11 +14,8 @@
 package queue
 
 import (
-	"sync/atomic"
-
-	"repro/internal/mem"
-	"repro/internal/reclaim"
 	"repro/internal/schedtest"
+	"repro/smr"
 )
 
 // Slots is the number of protection indices the queue needs.
@@ -26,21 +24,20 @@ const Slots = 2
 // Node is a queue cell.
 type Node struct {
 	Val  uint64
-	Next atomic.Uint64
+	Next smr.Atomic[Node]
 }
 
 // PoisonNode smashes a freed node for use-after-free visibility.
 func PoisonNode(n *Node) {
 	n.Val = 0xDEADDEADDEADDEAD
-	n.Next.Store(uint64(mem.MakeRef(mem.MaxIndex, 0)))
+	n.Next.Store(smr.PtrOf[Node](smr.InvalidRef()))
 }
 
 // Queue is a lock-free multi-producer multi-consumer FIFO.
 type Queue struct {
-	arena *mem.Arena[Node]
-	dom   reclaim.Domain
-	head  atomic.Uint64
-	tail  atomic.Uint64
+	d    *smr.Domain[Node]
+	head smr.Atomic[Node]
+	tail smr.Atomic[Node]
 }
 
 // Option configures a Queue.
@@ -49,7 +46,7 @@ type Option func(*config)
 type config struct {
 	checked bool
 	threads int
-	ins     *reclaim.Instrument
+	ins     *smr.Instrument
 }
 
 // WithChecked enables the checked (generation-validated, poisoned) arena.
@@ -60,10 +57,10 @@ func WithChecked(on bool) Option { return func(c *config) { c.checked = on } }
 func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 
 // WithInstrument attaches reader-side op counting to the domain.
-func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
+func WithInstrument(ins *smr.Instrument) Option { return func(c *config) { c.ins = ins } }
 
 // DomainFactory mirrors list.DomainFactory.
-type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+type DomainFactory = smr.Factory
 
 // New builds an empty queue (one dummy node) reclaimed through mk's domain.
 func New(mk DomainFactory, opts ...Option) *Queue {
@@ -71,122 +68,134 @@ func New(mk DomainFactory, opts ...Option) *Queue {
 	for _, o := range opts {
 		o(&c)
 	}
-	arenaOpts := []mem.Option[Node]{mem.WithShards[Node](c.threads)}
+	var arenaOpts []smr.ArenaOption[Node]
 	if c.checked {
-		arenaOpts = append(arenaOpts, mem.Checked[Node](true), mem.WithPoison[Node](PoisonNode))
+		arenaOpts = append(arenaOpts, smr.Checked[Node](true), smr.WithPoison(PoisonNode))
 	}
-	arena := mem.NewArena[Node](arenaOpts...)
-	dom := mk(arena, reclaim.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins})
-	q := &Queue{arena: arena, dom: dom}
-	dummy, _ := arena.Alloc()
-	dom.OnAlloc(dummy)
-	q.head.Store(uint64(dummy))
-	q.tail.Store(uint64(dummy))
+	d := smr.NewWith[Node](mk, smr.Config{MaxThreads: c.threads, Slots: Slots, Instrument: c.ins}, arenaOpts...)
+	q := &Queue{d: d}
+	g := d.Acquire()
+	dummy, _ := d.Alloc(g)
+	d.Publish(dummy.Ref())
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	g.Release()
 	return q
 }
 
-// Domain exposes the reclamation domain.
-func (q *Queue) Domain() reclaim.Domain { return q.dom }
+// SMR exposes the typed reclamation domain (sessions, stats, teardown).
+func (q *Queue) SMR() *smr.Domain[Node] { return q.d }
+
+// Domain exposes the scheme-level backend for generic drivers.
+func (q *Queue) Domain() smr.Backend { return q.d.Backend() }
 
 // Arena exposes the node arena.
-func (q *Queue) Arena() *mem.Arena[Node] { return q.arena }
+func (q *Queue) Arena() *smr.Arena[Node] { return q.d.Arena() }
+
+// Register opens a session on the queue's domain.
+func (q *Queue) Register() *smr.Guard { return q.d.Register() }
+
+// Acquire returns a pooled session on the queue's domain.
+func (q *Queue) Acquire() *smr.Guard { return q.d.Acquire() }
 
 // Enqueue appends v. Lock-free.
-func (q *Queue) Enqueue(h *reclaim.Handle, v uint64) {
-	ref, n := q.arena.AllocAt(h.ID())
+func (q *Queue) Enqueue(g *smr.Guard, v uint64) {
+	d := q.d
+	ref, n := d.Alloc(g) // private until the publish below
 	n.Val = v
-	n.Next.Store(0)
+	n.Next.Store(smr.Ptr[Node]{})
 
-	h.BeginOp()
+	g.BeginOp()
 	for {
-		tailRef := h.Protect(0, &q.tail)
-		tn := q.arena.Get(tailRef)
-		next := tn.Next.Load()
-		if q.tail.Load() != uint64(tailRef) {
+		tailPtr := q.tail.Load(g, 0)
+		tn := d.Deref(g, tailPtr)
+		next := tn.Next.Peek()
+		if q.tail.Peek() != tailPtr {
 			continue
 		}
-		if next != 0 {
+		if !next.IsNil() {
 			// Tail is lagging: help advance it.
 			schedtest.Point(schedtest.PointCAS)
-			q.tail.CompareAndSwap(uint64(tailRef), next)
+			q.tail.CompareAndSwap(tailPtr, next)
 			continue
 		}
 		// Stamp the birth era immediately before publication (paper §3).
-		q.dom.OnAlloc(ref)
+		d.Publish(ref.Ref())
 		schedtest.Point(schedtest.PointCAS)
-		if tn.Next.CompareAndSwap(0, uint64(ref)) {
+		if tn.Next.CompareAndSwap(smr.Ptr[Node]{}, ref) {
 			schedtest.Point(schedtest.PointCAS)
-			q.tail.CompareAndSwap(uint64(tailRef), uint64(ref))
+			q.tail.CompareAndSwap(tailPtr, ref)
 			break
 		}
 	}
-	h.EndOp()
+	g.EndOp()
 }
 
 // Dequeue removes and returns the oldest value; ok is false on empty.
-func (q *Queue) Dequeue(h *reclaim.Handle) (v uint64, ok bool) {
-	h.BeginOp()
-	var victim mem.Ref
+func (q *Queue) Dequeue(g *smr.Guard) (v uint64, ok bool) {
+	d := q.d
+	g.BeginOp()
+	var victim smr.Ptr[Node]
 	for {
-		headRef := h.Protect(0, &q.head)
-		tailRaw := q.tail.Load()
-		hn := q.arena.Get(headRef)
-		next := h.Protect(1, &hn.Next)
+		headPtr := q.head.Load(g, 0)
+		tailRaw := q.tail.Peek()
+		hn := d.Deref(g, headPtr)
+		next := hn.Next.Load(g, 1)
 		// Re-validate the anchor AFTER protecting the successor: if head
-		// still equals headRef here, the dummy had not been dequeued at
+		// still equals headPtr here, the dummy had not been dequeued at
 		// this (seq-cst) point, hence its successor was still reachable —
-		// so the era/pointer published by the Protect above falls inside
-		// the successor's lifetime and the dereference below is safe.
-		if q.head.Load() != uint64(headRef) {
+		// so the era/pointer published by the Load above falls inside the
+		// successor's lifetime and the dereference below is safe.
+		if q.head.Peek() != headPtr {
 			continue
 		}
 		if next.IsNil() {
-			h.EndOp()
+			g.EndOp()
 			return 0, false
 		}
-		if uint64(headRef) == tailRaw {
+		if headPtr == tailRaw {
 			// Tail is lagging behind a half-finished enqueue: help.
 			schedtest.Point(schedtest.PointCAS)
-			q.tail.CompareAndSwap(tailRaw, uint64(next))
+			q.tail.CompareAndSwap(tailRaw, next)
 			continue
 		}
-		nn := q.arena.Get(next)
+		nn := d.Deref(g, next)
 		val := nn.Val // read before the swing; next is protected
 		schedtest.Point(schedtest.PointCAS)
-		if q.head.CompareAndSwap(uint64(headRef), uint64(next)) {
+		if q.head.CompareAndSwap(headPtr, next) {
 			v, ok = val, true
-			victim = headRef
+			victim = headPtr
 			break
 		}
 	}
-	h.EndOp()
-	h.Retire(victim)
+	g.EndOp()
+	g.Retire(victim.Ref())
 	return v, ok
 }
 
 // Len counts queued values; quiescent use only.
 func (q *Queue) Len() int {
 	n := 0
-	ref := mem.Ref(q.head.Load())
+	p := q.head.Peek()
 	for {
-		next := mem.Ref(q.arena.Get(ref).Next.Load())
+		next := q.d.DerefQuiescent(p).Next.Peek()
 		if next.IsNil() {
 			return n
 		}
 		n++
-		ref = next
+		p = next
 	}
 }
 
 // Drain tears the queue down (including the dummy) at quiescence.
 func (q *Queue) Drain() {
-	ref := mem.Ref(q.head.Load())
-	q.head.Store(0)
-	q.tail.Store(0)
-	for !ref.IsNil() {
-		next := mem.Ref(q.arena.Get(ref).Next.Load())
-		q.arena.Free(ref)
-		ref = next
+	p := q.head.Peek()
+	q.head.Store(smr.Ptr[Node]{})
+	q.tail.Store(smr.Ptr[Node]{})
+	for !p.IsNil() {
+		next := q.d.DerefQuiescent(p).Next.Peek()
+		q.d.Drop(p.Ref())
+		p = next
 	}
-	q.dom.Drain()
+	q.d.Drain()
 }

@@ -29,7 +29,7 @@ func heQueue(t *testing.T) *Queue {
 
 func TestEmptyDequeue(t *testing.T) {
 	q := heQueue(t)
-	h := q.Domain().Register()
+	h := q.Register()
 	if _, ok := q.Dequeue(h); ok {
 		t.Fatal("dequeue from empty queue succeeded")
 	}
@@ -40,7 +40,7 @@ func TestEmptyDequeue(t *testing.T) {
 
 func TestFIFOOrder(t *testing.T) {
 	q := heQueue(t)
-	h := q.Domain().Register()
+	h := q.Register()
 	for i := uint64(1); i <= 100; i++ {
 		q.Enqueue(h, i)
 	}
@@ -60,7 +60,7 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestDequeueRetiresDummies(t *testing.T) {
 	q := heQueue(t)
-	h := q.Domain().Register()
+	h := q.Register()
 	for i := uint64(0); i < 50; i++ {
 		q.Enqueue(h, i)
 		q.Dequeue(h)
@@ -80,7 +80,7 @@ func TestDequeueRetiresDummies(t *testing.T) {
 
 func TestInterleavedEnqueueDequeue(t *testing.T) {
 	q := heQueue(t)
-	h := q.Domain().Register()
+	h := q.Register()
 	q.Enqueue(h, 1)
 	q.Enqueue(h, 2)
 	if v, _ := q.Dequeue(h); v != 1 {
@@ -116,8 +116,8 @@ func TestConcurrentMPMC(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					h := q.Domain().Register()
-					defer q.Domain().Unregister(h)
+					h := q.Register()
+					defer h.Unregister()
 					var got []uint64
 					for {
 						v, ok := q.Dequeue(h)
@@ -138,8 +138,8 @@ func TestConcurrentMPMC(t *testing.T) {
 				wg.Add(1)
 				go func(p int) {
 					defer wg.Done()
-					h := q.Domain().Register()
-					defer q.Domain().Unregister(h)
+					h := q.Register()
+					defer h.Unregister()
 					base := uint64(p) << 32
 					for i := 0; i < perProducer; i++ {
 						q.Enqueue(h, base|uint64(i))

@@ -150,6 +150,13 @@ type Handle struct {
 	obsTickEra   uint64 // ObsEra EvEra sampling tick
 	obsScanT0    int64  // scan start timestamp (NoteScan..NoteScanEnd)
 	obsScanFreed int64  // freeStripe reading at scan start
+
+	// Wrapper is owner-only storage for a layer wrapping this handle (the
+	// public smr package parks its Guard here). Because Release keeps the
+	// Handle in the domain pool, the wrapper rides along and the wrapping
+	// layer's Acquire path allocates nothing in steady state. reclaim itself
+	// never reads it.
+	Wrapper any
 }
 
 // ID returns the session id (dense; doubles as the arena shard id).

@@ -20,7 +20,7 @@ func byteSkip(t *testing.T, name string) *SkipList {
 
 func TestByteValuesRoundTrip(t *testing.T) {
 	s := byteSkip(t, "HE")
-	h := s.Domain().Register()
+	h := s.Register()
 
 	for key := uint64(0); key < 200; key++ {
 		if !s.Insert(h, key, key|1<<40) {
@@ -64,7 +64,7 @@ func TestByteValuesRoundTrip(t *testing.T) {
 // values in byte mode, in order, under continuous protection.
 func TestByteValuesRangeDecodes(t *testing.T) {
 	s := byteSkip(t, "HE")
-	h := s.Domain().Register()
+	h := s.Register()
 	for key := uint64(10); key < 60; key++ {
 		s.Insert(h, key, key*11)
 	}
@@ -112,7 +112,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					h := s.Domain().Register()
+					h := s.Register()
 					defer h.Unregister()
 					rng := uint64(w)*0x9E3779B9 + 3
 					for !stop.Load() {
@@ -147,7 +147,7 @@ func TestByteValuesChurnConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				h := s.Domain().Register()
+				h := s.Register()
 				defer h.Unregister()
 				rng := uint64(0xABCDEF) | 1
 				for i := 0; i < ops; i++ {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/payload"
 	"repro/internal/reclaim"
+	"repro/smr"
 )
 
 // MaxLevel is the tallest tower; 16 levels cover ~2^16 expected elements at
@@ -63,7 +64,7 @@ func PoisonNode(n *Node) {
 }
 
 // DomainFactory mirrors list.DomainFactory.
-type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+type DomainFactory = smr.Factory
 
 // SkipList is the concurrent ordered map.
 type SkipList struct {
@@ -135,6 +136,12 @@ func (s *SkipList) Domain() reclaim.Domain { return s.dom }
 // Arena exposes the node arena.
 func (s *SkipList) Arena() *mem.Arena[Node] { return s.arena }
 
+// Register opens a session on the skip list's domain.
+func (s *SkipList) Register() *smr.Guard { return smr.Adopt(s.dom.Register()) }
+
+// Acquire returns a pooled session on the skip list's domain.
+func (s *SkipList) Acquire() *smr.Guard { return smr.Adopt(s.dom.Acquire()) }
+
 // randomLevel draws a geometric(1/2) tower height in [1, MaxLevel].
 // Called under mu.
 func (s *SkipList) randomLevel() int {
@@ -155,15 +162,15 @@ func (s *SkipList) randomLevel() int {
 // value word of the payload block). Lock-free; the traversal protects
 // prev/curr/next with three rotating slots and validates the incoming edge
 // of prev after every successor protection.
-func (s *SkipList) Get(h *reclaim.Handle, key uint64) (uint64, bool) {
-	v, _, ok := s.get(h, key, readVal)
+func (s *SkipList) Get(g *smr.Guard, key uint64) (uint64, bool) {
+	v, _, ok := s.get(g.Handle(), key, readVal)
 	return v, ok
 }
 
 // GetBytes returns a copy of key's payload block (byte-value mode only);
 // the copy is taken while the payload is still protected.
-func (s *SkipList) GetBytes(h *reclaim.Handle, key uint64) ([]byte, bool) {
-	_, buf, ok := s.get(h, key, readCopy)
+func (s *SkipList) GetBytes(g *smr.Guard, key uint64) ([]byte, bool) {
+	_, buf, ok := s.get(g.Handle(), key, readCopy)
 	return buf, ok
 }
 
@@ -269,8 +276,8 @@ retry:
 }
 
 // Contains reports membership of key.
-func (s *SkipList) Contains(h *reclaim.Handle, key uint64) bool {
-	_, _, ok := s.get(h, key, readNone)
+func (s *SkipList) Contains(g *smr.Guard, key uint64) bool {
+	_, _, ok := s.get(g.Handle(), key, readNone)
 	return ok
 }
 
@@ -311,14 +318,14 @@ func (s *SkipList) findPreds(key uint64) (preds [MaxLevel]*atomic.Uint64, found 
 // its linearization point — and partially-linked upper levels are simply
 // not yet taken by readers. In byte-value mode the value is materialized
 // as a valSizer(key)-byte payload block.
-func (s *SkipList) Insert(h *reclaim.Handle, key, val uint64) bool {
-	return s.insert(h, key, val, nil)
+func (s *SkipList) Insert(g *smr.Guard, key, val uint64) bool {
+	return s.insert(g.Handle(), key, val, nil)
 }
 
 // InsertBytes adds key->raw, storing a copy of raw as the payload block.
 // Byte-value mode only; the arena faults otherwise.
-func (s *SkipList) InsertBytes(h *reclaim.Handle, key uint64, raw []byte) bool {
-	return s.insert(h, key, 0, raw)
+func (s *SkipList) InsertBytes(g *smr.Guard, key uint64, raw []byte) bool {
+	return s.insert(g.Handle(), key, 0, raw)
 }
 
 func (s *SkipList) insert(h *reclaim.Handle, key, val uint64, raw []byte) bool {
@@ -364,7 +371,8 @@ func (s *SkipList) insert(h *reclaim.Handle, key, val uint64, raw []byte) bool {
 // unlinked top-down — level 0 last, the linearization point — and the node
 // is retired only once it is unreachable from every level, which is the
 // precondition the reader-side validation relies on.
-func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
+func (s *SkipList) Remove(g *smr.Guard, key uint64) bool {
+	h := g.Handle()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	preds, found := s.findPreds(key)
@@ -399,7 +407,8 @@ func (s *SkipList) Remove(h *reclaim.Handle, key uint64) bool {
 // session. The scan is lock-free; a concurrent unlink near the cursor restarts
 // the scan from the current key (elements already reported are not
 // repeated — the cursor key only moves forward).
-func (s *SkipList) Range(h *reclaim.Handle, from, to uint64, fn func(key, val uint64) bool) int {
+func (s *SkipList) Range(g *smr.Guard, from, to uint64, fn func(key, val uint64) bool) int {
+	h := g.Handle()
 	arena := s.arena
 	count := 0
 	cursor := from

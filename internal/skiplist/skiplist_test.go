@@ -31,7 +31,7 @@ func heList(t *testing.T) *SkipList {
 
 func TestEmpty(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	if s.Contains(h, 1) || s.Remove(h, 1) {
 		t.Fatal("empty list misbehaves")
 	}
@@ -42,7 +42,7 @@ func TestEmpty(t *testing.T) {
 
 func TestInsertGetRemove(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	keys := []uint64{10, 3, 7, 1, 9, 0, ^uint64(0), 1 << 40}
 	for _, k := range keys {
 		if !s.Insert(h, k, k*3) {
@@ -75,7 +75,7 @@ func TestInsertGetRemove(t *testing.T) {
 
 func TestTowersDistribution(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	const n = 4096
 	for k := uint64(0); k < n; k++ {
 		s.Insert(h, k, k)
@@ -103,7 +103,7 @@ func TestTowersDistribution(t *testing.T) {
 
 func TestRangeScan(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	for k := uint64(0); k < 100; k += 2 { // even keys 0..98
 		s.Insert(h, k, k+1000)
 	}
@@ -131,7 +131,7 @@ func TestRangeScan(t *testing.T) {
 
 func TestRangeEarlyStop(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	for k := uint64(0); k < 50; k++ {
 		s.Insert(h, k, k)
 	}
@@ -147,7 +147,7 @@ func TestRangeEarlyStop(t *testing.T) {
 
 func TestRangeEmptyWindow(t *testing.T) {
 	s := heList(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	s.Insert(h, 10, 1)
 	if n := s.Range(h, 2, 9, func(k, v uint64) bool { return true }); n != 0 {
 		t.Fatalf("empty window visited %d", n)
@@ -164,7 +164,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	prop := func(ops []op) bool {
 		s := New(factories()["HE"], WithChecked(true), WithMaxThreads(2))
-		h := s.Domain().Register()
+		h := s.Register()
 		model := map[uint64]uint64{}
 		for _, o := range ops {
 			k := uint64(o.Key % 64)
@@ -227,11 +227,11 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 	for name, mk := range factories() {
 		t.Run(name, func(t *testing.T) {
 			s := New(mk, WithChecked(true), WithMaxThreads(10))
-			setup := s.Domain().Register()
+			setup := s.Register()
 			for k := uint64(0); k < keyRange; k++ {
 				s.Insert(setup, k, k)
 			}
-			s.Domain().Unregister(setup)
+			setup.Unregister()
 
 			var stop atomic.Bool
 			var wg sync.WaitGroup
@@ -239,8 +239,8 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 				wg.Add(1)
 				go func(seed int64) {
 					defer wg.Done()
-					h := s.Domain().Register()
-					defer s.Domain().Unregister(h)
+					h := s.Register()
+					defer h.Unregister()
 					rng := rand.New(rand.NewSource(seed))
 					for !stop.Load() {
 						k := uint64(rng.Intn(keyRange))
@@ -255,8 +255,8 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				h := s.Domain().Register()
-				defer s.Domain().Unregister(h)
+				h := s.Register()
+				defer h.Unregister()
 				rng := rand.New(rand.NewSource(99))
 				for i := 0; i < iters; i++ {
 					k := uint64(rng.Intn(keyRange))
@@ -285,19 +285,19 @@ func TestConcurrentReadersWithChurningWriter(t *testing.T) {
 // report strictly ascending keys with no repeats (the resume-key protocol).
 func TestRangeNeverGoesBackward(t *testing.T) {
 	s := heList(t)
-	setup := s.Domain().Register()
+	setup := s.Register()
 	for k := uint64(0); k < 512; k++ {
 		s.Insert(setup, k, k)
 	}
-	s.Domain().Unregister(setup)
+	setup.Unregister()
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h := s.Domain().Register()
-		defer s.Domain().Unregister(h)
+		h := s.Register()
+		defer h.Unregister()
 		rng := rand.New(rand.NewSource(7))
 		for !stop.Load() {
 			k := uint64(rng.Intn(512))
@@ -307,8 +307,8 @@ func TestRangeNeverGoesBackward(t *testing.T) {
 		}
 	}()
 
-	h := s.Domain().Register()
-	defer s.Domain().Unregister(h)
+	h := s.Register()
+	defer h.Unregister()
 	for i := 0; i < 300; i++ {
 		last := int64(-1)
 		s.Range(h, 0, 512, func(k, v uint64) bool {

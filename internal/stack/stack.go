@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
+	"repro/smr"
 )
 
 // Slots is the number of protection indices the stack needs.
@@ -61,7 +62,7 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.threads = n } }
 func WithInstrument(ins *reclaim.Instrument) Option { return func(c *config) { c.ins = ins } }
 
 // DomainFactory mirrors list.DomainFactory.
-type DomainFactory func(alloc reclaim.Allocator, cfg reclaim.Config) reclaim.Domain
+type DomainFactory = smr.Factory
 
 // New builds an empty stack reclaimed through mk's domain.
 func New(mk DomainFactory, opts ...Option) *Stack {
@@ -84,8 +85,15 @@ func (s *Stack) Domain() reclaim.Domain { return s.dom }
 // Arena exposes the node arena.
 func (s *Stack) Arena() *mem.Arena[Node] { return s.arena }
 
+// Register opens a session on the stack's domain.
+func (s *Stack) Register() *smr.Guard { return smr.Adopt(s.dom.Register()) }
+
+// Acquire returns a pooled session on the stack's domain.
+func (s *Stack) Acquire() *smr.Guard { return smr.Adopt(s.dom.Acquire()) }
+
 // Push adds v on top. Lock-free.
-func (s *Stack) Push(h *reclaim.Handle, v uint64) {
+func (s *Stack) Push(g *smr.Guard, v uint64) {
+	h := g.Handle()
 	ref, n := s.arena.AllocAt(h.ID())
 	n.Val = v
 	for {
@@ -100,7 +108,8 @@ func (s *Stack) Push(h *reclaim.Handle, v uint64) {
 }
 
 // Pop removes and returns the top value; ok is false on empty.
-func (s *Stack) Pop(h *reclaim.Handle) (v uint64, ok bool) {
+func (s *Stack) Pop(g *smr.Guard) (v uint64, ok bool) {
+	h := g.Handle()
 	h.BeginOp()
 	var victim mem.Ref
 	for {

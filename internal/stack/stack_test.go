@@ -28,7 +28,7 @@ func heStack(t *testing.T) *Stack {
 
 func TestEmptyPop(t *testing.T) {
 	s := heStack(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	if _, ok := s.Pop(h); ok {
 		t.Fatal("pop from empty stack succeeded")
 	}
@@ -36,7 +36,7 @@ func TestEmptyPop(t *testing.T) {
 
 func TestLIFOOrder(t *testing.T) {
 	s := heStack(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	for i := uint64(1); i <= 50; i++ {
 		s.Push(h, i)
 	}
@@ -56,7 +56,7 @@ func TestLIFOOrder(t *testing.T) {
 
 func TestPopRetiresAndReclaims(t *testing.T) {
 	s := heStack(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	for i := uint64(0); i < 30; i++ {
 		s.Push(h, i)
 		s.Pop(h)
@@ -91,8 +91,8 @@ func TestConcurrentPushPop(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					h := s.Domain().Register()
-					defer s.Domain().Unregister(h)
+					h := s.Register()
+					defer h.Unregister()
 					for i := 0; i < per; i++ {
 						if (w+i)%2 == 0 {
 							v := uint64(w*per + i + 1)
@@ -108,7 +108,7 @@ func TestConcurrentPushPop(t *testing.T) {
 			}
 			wg.Wait()
 			// Drain the remainder and check conservation of values.
-			h := s.Domain().Register()
+			h := s.Register()
 			for {
 				v, ok := s.Pop(h)
 				if !ok {
@@ -140,7 +140,7 @@ func TestConcurrentPushPop(t *testing.T) {
 // incarnation.
 func TestGenerationRefsDefeatABA(t *testing.T) {
 	s := heStack(t)
-	h := s.Domain().Register()
+	h := s.Register()
 	s.Push(h, 1)
 	oldTop := s.top.Load()
 	s.Pop(h)     // retires and (unprotected) frees the node

@@ -16,69 +16,77 @@ import (
 	"repro/internal/skiplist"
 	"repro/internal/stack"
 	"repro/internal/urcu"
+	"repro/smr"
 )
 
-// This file is the public face of the library: the implementation lives in
-// internal/ packages (keeping their invariants sealed), and the names a
-// downstream user needs are re-exported here as type aliases, so godoc on
-// this package is the API reference.
+// This file is the structure-level face of the library. The reclamation API
+// itself lives in the smr package — Domain[T], Guard, Atomic[T] — and the
+// names here are aliases into smr plus constructors for the ported data
+// structures and the concrete schemes, so `go doc repro` is the structure
+// reference and `go doc repro/smr` the reclamation reference. The
+// implementation stays sealed in internal/ packages.
 
-// ---- memory substrate -------------------------------------------------
+// ---- reclamation API (the smr package) -----------------------------------
 
-// Ref is a packed reference into an Arena: mark bit, slot generation, slot
-// index. See internal/mem for the layout.
-type Ref = mem.Ref
+// Ref is a packed reference into an Arena: mark bit, size class, slot
+// generation, slot index. See smr.Ref.
+type Ref = smr.Ref
 
 // NilRef is the null Ref.
-const NilRef = mem.NilRef
+const NilRef = smr.NilRef
 
 // Arena is the simulated manual-memory slab allocator all schemes reclaim
 // into.
-type Arena[T any] = mem.Arena[T]
+type Arena[T any] = smr.Arena[T]
 
 // ArenaOption configures NewArena.
-type ArenaOption[T any] = mem.Option[T]
+type ArenaOption[T any] = smr.ArenaOption[T]
 
 // NewArena constructs an arena for nodes of type T.
 func NewArena[T any](opts ...ArenaOption[T]) *Arena[T] { return mem.NewArena(opts...) }
 
 // Checked enables generation-validated dereference (use-after-free
 // detection) on an arena.
-func Checked[T any](on bool) ArenaOption[T] { return mem.Checked[T](on) }
+func Checked[T any](on bool) ArenaOption[T] { return smr.Checked[T](on) }
 
 // WithPoison installs a payload poisoner run on every Free.
-func WithPoison[T any](poison func(*T)) ArenaOption[T] { return mem.WithPoison(poison) }
+func WithPoison[T any](poison func(*T)) ArenaOption[T] { return smr.WithPoison(poison) }
 
-// ---- reclamation framework ---------------------------------------------
+// Domain is the uniform scheme-level safe-memory-reclamation interface
+// every scheme implements (smr.Backend). Typed user code should prefer
+// smr.Domain[T], which wraps one of these together with its arena.
+type Domain = smr.Backend
 
-// Domain is the uniform safe-memory-reclamation interface every scheme
-// implements and every structure programs against.
-type Domain = reclaim.Domain
-
-// Handle is a registered session in a Domain: where the paper's C++ API
+// Guard is a registered reclamation session: where the paper's C++ API
 // threads a tid through every call, this library hands each participating
-// goroutine a Handle from Domain.Register (or the pooled Domain.Acquire)
-// and every operation goes through it. Registration never fails — the
-// registry grows past its initial capacity on demand.
+// goroutine a Guard (from a structure's Register/Acquire, or
+// smr.Domain.Register) and every structure operation goes through it.
+// Registration never fails — the registry grows past its initial capacity
+// on demand. See smr.Guard.
+type Guard = smr.Guard
+
+// Handle is the internal session a Guard wraps (Guard.Handle). Structures
+// in this module speak Guard; Handle remains for code driving the internal
+// reclaim API directly.
 type Handle = reclaim.Handle
 
 // Allocator is the arena capability a Domain needs (every *Arena[T]
 // satisfies it).
-type Allocator = reclaim.Allocator
+type Allocator = smr.Allocator
 
 // Config carries MaxThreads, protection-slot count and optional
 // instrumentation, mirroring the paper's HazardEras(maxHEs, maxThreads).
-type Config = reclaim.Config
+type Config = smr.Config
 
 // Stats is a reclamation-accounting snapshot (PeakPending is the paper's
 // Equation-1 quantity).
-type Stats = reclaim.Stats
+type Stats = smr.Stats
 
 // Instrument counts reader-side atomic operations (Table 1 reproduction).
-type Instrument = reclaim.Instrument
+type Instrument = smr.Instrument
 
 // NewInstrument allocates instrumentation counters for maxThreads ids.
-func NewInstrument(maxThreads int) *Instrument { return reclaim.NewInstrument(maxThreads) }
+func NewInstrument(maxThreads int) *Instrument { return smr.NewInstrument(maxThreads) }
 
 // ---- the schemes --------------------------------------------------------
 
@@ -126,12 +134,17 @@ func NewLeak(alloc Allocator, cfg Config) Domain { return leak.New(alloc, cfg) }
 
 // ---- data structures ----------------------------------------------------
 
-// DomainFactory builds a Domain over a structure's arena; pass e.g.
+// DomainFactory builds a Domain over a structure's arena (smr.Factory).
+// Pass one of the smr.Scheme factories —
+//
+//	repro.NewList(smr.HE.Factory())
+//
+// — or a closure over a parameterized constructor:
 //
 //	func(a repro.Allocator, c repro.Config) repro.Domain {
-//		return repro.NewHazardEras(a, c)
+//		return repro.NewHazardEras(a, c, repro.WithMinMax(true))
 //	}
-type DomainFactory = list.DomainFactory
+type DomainFactory = smr.Factory
 
 // List is the Maged-Harris lock-free linked-list set — the structure the
 // paper benchmarks.
@@ -151,7 +164,7 @@ type Queue = queue.Queue
 
 // NewQueue builds a queue reclaimed through mk's domain.
 func NewQueue(mk DomainFactory, opts ...queue.Option) *Queue {
-	return queue.New(queue.DomainFactory(mk), opts...)
+	return queue.New(mk, opts...)
 }
 
 // Stack is the Treiber lock-free LIFO.
@@ -159,7 +172,7 @@ type Stack = stack.Stack
 
 // NewStack builds a stack reclaimed through mk's domain.
 func NewStack(mk DomainFactory, opts ...stack.Option) *Stack {
-	return stack.New(stack.DomainFactory(mk), opts...)
+	return stack.New(mk, opts...)
 }
 
 // SkipList is the concurrent ordered map with protected lock-free range
@@ -168,7 +181,7 @@ type SkipList = skiplist.SkipList
 
 // NewSkipList builds a skip list reclaimed through mk's domain.
 func NewSkipList(mk DomainFactory, opts ...skiplist.Option) *SkipList {
-	return skiplist.New(skiplist.DomainFactory(mk), opts...)
+	return skiplist.New(mk, opts...)
 }
 
 // Tree is the external PATRICIA tree with lock-free deep-path readers
@@ -177,5 +190,5 @@ type Tree = bst.Tree
 
 // NewTree builds a tree reclaimed through mk's domain.
 func NewTree(mk DomainFactory, opts ...bst.Option) *Tree {
-	return bst.New(bst.DomainFactory(mk), opts...)
+	return bst.New(mk, opts...)
 }

@@ -23,8 +23,8 @@ func heFactory(a repro.Allocator, c repro.Config) repro.Domain {
 
 func TestPublicListRoundTrip(t *testing.T) {
 	l := repro.NewList(heFactory)
-	h := l.Domain().Register()
-	defer l.Domain().Unregister(h)
+	h := l.Register()
+	defer h.Unregister()
 
 	if !l.Insert(h, 1, 10) || !l.Insert(h, 2, 20) {
 		t.Fatal("insert failed")
@@ -59,8 +59,8 @@ func TestPublicSchemesInterchangeable(t *testing.T) {
 	for name, mk := range factories {
 		t.Run(name, func(t *testing.T) {
 			m := repro.NewMap(mk)
-			h := m.Domain().Register()
-			defer m.Domain().Unregister(h)
+			h := m.Register()
+			defer h.Unregister()
 			for k := uint64(0); k < 100; k++ {
 				m.Insert(h, k, k*2)
 			}
@@ -77,7 +77,7 @@ func TestPublicSchemesInterchangeable(t *testing.T) {
 
 func TestPublicQueueStackTree(t *testing.T) {
 	q := repro.NewQueue(heFactory)
-	h := q.Domain().Register()
+	h := q.Register()
 	q.Enqueue(h, 7)
 	if v, ok := q.Dequeue(h); !ok || v != 7 {
 		t.Fatalf("queue: %d,%v", v, ok)
@@ -85,7 +85,7 @@ func TestPublicQueueStackTree(t *testing.T) {
 	q.Drain()
 
 	s := repro.NewStack(heFactory)
-	h = s.Domain().Register()
+	h = s.Register()
 	s.Push(h, 9)
 	if v, ok := s.Pop(h); !ok || v != 9 {
 		t.Fatalf("stack: %d,%v", v, ok)
@@ -93,7 +93,7 @@ func TestPublicQueueStackTree(t *testing.T) {
 	s.Drain()
 
 	tr := repro.NewTree(heFactory)
-	h = tr.Domain().Register()
+	h = tr.Register()
 	tr.Insert(h, 3, 33)
 	if v, ok := tr.Get(h, 3); !ok || v != 33 {
 		t.Fatalf("tree: %d,%v", v, ok)
@@ -128,8 +128,8 @@ func TestPublicConcurrentSmoke(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := l.Domain().Register()
-			defer l.Domain().Unregister(h)
+			h := l.Register()
+			defer h.Unregister()
 			for i := 0; i < 500; i++ {
 				k := uint64((w*17 + i) % 64)
 				switch i % 3 {
@@ -166,8 +166,8 @@ func TestPublicInstrument(t *testing.T) {
 
 func TestPublicSkipListRange(t *testing.T) {
 	s := repro.NewSkipList(heFactory)
-	h := s.Domain().Register()
-	defer s.Domain().Unregister(h)
+	h := s.Register()
+	defer h.Unregister()
 	for k := uint64(0); k < 20; k++ {
 		s.Insert(h, k, k*2)
 	}

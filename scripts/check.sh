@@ -1,10 +1,27 @@
 #!/usr/bin/env bash
 # Full validation suite for the hazard-eras reproduction.
-# Usage: scripts/check.sh [quick|full]
+# Usage: scripts/check.sh [quick|full|api]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-quick}"
+
+if [ "$mode" = "api" ]; then
+  # Public-surface gate (CI job check-api): the smr package's lifecycle
+  # contract and its zero-overhead bar, in isolation and fast.
+  echo "== public API (vet) =="
+  go vet ./smr/ .
+  echo "== public API misuse panics (race) =="
+  go test -race -count=2 -run 'TestMisusePanics|TestGuardReuseAfterAcquire|TestOperationRoundTrip' ./smr/
+  echo "== public API zero-allocation gate =="
+  # AllocsPerRun is meaningless under -race instrumentation, so this gate
+  # runs uninstrumented.
+  go test -count=1 -run 'TestAllocFreeSteadyState' -v ./smr/
+  echo "== public API A/B smoke (hebench -exp api -api public) =="
+  go run ./cmd/hebench -exp api -api public
+  echo "ALL CHECKS PASSED (api)"
+  exit 0
+fi
 
 echo "== build =="
 go build ./...
