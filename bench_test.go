@@ -152,7 +152,7 @@ func BenchmarkEq1_BoundedChurn(b *testing.B) {
 			l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(8))
 			bench.Prefill(l, 100)
 			release := make(chan struct{})
-			bench.StalledReader(l, release)
+			done := bench.StalledReader(l, release)
 			dom := l.Domain()
 			h := l.Register()
 			rng := bench.NewSplitMix64(1)
@@ -168,6 +168,7 @@ func BenchmarkEq1_BoundedChurn(b *testing.B) {
 			b.ReportMetric(float64(st.PeakPending), "peak-pending")
 			h.Unregister()
 			close(release)
+			<-done
 			l.Drain()
 		})
 	}

@@ -10,9 +10,11 @@
 //	hebench -exp all -dur 500ms -csv
 //	hebench -exp fig4 -grow        # undersized registries: exercise slot-block growth
 //
-// Experiments: fig4, table1, bound, kadvance, minmax, stalled, api, all.
-// The api experiment is the public-vs-internal overhead A/B over the smr
-// package; -api selects its sides (public|internal|both).
+// Experiments: fig4, table1, bound, kadvance, minmax, stalled, schemes,
+// api, all. The api experiment is the public-vs-internal overhead A/B over
+// the smr package; -api selects its sides (public|internal|both). The
+// schemes experiment is the roster throughput comparison behind
+// BENCH_schemes.json (hyaline-1r, hyaline and WFE alongside the rest).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig4", "experiment: fig4|table1|bound|kadvance|minmax|stalled|oversub|rfactor|api|all")
+		exp     = flag.String("exp", "fig4", "experiment: fig4|table1|bound|kadvance|minmax|stalled|oversub|rfactor|schemes|api|all")
 		api     = flag.String("api", "both", "sides of the -exp api comparison: public|internal|both")
 		dur     = flag.Duration("dur", 200*time.Millisecond, "measured duration per benchmark cell")
 		threads = flag.String("threads", "1,2,4,8", "comma-separated worker counts")
@@ -123,6 +125,8 @@ func main() {
 			bench.Oversubscription(os.Stdout, o)
 		case "rfactor":
 			bench.RFactor(os.Stdout, o)
+		case "schemes":
+			bench.SchemesCompare(os.Stdout, o)
 		case "api":
 			bench.APICompare(os.Stdout, o, *api)
 		default:
@@ -132,7 +136,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "bound", "kadvance", "rfactor", "minmax", "oversub", "stalled", "api"} {
+		for _, name := range []string{"table1", "fig4", "bound", "kadvance", "rfactor", "minmax", "oversub", "stalled", "schemes", "api"} {
 			run(name)
 		}
 		return

@@ -17,9 +17,10 @@
 //
 // Every failure names its schedule seed; rerunning with -seed N replays
 // that exact interleaving. The -mutate flag arms a deliberately broken
-// Hazard Eras variant (see core.TestingMutation) and inverts the exit
-// logic: detecting the defect is success — the kill-check that proves the
-// oracles can actually catch the bug class they claim to.
+// scheme variant (core.TestingMutation, hyaline.TestingMutation,
+// wfe.TestingMutation) and inverts the exit logic: detecting the defect is
+// success — the kill-check that proves the oracles can actually catch the
+// bug class they claim to.
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hashmap"
+	"repro/internal/hyaline"
 	"repro/internal/linz"
 	"repro/internal/list"
 	"repro/internal/mem"
@@ -40,20 +42,21 @@ import (
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 	"repro/internal/stack"
+	"repro/internal/wfe"
 	"repro/smr"
 )
 
 var (
 	flagSuite     = flag.String("suite", "all", "suite to run: domain, struct, all")
 	flagStruct    = flag.String("struct", "", "comma-separated structure filter (list,map,queue,stack)")
-	flagScheme    = flag.String("scheme", "", "comma-separated scheme filter (HP,HE,HE-minmax,IBR,EBR,URCU,RC,NONE)")
+	flagScheme    = flag.String("scheme", "", "comma-separated scheme filter (HP,HE,HE-minmax,IBR,EBR,URCU,hyaline-1r,WFE,RC,NONE)")
 	flagSeeds     = flag.Uint64("seeds", 8, "number of schedule seeds to explore (1..N)")
 	flagSeed      = flag.Uint64("seed", 0, "replay exactly this schedule seed (overrides -seeds)")
-	flagWorkers   = flag.Int("workers", 3, "workers per schedule (struct suite: all mixed; domain suite: N-1 readers + 1 writer)")
+	flagWorkers   = flag.Int("workers", 3, "workers per schedule (struct suite: all mixed; domain suite: readers + writer(s))")
 	flagOps       = flag.Int("ops", 8, "operations per worker per schedule")
 	flagSwitchPct = flag.Int("switchpct", 30, "token-switch probability at eligible gates (0..100)")
 	flagMaxSteps  = flag.Uint64("maxsteps", 1<<20, "schedule budget: gates per run before abort")
-	flagMutate    = flag.String("mutate", "", "arm a kill-check defect: skip-publish or invert-lifespan (HE domain suite only)")
+	flagMutate    = flag.String("mutate", "", "arm a kill-check defect: skip-publish, invert-lifespan (HE), hyaline-early-dec, wfe-skip-validate (domain suite only)")
 	flagVerbose   = flag.Bool("v", false, "print every combination, not only failures")
 )
 
@@ -83,8 +86,8 @@ func main() {
 	runs := 0
 	if *flagSuite == "domain" || *flagSuite == "all" {
 		for _, sch := range schemes {
-			if mutation != core.MutNone && sch.Name != "HE" && sch.Name != "HE-minmax" {
-				continue // the defect lives in core.Eras
+			if mutation != nil && !mutation.schemes[sch.Name] {
+				continue // the defect lives in a different scheme
 			}
 			for _, seed := range seeds {
 				runs++
@@ -93,7 +96,7 @@ func main() {
 			}
 		}
 	}
-	if (*flagSuite == "struct" || *flagSuite == "all") && mutation == core.MutNone {
+	if (*flagSuite == "struct" || *flagSuite == "all") && mutation == nil {
 		for _, sch := range schemes {
 			for _, st := range structs {
 				if sch.Name == "RC" && rcUnsafeStructs[st] {
@@ -108,7 +111,7 @@ func main() {
 		}
 	}
 
-	if mutation != core.MutNone {
+	if mutation != nil {
 		// Kill-check semantics: the armed defect MUST be detected.
 		if len(failures) > 0 {
 			fmt.Printf("mutation %q killed: %d violation(s) across %d runs; first: %s\n",
@@ -130,16 +133,69 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
-func parseMutation(s string) (core.TestingMutation, error) {
+// mutationSpec describes one armable kill-check defect: which schemes it
+// lives in, how to arm it on a freshly built domain, and how many writers
+// the domain workload needs for the defect to be reachable at all.
+type mutationSpec struct {
+	name    string
+	schemes map[string]bool
+	arm     func(dom reclaim.Domain)
+	// writers is the number of writer workers the domain workload runs for
+	// this defect (default 1). WFE's helping defect needs two: the helper
+	// only certifies an unsafe pair when a SECOND retirer advances the
+	// clock between its cell raise and its source load.
+	writers int
+	// minOps raises the per-worker operation count when the defect needs a
+	// long chain of interleavings to manifest; targeted concentrates the
+	// schedule's token switches on the gate kinds spanning that chain;
+	// cells overrides the shared-cell count (fewer cells raise the odds a
+	// writer swap collides with the announced source); minWorkers raises the
+	// worker count so more readers announce concurrently.
+	minOps     int
+	targeted   []schedtest.Kind
+	cells      int
+	minWorkers int
+	// spinHold replaces the reader's second protected window with spinHold
+	// bare token-switch gates while the first hold is live. Defects whose
+	// victim is an era-uncovered adopted protection need this: a second
+	// Protect would republish fresh eras that re-cover the victim and mask
+	// the free-under-hold.
+	spinHold int
+}
+
+func parseMutation(s string) (*mutationSpec, error) {
+	heSchemes := map[string]bool{"HE": true, "HE-minmax": true}
 	switch s {
 	case "":
-		return core.MutNone, nil
+		return nil, nil
 	case "skip-publish":
-		return core.MutSkipPublish, nil
+		return &mutationSpec{name: s, schemes: heSchemes, arm: func(d reclaim.Domain) {
+			d.(*core.Eras).EnableMutation(core.MutSkipPublish)
+		}}, nil
 	case "invert-lifespan":
-		return core.MutInvertLifespan, nil
+		return &mutationSpec{name: s, schemes: heSchemes, arm: func(d reclaim.Domain) {
+			d.(*core.Eras).EnableMutation(core.MutInvertLifespan)
+		}}, nil
+	case "hyaline-early-dec":
+		return &mutationSpec{name: s, schemes: map[string]bool{"hyaline-1r": true}, arm: func(d reclaim.Domain) {
+			d.(*hyaline.Domain).EnableMutation(hyaline.MutEarlyDecRef)
+		}}, nil
+	case "wfe-skip-validate":
+		// The unsafe certification needs helper-raise → other-writer advance
+		// → other-writer republish → helper load → reader adopt, all inside
+		// one announcement: two writers so one can stall mid-help while the
+		// other moves the clock, a longer op stream, and MaxTries 0 so every
+		// reader Protect announces (each one is a chance at the chain).
+		return &mutationSpec{
+			name: s, schemes: map[string]bool{"WFE": true},
+			writers: 2, minWorkers: 4, minOps: 30, cells: 2, spinHold: 8,
+			arm: func(d reclaim.Domain) {
+				w := d.(*wfe.Domain)
+				w.EnableMutation(wfe.MutSkipHelpValidate)
+				w.SetMaxTries(0)
+			}}, nil
 	}
-	return core.MutNone, fmt.Errorf("unknown -mutate %q (want skip-publish or invert-lifespan)", s)
+	return nil, fmt.Errorf("unknown -mutate %q (want skip-publish, invert-lifespan, hyaline-early-dec or wfe-skip-validate)", s)
 }
 
 func seedList() []uint64 {
@@ -258,10 +314,28 @@ func (f *faultLog) take() []string {
 // swaps fresh objects into cells and retires the old ones; retirement,
 // scanning and freeing all pass through gated reclamation paths, and every
 // reclamation-path free is cross-checked against the oracle's shadow table.
-func runDomainSeed(sch bench.Scheme, mutation core.TestingMutation, seed uint64) []string {
-	const numCells = 3
+func runDomainSeed(sch bench.Scheme, mutation *mutationSpec, seed uint64) []string {
+	numCells := 3
 	workers := *flagWorkers
 	ops := *flagOps
+	writers := 1
+	if mutation != nil {
+		if mutation.writers > 1 {
+			writers = mutation.writers
+		}
+		if workers < writers+1 {
+			workers = writers + 1 // at least one reader
+		}
+		if workers < mutation.minWorkers {
+			workers = mutation.minWorkers
+		}
+		if ops < mutation.minOps {
+			ops = mutation.minOps
+		}
+		if mutation.cells > 0 {
+			numCells = mutation.cells
+		}
+	}
 
 	var faults faultLog
 	arena := mem.NewArena[uint64](
@@ -270,8 +344,15 @@ func runDomainSeed(sch bench.Scheme, mutation core.TestingMutation, seed uint64)
 		mem.WithFaultHandler[uint64](faults.record),
 	)
 	dom := sch.Make(arena, reclaim.Config{MaxThreads: workers + 1, Slots: 2})
-	if mutation != core.MutNone {
-		dom.(*core.Eras).EnableMutation(mutation)
+	// Schemes with an announce threshold (WFE) drop it to the minimum so
+	// every seeded schedule reaches the slow path and the helping protocol,
+	// not just the HE-shaped fast path. Armed before the mutation so a
+	// kill-check spec can tighten it further (wfe-skip-validate zeroes it).
+	if mt, ok := dom.(interface{ SetMaxTries(int) }); ok {
+		mt.SetMaxTries(1)
+	}
+	if mutation != nil {
+		mutation.arm(dom)
 	}
 	oracle := schedtest.NewOracle()
 	if g, ok := dom.(interface{ SetFreeGuard(func(mem.Ref)) }); ok {
@@ -298,20 +379,32 @@ func runDomainSeed(sch bench.Scheme, mutation core.TestingMutation, seed uint64)
 			rng := seed<<8 ^ uint64(w)
 			for k := 0; k < ops; k++ {
 				dom.BeginOp(h)
-				ci := int(splitmix(&rng) % numCells)
+				ci := int(splitmix(&rng) % uint64(numCells))
 				ref := h.Protect(0, &cells[ci]).Unmarked()
 				if !ref.IsNil() && cells[ci].Load() == uint64(ref) {
 					// Validated: the cell still named ref AFTER the
 					// protection was established, so the scheme owes us its
 					// liveness until we drop the hold.
 					oracle.Hold(w, 0, ref)
-					// A second protected window: its gates can hand the
-					// token to the writer while the first hold is live.
-					cj := int(splitmix(&rng) % numCells)
-					ref2 := h.Protect(1, &cells[cj]).Unmarked()
-					if !ref2.IsNil() && cells[cj].Load() == uint64(ref2) {
-						oracle.Hold(w, 1, ref2)
-						arena.CheckAccess(ref2)
+					if mutation != nil && mutation.spinHold > 0 {
+						// Bare token-switch windows with the hold live: no
+						// second Protect, so nothing republishes a fresh era
+						// that could re-cover an era-uncovered victim. (A
+						// probability-gated kind, not PointSpin — the holder
+						// is not waiting on anyone and may be last to finish.)
+						for s := 0; s < mutation.spinHold; s++ {
+							schedtest.Point(schedtest.PointProtect)
+							arena.CheckAccess(ref)
+						}
+					} else {
+						// A second protected window: its gates can hand the
+						// token to the writer while the first hold is live.
+						cj := int(splitmix(&rng) % uint64(numCells))
+						ref2 := h.Protect(1, &cells[cj]).Unmarked()
+						if !ref2.IsNil() && cells[cj].Load() == uint64(ref2) {
+							oracle.Hold(w, 1, ref2)
+							arena.CheckAccess(ref2)
+						}
 					}
 					arena.CheckAccess(ref)
 				}
@@ -325,7 +418,7 @@ func runDomainSeed(sch bench.Scheme, mutation core.TestingMutation, seed uint64)
 		return func() {
 			rng := seed<<8 ^ uint64(w)
 			for k := 0; k < ops; k++ {
-				ci := int(splitmix(&rng) % numCells)
+				ci := int(splitmix(&rng) % uint64(numCells))
 				old := mem.Ref(cells[ci].Load())
 				ref, p := arena.AllocAt(h.ID())
 				*p = splitmix(&rng)
@@ -340,17 +433,23 @@ func runDomainSeed(sch bench.Scheme, mutation core.TestingMutation, seed uint64)
 	}
 
 	fns := make([]func(), workers)
-	for w := 0; w < workers-1; w++ {
+	for w := 0; w < workers-writers; w++ {
 		fns[w] = reader(w)
 	}
-	fns[workers-1] = writer(workers - 1)
+	for w := workers - writers; w < workers; w++ {
+		fns[w] = writer(w)
+	}
 
-	var violations []string
-	if err := schedtest.Run(schedtest.Config{
+	cfg := schedtest.Config{
 		Seed:      seed,
 		SwitchPct: *flagSwitchPct,
 		MaxSteps:  *flagMaxSteps,
-	}, fns...); err != nil {
+	}
+	if mutation != nil {
+		cfg.Targeted = mutation.targeted
+	}
+	var violations []string
+	if err := schedtest.Run(cfg, fns...); err != nil {
 		violations = append(violations, err.Error())
 	}
 	violations = append(violations, oracle.Violations()...)

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 )
 
 // TestDomainSuiteClean is the no-mutation half of the acceptance gate:
@@ -14,7 +13,7 @@ import (
 func TestDomainSuiteClean(t *testing.T) {
 	for _, sch := range bench.AllSchemes() {
 		for seed := uint64(1); seed <= 3; seed++ {
-			if vs := runDomainSeed(sch, core.MutNone, seed); len(vs) != 0 {
+			if vs := runDomainSeed(sch, nil, seed); len(vs) != 0 {
 				t.Errorf("%s seed=%d: %v", sch.Name, seed, vs)
 			}
 		}
@@ -45,25 +44,33 @@ func TestStructSuiteSmoke(t *testing.T) {
 }
 
 // TestMutationKillCheck is the acceptance-criteria mutation gate: with a
-// deliberately broken Hazard Eras variant armed, the domain suite must
+// deliberately broken scheme variant armed, the domain suite must
 // deterministically report a freed-while-protected or generation-mismatch
 // violation within the bounded seed budget, and replaying the violating
 // seed must reproduce the identical report.
 func TestMutationKillCheck(t *testing.T) {
 	cases := []struct {
-		name string
-		mut  core.TestingMutation
+		name   string
+		scheme bench.Scheme
 	}{
-		{"skip-publish", core.MutSkipPublish},
-		{"invert-lifespan", core.MutInvertLifespan},
+		{"skip-publish", bench.HE()},
+		{"invert-lifespan", bench.HE()},
+		{"hyaline-early-dec", bench.Hyaline()},
+		{"wfe-skip-validate", bench.WFE()},
 	}
-	he := bench.HE()
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			spec, err := parseMutation(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !spec.schemes[tc.scheme.Name] {
+				t.Fatalf("spec %s does not target scheme %s", tc.name, tc.scheme.Name)
+			}
 			var killedSeed uint64
 			var first []string
 			for seed := uint64(1); seed <= 8; seed++ {
-				if vs := runDomainSeed(he, tc.mut, seed); len(vs) != 0 {
+				if vs := runDomainSeed(tc.scheme, spec, seed); len(vs) != 0 {
 					killedSeed, first = seed, vs
 					break
 				}
@@ -80,7 +87,7 @@ func TestMutationKillCheck(t *testing.T) {
 			if !found {
 				t.Fatalf("mutation %s detected but not by a safety oracle: %v", tc.name, first)
 			}
-			replay := runDomainSeed(he, tc.mut, killedSeed)
+			replay := runDomainSeed(tc.scheme, spec, killedSeed)
 			if len(replay) != len(first) {
 				t.Fatalf("replay of seed %d not deterministic: %d violations vs %d", killedSeed, len(replay), len(first))
 			}

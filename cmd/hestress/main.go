@@ -10,7 +10,8 @@
 //	hestress -struct all -scheme all -dur 1s -grow
 //
 // Structures: list, map, queue, stack, bst, wfq, skiplist, all. Schemes:
-// HE, HE-minmax, HP, EBR, URCU, RC, NONE, all. -grow undersizes every
+// HP, HE, HE-minmax, IBR, EBR, URCU, hyaline-1r, hyaline, WFE, RC, NONE,
+// all. -grow undersizes every
 // registry so the dynamic session-growth path (Register past the initial
 // capacity) is exercised under full contention; registration never fails
 // either way. -valsize N (or zipf:N) attaches a variable-size []byte
@@ -74,7 +75,7 @@ func stressTargets() []stressTarget {
 func main() {
 	var (
 		structs = flag.String("struct", "all", "list|map|queue|stack|bst|wfq|skiplist|all")
-		schemes = flag.String("scheme", "all", "HE|HE-minmax|HP|EBR|URCU|RC|NONE|all")
+		schemes = flag.String("scheme", "all", "HP|HE|HE-minmax|IBR|EBR|URCU|hyaline-1r|hyaline|WFE|RC|NONE|all")
 		threads = flag.Int("threads", 8, "concurrent workers")
 		dur     = flag.Duration("dur", time.Second, "stress duration per combination")
 		grow    = flag.Bool("grow", false, "undersize the registries (initial capacity 2) so every run exercises dynamic session growth")

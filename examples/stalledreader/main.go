@@ -88,17 +88,23 @@ func main() {
 	}
 
 	fmt.Printf("list of %d nodes, %d churn updates, one reader asleep mid-traversal\n\n", listSize, churnOps)
-	fmt.Printf("%-8s %18s %12s\n", "scheme", "unreclaimed nodes", "nodes freed")
-	for _, s := range []bench.Scheme{bench.HE(), bench.HP(), bench.EBR()} {
+	fmt.Printf("%-12s %18s %12s\n", "scheme", "unreclaimed nodes", "nodes freed")
+	for _, s := range []bench.Scheme{
+		bench.HE(), bench.HP(), bench.WFE(),
+		bench.Hyaline(), bench.HyalineNonRobust(), bench.EBR(),
+	} {
 		pending, freed := churnWithStalledReader(s, smp, hub)
-		fmt.Printf("%-8s %18d %12d\n", s.Name, pending, freed)
+		fmt.Printf("%-12s %18d %12d\n", s.Name, pending, freed)
 	}
 	if *samplePath != "" {
 		fmt.Printf("\npending-over-time curve written to %s (JSON lines, one obs snapshot\n", *samplePath)
 		fmt.Println("per scheme per tick; plot pending vs t_ms grouped by scheme).")
 	}
 	fmt.Println("\nEBR frees nothing: the sleepy reader pins its epoch forever and the")
-	fmt.Println("limbo list grows with churn (unbounded). HE and HP keep reclaiming;")
-	fmt.Println("HE's pending set is bounded by the nodes alive when the reader stalled.")
+	fmt.Println("limbo list grows with churn (unbounded) — and non-robust hyaline, which")
+	fmt.Println("hands every batch to every active session, inherits exactly that curve.")
+	fmt.Println("HE, HP, WFE and hyaline-1r keep reclaiming: their pending sets stay")
+	fmt.Println("bounded by the nodes alive when the reader stalled (Equation 1; the")
+	fmt.Println("birth-era filter plays that role in robust Hyaline).")
 	fmt.Println("(URCU is worse still: its synchronize_rcu would BLOCK the writer forever.)")
 }

@@ -269,7 +269,7 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(8))
 	Prefill(l, size)
 	release := make(chan struct{})
-	StalledReader(l, release)
+	done := StalledReader(l, release)
 
 	dom := l.Domain()
 	g := l.Register()
@@ -292,7 +292,7 @@ func measureStalledBound(s Scheme, size uint64, churnOps int) (peak, final, free
 	}
 	g.Unregister()
 	close(release)
-	time.Sleep(time.Millisecond)
+	<-done
 	l.Drain()
 	return peak, final, freed, verdict
 }
@@ -415,19 +415,20 @@ func Oversubscription(w io.Writer, o Options) {
 func Stalled(w io.Writer, o Options) {
 	o = o.defaulted()
 	Section(w, "Appendix A (Figs. 5/6): pending objects vs churn under a stalled reader, list size=100")
-	t := NewTable("churn ops", "HE pending", "HE freed", "EBR pending", "EBR freed", "HP pending", "HP freed")
 	churns := []int{1000, 5000, 20000}
-	for _, churn := range churns {
-		row := []any{churn}
-		for _, s := range []Scheme{HE(), EBR(), HP()} {
+	t := NewTable("scheme", "pend@1k", "freed@1k", "pend@5k", "freed@5k", "pend@20k", "freed@20k")
+	for _, s := range []Scheme{HE(), HP(), WFE(), Hyaline(), HyalineNonRobust(), EBR()} {
+		row := []any{s.Name}
+		for _, churn := range churns {
 			_, final, freed, _ := measureStalledBound(s, 100, churn)
 			row = append(row, final, freed)
 		}
 		t.Row(row...)
 	}
 	o.emit(w, t)
-	fmt.Fprintln(w, "Shape check: EBR pending grows linearly with churn and frees nothing;")
-	fmt.Fprintln(w, "HE/HP pending is bounded by the live set at the moment the reader stalled.")
+	fmt.Fprintln(w, "Shape check: EBR and non-robust hyaline pending grows linearly with churn")
+	fmt.Fprintln(w, "(the stalled reader pins every later batch); HE/HP/WFE/hyaline-1r pending")
+	fmt.Fprintln(w, "is bounded by the live set at the moment the reader stalled.")
 }
 
 // RFactor runs the Hazard Pointers scan-threshold ablation (§3.1: "In HP

@@ -119,11 +119,16 @@ type Pinnable interface {
 // StalledReader parks one registered reader mid-operation until release is
 // closed — the paper's "sleepy reader" (Appendix A): for HE it holds a
 // published era, for HP a published pointer, for EBR an active epoch
-// announcement, for URCU a read lock. It returns once the reader is parked.
-func StalledReader(s Pinnable, release <-chan struct{}) {
+// announcement, for URCU a read lock. It returns once the reader is
+// parked. The returned channel closes once the reader has unregistered;
+// callers must wait on it after closing release and before Drain, or the
+// reader's abandonment races the drain's residue sweep.
+func StalledReader(s Pinnable, release <-chan struct{}) (done <-chan struct{}) {
 	dom := s.Domain()
 	parked := make(chan struct{})
+	finished := make(chan struct{})
 	go func() {
+		defer close(finished)
 		g := smr.Adopt(dom.Register())
 		s.Pin(g)
 		close(parked)
@@ -132,4 +137,5 @@ func StalledReader(s Pinnable, release <-chan struct{}) {
 		g.Unregister()
 	}()
 	<-parked
+	return finished
 }

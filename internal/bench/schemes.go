@@ -4,12 +4,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
+	"repro/internal/hyaline"
 	"repro/internal/ibr"
 	"repro/internal/leak"
 	"repro/internal/obs"
 	"repro/internal/rc"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
+	"repro/internal/wfe"
 )
 
 // Factory constructs a reclamation domain over an allocator; it matches
@@ -151,6 +153,32 @@ func IBR() Scheme {
 	})
 }
 
+// Hyaline returns robust Hyaline-1R (Nikolaev & Ravindran, arXiv:1905.07903):
+// per-batch reference-counted handoff with the birth-era filter that bounds
+// memory under stalled readers.
+func Hyaline() Scheme {
+	return scheme("hyaline-1r", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return hyaline.New(a, c)
+	})
+}
+
+// HyalineNonRobust returns plain Hyaline: every batch goes to every active
+// session, so a stalled reader pins all subsequent retirements (EBR's
+// failure mode — the unbounded side of the stalled-reader A/B).
+func HyalineNonRobust() Scheme {
+	return scheme("hyaline", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return hyaline.New(a, c, hyaline.WithRobust(false))
+	})
+}
+
+// WFE returns Wait-Free Eras (Nikolaev & Ravindran, arXiv:2001.01999): HE
+// with a bounded Protect retry loop backed by an announce/help protocol.
+func WFE() Scheme {
+	return scheme("WFE", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
+		return wfe.New(a, c)
+	})
+}
+
 // RC returns the reference-counting baseline.
 func RC() Scheme {
 	return scheme("RC", func(a reclaim.Allocator, c reclaim.Config) reclaim.Domain {
@@ -168,9 +196,12 @@ func Leak() Scheme {
 // Figure4Schemes are the three schemes the paper's Figure 4 compares.
 func Figure4Schemes() []Scheme { return []Scheme{HP(), HE(), URCU()} }
 
-// AllSchemes is the full roster for the extended comparisons.
+// AllSchemes is the full roster for the extended comparisons. Plain
+// (non-robust) hyaline rides along: it is safe — it only loses the
+// stalled-reader memory bound — and keeping it in the roster keeps the
+// unbounded side of the robustness A/B under the same suites.
 func AllSchemes() []Scheme {
-	return []Scheme{HP(), HE(), HEMinMax(), IBR(), EBR(), URCU(), RC(), Leak()}
+	return []Scheme{HP(), HE(), HEMinMax(), IBR(), EBR(), URCU(), Hyaline(), HyalineNonRobust(), WFE(), RC(), Leak()}
 }
 
 func itoa(n int) string {

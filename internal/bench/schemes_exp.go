@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/list"
+)
+
+// This file is the roster throughput comparison behind BENCH_schemes.json:
+// the micro-workloads of the api experiment plus a structure-level list
+// cell, run across every scheme in the extended roster (including the
+// PR-8 additions hyaline-1r, hyaline and WFE). It reuses the api
+// experiment's slice-interleave methodology, generalized from an A/B to a
+// round-robin: all fixtures are built once, then ~1ms timed slices rotate
+// through the schemes for the whole run, so every scheme samples every
+// clock regime and GC pause of the host in equal proportion and each
+// cell's median discards the slices a preemption landed in. Per-scheme
+// ratios (the rightmost column, normalized to HE) are what reproduces
+// across runs on the 1-core host; absolute ns/op carries the host's mood.
+
+// rosterWorkload is one row-group of the schemes experiment: a fixture per
+// scheme plus the roster it is meaningful for.
+type rosterWorkload struct {
+	name       string
+	sliceIters int
+	schemes    []Scheme
+	fixture    func(s Scheme) (run func(iters int), teardown func())
+}
+
+// listOpsFixture builds a persistent 100-key Maged-Harris list under s and
+// returns a runner doing a 90/10 lookup/update mix — the structure-level
+// cost of a scheme (traversal protection + retirement on the update tail),
+// as opposed to the isolated per-primitive costs of the other workloads.
+func listOpsFixture(s Scheme) (func(int), func()) {
+	const size = 100
+	l := list.New(list.DomainFactory(s.Make), list.WithMaxThreads(4))
+	setup := l.Register()
+	for k := uint64(0); k < size; k++ {
+		l.Insert(setup, k, k)
+	}
+	setup.Unregister()
+	g := l.Register()
+	rng := NewSplitMix64(41)
+	run := func(iters int) {
+		for i := 0; i < iters; i++ {
+			k := uint64(rng.Intn(size))
+			if rng.Intn(100) < 10 {
+				if l.Remove(g, k) {
+					l.Insert(g, k, k)
+				}
+			} else if l.Contains(g, k) {
+				apiSink++
+			}
+		}
+	}
+	teardown := func() { g.Unregister() }
+	return run, teardown
+}
+
+// schemesSlices is the number of timed slices per scheme per workload.
+// Coarser than the api experiment's 1500: the roster comparison reads at
+// the 5-10% level (is WFE's announce overhead visible? is hyaline's retire
+// cheaper than a scan?), not the 1% level of the zero-overhead bar.
+const schemesSlices = 400
+
+// rosterMedians builds one fixture per scheme, rotates timed slices
+// through all of them for `slices` rounds, and returns each scheme's
+// median slice cost in ns/op. One untimed warmup slice per scheme fills
+// magazines and branch history.
+func rosterMedians(slices, sliceIters int, schemes []Scheme,
+	fixture func(Scheme) (func(int), func())) []float64 {
+	runs := make([]func(int), len(schemes))
+	downs := make([]func(), len(schemes))
+	samples := make([][]float64, len(schemes))
+	for i, s := range schemes {
+		runs[i], downs[i] = fixture(s)
+		runs[i](sliceIters)
+		samples[i] = make([]float64, 0, slices)
+	}
+	perOp := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(sliceIters) }
+	for k := 0; k < slices; k++ {
+		for i := range runs {
+			t0 := time.Now()
+			runs[i](sliceIters)
+			samples[i] = append(samples[i], perOp(time.Since(t0)))
+		}
+	}
+	meds := make([]float64, len(schemes))
+	for i := range samples {
+		meds[i] = median(samples[i])
+		downs[i]()
+	}
+	return meds
+}
+
+// rosterWorkloads is the benchmark grid of SchemesCompare. RC is excluded
+// from ListOps (unguarded refcount traversal is unsafe on the Harris list,
+// the same exclusion cmd/hestress applies) and both baselines are excluded
+// from RetireScan (NONE never frees, so a long run grows without bound;
+// RC frees at release time, so its "retire" is not comparable work).
+var rosterWorkloads = []rosterWorkload{
+	{"HandleOps", 30_000, AllSchemes(), handleOpsInternalFixture},
+	{"RetireScan", 15_000, []Scheme{HP(), HE(), HEMinMax(), IBR(), EBR(), URCU(), Hyaline(), HyalineNonRobust(), WFE()}, retireScanInternalFixture},
+	{"ListOps", 3_000, []Scheme{HP(), HE(), HEMinMax(), IBR(), EBR(), URCU(), Hyaline(), HyalineNonRobust(), WFE(), Leak()}, listOpsFixture},
+}
+
+// SchemesCompare runs the roster throughput comparison; BENCH_schemes.json
+// records a run. Ratios are normalized to HE — the paper's scheme is the
+// repo's baseline, and the interesting questions are all relative to it
+// (what does WFE's wait-freedom cost? what does hyaline's batch handoff
+// save on the retire path?).
+func SchemesCompare(w io.Writer, o Options) {
+	o = o.defaulted()
+	Section(w, "Scheme roster comparison (%d interleaved ~1ms slices per scheme per workload, 1 thread)", schemesSlices)
+	t := NewTable("workload", "scheme", "ns/op", "vs HE")
+	for _, rw := range rosterWorkloads {
+		meds := rosterMedians(schemesSlices, rw.sliceIters, rw.schemes, rw.fixture)
+		heNs := 0.0
+		for i, s := range rw.schemes {
+			if s.Name == "HE" {
+				heNs = meds[i]
+			}
+		}
+		for i, s := range rw.schemes {
+			t.Row(rw.name, s.Name, meds[i], meds[i]/heNs)
+		}
+	}
+	o.emit(w, t)
+	fmt.Fprintln(w, "Slices rotate round-robin through all schemes over one long run, so every")
+	fmt.Fprintln(w, "scheme samples the same clock regimes; each cell is that scheme's median")
+	fmt.Fprintln(w, "slice. Read the 'vs HE' column — absolute ns/op carries the host's mood.")
+	fmt.Fprintln(w, "RC is excluded from ListOps (unsafe on the Harris list) and RetireScan;")
+	fmt.Fprintln(w, "NONE from RetireScan (never frees) and its ListOps row leaks by design.")
+}

@@ -570,6 +570,14 @@ func (b *Base) refBytes(ref mem.Ref) int64 {
 	return b.classBytes[ref.Class()&(mem.NumClasses-1)]
 }
 
+// FreeAt frees ref through the allocator on behalf of slot id, bumping the
+// freed stripes, without requiring a live Handle. Schemes whose pending
+// objects live outside slot retired lists (Hyaline's distributed batches)
+// use it from their Drain override, where DrainAll's registry walk cannot
+// see the objects. Quiescence-only, like DrainAll: it skips the free-guard
+// oracle exactly as the drain path does.
+func (b *Base) FreeAt(id int, ref mem.Ref) { b.freeAt(id, ref) }
+
 // freeAt frees ref through the allocator (into shard's magazine when
 // sharded) and bumps the freed stripes for that id.
 func (b *Base) freeAt(id int, ref mem.Ref) {

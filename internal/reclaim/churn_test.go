@@ -8,12 +8,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
+	"repro/internal/hyaline"
 	"repro/internal/ibr"
 	"repro/internal/leak"
 	"repro/internal/mem"
 	"repro/internal/rc"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
+	"repro/internal/wfe"
 )
 
 // Session-churn conformance (the PR-2 tentpole): goroutines continuously
@@ -137,14 +139,20 @@ func churnDomains() map[string]func(alloc reclaim.Allocator) reclaim.Domain {
 	cfg := reclaim.Config{MaxThreads: 2, Slots: 2}
 	cfgR := reclaim.Config{MaxThreads: 2, Slots: 2, ScanR: 2}
 	return map[string]func(alloc reclaim.Allocator) reclaim.Domain{
-		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
-		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
-		"HE-R2":     func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfgR) },
-		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
-		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
-		"EBR":       func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
-		"URCU":      func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
-		"RC":        func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
-		"NONE":      func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
+		"HE":         func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
+		"HE-minmax":  func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
+		"HE-R2":      func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfgR) },
+		"HP":         func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"IBR":        func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"EBR":        func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"hyaline-1r": func(a reclaim.Allocator) reclaim.Domain { return hyaline.New(a, cfg) },
+		"hyaline": func(a reclaim.Allocator) reclaim.Domain {
+			return hyaline.New(a, cfg, hyaline.WithRobust(false))
+		},
+		"WFE":    func(a reclaim.Allocator) reclaim.Domain { return wfe.New(a, cfg) },
+		"WFE-t1": func(a reclaim.Allocator) reclaim.Domain { return wfe.New(a, cfg, wfe.WithMaxTries(1)) },
+		"URCU":   func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"RC":     func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
+		"NONE":   func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
 	}
 }

@@ -9,12 +9,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
+	"repro/internal/hyaline"
 	"repro/internal/ibr"
 	"repro/internal/leak"
 	"repro/internal/mem"
 	"repro/internal/rc"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
+	"repro/internal/wfe"
 )
 
 // Cross-scheme conformance: the identical usage pattern must be memory-safe
@@ -42,14 +44,22 @@ func domains() map[string]func(alloc reclaim.Allocator) reclaim.Domain {
 		"HE-R2-minmax": func(a reclaim.Allocator) reclaim.Domain {
 			return core.New(a, cfgR, core.WithMinMax(true))
 		},
-		"HP":     func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
-		"HP-R2":  func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfgR) },
-		"IBR":    func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
-		"IBR-R2": func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfgR) },
-		"EBR":    func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
-		"URCU":   func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
-		"RC":     func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
-		"NONE":   func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
+		"HP":         func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"HP-R2":      func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfgR) },
+		"IBR":        func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"IBR-R2":     func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfgR) },
+		"hyaline-1r": func(a reclaim.Allocator) reclaim.Domain { return hyaline.New(a, cfg) },
+		"hyaline": func(a reclaim.Allocator) reclaim.Domain {
+			return hyaline.New(a, cfg, hyaline.WithRobust(false))
+		},
+		"hyaline-R2": func(a reclaim.Allocator) reclaim.Domain { return hyaline.New(a, cfgR) },
+		"WFE":        func(a reclaim.Allocator) reclaim.Domain { return wfe.New(a, cfg) },
+		"WFE-t1":     func(a reclaim.Allocator) reclaim.Domain { return wfe.New(a, cfg, wfe.WithMaxTries(1)) },
+		"WFE-R2":     func(a reclaim.Allocator) reclaim.Domain { return wfe.New(a, cfgR) },
+		"EBR":        func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"URCU":       func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"RC":         func(a reclaim.Allocator) reclaim.Domain { return rc.New(a, cfg) },
+		"NONE":       func(a reclaim.Allocator) reclaim.Domain { return leak.New(a, cfg) },
 	}
 }
 

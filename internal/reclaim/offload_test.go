@@ -10,12 +10,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
+	"repro/internal/hyaline"
 	"repro/internal/ibr"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 	"repro/internal/urcu"
+	"repro/internal/wfe"
 )
 
 // Tests for the background reclamation offload pipeline: safety under
@@ -29,12 +31,16 @@ import (
 // leak never reclaims; both ignore Config.Offload by construction.
 func offloadSchemes(cfg reclaim.Config) map[string]func(a reclaim.Allocator) reclaim.Domain {
 	return map[string]func(a reclaim.Allocator) reclaim.Domain{
-		"HE":        func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
-		"HE-minmax": func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
-		"HP":        func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
-		"EBR":       func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
-		"URCU":      func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
-		"IBR":       func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"HE":         func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg) },
+		"HE-minmax":  func(a reclaim.Allocator) reclaim.Domain { return core.New(a, cfg, core.WithMinMax(true)) },
+		"HP":         func(a reclaim.Allocator) reclaim.Domain { return hp.New(a, cfg) },
+		"EBR":        func(a reclaim.Allocator) reclaim.Domain { return ebr.New(a, cfg) },
+		"URCU":       func(a reclaim.Allocator) reclaim.Domain { return urcu.New(a, cfg) },
+		"IBR":        func(a reclaim.Allocator) reclaim.Domain { return ibr.New(a, cfg) },
+		"hyaline-1r": func(a reclaim.Allocator) reclaim.Domain { return hyaline.New(a, cfg) },
+		"WFE": func(a reclaim.Allocator) reclaim.Domain {
+			return wfe.New(a, cfg, wfe.WithMaxTries(1))
+		},
 	}
 }
 

@@ -171,13 +171,13 @@ func TestAcquireReleasePool(t *testing.T) {
 // nopDomain satisfies just enough of Domain for Base.Release's EndOp call.
 type nopDomain struct{ b *Base }
 
-func (nopDomain) Name() string                                   { return "nop" }
-func (d nopDomain) Register() *Handle                            { return d.b.Register() }
-func (d nopDomain) Acquire() *Handle                             { return d.b.Acquire() }
-func (d nopDomain) Release(h *Handle)                            { d.b.Release(h) }
-func (d nopDomain) Unregister(h *Handle)                         { d.b.Unregister(h) }
-func (nopDomain) BeginOp(h *Handle)                              {}
-func (nopDomain) EndOp(h *Handle)                                {}
+func (nopDomain) Name() string           { return "nop" }
+func (d nopDomain) Register() *Handle    { return d.b.Register() }
+func (d nopDomain) Acquire() *Handle     { return d.b.Acquire() }
+func (d nopDomain) Release(h *Handle)    { d.b.Release(h) }
+func (d nopDomain) Unregister(h *Handle) { d.b.Unregister(h) }
+func (nopDomain) BeginOp(h *Handle)      {}
+func (nopDomain) EndOp(h *Handle)        {}
 func (nopDomain) Protect(h *Handle, index int, src *atomic.Uint64) mem.Ref {
 	return mem.Ref(src.Load())
 }

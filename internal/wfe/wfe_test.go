@@ -1,0 +1,347 @@
+package wfe
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/reclaim"
+	"repro/internal/schedtest"
+)
+
+type tnode struct {
+	val  uint64
+	next atomic.Uint64
+}
+
+func testArena() *mem.Arena[tnode] {
+	return mem.NewArena[tnode](
+		mem.Checked[tnode](true),
+		mem.WithPoison[tnode](func(n *tnode) { n.val = 0xDEAD }),
+	)
+}
+
+func newWFE(arena *mem.Arena[tnode], threads int, opts ...Option) *Domain {
+	return New(arena, reclaim.Config{MaxThreads: threads, Slots: 3}, opts...)
+}
+
+// helpCell reads the session's extra published word, the one helpers write
+// on its behalf.
+func helpCell(h *reclaim.Handle) uint64 {
+	return h.Words[len(h.Words)-1].Load()
+}
+
+// announce publishes a live request on h's record exactly as protectSlow
+// does, without entering its retry loop — so tests can drive the helper
+// side deterministically.
+func announce(d *Domain, h *reclaim.Handle, src *atomic.Uint64) (*annState, uint64) {
+	st := d.state(h)
+	q := st.seq.Load() + 1
+	st.src.Store(src)
+	st.result.Store(nil)
+	st.seq.Store(q)
+	d.slow.Add(1)
+	return st, q
+}
+
+// complete retracts the announcement as the reader's adoption epilogue does.
+func complete(d *Domain, h *reclaim.Handle, st *annState, q uint64) {
+	st.seq.Store(q + 1)
+	d.slow.Add(-1)
+	st.src.Store(nil)
+	h.Words[len(h.Words)-1].Store(noneEra)
+}
+
+// TestFastPathIsHE: with a stable clock, Protect stays HE's two seq-cst
+// loads per visit and zero stores — WFE's whole point is that wait-freedom
+// costs the fast path nothing.
+func TestFastPathIsHE(t *testing.T) {
+	arena := testArena()
+	ins := reclaim.NewInstrument(2)
+	d := New(arena, reclaim.Config{MaxThreads: 2, Slots: 3, Instrument: ins})
+	h := d.Register()
+	ref, _ := arena.Alloc()
+	d.OnAlloc(ref)
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+
+	d.Protect(h, 0, &cell) // first call publishes era 1
+	ins.Reset()
+	for i := 0; i < 10; i++ {
+		d.Protect(h, 0, &cell)
+	}
+	if s := ins.Snapshot(); s.Stores != 0 || s.PerVisitLoads() != 2 {
+		t.Fatalf("fast path: %+v", s)
+	}
+}
+
+// TestSlowPathSelfCompletes: maxTries 1 forces an announcement on the very
+// first unstable validation; the reader's own retry then wins (nobody is
+// retiring), and the bookkeeping — seq parity, waiter count, source
+// pointer, help cell — must all return to rest.
+func TestSlowPathSelfCompletes(t *testing.T) {
+	arena := testArena()
+	d := newWFE(arena, 2, WithMaxTries(1))
+	h := d.Register()
+	ref, n := arena.Alloc()
+	n.val = 9
+	d.OnAlloc(ref)
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+
+	got := d.Protect(h, 0, &cell)
+	if got != ref || arena.Get(got).val != 9 {
+		t.Fatalf("slow path returned %v, want %v", got, ref)
+	}
+	st := d.state(h)
+	if q := st.seq.Load(); q&1 != 0 {
+		t.Fatalf("request still live: seq %d", q)
+	}
+	if w := d.slow.Load(); w != 0 {
+		t.Fatalf("waiter count = %d after completion", w)
+	}
+	if st.src.Load() != nil {
+		t.Fatal("source pointer not retracted")
+	}
+	if hc := helpCell(h); hc != noneEra {
+		t.Fatalf("help cell = %d after completion", hc)
+	}
+}
+
+// TestRetireHelpsAnnouncedReader is the helping obligation end to end, plus
+// the satellite gauge pin: a Retire that advances the clock past a live
+// announcement must (1) certify a (value, era) pair at the pre-advance
+// clock, (2) raise the reader's help cell to that era so the retirer's own
+// scan honors it, and (3) move Stats().EraClock by exactly one — the helped
+// advance is the ordinary advance, not a second one.
+func TestRetireHelpsAnnouncedReader(t *testing.T) {
+	arena := testArena()
+	d := newWFE(arena, 2)
+	reader := d.Register()
+	writer := d.Register()
+
+	target, tn := arena.Alloc()
+	tn.val = 5
+	d.OnAlloc(target)
+	var cell atomic.Uint64
+	cell.Store(uint64(target))
+	st, q := announce(d, reader, &cell)
+
+	victim, _ := arena.Alloc()
+	d.OnAlloc(victim)
+	before := d.Era()
+	d.Retire(writer, victim)
+
+	if e := d.Era(); e != before+1 {
+		t.Fatalf("helped advance moved the clock %d -> %d, want exactly +1", before, e)
+	}
+	if s := d.Stats(); s.EraClock != before+1 {
+		t.Fatalf("Stats().EraClock = %d, want %d", s.EraClock, before+1)
+	}
+	r := st.result.Load()
+	if r == nil || r.seq != q {
+		t.Fatalf("no certified result for request %d: %+v", q, r)
+	}
+	if r.ptr != target || r.era != before {
+		t.Fatalf("certified pair = (%v, %d), want (%v, %d)", r.ptr, r.era, target, before)
+	}
+	if hc := helpCell(reader); hc != before {
+		t.Fatalf("help cell = %d, want the certified era %d", hc, before)
+	}
+	// The victim was born and retired at era `before`, which the raised help
+	// cell still publishes: the retirer's own scan must have spared it.
+	if s := d.Stats(); s.Freed != 0 || s.Pending != 1 {
+		t.Fatalf("scan ignored the help cell: %+v", s)
+	}
+
+	// Reader completes; with the help cell retracted the next scan frees.
+	complete(d, reader, st, q)
+	d.Scan(writer)
+	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
+		t.Fatalf("victim not freed after help cell cleared: %+v", s)
+	}
+	d.Retire(writer, mem.Ref(cell.Swap(0)))
+	d.Unregister(reader)
+	d.Unregister(writer)
+	d.Drain()
+	if arena.Stats().Live != 0 {
+		t.Fatal("leaked arena slots")
+	}
+}
+
+// TestObsEraViewIncludesHelpCell pins the gauge decode: a session's pinned
+// era is the minimum over protection indices AND the help cell, so an era
+// held only by a helper on the session's behalf still shows up as lag in
+// smr_era_lag — and Clear removes it.
+func TestObsEraViewIncludesHelpCell(t *testing.T) {
+	arena := testArena()
+	d := newWFE(arena, 2)
+	od := obs.NewDomain("WFE", obs.Config{Sessions: 2, RingEvents: 8, StallEras: 1 << 20})
+	d.EnableObs(od)
+	h := d.Register()
+	d.SetEraClock(10)
+
+	h.Words[len(h.Words)-1].Store(4) // helper-raised era, no owner mirror
+	s := od.Snapshot()
+	if !s.HasEras || s.EraLagMax != 6 {
+		t.Fatalf("help cell invisible to era gauges: hasEras=%v lagMax=%d", s.HasEras, s.EraLagMax)
+	}
+
+	h.Held[0] = 3 // owner-published protection, older than the help cell
+	h.Words[0].Store(3)
+	if s := od.Snapshot(); s.EraLagMax != 7 {
+		t.Fatalf("decode must take the minimum across cells: lagMax=%d", s.EraLagMax)
+	}
+
+	d.Clear(h)
+	if s := od.Snapshot(); s.EraLagMax != 0 {
+		t.Fatalf("Clear left era gauges pinned: lagMax=%d", s.EraLagMax)
+	}
+	if hc := helpCell(h); hc != noneEra {
+		t.Fatalf("Clear left help cell = %d", hc)
+	}
+}
+
+// TestSkipHelpValidateMutantCertifiesStalePair pins the kill-check defect's
+// mechanism: a clock advance landing between the helper's cell raise and
+// its source load makes the pair uncertifiable — the correct helper's
+// revalidation refuses it on every schedule, the mutant certifies it on
+// some. Seeded cooperative schedules (the helper gates at PointProtect
+// between raise and load) make both directions deterministic.
+func TestSkipHelpValidateMutantCertifiesStalePair(t *testing.T) {
+	trial := func(seed uint64, mutate bool) (stale bool) {
+		arena := testArena()
+		d := newWFE(arena, 2)
+		if mutate {
+			d.EnableMutation(MutSkipHelpValidate)
+		}
+		reader := d.Register()
+		ref, _ := arena.Alloc()
+		d.OnAlloc(ref)
+		var cell atomic.Uint64
+		cell.Store(uint64(ref))
+		st, q := announce(d, reader, &cell)
+
+		// A pair certified BEFORE the advance is fine (the adoption check
+		// validates it against the still-covering cell); the defect is a
+		// pair carrying the pre-advance era that materializes AFTER the
+		// advance — its source load may postdate a retirement the era misses.
+		var doneAtAdvance bool
+		err := schedtest.Run(schedtest.Config{Seed: seed, SwitchPct: 60},
+			func() { d.helpOne(st) },
+			func() {
+				schedtest.Point(schedtest.PointProtect)
+				if r := st.result.Load(); r != nil && r.seq == q {
+					doneAtAdvance = true
+				}
+				d.eraClock.Add(1)
+			},
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := st.result.Load()
+		stale = !doneAtAdvance && r != nil && r.seq == q && r.era < d.Era()
+		complete(d, reader, st, q)
+		return stale
+	}
+
+	mutantCaught := false
+	for seed := uint64(1); seed <= 32; seed++ {
+		if trial(seed, false) {
+			t.Fatalf("seed %d: correct helper certified a pair spanning the advance", seed)
+		}
+		if trial(seed, true) {
+			mutantCaught = true
+		}
+	}
+	if !mutantCaught {
+		t.Fatal("no seed drove the mutant into certifying a stale pair")
+	}
+}
+
+// TestScanCoversAdoptedProtection: objects retired while a protection index
+// holds their era survive scans; dropping the protection frees them on the
+// next pass (HE semantics, unchanged by the extra word).
+func TestScanCoversAdoptedProtection(t *testing.T) {
+	arena := testArena()
+	d := newWFE(arena, 2)
+	reader := d.Register()
+	writer := d.Register()
+	ref, _ := arena.Alloc()
+	d.OnAlloc(ref)
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+	d.Protect(reader, 0, &cell)
+	d.Retire(writer, mem.Ref(cell.Swap(0)))
+	if s := d.Stats(); s.Freed != 0 || s.Pending != 1 {
+		t.Fatalf("protected object reclaimed: %+v", s)
+	}
+	d.EndOp(reader)
+	d.Scan(writer)
+	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
+		t.Fatalf("unprotected object not reclaimed: %+v", s)
+	}
+}
+
+// TestConcurrentStressForcedSlowPath churns readers against writers with
+// maxTries 1, so nearly every Protect under clock movement announces and
+// the helping protocol runs constantly; the checked arena and the race
+// detector arbitrate.
+func TestConcurrentStressForcedSlowPath(t *testing.T) {
+	const workers = 8
+	iters := 3000
+	if testing.Short() {
+		iters = 500
+	}
+	arena := testArena()
+	d := newWFE(arena, workers, WithMaxTries(1))
+	var cells [2]atomic.Uint64
+	for i := range cells {
+		ref, n := arena.Alloc()
+		n.val = 42
+		d.OnAlloc(ref)
+		cells[i].Store(uint64(ref))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			h := d.Register()
+			defer d.Unregister(h)
+			for i := 0; i < iters; i++ {
+				ci := (worker + i) % 2
+				if worker%2 == 0 {
+					nref, n := arena.Alloc()
+					n.val = 42
+					d.OnAlloc(nref)
+					old := mem.Ref(cells[ci].Swap(uint64(nref)))
+					d.Retire(h, old)
+				} else {
+					d.BeginOp(h)
+					if v := arena.Get(d.Protect(h, ci, &cells[ci])).val; v != 42 {
+						panic("observed reclaimed node")
+					}
+					d.EndOp(h)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.Drain()
+	if f := arena.Stats().Faults; f != 0 {
+		t.Fatalf("%d faults under forced slow path", f)
+	}
+	if s := d.Stats(); s.Pending != 0 {
+		t.Fatalf("pending after drain: %+v", s)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(testArena(), reclaim.Config{MaxThreads: 1}).Name(); got != "WFE" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

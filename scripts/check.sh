@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full validation suite for the hazard-eras reproduction.
-# Usage: scripts/check.sh [quick|full|api]
+# Usage: scripts/check.sh [quick|full|api|schemes]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,29 @@ if [ "$mode" = "api" ]; then
   echo "== public API A/B smoke (hebench -exp api -api public) =="
   go run ./cmd/hebench -exp api -api public
   echo "ALL CHECKS PASSED (api)"
+  exit 0
+fi
+
+if [ "$mode" = "schemes" ]; then
+  # Next-generation scheme gate (CI job check-schemes): Hyaline and WFE
+  # through their unit tests, the deterministic safety/linearizability
+  # suites, the mutation kill-checks that hold their subtlest invariants,
+  # and the stalled-reader robustness regression.
+  echo "== hyaline + wfe unit tests (race) =="
+  go test -race -count=2 ./internal/hyaline/ ./internal/wfe/
+  echo "== safety oracles + linearizability (hyaline-1r, hyaline, WFE) =="
+  go run ./cmd/hecheck -suite domain -scheme hyaline-1r,hyaline,WFE -seeds 8
+  go run ./cmd/hecheck -suite struct -scheme hyaline-1r,hyaline,WFE -seeds 4
+  echo "== mutation kill-checks (batch refcount ordering, helping-path revalidation) =="
+  go run ./cmd/hecheck -mutate hyaline-early-dec -seeds 8
+  go run ./cmd/hecheck -mutate wfe-skip-validate -seeds 8
+  echo "== stalled-reader robustness regression (bounded vs unbounded pending) =="
+  go test -race -run 'TestStalledReaderBounds' ./internal/bench/
+  echo "== era accounting under helped advances =="
+  go test -run 'TestRetireHelpsAnnouncedReader|TestObsEraViewIncludesHelpCell' ./internal/wfe/
+  echo "== roster throughput smoke (hebench -exp schemes) =="
+  go run ./cmd/hebench -exp schemes > /dev/null
+  echo "ALL CHECKS PASSED (schemes)"
   exit 0
 fi
 

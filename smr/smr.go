@@ -4,12 +4,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
+	"repro/internal/hyaline"
 	"repro/internal/ibr"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/payload"
 	"repro/internal/reclaim"
 	"repro/internal/urcu"
+	"repro/internal/wfe"
 )
 
 // ---- substrate re-exports ------------------------------------------------
@@ -136,6 +138,18 @@ const (
 	URCU
 	// IBR is 2GE interval-based reclamation, the HE follow-on.
 	IBR
+	// Hyaline is robust Hyaline-1R (Nikolaev & Ravindran 2019):
+	// snapshot-free reclamation by per-batch reference-counted handoff,
+	// with the birth-era filter that bounds memory under stalled readers.
+	Hyaline
+	// HyalinePlain is Hyaline without the robustness filter: every batch
+	// is handed to every active session, so one stalled reader pins all
+	// subsequent retirements (EBR's failure mode).
+	HyalinePlain
+	// WFE is Wait-Free Eras (Nikolaev & Ravindran 2020): Hazard Eras with
+	// a bounded Protect retry loop backed by an announce/help protocol, so
+	// readers are wait-free rather than lock-free.
+	WFE
 )
 
 // String returns the display name used in stats and metrics.
@@ -153,6 +167,12 @@ func (s Scheme) String() string {
 		return "URCU"
 	case IBR:
 		return "IBR"
+	case Hyaline:
+		return "hyaline-1r"
+	case HyalinePlain:
+		return "hyaline"
+	case WFE:
+		return "WFE"
 	}
 	return "unknown"
 }
@@ -173,6 +193,12 @@ func (s Scheme) Factory() Factory {
 		return func(a Allocator, c Config) Backend { return urcu.New(a, c) }
 	case IBR:
 		return func(a Allocator, c Config) Backend { return ibr.New(a, c) }
+	case Hyaline:
+		return func(a Allocator, c Config) Backend { return hyaline.New(a, c) }
+	case HyalinePlain:
+		return func(a Allocator, c Config) Backend { return hyaline.New(a, c, hyaline.WithRobust(false)) }
+	case WFE:
+		return func(a Allocator, c Config) Backend { return wfe.New(a, c) }
 	}
 	panic("smr: unknown Scheme")
 }
