@@ -260,12 +260,18 @@ func (d *Domain) ensure(h *reclaim.Handle) {
 	if id < len(old) && old[id] != nil {
 		return
 	}
-	tbl := old
-	if id >= len(tbl) {
-		grown := make([]*handState, id+1)
-		copy(grown, old)
-		tbl = grown
+	// Copy-on-write even when only filling a nil hole (left by an
+	// out-of-order registration growing the table first): the
+	// distribution walk reads the published backing array lock-free, so
+	// elements of a published slice are never written in place — and a
+	// racy reader must never observe the anchor before the sentinel
+	// store, or it would treat the idle session as active-and-empty.
+	n := len(old)
+	if id >= n {
+		n = id + 1
 	}
+	tbl := make([]*handState, n)
+	copy(tbl, old)
 	st := &handState{words: h.Words}
 	st.head.Store(inactiveNode)
 	tbl[id] = st
@@ -297,7 +303,14 @@ func (d *Domain) BeginOp(h *reclaim.Handle) {
 	schedtest.Point(schedtest.PointProtect)
 	h.Lo = e
 	h.Words[0].Store(e)
-	d.state(h).head.Store(nil)
+	// Swap, not Store: the head should hold the sentinel here, but any
+	// real nodes present carry counted batch references, and a plain
+	// store would leak them. Mirroring EndOp keeps activation lossless
+	// against any path that lands a handoff on an idle session.
+	n := d.state(h).head.Swap(nil)
+	for ; n != nil && n != inactiveNode; n = n.next {
+		d.decBatch(h, n.b)
+	}
 }
 
 // EndOp leaves the critical section: detach-and-deactivate in one swap,

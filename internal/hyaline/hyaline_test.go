@@ -99,6 +99,69 @@ func TestActiveReaderHoldsBatch(t *testing.T) {
 	d.Unregister(writer)
 }
 
+// TestBeginOpDrainsStrandedHandoff pins activation's lossless discipline:
+// any handoff node present on the stack at BeginOp carries a counted batch
+// reference, and activation must detach and process it exactly as EndOp
+// does — a plain store of nil would drop the node and strand the batch's
+// refcount above zero, leaking it.
+func TestBeginOpDrainsStrandedHandoff(t *testing.T) {
+	arena := testArena()
+	d := newHyaline(arena, 2)
+	reader := d.Register()
+	writer := d.Register()
+
+	ref, _ := arena.Alloc()
+	d.OnAlloc(ref)
+	var cell atomic.Uint64
+	cell.Store(uint64(ref))
+
+	d.BeginOp(reader)
+	d.Retire(writer, mem.Ref(cell.Swap(0)))
+	if s := d.Stats(); s.Freed != 0 || s.Pending != 1 {
+		t.Fatalf("setup: batch not held by the active reader: %+v", s)
+	}
+	// Model a node stranded on the stack at activation time: re-activate
+	// without the intervening EndOp.
+	d.BeginOp(reader)
+	if s := d.Stats(); s.Freed != 1 || s.Pending != 0 {
+		t.Fatalf("stranded handoff leaked across activation: %+v", s)
+	}
+	if st := d.state(reader); st.head.Load() != nil {
+		t.Fatal("activation must leave an empty active stack")
+	}
+	d.EndOp(reader)
+	d.Unregister(reader)
+	d.Unregister(writer)
+	if live := arena.Stats().Live; live != 0 {
+		t.Fatalf("leaked %d arena slots", live)
+	}
+}
+
+// TestEnsureCopyOnWrite pins the handoff-table growth discipline: filling
+// a nil hole (left by an out-of-order registration growing the table
+// first) must publish a fresh slice, never write an element of the
+// already-published backing array — the distribution walk reads it
+// lock-free, and must never observe an anchor before its sentinel store.
+func TestEnsureCopyOnWrite(t *testing.T) {
+	d := newHyaline(testArena(), 4)
+	low := d.Base.Register() // bypasses ensure: leaves a hole at its id
+	d.Register()             // grows the table past the hole
+	before := *d.hand.Load()
+	if low.ID() >= len(before) || before[low.ID()] != nil {
+		t.Fatalf("setup: expected a nil hole at id %d", low.ID())
+	}
+	st := d.state(low) // fills the hole
+	if st == nil || (*d.hand.Load())[low.ID()] != st {
+		t.Fatal("hole not filled in the published table")
+	}
+	if before[low.ID()] != nil {
+		t.Fatal("published backing array was mutated in place")
+	}
+	if st.head.Load() != inactiveNode {
+		t.Fatal("anchor must carry the inactive sentinel when published")
+	}
+}
+
 // TestRobustFilterSkipsStalledReader is the scheme-local Figure-4 fact: a
 // reader whose published era predates every birth in a batch receives no
 // handoff, so churn retired past a stalled reader reclaims fully — while

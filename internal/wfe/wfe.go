@@ -54,10 +54,12 @@
 // publishes a result whose era matches the still-unraised cell. In-flight
 // retirers from before the announcement are finitely many, so after at
 // most that many advances plus one the reader adopts (or its own fast
-// path validated first). Helpers from completed requests can at worst
-// re-raise an idle help cell — a one-era over-protection that the next
-// Clear removes; they can never revive protection for a freed object,
-// because adoption re-validates the cell against the result era.
+// path validated first). A helper from a completed request re-checks the
+// request sequence around every cell CAS and retracts a raise that landed
+// after completion, so at worst an idle help cell is dirtied transiently —
+// a one-era over-protection until the retraction (or the next Clear);
+// helpers can never revive protection for a freed object, because adoption
+// re-validates the cell against the result era.
 //
 // Retire, Clear and scan are HE's, wait-free bounded as before; the help
 // pass adds O(announced requests) to the retires that advance the clock,
@@ -266,12 +268,16 @@ func (d *Domain) ensure(h *reclaim.Handle) {
 	if id < len(old) && old[id] != nil {
 		return
 	}
-	tbl := old
-	if id >= len(tbl) {
-		grown := make([]*annState, id+1)
-		copy(grown, old)
-		tbl = grown
+	// Copy-on-write even when only filling a nil hole (left by an
+	// out-of-order registration growing the table first): helpAll reads
+	// the published backing array lock-free, so elements of a published
+	// slice are never written in place.
+	n := len(old)
+	if id >= n {
+		n = id + 1
 	}
+	tbl := make([]*annState, n)
+	copy(tbl, old)
 	tbl[id] = &annState{words: h.Words}
 	d.ann.Store(&tbl)
 }
@@ -387,7 +393,15 @@ func (d *Domain) protectSlow(h *reclaim.Handle, index int, src *atomic.Uint64, p
 				break
 			}
 			// Yanked by a fresher helper before the transfer: the era we
-			// published is merely conservative; discard and retry.
+			// published is merely conservative. Discarding must actually
+			// remove the stale result — helpers refuse to overwrite an
+			// existing result for this request (helpOne's r.seq >= q
+			// guard), so leaving it in place would starve the reader of
+			// any replacement certificate while the failed adoption keeps
+			// resetting prevEra below the clock, disabling the fast
+			// self-completion test too. CAS (not Store) so a certificate a
+			// helper published concurrently is kept for the next round.
+			st.result.CompareAndSwap(r, nil)
 		}
 		schedtest.Point(schedtest.PointProtect)
 	}
@@ -432,13 +446,29 @@ func (d *Domain) helpOne(st *annState) {
 		ec := cell.Load()
 		// Raise the cell to our clock reading. The cell is monotone while
 		// the request is live (owners clear it only at completion, helpers
-		// only raise), so the CAS cannot ABA.
+		// only raise), so the CAS cannot ABA. Re-verify liveness right
+		// before each CAS and undo a raise that landed after completion:
+		// a CAS that slips in behind the owner's final Clear (or behind
+		// Base.Unregister's word reset, with the slot already parked in
+		// the free list) would otherwise publish a stale era that no
+		// future Clear is scheduled to remove, pinning reclamation for as
+		// long as the slot stays free.
 		for ec < e {
+			if st.seq.Load() != q {
+				return // request completed; don't dirty the idle cell
+			}
 			if cell.CompareAndSwap(ec, e) {
 				ec = e
 				break
 			}
 			ec = cell.Load()
+		}
+		if st.seq.Load() != q {
+			// Completed while we raised: retract our era if the cell still
+			// holds it (a fresher live request's raise makes the CAS fail,
+			// which is exactly right — that cell is in use again).
+			cell.CompareAndSwap(e, noneEra)
+			return
 		}
 		if ec != e {
 			// A helper with a fresher clock got here first; retry against
@@ -455,6 +485,7 @@ func (d *Domain) helpOne(st *annState) {
 			continue
 		}
 		if st.seq.Load() != q {
+			cell.CompareAndSwap(e, noneEra)
 			return // request completed while we worked
 		}
 		st.result.Store(&helpResult{seq: q, ptr: v, era: ec})

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -107,6 +108,109 @@ func TestSlowPathSelfCompletes(t *testing.T) {
 	}
 	if hc := helpCell(h); hc != noneEra {
 		t.Fatalf("help cell = %d after completion", hc)
+	}
+}
+
+// TestFailedAdoptionRecovers is the regression test for a livelock in the
+// adoption handshake: a certificate whose cell coverage was yanked by a
+// fresher helper that then advanced the clock and gave up without
+// recertifying. The owner must REMOVE the stale result when its adoption
+// validation fails — helpers refuse to overwrite an existing result for a
+// live request (helpOne's r.seq >= q guard), so merely ignoring it would
+// leave the reader retrying forever with its validation era pinned below
+// the clock. A watchdog turns the livelock into a prompt failure: the
+// schedule's step budget trips first, but its free-run fallback (gates
+// become no-ops so threads can finish) cannot finish a genuinely
+// livelocked reader, so the run itself would never return.
+func TestFailedAdoptionRecovers(t *testing.T) {
+	injected := 0
+	for seed := uint64(1); seed <= 16; seed++ {
+		arena := testArena()
+		d := newWFE(arena, 2)
+		d.SetMaxTries(0) // every Protect announces immediately
+		reader := d.Register()
+		ref, n := arena.Alloc()
+		n.val = 7
+		d.OnAlloc(ref)
+		var cell atomic.Uint64
+		cell.Store(uint64(ref))
+		st := d.state(reader)
+
+		var got mem.Ref
+		var done atomic.Bool
+		runDone := make(chan error, 1)
+		go func() {
+			runDone <- schedtest.Run(schedtest.Config{Seed: seed, SwitchPct: 60, MaxSteps: 1 << 14},
+				func() {
+					got = d.Protect(reader, 0, &cell)
+					done.Store(true)
+				},
+				func() {
+					for !done.Load() && st.seq.Load()&1 == 0 {
+						schedtest.Point(schedtest.PointSpin)
+					}
+					if done.Load() {
+						return // reader self-completed before we got the token
+					}
+					// The reader is suspended at a gate with a live request;
+					// install the poisoned state in one un-gated (= atomic to
+					// the schedule) burst: a certificate at the current era
+					// whose cell was already re-raised past it, with the clock
+					// moved further on so the reader can neither adopt nor
+					// self-complete until the stale certificate is gone.
+					q := st.seq.Load()
+					e := d.Era()
+					st.result.Store(&helpResult{seq: q, ptr: ref, era: e})
+					st.words[len(st.words)-1].Store(e + 1)
+					d.eraClock.Store(e + 2)
+					injected++
+				},
+			)
+		}()
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("seed %d: reader livelocked after failed adoption", seed)
+		}
+		if got != ref || arena.Get(got).val != 7 {
+			t.Fatalf("seed %d: Protect returned %v, want %v", seed, got, ref)
+		}
+		if q := st.seq.Load(); q&1 != 0 {
+			t.Fatalf("seed %d: request still live: seq %d", seed, q)
+		}
+		if w := d.slow.Load(); w != 0 {
+			t.Fatalf("seed %d: waiter count = %d after completion", seed, w)
+		}
+		if hc := helpCell(reader); hc != noneEra {
+			t.Fatalf("seed %d: help cell = %d after completion", seed, hc)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no seed delivered the stale certificate while the request was live")
+	}
+}
+
+// TestEnsureCopyOnWrite pins the announcement-table growth discipline:
+// filling a nil hole (left by an out-of-order registration growing the
+// table first) must publish a fresh slice, never write an element of the
+// already-published backing array — helpAll reads it lock-free.
+func TestEnsureCopyOnWrite(t *testing.T) {
+	d := newWFE(testArena(), 4)
+	low := d.Base.Register() // bypasses ensure: leaves a hole at its id
+	d.Register()             // grows the table past the hole
+	before := *d.ann.Load()
+	if low.ID() >= len(before) || before[low.ID()] != nil {
+		t.Fatalf("setup: expected a nil hole at id %d", low.ID())
+	}
+	st := d.state(low) // fills the hole
+	if st == nil || (*d.ann.Load())[low.ID()] != st {
+		t.Fatal("hole not filled in the published table")
+	}
+	if before[low.ID()] != nil {
+		t.Fatal("published backing array was mutated in place")
 	}
 }
 

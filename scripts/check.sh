@@ -81,9 +81,11 @@ for _ in $(seq 1 150); do
   sleep 0.2
 done
 [ -n "$addr" ] || { echo "hebench never announced its metrics address"; cat "$obstmp/hebench.out"; exit 1; }
-# Let the stalled experiment populate the domains, then scrape.
-for _ in $(seq 1 150); do
-  curl -sf "http://$addr/metrics" 2>/dev/null | grep -q 'smr_retired_total{scheme="HE"}' && break
+# Let the stalled experiment populate the domains, then scrape. EBR is
+# last in the stalled roster (after WFE and both hyaline variants), so its
+# series appearing means every scheme asserted below has registered.
+for _ in $(seq 1 300); do
+  curl -sf "http://$addr/metrics" 2>/dev/null | grep -q 'smr_retired_total{scheme="EBR"}' && break
   sleep 0.2
 done
 scrape=$(curl -sf "http://$addr/metrics")
@@ -97,7 +99,12 @@ for series in \
   'smr_retired_total{scheme="HP"}'; do
   echo "$scrape" | grep -qF "$series" || { echo "missing series: $series"; exit 1; }
 done
-curl -sf "http://$addr/metrics.json" | grep -q '"scheme"' || { echo "/metrics.json empty"; exit 1; }
+jsonok=""
+for _ in $(seq 1 25); do
+  curl -sf "http://$addr/metrics.json" 2>/dev/null | grep -q '"scheme"' && { jsonok=1; break; }
+  sleep 0.2
+done
+[ -n "$jsonok" ] || { echo "/metrics.json empty"; exit 1; }
 kill "$obspid" 2>/dev/null || true
 wait "$obspid" 2>/dev/null || true
 grep -q '"scheme":"HE"' "$obstmp/pending.jsonl" || { echo "sampler JSONL empty"; exit 1; }
