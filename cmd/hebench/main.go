@@ -49,6 +49,8 @@ func main() {
 		offload = flag.Int("offload", 0, "background reclaimer goroutines per domain (0 = inline reclamation)")
 		offWm   = flag.Int64("offload-watermark", 0, "offload backpressure watermark in pending bytes (0 = 8x the inline scan-threshold footprint)")
 		valsize = flag.String("valsize", "0", "per-key []byte payload size: 0 = word values (off), N = fixed N bytes, zipf:N = skewed sizes in [8,N]")
+		trace   = flag.String("trace", "", "sampled per-ref lifecycle tracing: \"all\" = every allocation, N = 1 in 2^N (adds reclamation-age and pinned-ref telemetry to /metrics.json and span lines to -sample)")
+		monitor = flag.Bool("monitor", false, "run the online health monitor: invariant alerts at /alerts.json and smr_alerts_*, alert lines to -sample")
 	)
 	flag.Parse()
 
@@ -63,27 +65,49 @@ func main() {
 	}
 	bench.SetValSizer(sizer)
 
-	if *metrics != "" || *sample != "" {
+	if *trace != "" {
+		tc, err := bench.ParseTrace(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bench.SetObsTrace(tc)
+	}
+
+	if *metrics != "" || *sample != "" || *trace != "" || *monitor {
 		hub := obs.NewHub()
 		bench.SetObsHub(hub)
+		// Close stops the monitor, flushes and stops the sampler, and joins
+		// the metrics server — in that order, so shutdown alerts still reach
+		// the sample file. Runs after the final sample and the -hold window.
+		defer hub.Close()
 		if *metrics != "" {
-			addr, stopSrv, err := hub.Serve(*metrics)
+			addr, _, err := hub.Serve(*metrics)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("metrics: http://%s/metrics\n", addr)
-			defer stopSrv()
 			defer time.Sleep(*hold)
 		}
+		var smp *obs.Sampler
 		if *sample != "" {
-			smp, err := obs.StartFileSampler(*sample, *every, hub.Domains)
+			var err error
+			smp, err = obs.StartFileSampler(*sample, *every, hub.Domains)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sample: %v\n", err)
 				os.Exit(1)
 			}
-			defer smp.Stop()
+			hub.SetSampler(smp)
 			defer func() { smp.Sample(hub.Domains()) }()
+		}
+		if *monitor {
+			mon := obs.NewMonitor(obs.MonitorConfig{}, hub.Domains)
+			if smp != nil {
+				mon.SetOnAlert(smp.WriteAlert)
+			}
+			hub.SetMonitor(mon)
+			mon.Start()
 		}
 	}
 

@@ -1,8 +1,11 @@
 // Command hemon is a terminal monitor for the observability endpoint that
 // hebench/hestress serve with -metrics. It polls /metrics.json (and, with
 // -events, /events.json) and renders a per-scheme dashboard: reclamation
-// counters, the robustness gauges (pending, era lag, stalled sessions) and
-// sampled latency quantiles for the protect/retire/scan paths.
+// counters, the robustness gauges (pending, era lag, stalled sessions),
+// sampled latency quantiles for the protect/retire/scan paths, and — when
+// the endpoint runs with -trace/-monitor — reclamation-age quantiles, the
+// longest-pinned table, scheme-deep gauges, and the health monitor's
+// active alerts and transition log (/alerts.json).
 //
 // Usage:
 //
@@ -63,22 +66,62 @@ func render(client *http.Client, addr string, events int) (string, error) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "smr observability — %s — %s\n\n", addr, time.Now().Format("15:04:05"))
-	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %8s %9s %8s %8s\n",
-		"scheme", "retired", "freed", "pending", "pend-bytes", "scans", "era-clock", "lag-max", "stalled")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %8s %9s %8s %8s %8s\n",
+		"scheme", "retired", "freed", "pending", "pend-bytes", "scans", "era-clock", "lag-max", "stalled", "dropped")
 	for _, s := range snaps {
 		lag, stalled := "-", "-"
 		if s.HasEras {
 			lag = fmt.Sprintf("%d", s.EraLagMax)
 			stalled = fmt.Sprintf("%d", s.Stalled)
 		}
-		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12d %8d %9d %8s %8s\n",
-			s.Scheme, s.Retired, s.Freed, s.Pending, s.PendingBytes, s.Scans, s.EraClock, lag, stalled)
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %12d %8d %9d %8s %8s %8d\n",
+			s.Scheme, s.Retired, s.Freed, s.Pending, s.PendingBytes, s.Scans, s.EraClock, lag, stalled, s.Dropped)
 	}
 
 	fmt.Fprintf(&b, "\n%-10s %-26s %-26s %-26s\n", "latency", "protect p50/p99/max", "retire p50/p99/max", "scan p50/p99/max")
 	for _, s := range snaps {
 		fmt.Fprintf(&b, "%-10s %-26s %-26s %-26s\n",
 			s.Scheme, quantiles(s.Protect), quantiles(s.Retire), quantiles(s.Scan))
+	}
+
+	// Lifecycle tracer: only schemes running with -trace carry the
+	// reclamation-age histogram (retire→free latency — the runtime form of
+	// the Equation-1 bound) and the longest-pinned table.
+	var traceRows []obs.DomainSnapshot
+	for _, s := range snaps {
+		if s.HasTrace {
+			traceRows = append(traceRows, s)
+		}
+	}
+	if len(traceRows) > 0 {
+		fmt.Fprintf(&b, "\n%-10s %-26s %12s %8s %8s\n",
+			"tracer", "reclaim-age p50/p99/max", "aged-spans", "live", "pinned")
+		for _, s := range traceRows {
+			fmt.Fprintf(&b, "%-10s %-26s %12d %8d %8d\n",
+				s.Scheme, quantiles(s.ReclaimAge), s.ReclaimAge.Count, s.TraceLive, len(s.Pinned))
+		}
+		for _, s := range traceRows {
+			if len(s.Pinned) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n%s longest-pinned refs:\n", s.Scheme)
+			for _, p := range s.Pinned {
+				holders := "-"
+				if len(p.Holders) > 0 {
+					var parts []string
+					for _, h := range p.Holders {
+						parts = append(parts, fmt.Sprintf("s%d@era%d", h.Session, h.Era))
+					}
+					holders = strings.Join(parts, " ")
+				}
+				if p.BirthEra != 0 || p.RetireEra != 0 {
+					fmt.Fprintf(&b, "  ref %#x  age %s  eras [%d,%d]  held by %s\n",
+						p.Ref, ns(p.AgeNs), p.BirthEra, p.RetireEra, holders)
+				} else {
+					fmt.Fprintf(&b, "  ref %#x  age %s  held by %s\n", p.Ref, ns(p.AgeNs), holders)
+				}
+			}
+		}
 	}
 
 	// Background-reclamation pipeline: only schemes running with offload
@@ -143,6 +186,67 @@ func render(client *http.Client, addr string, events int) (string, error) {
 				fmt.Fprintf(&b, " [s%d lag=%d%s]", se.Session, se.Lag, mark)
 			}
 			fmt.Fprintln(&b)
+		}
+	}
+
+	// Scheme-deep gauges: whatever the scheme registered beyond the generic
+	// reclamation set — Hyaline handoff stacks and batch ages, WFE helping
+	// counters, per-worker offload queue depths.
+	for _, s := range snaps {
+		if len(s.SchemeMetrics) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s scheme metrics:\n", s.Scheme)
+		for _, m := range s.SchemeMetrics {
+			if m.Label != "" {
+				var parts []string
+				for _, lv := range m.Values {
+					parts = append(parts, fmt.Sprintf("%s=%s=%d", m.Label, lv.Label, lv.Value))
+				}
+				if len(parts) == 0 {
+					parts = append(parts, "-")
+				}
+				fmt.Fprintf(&b, "  %-36s %s\n", m.Name, strings.Join(parts, " "))
+			} else if strings.HasSuffix(m.Name, "_ns") {
+				fmt.Fprintf(&b, "  %-36s %s\n", m.Name, ns(m.Value))
+			} else {
+				fmt.Fprintf(&b, "  %-36s %d\n", m.Name, m.Value)
+			}
+		}
+	}
+
+	// Health monitor: /alerts.json always exists on the endpoint and returns
+	// empty slices when no monitor is attached, so this panel simply stays
+	// blank in that case.
+	var alerts struct {
+		Status []obs.AlertStatus `json:"status"`
+		Log    []obs.Alert       `json:"log"`
+	}
+	if err := getJSON(client, "http://"+addr+"/alerts.json", &alerts); err == nil {
+		var active []obs.AlertStatus
+		for _, st := range alerts.Status {
+			if st.Active {
+				active = append(active, st)
+			}
+		}
+		if len(active) > 0 {
+			fmt.Fprintf(&b, "\nACTIVE ALERTS:\n")
+			for _, st := range active {
+				fmt.Fprintf(&b, "  %-10s %-18s value=%d threshold=%d (raised %d, cleared %d)\n",
+					st.Scheme, st.Invariant, st.Value, st.Threshold, st.Raises, st.Clears)
+			}
+		}
+		if n := len(alerts.Log); n > 0 {
+			const last = 8
+			lo := n - last
+			if lo < 0 {
+				lo = 0
+			}
+			fmt.Fprintf(&b, "\nalert log (last %d of %d):\n", n-lo, n)
+			for _, a := range alerts.Log[lo:] {
+				fmt.Fprintf(&b, "  %10.3fs  %-5s %-10s %-18s value=%d threshold=%d %s\n",
+					float64(a.TMillis)/1e3, strings.ToUpper(a.State), a.Scheme, a.Invariant, a.Value, a.Threshold, a.Detail)
+			}
 		}
 	}
 

@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"fmt"
+	"strconv"
+
 	"repro/internal/core"
 	"repro/internal/ebr"
 	"repro/internal/hp"
@@ -39,6 +42,39 @@ func SetObsHub(hub *obs.Hub) { obsHub = hub }
 // ObsHub returns the hub installed by SetObsHub, or nil.
 func ObsHub() *obs.Hub { return obsHub }
 
+// obsTrace is the lifecycle-tracing configuration applied to every obs
+// domain the schemes below construct; the zero value (Enabled false) keeps
+// tracing off even when a hub is installed.
+var obsTrace obs.TraceConfig
+
+// SetObsTrace turns sampled per-ref lifecycle tracing on for all
+// subsequently constructed scheme domains (zero value turns it back off).
+// Only takes effect alongside SetObsHub; same construction-time-only
+// discipline.
+func SetObsTrace(tc obs.TraceConfig) { obsTrace = tc }
+
+// ObsTrace returns the tracing configuration installed by SetObsTrace.
+func ObsTrace() obs.TraceConfig { return obsTrace }
+
+// ParseTrace parses the drivers' -trace flag: "" is off, "all" traces every
+// allocation, and a number N samples one allocation in 2^N.
+func ParseTrace(s string) (obs.TraceConfig, error) {
+	switch s {
+	case "":
+		return obs.TraceConfig{}, nil
+	case "all":
+		return obs.TraceConfig{Enabled: true, SampleAll: true}, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 32 {
+		return obs.TraceConfig{}, fmt.Errorf("bad -trace value %q: want \"all\" or a sample shift in 0..32", s)
+	}
+	if n == 0 {
+		return obs.TraceConfig{Enabled: true, SampleAll: true}, nil
+	}
+	return obs.TraceConfig{Enabled: true, SampleShift: uint(n)}, nil
+}
+
 // offloadCfg, when Workers > 0, is applied to every subsequently constructed
 // scheme domain: retired batches go to that many background reclaimer
 // goroutines per domain instead of being scanned inline (reclaim's offload
@@ -69,7 +105,7 @@ func scheme(name string, mk Factory) Scheme {
 		d := mk(a, c)
 		if hub := obsHub; hub != nil {
 			if oc, ok := d.(obsCapable); ok {
-				od := obs.NewDomain(name, obs.Config{Sessions: c.Defaulted().MaxThreads})
+				od := obs.NewDomain(name, obs.Config{Sessions: c.Defaulted().MaxThreads, Trace: obsTrace})
 				oc.EnableObs(od)
 				hub.Attach(od)
 			}

@@ -157,7 +157,9 @@ func (d *Eras) Era() uint64 { return d.eraClock.Load() }
 // object. The paper requires this before the object is inserted into the
 // data structure ("which can be easily done in the constructor of T").
 func (d *Eras) OnAlloc(ref mem.Ref) {
-	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+	e := d.eraClock.Load()
+	d.Alloc.Header(ref).BirthEra = e
+	d.TraceAlloc(ref, e)
 }
 
 // BeginOp implements reclaim.Domain; pointer-based schemes need no

@@ -70,7 +70,7 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 func (d *Domain) Name() string { return "EBR" }
 
 // OnAlloc implements reclaim.Domain; EBR needs no birth stamp.
-func (d *Domain) OnAlloc(ref mem.Ref) {}
+func (d *Domain) OnAlloc(ref mem.Ref) { d.TraceAlloc(ref, 0) }
 
 // BeginOp announces the current global epoch and marks the session active.
 // This is the only reader-side synchronization: one load and one store per

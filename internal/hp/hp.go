@@ -72,7 +72,7 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config, opts ...Option) *Pointers 
 func (d *Pointers) Name() string { return "HP" }
 
 // OnAlloc implements reclaim.Domain; HP needs no birth stamp.
-func (d *Pointers) OnAlloc(ref mem.Ref) {}
+func (d *Pointers) OnAlloc(ref mem.Ref) { d.TraceAlloc(ref, 0) }
 
 // BeginOp implements reclaim.Domain; no per-operation entry protocol.
 func (d *Pointers) BeginOp(h *reclaim.Handle) {}

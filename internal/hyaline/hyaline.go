@@ -76,11 +76,13 @@
 package hyaline
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 )
@@ -95,7 +97,11 @@ const noneEra = 0
 type batch struct {
 	refs     []mem.Ref
 	minBirth uint64
-	rc       atomic.Int64
+	// sealT is the obs.Now() timestamp at sealing, stamped only when the
+	// domain has observability attached (0 otherwise); the batch-age gauges
+	// read it. Immutable after scan publishes the batch.
+	sealT int64
+	rc    atomic.Int64
 }
 
 // handNode links one batch into one session's handoff stack.
@@ -154,6 +160,10 @@ type Domain struct {
 	advanceEvery uint64
 	robust       bool
 	mutation     TestingMutation
+
+	// handoffs counts handoff-stack insertions across all scans — the
+	// scheme-deep telemetry counter behind smr_hyaline_handoff_total.
+	handoffs atomic.Int64
 }
 
 var (
@@ -227,7 +237,9 @@ func (d *Domain) Era() uint64 { return d.eraClock.Load() }
 // OnAlloc stamps the birth era (identical to Hazard Eras); the robust
 // handoff filter tests against it.
 func (d *Domain) OnAlloc(ref mem.Ref) {
-	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+	e := d.eraClock.Load()
+	d.Alloc.Header(ref).BirthEra = e
+	d.TraceAlloc(ref, e)
 }
 
 // Register opens a session and materializes its handoff anchor.
@@ -428,6 +440,11 @@ func (d *Domain) scan(h *reclaim.Handle) {
 			b.minBirth = e
 		}
 	}
+	if d.Obs() != nil {
+		// Seal timestamp for the batch-age gauges; stamped only with obs
+		// attached so the production scan never reads the clock.
+		b.sealT = obs.Now()
+	}
 
 	var inserted int64
 	for _, st := range *d.hand.Load() {
@@ -458,6 +475,15 @@ func (d *Domain) scan(h *reclaim.Handle) {
 				inserted++
 				break
 			}
+		}
+	}
+	d.handoffs.Add(inserted)
+	if inserted > 0 {
+		// Sampled lifecycle spans: every traced ref in the batch changed
+		// hands to `inserted` receiving sessions. One nil-gated call per ref,
+		// only on the amortized-rare scan path.
+		for _, ref := range refs {
+			h.TraceHandoff(ref, uint64(inserted))
 		}
 	}
 	if b.rc.Add(inserted) == 0 {
@@ -510,4 +536,97 @@ func (d *Domain) Stats() reclaim.Stats {
 	s := d.BaseStats()
 	s.EraClock = d.eraClock.Load()
 	return s
+}
+
+// EnableObs attaches observability and registers the scheme-deep metric
+// source on top of the substrate's gauges: handoff-stack depths and batch
+// ages are Hyaline's own health signals (a deep stack or an old batch is a
+// receiver not leaving its critical section) and no substrate counter can
+// see them.
+func (d *Domain) EnableObs(od *obs.Domain) {
+	d.Base.EnableObs(od)
+	od.AddSchemeSource(d.schemeMetrics)
+}
+
+// schemeMetrics snapshots the handoff-stack telemetry. Called from the obs
+// domain's Snapshot path (collection cadence, not hot path). The walk is
+// safe against concurrent retirers and leavers: a loaded head's chain is
+// immutable (nodes fully written before the publishing CAS; EndOp detaches
+// by swap and never edits next pointers), and only pointer identity and the
+// immutable sealT are read from batches — never refs, which may already be
+// freed by the time the walk reaches an old node.
+func (d *Domain) schemeMetrics() []obs.SchemeMetric {
+	now := obs.Now()
+	var (
+		depths   []obs.LabeledValue
+		maxDepth int64
+		ageMax   int64
+		ageSum   int64
+	)
+	seen := make(map[*batch]struct{})
+	for id, st := range *d.hand.Load() {
+		if st == nil {
+			continue
+		}
+		depth := int64(0)
+		for n := st.head.Load(); n != nil && n != inactiveNode; n = n.next {
+			depth++
+			if _, dup := seen[n.b]; !dup {
+				seen[n.b] = struct{}{}
+				if t := n.b.sealT; t > 0 {
+					if age := now - t; age > 0 {
+						if age > ageMax {
+							ageMax = age
+						}
+						ageSum += age
+					}
+				}
+			}
+		}
+		if depth > 0 {
+			depths = append(depths, obs.LabeledValue{Label: strconv.Itoa(id), Value: depth})
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	return []obs.SchemeMetric{
+		{
+			Name:   "smr_hyaline_handoff_depth",
+			Help:   "Undrained handoff-stack depth per session (batches awaiting the receiver's EndOp).",
+			Kind:   "gauge",
+			Label:  "session",
+			Values: depths,
+		},
+		{
+			Name:  "smr_hyaline_handoff_depth_max",
+			Help:  "Deepest per-session handoff stack (batches).",
+			Kind:  "gauge",
+			Value: maxDepth,
+		},
+		{
+			Name:  "smr_hyaline_handoff_total",
+			Help:  "Handoff-stack insertions across all distribution walks.",
+			Kind:  "counter",
+			Value: d.handoffs.Load(),
+		},
+		{
+			Name:  "smr_hyaline_batches_inflight",
+			Help:  "Distinct sealed batches currently held on handoff stacks.",
+			Kind:  "gauge",
+			Value: int64(len(seen)),
+		},
+		{
+			Name:  "smr_hyaline_batch_age_max_ns",
+			Help:  "Age of the oldest sealed batch still on a handoff stack.",
+			Kind:  "gauge",
+			Value: ageMax,
+		},
+		{
+			Name:  "smr_hyaline_batch_age_sum_ns",
+			Help:  "Summed age of sealed batches on handoff stacks (with smr_hyaline_batches_inflight, the mean batch age).",
+			Kind:  "gauge",
+			Value: ageSum,
+		},
+	}
 }

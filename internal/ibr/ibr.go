@@ -97,7 +97,9 @@ func (d *Domain) Era() uint64 { return d.eraClock.Load() }
 
 // OnAlloc stamps the birth era (identical to Hazard Eras).
 func (d *Domain) OnAlloc(ref mem.Ref) {
-	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+	e := d.eraClock.Load()
+	d.Alloc.Header(ref).BirthEra = e
+	d.TraceAlloc(ref, e)
 }
 
 // BeginOp opens the interval: both bounds seeded with the current era.

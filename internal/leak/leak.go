@@ -32,7 +32,7 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 func (d *Domain) Name() string { return "NONE" }
 
 // OnAlloc implements reclaim.Domain.
-func (d *Domain) OnAlloc(ref mem.Ref) {}
+func (d *Domain) OnAlloc(ref mem.Ref) { d.TraceAlloc(ref, 0) }
 
 // BeginOp implements reclaim.Domain.
 func (d *Domain) BeginOp(h *reclaim.Handle) {}

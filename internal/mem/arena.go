@@ -102,6 +102,13 @@ type Arena[T any] struct {
 	reuses   atomic.Int64
 	faults   atomic.Int64
 	peakLive atomicx.HighWaterMark
+
+	// allocHook, when installed via SetAllocHook, observes every allocation
+	// (typed and byte-class) with the shard it was served on (-1 for the
+	// shared path). Nil in production: each alloc path pays one untaken
+	// branch, matching the repo's nil-gated observability discipline. The
+	// lifecycle tracer uses it as the alloc-time sampling point.
+	allocHook func(shard int, ref Ref)
 }
 
 // Option configures an Arena.
@@ -178,6 +185,12 @@ func NewArena[T any](opts ...Option[T]) *Arena[T] {
 // Checked reports whether generation validation is enabled.
 func (a *Arena[T]) Checked() bool { return a.checked }
 
+// SetAllocHook installs the allocation observer (wiring time only, before
+// the arena is shared: the field is read without synchronization on the
+// alloc fast paths). reclaim.Base.EnableObs installs the lifecycle
+// tracer's sampling point here.
+func (a *Arena[T]) SetAllocHook(fn func(shard int, ref Ref)) { a.allocHook = fn }
+
 // SlotBytes returns the memory footprint of one arena slot (header +
 // freelist link + value, including alignment padding). The observability
 // layer multiplies pending node counts by it to report pending bytes.
@@ -208,10 +221,16 @@ func (a *Arena[T]) Alloc() (Ref, *T) {
 		s.hdr.resetForAlloc()
 		a.reuses.Add(1)
 		a.noteAlloc()
+		if h := a.allocHook; h != nil {
+			h(-1, ref)
+		}
 		return ref, &s.val
 	}
 	ref, p := a.allocFresh()
 	a.noteAlloc()
+	if h := a.allocHook; h != nil {
+		h(-1, ref)
+	}
 	return ref, p
 }
 
@@ -278,6 +297,9 @@ func (a *Arena[T]) AllocAt(shard int) (Ref, *T) {
 		// Live, so folding the peak here (not on magazine hits) keeps the
 		// fast path cheap without losing the high-water mark.
 		a.observePeakLive()
+		if h := a.allocHook; h != nil {
+			h(shard, ref)
+		}
 		return ref, p
 	}
 	sh.n--
@@ -287,6 +309,9 @@ func (a *Arena[T]) AllocAt(shard int) (Ref, *T) {
 	s := a.slotAt(ref.Index())
 	s.hdr.resetForAlloc()
 	sh.allocs.Add(1)
+	if h := a.allocHook; h != nil {
+		h(shard, ref)
+	}
 	return ref, &s.val
 }
 
@@ -555,7 +580,11 @@ func (a *Arena[T]) AllocBytesAt(shard, n int) (Ref, []byte) {
 		a.fault(fmt.Sprintf("byte allocation of %d bytes exceeds MaxPayload %d", n, MaxPayload))
 		return NilRef, nil
 	}
-	return a.bytes.allocAt(shard, class, n)
+	ref, p := a.bytes.allocAt(shard, class, n)
+	if h := a.allocHook; h != nil && !ref.IsNil() {
+		h(shard, ref)
+	}
+	return ref, p
 }
 
 // PutBytesAt allocates a byte payload holding a copy of p.

@@ -15,15 +15,64 @@ import (
 
 // Hub aggregates the observability domains of a process and exports them
 // over HTTP: Prometheus text format on /metrics, snapshot JSON on
-// /metrics.json, the merged flight recorder on /events.json, expvar on
-// /debug/vars and the standard pprof handlers under /debug/pprof/.
+// /metrics.json, the merged flight recorder on /events.json, health alerts
+// on /alerts.json, expvar on /debug/vars and the standard pprof handlers
+// under /debug/pprof/. A hub optionally owns a Monitor and a Sampler so
+// one Close tears the whole observability plane down deterministically.
 type Hub struct {
 	mu      sync.Mutex
 	domains []*Domain
+	mon     *Monitor
+	sampler *Sampler
+	stops   []func()
 }
 
 // NewHub returns an empty hub.
 func NewHub() *Hub { return &Hub{} }
+
+// SetMonitor hands the health monitor to the hub: /alerts.json and the
+// smr_alerts_* series read from it, and Close stops it.
+func (h *Hub) SetMonitor(m *Monitor) {
+	h.mu.Lock()
+	h.mon = m
+	h.mu.Unlock()
+}
+
+// Monitor returns the attached health monitor, nil if none.
+func (h *Hub) Monitor() *Monitor {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mon
+}
+
+// SetSampler hands the JSONL sampler to the hub so Close flushes and stops
+// it after the monitor (alerts fired during shutdown still land on disk).
+func (h *Hub) SetSampler(s *Sampler) {
+	h.mu.Lock()
+	h.sampler = s
+	h.mu.Unlock()
+}
+
+// Close tears down everything the hub owns, in dependency order and
+// deterministically: the monitor first (its goroutine joins, so no alert
+// fires afterwards), then the sampler (flushes and joins), then every HTTP
+// server Serve started (each stop joins its serve goroutine). Safe to call
+// twice; components the driver never attached are skipped.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	mon, smp, stops := h.mon, h.sampler, h.stops
+	h.mon, h.sampler, h.stops = nil, nil, nil
+	h.mu.Unlock()
+	if mon != nil {
+		mon.Stop()
+	}
+	if smp != nil {
+		smp.Stop()
+	}
+	for _, stop := range stops {
+		stop()
+	}
+}
 
 // Attach registers a domain, replacing any previous domain with the same
 // name (benchmark drivers rebuild per-scheme domains between phases).
@@ -62,6 +111,7 @@ func (h *Hub) Handler() http.Handler {
 	mux.HandleFunc("/metrics", h.serveMetrics)
 	mux.HandleFunc("/metrics.json", h.serveJSON)
 	mux.HandleFunc("/events.json", h.serveEvents)
+	mux.HandleFunc("/alerts.json", h.serveAlerts)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -82,8 +132,22 @@ func (h *Hub) Serve(addr string) (string, func(), error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	stop := func() { _ = srv.Close() }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			_ = srv.Close()
+			wg.Wait()
+		})
+	}
+	h.mu.Lock()
+	h.stops = append(h.stops, stop)
+	h.mu.Unlock()
 	return ln.Addr().String(), stop, nil
 }
 
@@ -139,9 +203,34 @@ func (h *Hub) serveEvents(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(out)
 }
 
+func (h *Hub) serveAlerts(w http.ResponseWriter, _ *http.Request) {
+	type alertsView struct {
+		Status []AlertStatus `json:"status"`
+		Log    []Alert       `json:"log"`
+	}
+	var view alertsView
+	if m := h.Monitor(); m != nil {
+		view.Status = m.Status()
+		view.Log = m.Log()
+	}
+	if view.Status == nil {
+		view.Status = []AlertStatus{}
+	}
+	if view.Log == nil {
+		view.Log = []Alert{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(view)
+}
+
 func (h *Hub) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteMetrics(w, h.Snapshots())
+	if m := h.Monitor(); m != nil {
+		WriteAlertMetrics(w, m.Status())
+	}
 }
 
 // WriteMetrics renders snapshots in the Prometheus text exposition format.
@@ -160,6 +249,7 @@ func WriteMetrics(w io.Writer, snaps []DomainSnapshot) {
 			fmt.Fprintf(w, "%s{scheme=%q} %d\n", name, s.Scheme, val(s))
 		}
 	}
+	counter("smr_obs_dropped_total", "Observability records lost: flight-recorder overwrites, tracer cap losses, sampler failures.", func(s DomainSnapshot) int64 { return s.Dropped })
 	counter("smr_retired_total", "Nodes retired into reclamation domains.", func(s DomainSnapshot) int64 { return s.Retired })
 	counter("smr_freed_total", "Nodes returned to the allocator.", func(s DomainSnapshot) int64 { return s.Freed })
 	counter("smr_scans_total", "Reclamation scans executed.", func(s DomainSnapshot) int64 { return s.Scans })
@@ -225,10 +315,96 @@ func WriteMetrics(w io.Writer, snaps []DomainSnapshot) {
 	classGauge("smr_arena_class_spills_total", "Magazine-to-freelist batch spills per size class.", "counter", func(c ArenaClass) int64 { return c.Spills })
 	classGauge("smr_arena_class_refills_total", "Freelist-to-magazine batch refills per size class.", "counter", func(c ArenaClass) int64 { return c.Refills })
 
+	// Equation-1 budget and lifecycle-tracer series: the budget gauge is
+	// emitted when the reclaim wiring installed one; the reclamation-age
+	// histogram and live-span gauges only for domains tracing lifecycles.
+	fmt.Fprintf(w, "# HELP smr_budget_bytes Equation-1 pending-bytes budget installed by the reclaim wiring.\n# TYPE smr_budget_bytes gauge\n")
+	for _, s := range snaps {
+		if s.BudgetBytes > 0 {
+			fmt.Fprintf(w, "smr_budget_bytes{scheme=%q} %d\n", s.Scheme, s.BudgetBytes)
+		}
+	}
+	fmt.Fprintf(w, "# HELP smr_trace_live_spans Open lifecycle spans in the per-ref tracer.\n# TYPE smr_trace_live_spans gauge\n")
+	for _, s := range snaps {
+		if s.HasTrace {
+			fmt.Fprintf(w, "smr_trace_live_spans{scheme=%q} %d\n", s.Scheme, int64(s.TraceLive))
+		}
+	}
+
+	// Scheme-deep series (Hyaline handoff depths, WFE helping counters,
+	// per-worker offload queues): names come from the snapshots themselves,
+	// grouped so HELP/TYPE headers are emitted once per series.
+	type schemeSample struct {
+		scheme string
+		m      SchemeMetric
+	}
+	var names []string
+	grouped := map[string][]schemeSample{}
+	for _, s := range snaps {
+		for _, m := range s.SchemeMetrics {
+			if _, ok := grouped[m.Name]; !ok {
+				names = append(names, m.Name)
+			}
+			grouped[m.Name] = append(grouped[m.Name], schemeSample{s.Scheme, m})
+		}
+	}
+	for _, name := range names {
+		samples := grouped[name]
+		kind := samples[0].m.Kind
+		if kind == "" {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, samples[0].m.Help, name, kind)
+		for _, ss := range samples {
+			if ss.m.Label != "" && len(ss.m.Values) > 0 {
+				for _, lv := range ss.m.Values {
+					fmt.Fprintf(w, "%s{scheme=%q,%s=%q} %d\n", name, ss.scheme, ss.m.Label, lv.Label, lv.Value)
+				}
+			} else {
+				fmt.Fprintf(w, "%s{scheme=%q} %d\n", name, ss.scheme, ss.m.Value)
+			}
+		}
+	}
+
 	writeHist(w, "smr_protect_latency_ns", "Sampled protect-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Protect })
 	writeHist(w, "smr_retire_latency_ns", "Sampled retire-path latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Retire })
 	writeHist(w, "smr_scan_latency_ns", "Reclamation scan latency.", snaps, func(s DomainSnapshot) HistSnapshot { return s.Scan })
 	writeHist(w, "smr_offload_latency_ns", "Handoff-to-reclaimed latency of offloaded batches.", snaps, func(s DomainSnapshot) HistSnapshot { return s.OffloadLat })
+
+	fmt.Fprintf(w, "# HELP smr_reclaim_age_ns Retire-to-free latency of traced refs (the live Equation-1 reading).\n# TYPE smr_reclaim_age_ns histogram\n")
+	for _, s := range snaps {
+		if !s.HasTrace {
+			continue
+		}
+		hs := s.ReclaimAge
+		var cum int64
+		for b, n := range hs.Buckets {
+			cum += n
+			fmt.Fprintf(w, "smr_reclaim_age_ns_bucket{scheme=%q,le=\"%d\"} %d\n", s.Scheme, BucketUpper(b), cum)
+		}
+		fmt.Fprintf(w, "smr_reclaim_age_ns_bucket{scheme=%q,le=\"+Inf\"} %d\n", s.Scheme, hs.Count)
+		fmt.Fprintf(w, "smr_reclaim_age_ns_sum{scheme=%q} %d\n", s.Scheme, hs.Sum)
+		fmt.Fprintf(w, "smr_reclaim_age_ns_count{scheme=%q} %d\n", s.Scheme, hs.Count)
+	}
+}
+
+// WriteAlertMetrics renders the health monitor's hysteresis states as
+// Prometheus series: lifetime raise/clear counters and the active gauge
+// per (scheme, invariant).
+func WriteAlertMetrics(w io.Writer, status []AlertStatus) {
+	fmt.Fprintf(w, "# HELP smr_alerts_total Health-alert transitions by state.\n# TYPE smr_alerts_total counter\n")
+	for _, st := range status {
+		fmt.Fprintf(w, "smr_alerts_total{scheme=%q,invariant=%q,state=\"raise\"} %d\n", st.Scheme, st.Invariant, st.Raises)
+		fmt.Fprintf(w, "smr_alerts_total{scheme=%q,invariant=%q,state=\"clear\"} %d\n", st.Scheme, st.Invariant, st.Clears)
+	}
+	fmt.Fprintf(w, "# HELP smr_alert_active Health invariants currently in the raised state.\n# TYPE smr_alert_active gauge\n")
+	for _, st := range status {
+		v := 0
+		if st.Active {
+			v = 1
+		}
+		fmt.Fprintf(w, "smr_alert_active{scheme=%q,invariant=%q} %d\n", st.Scheme, st.Invariant, v)
+	}
 }
 
 func writeHist(w io.Writer, name, help string, snaps []DomainSnapshot, sel func(DomainSnapshot) HistSnapshot) {

@@ -42,6 +42,8 @@ package obs
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -73,6 +75,10 @@ type Config struct {
 	// session whose published era trails the global clock by at least this
 	// many eras is counted in the Stalled gauge. Default 1024.
 	StallEras uint64
+	// Trace enables and sizes the sampled per-ref lifecycle tracer
+	// (trace.go). Disabled by default: every trace hook in reclaim stays a
+	// single untaken nil-pointer branch.
+	Trace TraceConfig
 }
 
 func (c Config) defaulted() Config {
@@ -141,6 +147,27 @@ type OffloadStats struct {
 	Fallbacks      int64 `json:"fallbacks"`
 }
 
+// LabeledValue is one labelled sample of a scheme-deep metric (e.g. the
+// handoff depth of one session, the queue depth of one worker).
+type LabeledValue struct {
+	Label string `json:"label"`
+	Value int64  `json:"value"`
+}
+
+// SchemeMetric is one scheme-deep gauge or counter a domain exports beyond
+// the generic reclamation set: Hyaline handoff-stack depths and batch
+// ages, WFE helping counters, per-worker offload queue depths. Name is the
+// full Prometheus series name (smr_*); Kind is "counter" or "gauge". A
+// metric carries either a single Value or per-Label Values.
+type SchemeMetric struct {
+	Name   string         `json:"name"`
+	Help   string         `json:"help,omitempty"`
+	Kind   string         `json:"kind"`
+	Label  string         `json:"label,omitempty"`
+	Value  int64          `json:"value"`
+	Values []LabeledValue `json:"values,omitempty"`
+}
+
 // Domain is one reclamation domain's observability state. It is built by
 // NewDomain, configured by the reclaim wiring (SetStatsSource, SetEraSource,
 // SetObjectBytes) and attached to a Hub for export. All recording entry
@@ -158,6 +185,9 @@ type Domain struct {
 	scan    *Histogram
 	offload *Histogram // handoff-to-reclaimed latency (offload pipeline)
 
+	// Per-ref lifecycle tracer; nil unless cfg.Trace.Enabled.
+	tracer *Tracer
+
 	// Installed by reclaim.Base.EnableObs; read by snapshots only.
 	stats    func() Stats
 	clock    func() uint64
@@ -165,6 +195,14 @@ type Domain struct {
 	offStats func() OffloadStats
 	classes  func() []ArenaClass
 	objBytes uint64
+	budget   int64
+
+	srcMu      sync.Mutex
+	schemeSrcs []func() []SchemeMetric
+
+	// extDrops counts observability losses recorded outside the ring and
+	// tracer (e.g. sampler marshal failures), folded into Dropped.
+	extDrops atomic.Int64
 }
 
 // NewDomain builds the observability state for one reclamation domain.
@@ -187,6 +225,9 @@ func NewDomain(name string, cfg Config) *Domain {
 	}
 	for i := range d.rings {
 		d.rings[i].init(cfg.RingEvents)
+	}
+	if cfg.Trace.Enabled {
+		d.tracer = newTracer(cfg.Trace, cfg.Sessions)
 	}
 	return d
 }
@@ -244,6 +285,29 @@ func (d *Domain) SetOffloadSource(fn func() OffloadStats) { d.offStats = fn }
 // ClassStats). Domains without one export no smr_arena_class_* series.
 func (d *Domain) SetClassSource(fn func() []ArenaClass) { d.classes = fn }
 
+// Tracer returns the per-ref lifecycle tracer, nil unless Config.Trace
+// enabled one. Hot paths cache the pointer and branch on nil.
+func (d *Domain) Tracer() *Tracer { return d.tracer }
+
+// SetBudget records the domain's Equation-1 pending-bytes budget (wiring
+// time only): the bound on unreclaimed memory the scheme's parameters
+// promise. The health monitor alerts when PendingBytes exceeds it.
+func (d *Domain) SetBudget(bytes int64) { d.budget = bytes }
+
+// AddSchemeSource appends a scheme-deep metric closure, folded into every
+// snapshot. Schemes install these from their EnableObs overrides; the
+// reclaim wiring adds the offload per-worker depths the same way.
+func (d *Domain) AddSchemeSource(fn func() []SchemeMetric) {
+	d.srcMu.Lock()
+	d.schemeSrcs = append(d.schemeSrcs, fn)
+	d.srcMu.Unlock()
+}
+
+// NoteDropped counts n observability records lost outside the ring and
+// tracer paths (the sampler calls it on marshal failures). Folded into the
+// snapshot's Dropped total.
+func (d *Domain) NoteDropped(n int64) { d.extDrops.Add(n) }
+
 // SessionEra is one session's published-era reading in a snapshot.
 type SessionEra struct {
 	Session int    `json:"session"`
@@ -280,6 +344,37 @@ type DomainSnapshot struct {
 	// Per-size-class arena gauges; present only when the allocator exposes
 	// class accounting (mem arenas with WithByteClasses, plus class 0).
 	Classes []ArenaClass `json:"classes,omitempty"`
+
+	// BudgetBytes is the Equation-1 pending-bytes budget installed by the
+	// reclaim wiring; 0 when no budget was set.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+
+	// Dropped totals observability records lost since attach: ring
+	// overwrites, tracer cap losses and external (sampler) drops. The
+	// flight recorder is a ring by design, so a non-zero reading means
+	// "the window slid", not data corruption — but it is now visible.
+	Dropped int64 `json:"dropped_events"`
+
+	// Lifecycle-tracer views; present only when tracing is enabled.
+	HasTrace   bool         `json:"has_trace,omitempty"`
+	ReclaimAge HistSnapshot `json:"reclaim_age_ns"`
+	TraceLive  int          `json:"trace_live_spans,omitempty"`
+	Pinned     []PinnedRef  `json:"pinned,omitempty"`
+
+	// Scheme-deep gauges (Hyaline handoff depths, WFE helping counters,
+	// per-worker offload queues); present when the scheme installed them.
+	SchemeMetrics []SchemeMetric `json:"scheme_metrics,omitempty"`
+}
+
+// SchemeMetric returns the single-valued scheme-deep metric with the given
+// series name, if the snapshot carries it.
+func (s DomainSnapshot) SchemeMetric(name string) (int64, bool) {
+	for _, m := range s.SchemeMetrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
 }
 
 // Snapshot assembles the current DomainSnapshot. Safe to call concurrently
@@ -330,6 +425,44 @@ func (d *Domain) Snapshot() DomainSnapshot {
 			s.Sessions = append(s.Sessions, SessionEra{Session: session, Era: era, Lag: lag, Stalled: stalled})
 		})
 	}
+	s.BudgetBytes = d.budget
+	d.srcMu.Lock()
+	srcs := d.schemeSrcs
+	d.srcMu.Unlock()
+	for _, src := range srcs {
+		s.SchemeMetrics = append(s.SchemeMetrics, src()...)
+	}
+	var dropped int64
+	for i := range d.rings {
+		dropped += d.rings[i].Dropped()
+	}
+	dropped += d.extDrops.Load()
+	if tr := d.tracer; tr != nil {
+		dropped += tr.Drops()
+		s.HasTrace = true
+		s.ReclaimAge = tr.AgeSnapshot()
+		s.TraceLive = tr.LiveCount()
+		s.Pinned = tr.Pinned(Now())
+		// Attribute each pinned ref to the sessions holding it: a session
+		// whose published era falls inside the span's [birth, retire]
+		// window forces every scan to keep the ref (the paper's Equation-1
+		// condition, read back live). Schemes without eras (HP) list the
+		// pinned refs with no holder attribution.
+		if s.HasEras {
+			for i := range s.Pinned {
+				p := &s.Pinned[i]
+				if p.BirthEra == 0 && p.RetireEra == 0 {
+					continue
+				}
+				for _, se := range s.Sessions {
+					if se.Era >= p.BirthEra && se.Era <= p.RetireEra {
+						p.Holders = append(p.Holders, PinHolder{Session: se.Session, Era: se.Era})
+					}
+				}
+			}
+		}
+	}
+	s.Dropped = dropped
 	return s
 }
 

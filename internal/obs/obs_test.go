@@ -144,7 +144,7 @@ func TestRingCapacityRounding(t *testing.T) {
 func TestDomainEventsMerge(t *testing.T) {
 	d := NewDomain("HE", Config{Sessions: 4, RingEvents: 16})
 	for i := 0; i < 40; i++ {
-		d.Ring(i % 4).Record(EvRetire, i%4, uint64(i))
+		d.Ring(i%4).Record(EvRetire, i%4, uint64(i))
 	}
 	ev := d.Events(0)
 	if len(ev) != 40 {

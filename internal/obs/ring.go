@@ -112,6 +112,19 @@ func (r *Ring) Len() uint64 { return r.pos.Load() }
 // Cap returns the ring capacity in events.
 func (r *Ring) Cap() int { return len(r.entries) }
 
+// Dropped reports how many records have been overwritten before any
+// snapshot could have read them from the full window: every record past
+// the ring capacity displaced an older one. The ring trades age for
+// boundedness by design; this makes the trade visible
+// (smr_obs_dropped_total) instead of silent.
+func (r *Ring) Dropped() int64 {
+	p := r.pos.Load()
+	if c := uint64(len(r.entries)); p > c {
+		return int64(p - c)
+	}
+	return 0
+}
+
 // appendEvents decodes every currently consistent entry into out. Entries
 // being overwritten while we read are skipped — the flight recorder trades
 // a lost record under contention for never inventing one.

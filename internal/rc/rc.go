@@ -42,7 +42,7 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 func (d *Domain) Name() string { return "RC" }
 
 // OnAlloc implements reclaim.Domain; counts start at zero.
-func (d *Domain) OnAlloc(ref mem.Ref) {}
+func (d *Domain) OnAlloc(ref mem.Ref) { d.TraceAlloc(ref, 0) }
 
 // BeginOp implements reclaim.Domain; no per-operation entry protocol.
 func (d *Domain) BeginOp(h *reclaim.Handle) {}

@@ -156,6 +156,12 @@ type Base struct {
 	obsEraClock  func() uint64
 	obsEraDecode func(words []atomicx.PaddedUint64) (era uint64, ok bool)
 
+	// tracer is the per-ref lifecycle tracer cached off obsDom (nil unless
+	// the obs domain was built with Trace.Enabled). Every lifecycle hook —
+	// publish, retire, handoff, skip, free — is one untaken branch when nil,
+	// and a hash-of-ref sampling check when attached.
+	tracer *obs.Tracer
+
 	// off, when non-nil, is the background reclamation pipeline
 	// (Config.Offload; see offload.go). Hot paths pay one nil check.
 	off *offloader
@@ -229,6 +235,33 @@ func (b *Base) EnableObs(d *obs.Domain) {
 	}
 	if o := b.off; o != nil {
 		d.SetOffloadSource(o.stats)
+		d.AddSchemeSource(o.schemeMetrics)
+	}
+	// Equation-1-style pending budget for the health monitor: the inline
+	// bound tolerates up to scanThreshold unscanned retires per session plus
+	// the objects the published slots can pin, doubled for fold skew, plus
+	// whatever the offload pipeline is allowed to hold at its watermark.
+	// Engineering headroom, not the paper's exact constant — the monitor
+	// wants "pending grew past anything the parameters explain", and the
+	// stalled-reader runaway crosses any fixed multiple.
+	obj := b.classBytes[0]
+	budget := 2 * obj * int64(b.Cfg.MaxThreads) * int64(b.scanThreshold+2*b.Cfg.Slots)
+	if o := b.off; o != nil {
+		budget += o.watermark
+	}
+	d.SetBudget(budget)
+	if tr := d.Tracer(); tr != nil {
+		b.tracer = tr
+		// The arena is the true allocation point (OnAlloc is publish, not
+		// alloc), so the sampling decision hooks in there: nil-gated, and
+		// only hash-sampled refs reach the tracer.
+		if ah, ok := b.Alloc.(interface{ SetAllocHook(func(int, mem.Ref)) }); ok {
+			ah.SetAllocHook(func(shard int, ref mem.Ref) {
+				if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+					tr.Alloc(r, shard)
+				}
+			})
+		}
 	}
 	if b.obsEraClock != nil && b.obsEraDecode != nil {
 		d.SetEraSource(b.obsEraClock, func(yield func(session int, era uint64)) {
@@ -247,6 +280,20 @@ func (b *Base) EnableObs(d *obs.Domain) {
 
 // Obs returns the attached observability domain, or nil.
 func (b *Base) Obs() *obs.Domain { return b.obsDom }
+
+// TraceAlloc records the publish event of a sampled ref's lifecycle span:
+// schemes call it from OnAlloc (the moment the object becomes shared),
+// passing the birth era they stamped — zero for schemes without a clock.
+// One untaken branch when tracing is off.
+func (b *Base) TraceAlloc(ref mem.Ref, birthEra uint64) {
+	tr := b.tracer
+	if tr == nil {
+		return
+	}
+	if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+		tr.Publish(r, birthEra, -1)
+	}
+}
 
 // NewBase initializes the shared state for a scheme. wordsPerSlot is the
 // number of published cells per session slot (protection indices for HE/HP,
@@ -402,6 +449,7 @@ func (b *Base) makeHandle(s *Slot) *Handle {
 		h.obsRet = d.RetireStripe(s.id)
 		h.obsScan = d.ScanStripe(s.id)
 		h.obsMask = d.SampleMask()
+		h.obsTrace = b.tracer
 	}
 	return h
 }
@@ -589,6 +637,11 @@ func (b *Base) freeAt(id int, ref mem.Ref) {
 	b.freed.Inc(id)
 	if b.freedBytes != nil {
 		b.freedBytes.Add(id, b.refBytes(ref))
+	}
+	if tr := b.tracer; tr != nil {
+		if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+			tr.Free(r, id)
+		}
 	}
 }
 

@@ -138,11 +138,12 @@ type Handle struct {
 	// Observability caches; all nil when the domain has no obs attached, so
 	// the hot paths pay one untaken branch. The tick counters and scan
 	// scratch are owner-only plain fields (a Handle has one owner session).
-	obsRing *obs.Ring          // flight-recorder stripe
-	obsProt *obs.LatencyStripe // protect-latency histogram stripe
-	obsRet  *obs.LatencyStripe // retire-latency histogram stripe
-	obsScan *obs.LatencyStripe // scan-latency histogram stripe
-	obsMask uint64             // sample when tick&mask == 0
+	obsRing  *obs.Ring          // flight-recorder stripe
+	obsProt  *obs.LatencyStripe // protect-latency histogram stripe
+	obsRet   *obs.LatencyStripe // retire-latency histogram stripe
+	obsScan  *obs.LatencyStripe // scan-latency histogram stripe
+	obsMask  uint64             // sample when tick&mask == 0
+	obsTrace *obs.Tracer        // per-ref lifecycle tracer (nil unless enabled)
 
 	obsTickProt  uint64 // Protect-bracket sampling tick
 	obsTickRet   uint64 // Retire-bracket sampling tick
@@ -183,10 +184,27 @@ func (h *Handle) Protect(index int, src *atomic.Uint64) mem.Ref {
 			t0 := obs.Now()
 			ref := h.dom.Protect(h, index, src)
 			h.obsProt.Record(obs.Now() - t0)
+			h.traceProtect(ref)
 			return ref
 		}
 	}
+	if h.obsTrace != nil {
+		ref := h.dom.Protect(h, index, src)
+		h.traceProtect(ref)
+		return ref
+	}
 	return h.dom.Protect(h, index, src)
+}
+
+// traceProtect lands a protect event on a sampled ref's lifecycle span.
+func (h *Handle) traceProtect(ref mem.Ref) {
+	tr := h.obsTrace
+	if tr == nil || ref.IsNil() {
+		return
+	}
+	if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+		tr.Event(r, obs.SpanProtect, h.slot.id, 0)
+	}
 }
 
 // Retire declares ref unlinked and due for eventual reclamation. Sampled
@@ -235,6 +253,11 @@ func (h *Handle) PushRetired(ref mem.Ref) {
 			h.obsRing.Record(obs.EvRetire, h.slot.id, uint64(len(rl.refs)))
 		}
 	}
+	if tr := h.obsTrace; tr != nil {
+		if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+			tr.Retire(r, h.base.Alloc.Header(ref).RetireEra, h.slot.id)
+		}
+	}
 }
 
 // NoteRetired updates retirement accounting without touching any retired
@@ -252,6 +275,11 @@ func (h *Handle) NoteRetired(ref mem.Ref) {
 		h.obsTickPush++
 		if h.obsTickPush&h.obsMask == 0 {
 			h.obsRing.Record(obs.EvRetire, h.slot.id, 0)
+		}
+	}
+	if tr := h.obsTrace; tr != nil {
+		if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+			tr.Retire(r, h.base.Alloc.Header(ref).RetireEra, h.slot.id)
 		}
 	}
 }
@@ -297,6 +325,11 @@ func (h *Handle) FreeRetired(ref mem.Ref) {
 	if h.obsRing != nil {
 		h.obsRing.Record(obs.EvFree, h.slot.id, 1)
 	}
+	if tr := h.obsTrace; tr != nil {
+		if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+			tr.Free(r, h.slot.id)
+		}
+	}
 }
 
 // ReclaimUnprotected runs the free half of a scan pass: it partitions the
@@ -310,9 +343,17 @@ func (h *Handle) ReclaimUnprotected(protected func(ref mem.Ref) bool) {
 	st := &h.slot.rl.retiredListState
 	keep := st.refs[:0]
 	toFree := st.spare[:0]
+	tr := h.obsTrace
 	for _, obj := range st.refs {
 		if protected(obj) {
 			keep = append(keep, obj)
+			if tr != nil {
+				// A scan pass visited this sampled ref and left it pinned:
+				// record the skip so the span shows how many passes it survived.
+				if r := uint64(obj); tr.Sampled(r) {
+					tr.Event(r, obs.SpanSkip, h.slot.id, 0)
+				}
+			}
 		} else {
 			toFree = append(toFree, obj)
 		}
@@ -348,7 +389,29 @@ func (h *Handle) ReclaimUnprotected(protected func(ref mem.Ref) bool) {
 		// the batch size is the interesting number.
 		h.obsRing.Record(obs.EvFree, h.slot.id, uint64(len(toFree)))
 	}
+	if tr != nil {
+		for _, obj := range toFree {
+			if r := uint64(obj); tr.Sampled(r) {
+				tr.Free(r, h.slot.id)
+			}
+		}
+	}
 	st.spare = toFree[:0]
+}
+
+// TraceHandoff lands a handoff event on a sampled ref's lifecycle span —
+// schemes and the offload pipeline call it when a retired ref changes hands
+// (a Hyaline batch distribution, an offload enqueue). value carries the
+// destination: a worker index or a receiving-session count. One untaken
+// branch when tracing is off.
+func (h *Handle) TraceHandoff(ref mem.Ref, value uint64) {
+	tr := h.obsTrace
+	if tr == nil {
+		return
+	}
+	if r := uint64(ref.Unmarked()); tr.Sampled(r) {
+		tr.Event(r, obs.SpanHandoff, h.slot.id, value)
+	}
 }
 
 // NoteScan records one reclamation pass over a retired list and folds the

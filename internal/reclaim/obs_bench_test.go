@@ -12,22 +12,29 @@ import (
 // obsModes toggles instrumentation for the overhead benchmarks: "off" is the
 // nil-gated default every non-observed run takes (one untaken branch per
 // wrapped call), "on" attaches a full obs domain at the default 1-in-64
-// sampling rate.
+// sampling rate, and "trace" additionally enables per-ref lifecycle
+// tracing at its default 1-in-1024 allocation sampling.
 func obsModes() []struct {
 	name string
 	on   bool
+	cfg  obs.Config
 } {
 	return []struct {
 		name string
 		on   bool
-	}{{"off", false}, {"on", true}}
+		cfg  obs.Config
+	}{
+		{"off", false, obs.Config{}},
+		{"on", true, obs.Config{Sessions: benchThreads}},
+		{"trace", true, obs.Config{Sessions: benchThreads, Trace: obs.TraceConfig{Enabled: true}}},
+	}
 }
 
-func newObsBenchDomain(on bool) (*mem.Arena[bnode], *core.Eras) {
+func newObsBenchDomain(on bool, cfg obs.Config) (*mem.Arena[bnode], *core.Eras) {
 	arena := mem.NewArena[bnode]()
 	d := core.New(arena, benchCfg())
 	if on {
-		d.EnableObs(obs.NewDomain("HE", obs.Config{Sessions: benchThreads}))
+		d.EnableObs(obs.NewDomain("HE", cfg))
 	}
 	return arena, d
 }
@@ -40,7 +47,7 @@ func newObsBenchDomain(on bool) (*mem.Arena[bnode], *core.Eras) {
 func BenchmarkRetireScanObs(b *testing.B) {
 	for _, m := range obsModes() {
 		b.Run(m.name, func(b *testing.B) {
-			arena, d := newObsBenchDomain(m.on)
+			arena, d := newObsBenchDomain(m.on, m.cfg)
 			b.RunParallel(func(pb *testing.PB) {
 				h := d.Register()
 				defer d.Unregister(h)
@@ -61,7 +68,7 @@ func BenchmarkRetireScanObs(b *testing.B) {
 func BenchmarkHandleOpsObs(b *testing.B) {
 	for _, m := range obsModes() {
 		b.Run(m.name, func(b *testing.B) {
-			arena, d := newObsBenchDomain(m.on)
+			arena, d := newObsBenchDomain(m.on, m.cfg)
 			b.RunParallel(func(pb *testing.PB) {
 				h := d.Register()
 				defer d.Unregister(h)

@@ -2,6 +2,7 @@ package reclaim
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -116,7 +117,13 @@ type offSegment struct {
 // never false-share.
 type offStack struct {
 	head atomic.Pointer[offSegment]
-	_    atomicx.CacheLinePad
+	// depth counts refs queued on this stack but not yet detached by the
+	// worker — a per-worker gauge for the scheme-deep telemetry (the global
+	// queuedRefs gauge cannot attribute backlog to a worker). Incremented
+	// before the push and decremented after detach, so like the byte gauge it
+	// only ever over-counts in-flight work.
+	depth atomic.Int64
+	_     atomicx.CacheLinePad
 }
 
 // push publishes seg and reports whether the queue was empty, i.e. whether
@@ -241,6 +248,11 @@ func (o *offloader) tryOffload(h *Handle) bool {
 	if h.base.obsDom != nil {
 		t0 = obs.Now() // only the offload-latency histogram reads it
 	}
+	// Session affinity: one session's handoffs always land on the same
+	// worker, so a burst batches into a single detach and the selection
+	// costs no shared atomic.
+	i := h.slot.id % o.workers
+	tr := h.obsTrace
 	for len(refs) > 0 {
 		seg := o.getSegment()
 		n := copy(seg.refs[:], refs)
@@ -248,13 +260,15 @@ func (o *offloader) tryOffload(h *Handle) bool {
 		seg.bytes = 0
 		for _, ref := range seg.refs[:n] {
 			seg.bytes += o.classBytes[ref.Class()&(mem.NumClasses-1)]
+			if tr != nil {
+				if r := uint64(ref); tr.Sampled(r) {
+					tr.Event(r, obs.SpanHandoff, h.slot.id, uint64(i))
+				}
+			}
 		}
 		seg.t0 = t0
 		refs = refs[n:]
-		// Session affinity: one session's handoffs always land on the same
-		// worker, so a burst batches into a single detach and the selection
-		// costs no shared atomic.
-		i := h.slot.id % o.workers
+		o.queues[i].depth.Add(int64(n))
 		if o.queues[i].push(seg) {
 			o.wake(i)
 		}
@@ -402,6 +416,7 @@ func (o *offloader) drainQueue(h *Handle, sc Scanner, q *offStack, lat *obs.Late
 		seg = next
 	}
 	h.SetRetired(rl)
+	q.depth.Add(int64(-total))
 	sc.Scan(h)
 	o.queuedRefs.Add(int64(-total))
 	o.queuedBytes.Add(-totalBytes)
@@ -437,6 +452,7 @@ func (o *offloader) shutdown(b *Base) {
 			}
 			o.queuedRefs.Add(int64(-seg.n))
 			o.queuedBytes.Add(-seg.bytes)
+			o.queues[i].depth.Add(int64(-seg.n))
 			o.putSegment(seg)
 			seg = next
 		}
@@ -460,6 +476,41 @@ func (o *offloader) stats() obs.OffloadStats {
 		WatermarkBytes: o.watermark,
 		Handoffs:       o.handoffs.Load(),
 		Fallbacks:      o.fallbacks.Load(),
+	}
+}
+
+// schemeMetrics exports the per-worker queue depths as a labeled gauge for
+// the scheme-deep telemetry surface; registered with the obs domain by
+// Base.EnableObs. The global queued gauges already live in OffloadStats —
+// this series is what localizes a backlog to one worker (a hot session's
+// affinity target) instead of the pipeline as a whole.
+func (o *offloader) schemeMetrics() []obs.SchemeMetric {
+	vals := make([]obs.LabeledValue, len(o.queues))
+	maxDepth := int64(0)
+	for i := range o.queues {
+		d := o.queues[i].depth.Load()
+		if d < 0 {
+			d = 0
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		vals[i] = obs.LabeledValue{Label: strconv.Itoa(i), Value: d}
+	}
+	return []obs.SchemeMetric{
+		{
+			Name:   "smr_offload_worker_queue_refs",
+			Help:   "Refs queued per offload worker, awaiting background reclamation.",
+			Kind:   "gauge",
+			Label:  "worker",
+			Values: vals,
+		},
+		{
+			Name:  "smr_offload_worker_queue_refs_max",
+			Help:  "Deepest per-worker offload queue (refs).",
+			Kind:  "gauge",
+			Value: maxDepth,
+		},
 	}
 }
 

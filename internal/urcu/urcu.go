@@ -69,7 +69,7 @@ func New(alloc reclaim.Allocator, cfg reclaim.Config) *Domain {
 func (d *Domain) Name() string { return "URCU" }
 
 // OnAlloc implements reclaim.Domain; URCU needs no birth stamp.
-func (d *Domain) OnAlloc(ref mem.Ref) {}
+func (d *Domain) OnAlloc(ref mem.Ref) { d.TraceAlloc(ref, 0) }
 
 // BeginOp is rcu_read_lock: publish the current updater version.
 func (d *Domain) BeginOp(h *reclaim.Handle) {

@@ -75,6 +75,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/reclaim"
 	"repro/internal/schedtest"
 )
@@ -147,6 +148,14 @@ type Domain struct {
 	advanceEvery uint64
 	maxTries     int
 	mutation     TestingMutation
+
+	// Scheme-deep telemetry counters (smr_wfe_*). All live on slow paths —
+	// announcement, helping, adoption — so the unconditional atomic adds
+	// cost nothing on the two-load fast path they exist to monitor.
+	announces  atomic.Int64 // fast path exhausted maxTries; request announced
+	helped     atomic.Int64 // certificates published by helpers
+	adopts     atomic.Int64 // certificates adopted (validated) by readers
+	adoptFails atomic.Int64 // certificates discarded after failed validation
 }
 
 var (
@@ -236,7 +245,9 @@ func (d *Domain) Era() uint64 { return d.eraClock.Load() }
 
 // OnAlloc stamps the birth era (identical to Hazard Eras).
 func (d *Domain) OnAlloc(ref mem.Ref) {
-	d.Alloc.Header(ref).BirthEra = d.eraClock.Load()
+	e := d.eraClock.Load()
+	d.Alloc.Header(ref).BirthEra = e
+	d.TraceAlloc(ref, e)
 }
 
 // Register opens a session and materializes its announcement record.
@@ -353,6 +364,7 @@ func (d *Domain) publish(h *reclaim.Handle, index int, era uint64) {
 // package comment for the adoption handshake and the retry bound.
 func (d *Domain) protectSlow(h *reclaim.Handle, index int, src *atomic.Uint64, prevEra uint64) mem.Ref {
 	st := d.state(h)
+	d.announces.Add(1)
 	q := st.seq.Load() + 1 // odd: request live
 	st.src.Store(src)
 	st.result.Store(nil)
@@ -389,9 +401,11 @@ func (d *Domain) protectSlow(h *reclaim.Handle, index int, src *atomic.Uint64, p
 			d.publish(h, index, r.era)
 			prevEra = r.era
 			if d.mutation == MutSkipHelpValidate || cell.Load() == r.era {
+				d.adopts.Add(1)
 				ptr = r.ptr
 				break
 			}
+			d.adoptFails.Add(1)
 			// Yanked by a fresher helper before the transfer: the era we
 			// published is merely conservative. Discarding must actually
 			// remove the stale result — helpers refuse to overwrite an
@@ -489,6 +503,7 @@ func (d *Domain) helpOne(st *annState) {
 			return // request completed while we worked
 		}
 		st.result.Store(&helpResult{seq: q, ptr: v, era: ec})
+		d.helped.Add(1)
 		return
 	}
 }
@@ -578,3 +593,54 @@ func (d *Domain) Stats() reclaim.Stats {
 // SetEraClock force-sets the global clock. Test-only, for deterministic
 // scenarios; never call it while readers are active.
 func (d *Domain) SetEraClock(v uint64) { d.eraClock.Store(v) }
+
+// EnableObs attaches observability and registers the scheme-deep metric
+// source: announcement/helping/adoption traffic is WFE's own health signal
+// (a rising announce rate means the fast path is losing its validation race;
+// adoption failures mean helpers and readers are fighting over help cells)
+// and no substrate counter can see it.
+func (d *Domain) EnableObs(od *obs.Domain) {
+	d.Base.EnableObs(od)
+	od.AddSchemeSource(d.schemeMetrics)
+}
+
+// schemeMetrics snapshots the helping-protocol counters. Called from the
+// obs domain's Snapshot path (collection cadence, not hot path).
+func (d *Domain) schemeMetrics() []obs.SchemeMetric {
+	waiters := d.slow.Load()
+	if waiters < 0 {
+		waiters = 0
+	}
+	return []obs.SchemeMetric{
+		{
+			Name:  "smr_wfe_announce_total",
+			Help:  "Protect slow-path entries: fast path exhausted its retry bound and announced.",
+			Kind:  "counter",
+			Value: d.announces.Load(),
+		},
+		{
+			Name:  "smr_wfe_help_published_total",
+			Help:  "Certified (value, era) pairs published by helpers on readers' behalf.",
+			Kind:  "counter",
+			Value: d.helped.Load(),
+		},
+		{
+			Name:  "smr_wfe_adopt_total",
+			Help:  "Helper certificates adopted by announcing readers after validation.",
+			Kind:  "counter",
+			Value: d.adopts.Load(),
+		},
+		{
+			Name:  "smr_wfe_adopt_fail_total",
+			Help:  "Helper certificates discarded because the help cell was re-raised before adoption validated.",
+			Kind:  "counter",
+			Value: d.adoptFails.Load(),
+		},
+		{
+			Name:  "smr_wfe_waiters",
+			Help:  "Live announcements awaiting help (retirers run the help pass while nonzero).",
+			Kind:  "gauge",
+			Value: waiters,
+		},
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full validation suite for the hazard-eras reproduction.
-# Usage: scripts/check.sh [quick|full|api|schemes]
+# Usage: scripts/check.sh [quick|full|api|schemes|health]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +43,66 @@ if [ "$mode" = "schemes" ]; then
   echo "== roster throughput smoke (hebench -exp schemes) =="
   go run ./cmd/hebench -exp schemes > /dev/null
   echo "ALL CHECKS PASSED (schemes)"
+  exit 0
+fi
+
+if [ "$mode" = "health" ]; then
+  # Lifecycle-tracing + health-monitor gate (CI job check-health): the
+  # hysteresis and shutdown-hygiene unit tests, span conservation across
+  # every reclaiming scheme, a live scrape proving the tracer histogram,
+  # scheme-deep series and alert series are exported, an offline heanalyze
+  # pass over the recorded JSONL, and the stalled-reader demo raising AND
+  # clearing an era-stall alert.
+  echo "== monitor hysteresis + hub shutdown + dropped counters (race) =="
+  go test -race -count=2 -run 'TestMonitorHysteresis|TestHubCloseShutsDownCleanly|TestDroppedEventsSurface' ./internal/obs/
+  echo "== span conservation, every reclaiming scheme, seeded schedules (race) =="
+  go test -race -run 'TestSpanConservation' ./internal/bench/
+  echo "== live scrape (tracer histogram, scheme-deep series, alert series) =="
+  htmp=$(mktemp -d)
+  trap 'rm -rf "$htmp"' EXIT
+  go build -o "$htmp/hebench" ./cmd/hebench
+  "$htmp/hebench" -exp stalled -dur 100ms -threads 2 \
+    -trace all -monitor -metrics 127.0.0.1:0 -hold 60s \
+    -sample "$htmp/health.jsonl" \
+    > "$htmp/hebench.out" 2>&1 &
+  hpid=$!
+  haddr=""
+  for _ in $(seq 1 150); do
+    haddr=$(sed -n 's|^metrics: http://\([^/]*\)/metrics$|\1|p' "$htmp/hebench.out")
+    [ -n "$haddr" ] && break
+    sleep 0.2
+  done
+  [ -n "$haddr" ] || { echo "hebench never announced its metrics address"; cat "$htmp/hebench.out"; exit 1; }
+  # EBR is last in the stalled roster, so its series appearing means every
+  # scheme asserted below has registered its domain.
+  for _ in $(seq 1 300); do
+    curl -sf "http://$haddr/metrics" 2>/dev/null | grep -q 'smr_retired_total{scheme="EBR"}' && break
+    sleep 0.2
+  done
+  hscrape=$(curl -sf "http://$haddr/metrics")
+  for series in \
+    'smr_obs_dropped_total{scheme="HE"}' \
+    'smr_trace_live_spans{scheme="HE"}' \
+    'smr_reclaim_age_ns_bucket{scheme="HE"' \
+    'smr_wfe_announce_total{scheme="WFE"}' \
+    'smr_wfe_adopt_total{scheme="WFE"}' \
+    'smr_hyaline_handoff_depth_max{scheme="hyaline' \
+    '# TYPE smr_alerts_total counter' \
+    '# TYPE smr_alert_active gauge'; do
+    echo "$hscrape" | grep -qF "$series" || { echo "missing series: $series"; exit 1; }
+  done
+  curl -sf "http://$haddr/alerts.json" | grep -q '"status"' || { echo "/alerts.json missing status"; exit 1; }
+  kill "$hpid" 2>/dev/null || true
+  wait "$hpid" 2>/dev/null || true
+  echo "== heanalyze offline pass over the recorded spans =="
+  grep -q '"span"' "$htmp/health.jsonl" || { echo "no lifecycle spans in sampler JSONL"; exit 1; }
+  go run ./cmd/heanalyze "$htmp/health.jsonl" > "$htmp/heanalyze.out"
+  grep -q 'completed spans:' "$htmp/heanalyze.out" || { echo "heanalyze produced no span report"; cat "$htmp/heanalyze.out"; exit 1; }
+  echo "== stalled-reader demo: era-stall alert must raise and clear =="
+  go run ./examples/stalledreader > "$htmp/stalled.out"
+  grep -q 'ALERT raise .*era-stall' "$htmp/stalled.out" || { echo "no era-stall raise"; cat "$htmp/stalled.out"; exit 1; }
+  grep -q 'ALERT clear .*era-stall' "$htmp/stalled.out" || { echo "no era-stall clear"; cat "$htmp/stalled.out"; exit 1; }
+  echo "ALL CHECKS PASSED (health)"
   exit 0
 fi
 
