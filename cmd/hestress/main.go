@@ -8,6 +8,8 @@
 //	hestress -struct list -scheme HE -threads 8 -dur 5s
 //	hestress -struct all -scheme all -dur 1s
 //	hestress -struct all -scheme all -dur 1s -grow
+//	hestress -struct list -scheme HE -offload 1 -control -gate \
+//	  -phases churn:2s,read:1s,stall:2s
 //
 // Structures: list, map, queue, stack, bst, wfq, skiplist, all. Schemes:
 // HP, HE, HE-minmax, IBR, EBR, URCU, hyaline-1r, hyaline, WFE, RC, NONE,
@@ -16,8 +18,16 @@
 // capacity) is exercised under full contention; registration never fails
 // either way. -valsize N (or zipf:N) attaches a variable-size []byte
 // payload to every key of the set-like structures, stressing the byte-class
-// sub-allocator's recycle path alongside node reclamation. Exit status 1 if
-// any fault was detected.
+// sub-allocator's recycle path alongside node reclamation.
+//
+// -control attaches the adaptive control plane (internal/control) to every
+// domain, so the feedback controller retunes the scan threshold, offload
+// watermark and worker count live under the stress itself; -budget and
+// -gate bound pending bytes and engage admission backpressure on breach.
+// -phases shifts the stress regime over a looping schedule — churn
+// (update-heavy), read (read-only), stall (a parked reader on pinnable
+// structures) — the shifting-load scenario the controller exists for.
+// Exit status 1 if any fault was detected.
 package main
 
 import (
@@ -86,12 +96,27 @@ func main() {
 		valsize = flag.String("valsize", "0", "per-key []byte payload size for set-like structures: 0 = word values (off), N = fixed N bytes, zipf:N = skewed sizes in [8,N]")
 		trace   = flag.String("trace", "", "sampled per-ref lifecycle tracing: \"all\" = every allocation, N = 1 in 2^N")
 		monitor = flag.Bool("monitor", false, "run the online health monitor: invariant alerts at /alerts.json and smr_alerts_*, alert lines to -sample")
+		ctrl    = flag.Bool("control", false, "attach the adaptive control plane to every domain: a feedback controller retunes the scan threshold, offload watermark and worker count live while the stress runs")
+		budget  = flag.Int64("budget", 0, "pending-bytes budget the -control controller enforces per domain (0 = derive the Equation-1 budget)")
+		gate    = flag.Bool("gate", false, "with -control: engage retire-path admission backpressure while the budget is breached")
+		phasesF = flag.String("phases", "", "shift the stress-regime over a phase schedule, e.g. churn:3s,read:3s,stall:3s (looped for the run; stall parks a reader on pinnable structures)")
 	)
 	flag.Parse()
 	growMode = *grow
 
 	if *offload > 0 {
 		bench.SetOffload(reclaim.OffloadConfig{Workers: *offload})
+	}
+	if *ctrl {
+		bench.SetControl(reclaim.ControlConfig{Enabled: true, BudgetBytes: *budget, Gate: *gate})
+	}
+	if *phasesF != "" {
+		ph, err := bench.ParsePhases(*phasesF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stressPhases = ph
 	}
 
 	var err error
@@ -135,12 +160,20 @@ func main() {
 			}
 			hub.SetSampler(smp)
 			defer func() { smp.Sample(hub.Domains()) }()
+			if *ctrl {
+				bench.SetControlSink(smp.WriteAction)
+			}
 		}
 		if *monitor {
 			mon := obs.NewMonitor(obs.MonitorConfig{}, hub.Domains)
-			if smp != nil {
-				mon.SetOnAlert(smp.WriteAlert)
-			}
+			mon.SetOnAlert(func(a obs.Alert) {
+				if smp != nil {
+					smp.WriteAlert(a)
+				}
+				for _, c := range bench.Controllers() {
+					c.OnAlert(a)
+				}
+			})
 			hub.SetMonitor(mon)
 			mon.Start()
 		}
@@ -242,6 +275,55 @@ type byteGetter interface {
 	GetBytes(g *smr.Guard, key uint64) ([]byte, bool)
 }
 
+// stressPhases, when non-nil (-phases), shifts the stress regime over a
+// looping phase schedule: churn/stall phases run 100% updates (stall also
+// parks a reader mid-protection on pinnable structures), read phases run
+// lookups only. With it nil the classic constant 30%-update mix runs.
+var stressPhases []bench.Phase
+
+// stressUpdatePct is the live update probability churnSet workers read;
+// the phase scheduler rewrites it at each phase boundary.
+var stressUpdatePct atomic.Int32
+
+func init() { stressUpdatePct.Store(30) }
+
+// runPhaseSchedule loops the -phases schedule over s until stop is set,
+// switching the update probability and parking a stalled reader during
+// stall phases. Callers must wait on the returned channel after setting
+// stop (the parked reader has to unregister before the structure drains).
+func runPhaseSchedule(s bench.Set, stop *atomic.Bool) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer stressUpdatePct.Store(30)
+		pinnable, _ := s.(bench.Pinnable)
+		for i := 0; !stop.Load(); i++ {
+			ph := stressPhases[i%len(stressPhases)]
+			switch ph.Name {
+			case "read":
+				stressUpdatePct.Store(0)
+			default: // churn, stall
+				stressUpdatePct.Store(100)
+			}
+			var release chan struct{}
+			var readerDone <-chan struct{}
+			if ph.Name == "stall" && pinnable != nil {
+				release = make(chan struct{})
+				readerDone = bench.StalledReader(pinnable, release)
+			}
+			deadline := time.Now().Add(ph.Dur)
+			for time.Now().Before(deadline) && !stop.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			if release != nil {
+				close(release)
+				<-readerDone
+			}
+		}
+	}()
+	return done
+}
+
 // churnSet drives a bench.Set with the paper's update workload and constant
 // lookups under a checked arena.
 func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration) (int64, int64) {
@@ -257,6 +339,10 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 	var panics atomic.Int64
 	var ops atomic.Int64
 	var wg sync.WaitGroup
+	var scheduleDone <-chan struct{}
+	if stressPhases != nil {
+		scheduleDone = runPhaseSchedule(s, &stop)
+	}
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(seed uint64) {
@@ -270,7 +356,7 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 			for !stop.Load() {
 				k := rng.Intn(keyRange)
 				switch {
-				case rng.Intn(100) < 30:
+				case rng.Intn(100) < uint64(stressUpdatePct.Load()):
 					if s.Remove(h, k) {
 						s.Insert(h, k, k)
 					}
@@ -286,6 +372,9 @@ func churnSet(s bench.Set, faultsOf func() int64, threads int, dur time.Duration
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
+	if scheduleDone != nil {
+		<-scheduleDone
+	}
 	return faultsOf() + panics.Load(), ops.Load()
 }
 

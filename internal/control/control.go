@@ -1,0 +1,515 @@
+// Package control is the adaptive reclamation control plane: a feedback
+// controller that watches one or more domains through the observability
+// layer and retunes their live knobs — scan threshold (ScanR), offload
+// watermark, offload worker count, and an optional admission gate — to keep
+// retire latency flat and pending memory inside a budget while the load
+// shifts underneath.
+//
+// The paper fixes its amortization constant R offline ("we found k=1 to be
+// a good value on our machine"); this package closes the loop online. The
+// sensing side is everything PRs 4–9 built: domain snapshots, the health
+// monitor's hysteresis alerts, and the offload pipeline gauges. The
+// actuation side is the reclaim.Tuner knob surface, where every setter is
+// an atomic store the hot paths already read.
+//
+// Discipline: a single controller goroutine per domain is the only writer
+// of that domain's knobs (the same single-consumer reasoning as the offload
+// queues). All decisions happen in Step, which is exported and wall-clock
+// free so tests drive the controller deterministically: rates are derived
+// from counter deltas divided by the configured interval, never from
+// time.Now.
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/reclaim"
+)
+
+// Target is the knob-and-gauge surface the controller drives. It is exactly
+// the method set of *reclaim.Tuner; tests substitute fakes to script
+// sensor readings and record actuations.
+type Target interface {
+	Name() string
+	ScanThreshold() int
+	SetScanThreshold(n int)
+	ScanUnit() int
+	Watermark() int64
+	SetWatermark(v int64)
+	Workers() int
+	MaxWorkers() int
+	ResizeWorkers(n int) int
+	SetGate(on bool)
+	Gated() bool
+	Stats() reclaim.Stats
+	OffloadStats() obs.OffloadStats
+	Obs() *obs.Domain
+	AddDrainHook(fn func())
+}
+
+var _ Target = (*reclaim.Tuner)(nil)
+
+// Config sizes one controller.
+type Config struct {
+	// Interval is the tick period (and the denominator of every rate the
+	// controller derives — Step assumes one Interval elapsed per call).
+	// 0 means 100ms.
+	Interval time.Duration
+	// Policy is the initial rule set; swap later with SetPolicy.
+	Policy Policy
+	// MaxActions caps the per-domain action log kept for the hemon panel.
+	// 0 means 64.
+	MaxActions int
+}
+
+// Controller drives the knobs of its attached domains from their observed
+// state. Construct with New, attach domains, then either Start a ticker
+// goroutine or call Step yourself (tests, simulations).
+type Controller struct {
+	interval   time.Duration
+	maxActions int
+	policy     atomic.Pointer[Policy]
+
+	mu       sync.Mutex
+	doms     []*domState
+	onAction func(obs.ControlAction)
+	started  bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// domState is everything the controller remembers about one domain between
+// ticks: cached policy resolution, previous counter readings for rate
+// derivation, hysteresis accumulators, cooldowns, and the status panel.
+type domState struct {
+	t   Target
+	res resolved
+
+	// construction-time values the policy defaults resolve against
+	initThreshold int
+	initWatermark int64
+	maxWorkers    int
+	obsBudget     int64
+
+	// previous-tick counters (rate derivation)
+	havePrev    bool
+	prevRetired int64
+	prevScans   int64
+	avgObjBytes int64 // last observed PendingBytes/Pending, sticky
+
+	// hysteresis accumulators
+	satTicks   int
+	calmTicks  int
+	stormTicks int
+	pressTicks int
+
+	// per-knob cooldowns, in ticks remaining
+	cooldown map[string]int
+
+	// alert states fed by OnAlert (monitor invariant name -> active)
+	alertMu sync.Mutex
+	alerts  map[string]bool
+
+	// status panel, read by the obs snapshot via SetControlSource
+	statusMu   sync.Mutex
+	status     obs.ControlStatus
+	actions    []obs.ControlAction
+	actuations int64
+	gateCount  int64
+}
+
+// New builds a controller from cfg. The policy is validated; an invalid
+// policy is replaced by the default (zero) policy and the error returned so
+// callers can refuse or log — the controller itself never runs on nonsense.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.MaxActions <= 0 {
+		cfg.MaxActions = 64
+	}
+	c := &Controller{
+		interval:   cfg.Interval,
+		maxActions: cfg.MaxActions,
+		done:       make(chan struct{}),
+	}
+	p := cfg.Policy
+	err := p.Validate()
+	if err != nil {
+		p = DefaultPolicy()
+	}
+	c.policy.Store(&p)
+	return c, err
+}
+
+// SetPolicy atomically swaps the active policy. Validation happens here —
+// an invalid policy is rejected (error returned, old policy stays live), so
+// the controller can never tick against inconsistent rules. The new policy
+// is re-resolved against each domain on its next tick; no pause, no lock on
+// the tick path.
+func (c *Controller) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.policy.Store(&p)
+	return nil
+}
+
+// Policy returns the active policy (by value).
+func (c *Controller) Policy() Policy { return *c.policy.Load() }
+
+// SetOnAction installs a sink for every actuation (the sampler's
+// WriteAction in the drivers). Call before Start.
+func (c *Controller) SetOnAction(fn func(obs.ControlAction)) {
+	c.mu.Lock()
+	c.onAction = fn
+	c.mu.Unlock()
+}
+
+// Attach registers a domain with the controller and wires its status into
+// the observability layer: the obs domain (if any) gains a control source
+// for its snapshots and — when the policy carries an explicit budget — has
+// its budget gauge updated to match. Attach also parks a drain hook on the
+// domain so Base.DrainAll stops the controller before the offload pipeline
+// shuts down (single-domain wiring; with several domains on one controller,
+// the first to drain stops it for all — attach peers you drain together).
+func (c *Controller) Attach(t Target) {
+	d := &domState{
+		t:             t,
+		initThreshold: t.ScanThreshold(),
+		initWatermark: t.Watermark(),
+		maxWorkers:    t.MaxWorkers(),
+		cooldown:      make(map[string]int),
+		alerts:        make(map[string]bool),
+	}
+	if o := t.Obs(); o != nil {
+		d.obsBudget = o.Budget()
+	}
+	d.res = resolve(c.policy.Load(), d.initThreshold, d.initWatermark, d.maxWorkers, d.obsBudget)
+	if o := t.Obs(); o != nil {
+		if d.res.budgetBytes > 0 && d.res.budgetBytes != d.obsBudget {
+			o.SetBudget(d.res.budgetBytes)
+		}
+		o.SetControlSource(func() *obs.ControlStatus { return d.snapshotStatus() })
+	}
+	c.mu.Lock()
+	c.doms = append(c.doms, d)
+	c.mu.Unlock()
+	t.AddDrainHook(c.Stop)
+}
+
+// OnAlert feeds one health-monitor transition into the controller's view of
+// the world. Drivers compose it with the sampler sink:
+//
+//	mon.SetOnAlert(func(a obs.Alert) { smp.WriteAlert(a); ctl.OnAlert(a) })
+//
+// Alert state is advisory input to the next Step, not an actuation trigger
+// of its own — the controller stays single-writer and tick-paced.
+func (c *Controller) OnAlert(a obs.Alert) {
+	c.mu.Lock()
+	doms := c.doms
+	c.mu.Unlock()
+	for _, d := range doms {
+		if d.t.Name() != a.Scheme {
+			continue
+		}
+		d.alertMu.Lock()
+		d.alerts[a.Invariant] = a.State == "raise"
+		d.alertMu.Unlock()
+	}
+}
+
+// Start launches the tick goroutine. Idempotent; Stop (or the drain hook
+// Attach installed) halts it.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				c.Step()
+			}
+		}
+	}()
+}
+
+// Stop halts the tick goroutine and waits for it. Safe to call repeatedly
+// and without Start. After Stop the knobs stay wherever the controller
+// left them; DrainAll's poison/shutdown protocol handles the rest.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.done)
+	})
+	c.wg.Wait()
+}
+
+// Step runs one control tick over every attached domain. Exported so tests
+// and simulations drive the controller deterministically: no wall-clock
+// reads influence any decision — rates are counter deltas over the
+// configured interval, hysteresis is counted in ticks.
+func (c *Controller) Step() {
+	c.mu.Lock()
+	doms := c.doms
+	sink := c.onAction
+	c.mu.Unlock()
+	p := c.policy.Load()
+	for _, d := range doms {
+		c.stepDom(d, p, sink)
+	}
+}
+
+// Status returns the panel view for the domain named scheme (nil if not
+// attached).
+func (c *Controller) Status(scheme string) *obs.ControlStatus {
+	c.mu.Lock()
+	doms := c.doms
+	c.mu.Unlock()
+	for _, d := range doms {
+		if d.t.Name() == scheme {
+			return d.snapshotStatus()
+		}
+	}
+	return nil
+}
+
+func (d *domState) snapshotStatus() *obs.ControlStatus {
+	d.statusMu.Lock()
+	defer d.statusMu.Unlock()
+	s := d.status
+	s.LastActions = append([]obs.ControlAction(nil), d.actions...)
+	return &s
+}
+
+// alertActive reports whether the named monitor invariant is currently
+// raised for this domain.
+func (d *domState) alertActive(name string) bool {
+	d.alertMu.Lock()
+	v := d.alerts[name]
+	d.alertMu.Unlock()
+	return v
+}
+
+// stepDom is the whole decision procedure for one domain on one tick.
+func (c *Controller) stepDom(d *domState, p *Policy, sink func(obs.ControlAction)) {
+	// Re-resolve on policy swap: the pointer is the identity.
+	if d.res.src != p {
+		d.res = resolve(p, d.initThreshold, d.initWatermark, d.maxWorkers, d.obsBudget)
+		if o := d.t.Obs(); o != nil && d.res.budgetBytes > 0 {
+			o.SetBudget(d.res.budgetBytes)
+		}
+	}
+	res := &d.res
+
+	st := d.t.Stats()
+	off := d.t.OffloadStats()
+	intervalMs := c.interval.Milliseconds()
+	if intervalMs <= 0 {
+		intervalMs = 100
+	}
+
+	// Rates from counter deltas — the first tick only primes them.
+	var retireRate, scanRate int64 // per second
+	if d.havePrev {
+		retireRate = (st.Retired - d.prevRetired) * 1000 / intervalMs
+		scanRate = (st.Scans - d.prevScans) * 1000 / intervalMs
+	}
+	if st.Pending > 0 {
+		d.avgObjBytes = st.PendingBytes / st.Pending
+	}
+	d.prevRetired = st.Retired
+	d.prevScans = st.Scans
+	primed := d.havePrev
+	d.havePrev = true
+
+	for k := range d.cooldown {
+		if d.cooldown[k] > 0 {
+			d.cooldown[k]--
+		}
+	}
+
+	budget := res.budgetBytes
+	pending := st.PendingBytes
+
+	// --- Gate: the budget backstop. Engages the moment pending breaches
+	// the budget (no trigger hysteresis — a breach is the one condition
+	// that must not wait), releases only once pending falls to ReleasePct
+	// so it cannot chatter at the boundary.
+	if res.gate && budget > 0 {
+		if gated := d.t.Gated(); !gated && pending > budget {
+			d.t.SetGate(true)
+			d.statusMu.Lock()
+			d.gateCount++
+			d.statusMu.Unlock()
+			c.actuate(d, sink, "gate", "budget-breach", 0, 1)
+		} else if gated && pending*100 <= budget*res.releasePct {
+			d.t.SetGate(false)
+			c.actuate(d, sink, "gate", "budget-clear", 1, 0)
+		}
+	}
+
+	// --- Scan threshold: tighten under budget pressure, widen under a
+	// retire storm. Mutually exclusive by construction (pressure wins),
+	// and skipped entirely while gated — the gate already forces
+	// scan-per-retire, and fighting it would thrash gateSaved.
+	if !d.t.Gated() {
+		pressured := budget > 0 && pending*100 >= budget*res.pressurePct
+		storming := primed && scanRate >= res.stormScansPerSec && !pressured
+		if pressured {
+			d.pressTicks++
+			d.stormTicks = 0
+		} else if storming {
+			d.stormTicks++
+			d.pressTicks = 0
+		} else {
+			d.pressTicks = 0
+			d.stormTicks = 0
+		}
+		cur := d.t.ScanThreshold()
+		switch {
+		case d.pressTicks >= res.triggerTicks && d.cooldown["scan_threshold"] == 0:
+			want := cur / 2
+			if want < res.thresholdMin {
+				want = res.thresholdMin
+			}
+			if want != cur {
+				d.t.SetScanThreshold(want)
+				c.actuate(d, sink, "scan_threshold", "budget-pressure", int64(cur), int64(want))
+			}
+		case d.stormTicks >= res.triggerTicks && d.cooldown["scan_threshold"] == 0:
+			want := cur * 2
+			if want > res.thresholdMax {
+				want = res.thresholdMax
+			}
+			if want != cur {
+				d.t.SetScanThreshold(want)
+				c.actuate(d, sink, "scan_threshold", "retire-storm", int64(cur), int64(want))
+			}
+		}
+	}
+
+	// --- Offload workers: AIMD. Additive increase while the pipeline is
+	// saturated (monitor alert, or every worker busy with the queue near
+	// the watermark); multiplicative decrease (halve) after a sustained
+	// calm stretch with parked headroom proving the extra workers idle.
+	if d.maxWorkers > 0 {
+		saturated := d.alertActive("offload-saturation") ||
+			(off.WorkersTotal > 0 && off.Workers >= off.WorkersTotal &&
+				off.WatermarkBytes > 0 && off.QueuedBytes*100 >= off.WatermarkBytes*90)
+		calm := off.WorkersTotal > 0 && off.Workers < off.WorkersTotal &&
+			(off.WatermarkBytes <= 0 || off.QueuedBytes*10 <= off.WatermarkBytes)
+		if saturated {
+			d.satTicks++
+			d.calmTicks = 0
+		} else if calm {
+			d.calmTicks++
+			d.satTicks = 0
+		} else {
+			d.satTicks = 0
+			d.calmTicks = 0
+		}
+		cur := d.t.Workers()
+		switch {
+		case d.satTicks >= res.triggerTicks && d.cooldown["workers"] == 0:
+			want := cur + res.workerStep
+			if want > res.workerCeiling {
+				want = res.workerCeiling
+			}
+			if want != cur {
+				got := d.t.ResizeWorkers(want)
+				c.actuate(d, sink, "workers", "offload-saturated", int64(cur), int64(got))
+			}
+		case d.calmTicks >= res.idleTicks && d.cooldown["workers"] == 0:
+			want := cur / 2
+			if want < res.workerFloor {
+				want = res.workerFloor
+			}
+			if want != cur {
+				got := d.t.ResizeWorkers(want)
+				c.actuate(d, sink, "workers", "idle", int64(cur), int64(got))
+				d.calmTicks = 0
+			}
+		}
+	}
+
+	// --- Watermark: sized from the observed retire byte rate so the
+	// queue holds about wmWindowMs of retirement before backpressure. A
+	// deadband suppresses twitchy small moves.
+	if d.maxWorkers > 0 && res.wmWindowMs > 0 && primed && retireRate > 0 && d.avgObjBytes > 0 {
+		cur := d.t.Watermark()
+		want := retireRate * d.avgObjBytes * int64(res.wmWindowMs) / 1000
+		if want < res.wmMin {
+			want = res.wmMin
+		}
+		if res.wmMax > 0 && want > res.wmMax {
+			want = res.wmMax
+		}
+		delta := want - cur
+		if delta < 0 {
+			delta = -delta
+		}
+		if cur > 0 && delta*100 > cur*res.deadbandPct && d.cooldown["watermark"] == 0 {
+			d.t.SetWatermark(want)
+			c.actuate(d, sink, "watermark", "retire-rate", cur, want)
+		}
+	}
+
+	// --- Publish the panel.
+	d.statusMu.Lock()
+	d.status.ScanThreshold = int64(d.t.ScanThreshold())
+	d.status.Workers = int64(d.t.Workers())
+	d.status.WatermarkBytes = d.t.Watermark()
+	d.status.Gated = d.t.Gated()
+	d.status.BudgetBytes = budget
+	if budget > 0 {
+		d.status.HeadroomBytes = budget - pending
+	}
+	d.status.Actuations = d.actuations
+	d.status.GateCount = d.gateCount
+	d.statusMu.Unlock()
+}
+
+// actuate records one knob movement everywhere it is observable: the
+// capped per-domain action log (hemon panel), the onAction sink (sampler
+// JSONL), and the domain's flight recorder (EvControl; the session field
+// carries the actuation ordinal, the value the new knob setting).
+func (c *Controller) actuate(d *domState, sink func(obs.ControlAction), knob, reason string, from, to int64) {
+	a := obs.ControlAction{
+		TMillis: obs.Now() / 1e6,
+		Scheme:  d.t.Name(),
+		Knob:    knob,
+		Reason:  reason,
+		From:    from,
+		To:      to,
+	}
+	d.cooldown[knob] = d.res.cooldownTicks
+	d.statusMu.Lock()
+	d.actuations++
+	ord := d.actuations
+	d.actions = append(d.actions, a)
+	if len(d.actions) > c.maxActions {
+		d.actions = d.actions[len(d.actions)-c.maxActions:]
+	}
+	d.statusMu.Unlock()
+	if o := d.t.Obs(); o != nil {
+		o.Ring(0).Record(obs.EvControl, int(ord), uint64(to))
+	}
+	if sink != nil {
+		sink(a)
+	}
+}

@@ -1,0 +1,367 @@
+package control
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/reclaim"
+)
+
+// fakeTarget is a scripted knob surface: the test sets the sensor readings
+// (Stats, OffloadStats) before each Step and the fake records every setter
+// call, so the whole decision procedure runs without a real domain, a real
+// pipeline, or any wall-clock dependence.
+type fakeTarget struct {
+	mu        sync.Mutex
+	name      string
+	threshold int
+	unit      int
+	watermark int64
+	workers   int
+	maxW      int
+	gated     bool
+	stats     reclaim.Stats
+	off       obs.OffloadStats
+}
+
+func newFake() *fakeTarget {
+	return &fakeTarget{
+		name:      "fake",
+		threshold: 16,
+		unit:      8,
+		watermark: 8192,
+		workers:   1,
+		maxW:      4,
+	}
+}
+
+func (f *fakeTarget) Name() string { return f.name }
+func (f *fakeTarget) ScanThreshold() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.threshold
+}
+func (f *fakeTarget) SetScanThreshold(n int) {
+	f.mu.Lock()
+	f.threshold = n
+	f.mu.Unlock()
+}
+func (f *fakeTarget) ScanUnit() int { return f.unit }
+func (f *fakeTarget) Watermark() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watermark
+}
+func (f *fakeTarget) SetWatermark(v int64) {
+	f.mu.Lock()
+	f.watermark = v
+	f.mu.Unlock()
+}
+func (f *fakeTarget) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workers
+}
+func (f *fakeTarget) MaxWorkers() int { return f.maxW }
+func (f *fakeTarget) ResizeWorkers(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	if n > f.maxW {
+		n = f.maxW
+	}
+	f.workers = n
+	f.off.WorkersTotal = int64(n)
+	return n
+}
+func (f *fakeTarget) SetGate(on bool) {
+	f.mu.Lock()
+	f.gated = on
+	f.mu.Unlock()
+}
+func (f *fakeTarget) Gated() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gated
+}
+func (f *fakeTarget) Stats() reclaim.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+func (f *fakeTarget) OffloadStats() obs.OffloadStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.off
+}
+func (f *fakeTarget) Obs() *obs.Domain    { return nil }
+func (f *fakeTarget) AddDrainHook(func()) {}
+
+// set mutates the scripted sensor readings under the fake's lock.
+func (f *fakeTarget) set(fn func(*fakeTarget)) {
+	f.mu.Lock()
+	fn(f)
+	f.mu.Unlock()
+}
+
+var _ Target = (*fakeTarget)(nil)
+
+// testPolicy pins every knob explicitly so the expectations below do not
+// depend on the target-relative defaults.
+func testPolicy() Policy {
+	return Policy{
+		WorkerFloor: 1, WorkerCeiling: 4, WorkerStep: 1, IdleTicks: 2,
+		WatermarkMinBytes: 1024, WatermarkMaxBytes: 1 << 20, WatermarkWindowMs: 250,
+		ThresholdMin: 1, ThresholdMax: 64, StormScansPerSec: 1000,
+		BudgetBytes: 100_000, PressurePct: 75, ReleasePct: 50, Gate: true,
+		DeadbandPct: 25, CooldownTicks: 1, TriggerTicks: 2,
+	}
+}
+
+// action is the wall-clock-free projection of an actuation (TMillis is a
+// timestamp label, not a decision input, so determinism is asserted without
+// it).
+type action struct {
+	knob, reason string
+	from, to     int64
+}
+
+// runScript drives one fresh controller+fake through the scripted tick
+// sequence and returns the actuations in order.
+func runScript(t *testing.T) []action {
+	t.Helper()
+	f := newFake()
+	c, err := New(Config{Interval: 100 * time.Millisecond, Policy: testPolicy()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var got []action
+	c.SetOnAction(func(a obs.ControlAction) {
+		got = append(got, action{a.Knob, a.Reason, a.From, a.To})
+	})
+	c.Attach(f)
+
+	// Each entry mutates the sensors, then one Step runs. Rates derive from
+	// counter deltas over the 100ms interval (×10 per second).
+	script := []func(*fakeTarget){
+		func(*fakeTarget) {}, // t1: primes the rate derivation
+		func(f *fakeTarget) { f.stats.PendingBytes = 80_000 }, // t2: pressure (≥75%)
+		func(*fakeTarget) {}, // t3: pressure persists → tighten 16→8
+		func(*fakeTarget) {}, // t4: cooldown expired → tighten 8→4
+		func(f *fakeTarget) { f.stats.PendingBytes = 150_000 },                 // t5: breach → gate
+		func(f *fakeTarget) { f.stats.PendingBytes = 40_000 },                  // t6: ≤50% → release
+		func(f *fakeTarget) { f.stats.PendingBytes = 0; f.stats.Scans += 200 }, // t7: storm (2000/s)
+		func(f *fakeTarget) { f.stats.Scans += 200 },                           // t8: storm persists → widen 4→8
+		func(f *fakeTarget) { // t9: pipeline saturated (all busy, queue ≥90% of watermark)
+			f.off = obs.OffloadStats{Workers: 1, WorkersTotal: 1, WatermarkBytes: 8192, QueuedBytes: 8000}
+		},
+		func(*fakeTarget) {}, // t10: saturation persists → workers 1→2
+		func(f *fakeTarget) { // t11: calm (a worker parked, queue ≤10%)
+			f.off = obs.OffloadStats{Workers: 1, WorkersTotal: 2, WatermarkBytes: 8192, QueuedBytes: 0}
+		},
+		func(*fakeTarget) {}, // t12: calm persists → workers 2→1
+		func(f *fakeTarget) { // t13: retire rate 1000/s × 4096 B × 250ms window → watermark retarget
+			f.stats.Retired += 100
+			f.stats.Pending = 10
+			f.stats.PendingBytes = 40_960
+		},
+	}
+	for _, mut := range script {
+		f.set(mut)
+		c.Step()
+	}
+	return got
+}
+
+// TestControllerDeterministic pins the whole decision procedure: the same
+// scripted sensor sequence produces the same actuation sequence, twice, and
+// that sequence is exactly the documented rule set firing — gate on breach,
+// tighten under pressure, widen under a storm, AIMD on the workers,
+// rate-derived watermark.
+func TestControllerDeterministic(t *testing.T) {
+	want := []action{
+		{"scan_threshold", "budget-pressure", 16, 8},
+		{"scan_threshold", "budget-pressure", 8, 4},
+		{"gate", "budget-breach", 0, 1},
+		{"gate", "budget-clear", 1, 0},
+		{"scan_threshold", "retire-storm", 4, 8},
+		{"workers", "offload-saturated", 1, 2},
+		{"workers", "idle", 2, 1},
+		{"watermark", "retire-rate", 8192, 1_024_000},
+	}
+	first := runScript(t)
+	second := runScript(t)
+	for run, got := range [][]action{first, second} {
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d actuations, want %d: %+v", run, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d action %d: got %+v, want %+v", run, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestControllerNoOscillation holds the sensors at decision boundaries for
+// hundreds of ticks and asserts the controller converges instead of
+// chattering: the deadband pins the watermark after one move, the threshold
+// walks to its floor and stops, and the gate engages exactly once while the
+// breach persists.
+func TestControllerNoOscillation(t *testing.T) {
+	t.Run("steady-rate-watermark", func(t *testing.T) {
+		f := newFake()
+		c, _ := New(Config{Interval: 100 * time.Millisecond, Policy: testPolicy()})
+		var n int
+		c.SetOnAction(func(obs.ControlAction) { n++ })
+		c.Attach(f)
+		for i := 0; i < 300; i++ {
+			f.set(func(f *fakeTarget) {
+				f.stats.Retired += 100 // constant 1000/s
+				f.stats.Pending = 10
+				f.stats.PendingBytes = 40_960 // avg 4096 B/obj, below pressure
+			})
+			c.Step()
+			if i == 99 {
+				n = 0 // converged by now; the tail must be silent
+			}
+		}
+		if n != 0 {
+			t.Fatalf("%d actuations after convergence (watermark=%d)", n, f.Watermark())
+		}
+	})
+	t.Run("boundary-pressure-threshold", func(t *testing.T) {
+		f := newFake()
+		c, _ := New(Config{Interval: 100 * time.Millisecond, Policy: testPolicy()})
+		var acts []action
+		c.SetOnAction(func(a obs.ControlAction) { acts = append(acts, action{a.Knob, a.Reason, a.From, a.To}) })
+		c.Attach(f)
+		for i := 0; i < 300; i++ {
+			f.set(func(f *fakeTarget) { f.stats.PendingBytes = 75_000 }) // exactly PressurePct
+			c.Step()
+		}
+		// 16→8→4→2→1, then want == cur suppresses everything further.
+		if len(acts) != 4 {
+			t.Fatalf("%d actuations, want 4 (16→…→1): %+v", len(acts), acts)
+		}
+		if got := f.ScanThreshold(); got != 1 {
+			t.Fatalf("threshold = %d, want floor 1", got)
+		}
+	})
+	t.Run("persistent-breach-single-gate", func(t *testing.T) {
+		f := newFake()
+		c, _ := New(Config{Interval: 100 * time.Millisecond, Policy: testPolicy()})
+		c.Attach(f)
+		for i := 0; i < 300; i++ {
+			// Hovers between ReleasePct and the budget after the breach: the
+			// release hysteresis must hold the gate, not toggle it.
+			pb := int64(150_000)
+			if i > 0 {
+				pb = 80_000 // 80% of budget: above release (50%), below breach
+			}
+			f.set(func(f *fakeTarget) { f.stats.PendingBytes = pb })
+			c.Step()
+		}
+		st := c.Status("fake")
+		if st == nil || st.GateCount != 1 || !st.Gated {
+			t.Fatalf("gate status = %+v, want one engagement, still gated", st)
+		}
+	})
+}
+
+// TestPolicySwapAtomic pins the hot-swap contract: invalid policies are
+// rejected with the old rules staying live, a valid swap takes effect on the
+// next tick (re-resolved budget visible in the status), and concurrent
+// SetPolicy/Step/Status never race (run under -race).
+func TestPolicySwapAtomic(t *testing.T) {
+	f := newFake()
+	pA := testPolicy()
+	c, err := New(Config{Interval: 100 * time.Millisecond, Policy: pA})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Attach(f)
+	c.Step()
+	if st := c.Status("fake"); st.BudgetBytes != 100_000 {
+		t.Fatalf("budget = %d, want 100000", st.BudgetBytes)
+	}
+
+	// Invalid: inverted worker bounds and release above pressure. Rejected,
+	// old policy stays.
+	bad := testPolicy()
+	bad.WorkerFloor, bad.WorkerCeiling = 5, 2
+	bad.ReleasePct, bad.PressurePct = 90, 60
+	if err := c.SetPolicy(bad); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if got := c.Policy(); got != pA {
+		t.Fatalf("policy changed after rejected swap: %+v", got)
+	}
+
+	// Valid swap: the next Step re-resolves against the new budget.
+	pB := testPolicy()
+	pB.BudgetBytes = 200_000
+	if err := c.SetPolicy(pB); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	c.Step()
+	if st := c.Status("fake"); st.BudgetBytes != 200_000 {
+		t.Fatalf("budget after swap = %d, want 200000", st.BudgetBytes)
+	}
+
+	// Concurrency: swappers, a stepper and a status reader all at once.
+	var swappers, stepper sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		swappers.Add(1)
+		go func(g int) {
+			defer swappers.Done()
+			p := testPolicy()
+			p.BudgetBytes = int64(100_000 * (g + 1))
+			for i := 0; i < 500; i++ {
+				if err := c.SetPolicy(p); err != nil {
+					t.Errorf("SetPolicy: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	stepper.Add(1)
+	go func() {
+		defer stepper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.set(func(f *fakeTarget) { f.stats.Retired++ })
+				c.Step()
+				c.Status("fake")
+			}
+		}
+	}()
+	swappers.Wait()
+	close(stop)
+	stepper.Wait()
+}
+
+// TestControllerStopIdempotent pins the teardown contract the drain hook
+// relies on: Stop is safe repeatedly, with or without Start.
+func TestControllerStopIdempotent(t *testing.T) {
+	c, _ := New(Config{Policy: testPolicy()})
+	c.Attach(newFake())
+	c.Stop()
+	c.Stop()
+
+	c2, _ := New(Config{Interval: time.Millisecond, Policy: testPolicy()})
+	c2.Attach(newFake())
+	c2.Start()
+	c2.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	c2.Stop()
+	c2.Stop()
+}

@@ -1,0 +1,225 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Policy is the controller's declarative rule set: pure data, validated
+// before it is ever applied, and hot-swapped atomically (SetPolicy) without
+// pausing traffic — the policies-as-data shape, so a policy can arrive from
+// a config file, a flag, or a remote control plane and take effect on the
+// next tick. Zero fields take target-relative defaults resolved when a
+// domain attaches (see resolve): "8× the constructed watermark" is a
+// meaningful ceiling for any domain, "1 GiB" is not.
+type Policy struct {
+	// ---- Offload worker AIMD ----
+
+	// WorkerFloor / WorkerCeiling bound the live worker count. Floor
+	// defaults to 1, ceiling to the pipeline's MaxWorkers.
+	WorkerFloor   int `json:"worker_floor,omitempty"`
+	WorkerCeiling int `json:"worker_ceiling,omitempty"`
+	// WorkerStep is the additive increase applied per saturated tick
+	// (default 1). The decrease is multiplicative: half, clamped at the
+	// floor — the classic AIMD asymmetry that converges instead of
+	// oscillating.
+	WorkerStep int `json:"worker_step,omitempty"`
+	// IdleTicks is how many consecutive calm ticks (queue under a tenth of
+	// the watermark, at least one worker parked) precede a scale-down.
+	// Default 5.
+	IdleTicks int `json:"idle_ticks,omitempty"`
+
+	// ---- Watermark scaling ----
+
+	// WatermarkMinBytes / WatermarkMaxBytes clamp the live watermark.
+	// Defaults: constructed watermark / 8 and × 8.
+	WatermarkMinBytes int64 `json:"watermark_min_bytes,omitempty"`
+	WatermarkMaxBytes int64 `json:"watermark_max_bytes,omitempty"`
+	// WatermarkWindowMs sizes the watermark from the observed retire rate:
+	// the queue may hold this many milliseconds of retirement at the
+	// current rate. Default 250. 0 after resolve disables rate scaling.
+	WatermarkWindowMs int `json:"watermark_window_ms,omitempty"`
+
+	// ---- Scan threshold (ScanR) band ----
+
+	// ThresholdMin / ThresholdMax bound the live scan threshold. Defaults:
+	// 1 and 8× the constructed threshold.
+	ThresholdMin int `json:"threshold_min,omitempty"`
+	ThresholdMax int `json:"threshold_max,omitempty"`
+	// StormScansPerSec is the inline-scan rate above which the threshold
+	// widens (the retire-storm signature: scans dominate the retire path).
+	// Default 2000.
+	StormScansPerSec int64 `json:"storm_scans_per_sec,omitempty"`
+
+	// ---- Budget and gate ----
+
+	// BudgetBytes is the pending-bytes budget the controller enforces.
+	// Default: the Equation-1 budget the obs wiring derived, or 16× the
+	// constructed watermark without one.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// PressurePct: pending above this percentage of the budget tightens
+	// the scan threshold. Default 75.
+	PressurePct int64 `json:"pressure_pct,omitempty"`
+	// ReleasePct: an engaged gate releases when pending falls below this
+	// percentage of the budget. Default 50.
+	ReleasePct int64 `json:"release_pct,omitempty"`
+	// Gate enables admission backpressure (scan-per-retire + offload
+	// refusal) while pending exceeds the budget.
+	Gate bool `json:"gate,omitempty"`
+
+	// ---- Stability ----
+
+	// DeadbandPct suppresses watermark actuations smaller than this
+	// percentage of the current value. Default 25.
+	DeadbandPct int64 `json:"deadband_pct,omitempty"`
+	// CooldownTicks is the minimum number of ticks between actuations of
+	// the same knob. Default 3.
+	CooldownTicks int `json:"cooldown_ticks,omitempty"`
+	// TriggerTicks is how many consecutive breaching ticks arm a widen/
+	// tighten/scale-up decision (raise-N hysteresis, mirroring
+	// obs.MonitorConfig.RaiseTicks). Default 2.
+	TriggerTicks int `json:"trigger_ticks,omitempty"`
+}
+
+// Validate rejects self-contradictory policies. A zero field is "take the
+// default", so only explicit nonsense fails: inverted bounds, negative
+// rates, percentages out of range.
+func (p Policy) Validate() error {
+	var errs []error
+	chk := func(bad bool, format string, args ...any) {
+		if bad {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	chk(p.WorkerFloor < 0, "worker_floor %d negative", p.WorkerFloor)
+	chk(p.WorkerCeiling < 0, "worker_ceiling %d negative", p.WorkerCeiling)
+	chk(p.WorkerFloor > 0 && p.WorkerCeiling > 0 && p.WorkerFloor > p.WorkerCeiling,
+		"worker_floor %d above worker_ceiling %d", p.WorkerFloor, p.WorkerCeiling)
+	chk(p.WorkerStep < 0, "worker_step %d negative", p.WorkerStep)
+	chk(p.IdleTicks < 0, "idle_ticks %d negative", p.IdleTicks)
+	chk(p.WatermarkMinBytes < 0, "watermark_min_bytes %d negative", p.WatermarkMinBytes)
+	chk(p.WatermarkMaxBytes < 0, "watermark_max_bytes %d negative", p.WatermarkMaxBytes)
+	chk(p.WatermarkMinBytes > 0 && p.WatermarkMaxBytes > 0 && p.WatermarkMinBytes > p.WatermarkMaxBytes,
+		"watermark_min_bytes %d above watermark_max_bytes %d", p.WatermarkMinBytes, p.WatermarkMaxBytes)
+	chk(p.WatermarkWindowMs < 0, "watermark_window_ms %d negative", p.WatermarkWindowMs)
+	chk(p.ThresholdMin < 0, "threshold_min %d negative", p.ThresholdMin)
+	chk(p.ThresholdMax < 0, "threshold_max %d negative", p.ThresholdMax)
+	chk(p.ThresholdMin > 0 && p.ThresholdMax > 0 && p.ThresholdMin > p.ThresholdMax,
+		"threshold_min %d above threshold_max %d", p.ThresholdMin, p.ThresholdMax)
+	chk(p.StormScansPerSec < 0, "storm_scans_per_sec %d negative", p.StormScansPerSec)
+	chk(p.BudgetBytes < 0, "budget_bytes %d negative", p.BudgetBytes)
+	chk(p.PressurePct < 0 || p.PressurePct > 100, "pressure_pct %d outside [0,100]", p.PressurePct)
+	chk(p.ReleasePct < 0 || p.ReleasePct > 100, "release_pct %d outside [0,100]", p.ReleasePct)
+	chk(p.PressurePct > 0 && p.ReleasePct > 0 && p.ReleasePct > p.PressurePct,
+		"release_pct %d above pressure_pct %d (the gate would re-arm before it releases)", p.ReleasePct, p.PressurePct)
+	chk(p.DeadbandPct < 0 || p.DeadbandPct > 100, "deadband_pct %d outside [0,100]", p.DeadbandPct)
+	chk(p.CooldownTicks < 0, "cooldown_ticks %d negative", p.CooldownTicks)
+	chk(p.TriggerTicks < 0, "trigger_ticks %d negative", p.TriggerTicks)
+	return errors.Join(errs...)
+}
+
+// DefaultPolicy returns the zero policy: every field takes its
+// target-relative default at attach time.
+func DefaultPolicy() Policy { return Policy{} }
+
+// resolved is a policy with every default filled in against one domain's
+// construction-time values. Built once per (policy, domain) pair and cached
+// until the policy pointer changes.
+type resolved struct {
+	src *Policy // identity of the policy this was resolved from
+
+	workerFloor, workerCeiling, workerStep, idleTicks int
+	wmMin, wmMax                                      int64
+	wmWindowMs                                        int
+	thresholdMin, thresholdMax                        int
+	stormScansPerSec                                  int64
+	budgetBytes                                       int64
+	pressurePct, releasePct                           int64
+	gate                                              bool
+	deadbandPct                                       int64
+	cooldownTicks, triggerTicks                       int
+}
+
+// resolve fills p's zero fields from the domain's construction-time state.
+func resolve(p *Policy, initThreshold int, initWatermark int64, maxWorkers int, obsBudget int64) resolved {
+	r := resolved{
+		src:              p,
+		workerFloor:      p.WorkerFloor,
+		workerCeiling:    p.WorkerCeiling,
+		workerStep:       p.WorkerStep,
+		idleTicks:        p.IdleTicks,
+		wmMin:            p.WatermarkMinBytes,
+		wmMax:            p.WatermarkMaxBytes,
+		wmWindowMs:       p.WatermarkWindowMs,
+		thresholdMin:     p.ThresholdMin,
+		thresholdMax:     p.ThresholdMax,
+		stormScansPerSec: p.StormScansPerSec,
+		budgetBytes:      p.BudgetBytes,
+		pressurePct:      p.PressurePct,
+		releasePct:       p.ReleasePct,
+		gate:             p.Gate,
+		deadbandPct:      p.DeadbandPct,
+		cooldownTicks:    p.CooldownTicks,
+		triggerTicks:     p.TriggerTicks,
+	}
+	if r.workerFloor == 0 {
+		r.workerFloor = 1
+	}
+	if r.workerCeiling == 0 {
+		r.workerCeiling = maxWorkers
+	}
+	if r.workerStep == 0 {
+		r.workerStep = 1
+	}
+	if r.idleTicks == 0 {
+		r.idleTicks = 5
+	}
+	if initWatermark > 0 {
+		if r.wmMin == 0 {
+			r.wmMin = initWatermark / 8
+			if r.wmMin < 1 {
+				r.wmMin = 1
+			}
+		}
+		if r.wmMax == 0 {
+			r.wmMax = initWatermark * 8
+		}
+	}
+	if r.wmWindowMs == 0 {
+		r.wmWindowMs = 250
+	}
+	if r.thresholdMin == 0 {
+		r.thresholdMin = 1
+	}
+	if r.thresholdMax == 0 {
+		r.thresholdMax = 8 * initThreshold
+		if r.thresholdMax < 8 {
+			r.thresholdMax = 8
+		}
+	}
+	if r.stormScansPerSec == 0 {
+		r.stormScansPerSec = 2000
+	}
+	if r.budgetBytes == 0 {
+		r.budgetBytes = obsBudget
+	}
+	if r.budgetBytes == 0 && initWatermark > 0 {
+		r.budgetBytes = 16 * initWatermark
+	}
+	if r.pressurePct == 0 {
+		r.pressurePct = 75
+	}
+	if r.releasePct == 0 {
+		r.releasePct = 50
+	}
+	if r.deadbandPct == 0 {
+		r.deadbandPct = 25
+	}
+	if r.cooldownTicks == 0 {
+		r.cooldownTicks = 3
+	}
+	if r.triggerTicks == 0 {
+		r.triggerTicks = 2
+	}
+	return r
+}

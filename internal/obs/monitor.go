@@ -250,12 +250,19 @@ func (m *Monitor) eval(s DomainSnapshot) []Alert {
 		})
 	}
 	if s.Offload != nil && s.Offload.WatermarkBytes > 0 {
+		// A parked worker is headroom: its queue backlog is one wake away
+		// from draining, so a high queue with parked workers is a transient,
+		// not saturation. Workers counts only busy (non-parked) workers;
+		// requiring it to have caught up with WorkersTotal keeps the
+		// invariant from under-reporting headroom and feeding the control
+		// plane a biased scale-up signal.
+		headroom := s.Offload.Workers < s.Offload.WorkersTotal
 		rs = append(rs, reading{
 			invariant: "offload-saturation",
-			breach:    s.Offload.QueuedBytes*100 >= s.Offload.WatermarkBytes*m.cfg.SaturationPct,
+			breach:    !headroom && s.Offload.QueuedBytes*100 >= s.Offload.WatermarkBytes*m.cfg.SaturationPct,
 			value:     s.Offload.QueuedBytes,
 			threshold: s.Offload.WatermarkBytes * m.cfg.SaturationPct / 100,
-			detail:    "offload queue above the saturation fraction of its watermark",
+			detail:    "offload queue above the saturation fraction of its watermark with every worker busy",
 		})
 	}
 

@@ -29,6 +29,9 @@ const (
 	EvRegister
 	// EvUnregister: a slot was permanently unregistered. Value = slot id.
 	EvUnregister
+	// EvControl: the adaptive controller actuated a knob. Value = the new
+	// knob value; the session field carries the actuation ordinal.
+	EvControl
 )
 
 var kindNames = [...]string{
@@ -42,6 +45,7 @@ var kindNames = [...]string{
 	EvRelease:    "release",
 	EvRegister:   "register",
 	EvUnregister: "unregister",
+	EvControl:    "control",
 }
 
 func (k Kind) String() string {

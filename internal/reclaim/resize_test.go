@@ -1,0 +1,131 @@
+package reclaim_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/reclaim"
+)
+
+// TestWorkerResizeUnderLoad hammers every live knob — worker count cycling
+// through the full [1, MaxWorkers] range, watermark swings, scan-threshold
+// retunes, gate toggles — while writer sessions retire through the offload
+// pipeline. It pins the resize protocol's safety properties: no retired
+// object is lost across poison-segment rescues (Drain leaves Pending == 0
+// with retired == freed), no arena faults, and every worker goroutine the
+// resizes spawned is gone after Close (NumGoroutine bracketing). Run under
+// -race this is the scale-up/scale-down interleaving test.
+func TestWorkerResizeUnderLoad(t *testing.T) {
+	const (
+		writers = 3
+		cells   = 4
+		rounds  = 30
+	)
+	cfg := reclaim.Config{
+		MaxThreads: writers + 1,
+		Slots:      2,
+		ScanR:      1,
+		Offload:    reclaim.OffloadConfig{Workers: 1, MaxWorkers: 4, WatermarkBytes: 1 << 40},
+	}
+
+	runtime.GC() // settle goroutines from prior tests
+	baseline := runtime.NumGoroutine()
+
+	arena := mem.NewArena[uint64](mem.Checked[uint64](true), mem.WithShards[uint64](writers+4))
+	dom := core.New(arena, cfg)
+	tn := dom.Tuner()
+
+	var slots [cells]atomic.Uint64
+	var stop atomic.Bool
+	var retired atomic.Int64
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := dom.Register()
+			defer h.Unregister()
+			rng := uint64(w)*0x9E3779B97F4A7C15 + 1
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				ci := int(rng % cells)
+				ref, p := arena.AllocAt(h.ID())
+				*p = rng
+				dom.OnAlloc(ref)
+				old := mem.Ref(slots[ci].Swap(uint64(ref)))
+				if !old.IsNil() {
+					h.Retire(old)
+					retired.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// The control-plane stand-in: single writer of every knob, cycling
+	// through resize up, resize down, watermark swings, threshold retunes
+	// and gate pulses while the writers never pause.
+	for i := 0; i < rounds; i++ {
+		for n := 1; n <= cfg.Offload.MaxWorkers; n++ {
+			if got := tn.ResizeWorkers(n); got != n {
+				t.Fatalf("round %d: ResizeWorkers(%d) applied %d", i, n, got)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		tn.SetWatermark(int64(1 << (10 + i%12)))
+		tn.SetScanThreshold(1 + i%32)
+		if i%7 == 0 {
+			tn.SetGate(true)
+			time.Sleep(100 * time.Microsecond)
+			tn.SetGate(false)
+		}
+		for n := cfg.Offload.MaxWorkers; n >= 1; n-- {
+			tn.ResizeWorkers(n)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+
+	// Fold the cells' final occupants so the ledger closes.
+	fin := dom.Register()
+	for ci := range slots {
+		if old := mem.Ref(slots[ci].Swap(0)); !old.IsNil() {
+			fin.Retire(old)
+			retired.Add(1)
+		}
+	}
+	fin.Unregister()
+	dom.Close()
+
+	s := dom.Stats()
+	if s.Pending != 0 {
+		t.Fatalf("pending after close: %+v", s)
+	}
+	if want := retired.Load(); s.Retired != want || s.Freed != want {
+		t.Fatalf("retired/freed = %d/%d, want %d/%d (objects lost across resizes)",
+			s.Retired, s.Freed, want, want)
+	}
+	if got := arena.Stats().Faults; got != 0 {
+		t.Fatalf("arena faults: %d", got)
+	}
+	if live := arena.Stats().Live; live != 0 {
+		t.Fatalf("arena live after close: %d", live)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutine leak after resize churn: %d > baseline %d", n, baseline)
+	}
+}

@@ -1,0 +1,87 @@
+package reclaim
+
+import "repro/internal/obs"
+
+// ControlConfig is the public-facing opt-in for the adaptive control plane
+// (internal/control). It lives here — not in the control package — so that
+// Config can carry it without reclaim importing its own consumer: the
+// detailed Policy defaults live in control and can be hot-swapped later via
+// Controller.SetPolicy; this struct is just the construction-time knobs a
+// caller states up front.
+type ControlConfig struct {
+	// Enabled opts the domain into a feedback controller that retunes
+	// ScanR, the offload watermark, and the worker count live.
+	Enabled bool
+	// BudgetBytes is the per-domain pending-bytes budget the controller
+	// enforces (tightening ScanR as pending approaches it, optionally
+	// gating the retire path when it is breached). 0 derives the Equation-1
+	// budget the health monitor uses.
+	BudgetBytes int64
+	// IntervalMillis is the controller tick period. 0 means 100ms.
+	IntervalMillis int
+	// Gate enables admission backpressure (scan-per-retire + offload
+	// refusal) when the budget is breached.
+	Gate bool
+}
+
+// Tuner is the live-knob surface of a domain, handed to the control plane
+// (and to tests standing in for it). It is a thin view over Base: every
+// setter is safe while traffic flows, and the hot paths observe retunes
+// through atomic loads they already perform. Single-writer discipline: one
+// controller goroutine per domain.
+type Tuner struct{ b *Base }
+
+// Tuner returns the domain's live-knob surface.
+func (b *Base) Tuner() *Tuner { return &Tuner{b: b} }
+
+// Name returns the owning scheme's name.
+func (t *Tuner) Name() string { return t.b.Dom.Name() }
+
+// ScanThreshold returns the live scan-trigger length.
+func (t *Tuner) ScanThreshold() int { return t.b.ScanThreshold() }
+
+// SetScanThreshold retunes the scan-trigger length live.
+func (t *Tuner) SetScanThreshold(n int) { t.b.SetScanThreshold(n) }
+
+// ScanUnit is MaxThreads × Slots — one "R" worth of threshold, for
+// converting between ScanR policy bounds and absolute thresholds.
+func (t *Tuner) ScanUnit() int { return t.b.Cfg.MaxThreads * t.b.Cfg.Slots }
+
+// Watermark returns the live offload watermark (0 without a pipeline).
+func (t *Tuner) Watermark() int64 { return t.b.Watermark() }
+
+// SetWatermark retunes the offload watermark live.
+func (t *Tuner) SetWatermark(v int64) { t.b.SetWatermark(v) }
+
+// Workers returns the current worker resize target (0 without a pipeline).
+func (t *Tuner) Workers() int { return t.b.Workers() }
+
+// MaxWorkers returns the resize ceiling (0 without a pipeline).
+func (t *Tuner) MaxWorkers() int {
+	if t.b.off == nil {
+		return 0
+	}
+	return t.b.off.maxWorkers
+}
+
+// ResizeWorkers retunes the live worker count; returns the applied value.
+func (t *Tuner) ResizeWorkers(n int) int { return t.b.ResizeWorkers(n) }
+
+// SetGate engages or releases retire-path admission backpressure.
+func (t *Tuner) SetGate(on bool) { t.b.SetGate(on) }
+
+// Gated reports whether the gate is engaged.
+func (t *Tuner) Gated() bool { return t.b.Gated() }
+
+// Stats snapshots the domain counters (through the scheme, so era clocks
+// and scheme-specific folds are included).
+func (t *Tuner) Stats() Stats { return t.b.Dom.Stats() }
+
+// OffloadStats snapshots the pipeline gauges (zeros without a pipeline).
+func (t *Tuner) OffloadStats() obs.OffloadStats { return t.b.OffloadStats() }
+
+// Obs returns the attached observability domain, or nil.
+func (t *Tuner) Obs() *obs.Domain { return t.b.Obs() }
+
+// AddDrainHook forwards to Base.AddDrainHook (controller teardown).
+func (t *Tuner) AddDrainHook(fn func()) { t.b.AddDrainHook(fn) }

@@ -1,0 +1,77 @@
+package smr_test
+
+import (
+	"testing"
+
+	"repro/smr"
+)
+
+// TestDomainController pins the public control-plane surface: a domain
+// constructed without Config.Control stays controller-free (nil, no
+// goroutine), while an opted-in domain lazily builds one controller whose
+// policy carries the configured budget and gate, retunes the live knobs,
+// and stops with the domain's Drain.
+func TestDomainController(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		d := smr.New[node](smr.HE, smr.Config{MaxThreads: 4, Slots: 2})
+		if c := d.Controller(); c != nil {
+			t.Fatalf("controller without Config.Control: %v", c)
+		}
+	})
+	t.Run("enabled", func(t *testing.T) {
+		d := smr.New[node](smr.HE, smr.Config{
+			MaxThreads: 4,
+			Slots:      2,
+			Offload:    smr.OffloadConfig{Workers: 1, MaxWorkers: 2, WatermarkBytes: 1 << 20},
+			Control:    smr.ControlConfig{Enabled: true, BudgetBytes: 1 << 20, Gate: true},
+		})
+		c := d.Controller()
+		if c == nil {
+			t.Fatal("controller missing with Config.Control.Enabled")
+		}
+		if c2 := d.Controller(); c2 != c {
+			t.Fatal("Controller not idempotent")
+		}
+		p := c.Policy()
+		if p.BudgetBytes != 1<<20 || !p.Gate {
+			t.Fatalf("policy = %+v, want budget %d, gate on", p, 1<<20)
+		}
+
+		// A policy swap reaches the domain's knobs on the next tick; drive
+		// one deterministically instead of waiting out the ticker.
+		p.BudgetBytes = 2 << 20
+		if err := c.SetPolicy(p); err != nil {
+			t.Fatalf("SetPolicy: %v", err)
+		}
+		c.Step()
+		st := c.Status(d.Name())
+		if st == nil || st.BudgetBytes != 2<<20 {
+			t.Fatalf("status after swap = %+v, want budget %d", st, 2<<20)
+		}
+
+		// Run a little traffic so Drain exercises the controller drain hook
+		// with work in flight.
+		g := d.Acquire()
+		var cell smr.Atomic[node]
+		for i := 0; i < 64; i++ {
+			p, n := d.Alloc(g)
+			n.key = uint64(i)
+			d.Publish(p.Ref())
+			old := cell.Peek()
+			cell.Store(p)
+			if !old.IsNil() {
+				g.Retire(old.Ref())
+			}
+		}
+		if old := cell.Peek(); !old.IsNil() {
+			cell.Store(smr.Ptr[node]{})
+			g.Retire(old.Ref())
+		}
+		g.Release()
+		d.Drain()
+		if s := d.Stats(); s.Pending != 0 {
+			t.Fatalf("pending after drain: %+v", s)
+		}
+		c.Stop() // already stopped by the drain hook; must be a safe no-op
+	})
+}
